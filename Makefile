@@ -1,0 +1,36 @@
+# Convenience targets for the GNNVault reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples report calibration clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-logged:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-logged:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done
+
+report:
+	$(PYTHON) -m repro.cli report
+
+calibration:
+	$(PYTHON) -m repro.cli calibration
+
+clean:
+	rm -rf .pytest_cache .benchmarks benchmarks/results/REPORT.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

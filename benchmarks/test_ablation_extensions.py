@@ -1,0 +1,183 @@
+"""Extension ablations beyond the paper's own evaluation (DESIGN.md §5).
+
+* label-only vs logit output: quantifies how much the paper's label-only
+  egress rule reduces the attack surface;
+* rectifier width sweep: the θ_rec vs Δp trade-off behind the preset sizes;
+* EPC paging sensitivity: what Fig. 6 would look like if the rectifier
+  did NOT fit the EPC — justifying the memory budgeting machinery;
+* future-work architectures: GraphSAGE and GAT backbones through the same
+  GNNVault pipeline (the paper's stated future work).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_series, render_table
+from repro.attacks import link_stealing_attack
+from repro.datasets import load_dataset, per_class_split
+from repro.experiments import run_gnnvault
+from repro.graph import gcn_normalize
+from repro.models import (
+    ModelPreset,
+    SAGEBackbone,
+    make_rectifier,
+    prepare_sage_adjacency,
+)
+from repro.tee import EnclaveConfig, OneWayChannel, RectifierEnclave
+from repro.tee import seal_private_graph, seal_rectifier_weights
+from repro.training import TrainConfig, train_node_classifier, train_rectifier
+
+from .conftest import archive
+
+TRAIN = TrainConfig(epochs=100, patience=30)
+
+
+@pytest.fixture(scope="module")
+def vault():
+    return run_gnnvault(
+        dataset="cora", schemes=("parallel",), train_config=TRAIN, seed=0
+    )
+
+
+def test_label_only_vs_logit_leakage(vault, run_once):
+    """The label-only egress rule measurably reduces linkage leakage."""
+    run = vault
+    rect = run.rectifiers["parallel"]
+    outs = rect.forward_with_intermediates(
+        run.backbone_embeddings(), run.graph.normalized_adjacency()
+    )
+    logits = outs[-1].data
+    one_hot = np.eye(logits.shape[1])[logits.argmax(axis=1)].astype(float)
+
+    logit_leak = link_stealing_attack(logits, run.graph.adjacency, seed=0)
+    label_leak = link_stealing_attack(one_hot, run.graph.adjacency, seed=0)
+    run_once(lambda: None)
+
+    text = render_table(
+        ["output", "mean AUC", "best metric AUC"],
+        [
+            ["logits (hypothetical leak)", round(logit_leak.mean_auc(), 3),
+             round(logit_leak.best_metric()[1], 3)],
+            ["label-only (deployed)", round(label_leak.mean_auc(), 3),
+             round(label_leak.best_metric()[1], 3)],
+        ],
+        title="Ablation: label-only vs logit output",
+    )
+    archive("ablation_label_only", text)
+    assert logit_leak.mean_auc() >= label_leak.mean_auc() - 0.02
+
+
+def test_rectifier_width_tradeoff(run_once):
+    """Wider rectifiers buy accuracy at enclave-size cost (θ vs Δp)."""
+    graph = load_dataset("cora", seed=0)
+    split = per_class_split(graph.labels, 20, seed=0)
+    widths = [(8, 4), (32, 8), (64, 16), (128, 32)]
+
+    def sweep():
+        rows = []
+        base = run_gnnvault(
+            graph=graph, schemes=(), train_config=TRAIN, seed=0,
+            train_original=False,
+        )
+        sub_adj = gcn_normalize(base.substitute)
+        real_adj = graph.normalized_adjacency()
+        bdims = base.backbone.layer_output_dims()
+        for hidden in widths:
+            rect = make_rectifier(
+                "parallel", bdims, (*hidden, graph.num_classes), seed=1
+            )
+            result = train_rectifier(
+                rect, base.backbone, graph.features, sub_adj, real_adj,
+                graph.labels, split, TRAIN,
+            )
+            rows.append(
+                (hidden, rect.num_parameters(), 100 * result.test_accuracy,
+                 100 * base.p_bb)
+            )
+        return rows
+
+    rows = run_once(sweep)
+    text = render_table(
+        ["hidden", "theta_rec", "p_rec(%)", "p_bb(%)"],
+        [[str(h), t, round(p, 1), round(b, 1)] for h, t, p, b in rows],
+        title="Ablation: rectifier width vs accuracy",
+    )
+    archive("ablation_width", text)
+    # Bigger rectifiers never hurt much; the largest beats the smallest.
+    assert rows[-1][2] >= rows[0][2] - 1.0
+    # And every width still improves on the backbone.
+    assert all(p > b for _, _, p, b in rows)
+
+
+def test_epc_paging_sensitivity(vault, run_once):
+    """Shrinking the EPC below the working set triggers paging charges —
+    the cost cliff the paper's memory budgeting avoids."""
+    run = vault
+    rect = run.rectifiers["parallel"]
+    embeddings = run.backbone_embeddings()
+
+    def profile_with_epc(epc_bytes):
+        enclave = RectifierEnclave(rect, EnclaveConfig(epc_bytes=epc_bytes))
+        enclave.provision_weights(seal_rectifier_weights(rect))
+        enclave.provision_graph(seal_private_graph(run.graph.adjacency, rect))
+        channel = OneWayChannel()
+        for layer in rect.consumed_layers():
+            channel.push(embeddings[layer])
+        report = enclave.ecall_infer(channel)
+        channel.collect()
+        return report
+
+    full = profile_with_epc(96 * 1024 * 1024)
+    tiny = profile_with_epc(64 * 1024)  # 16 pages
+    run_once(lambda: None)
+
+    text = render_table(
+        ["EPC", "swapped pages", "paging(ms)", "enclave(ms)"],
+        [
+            ["96 MB", full.swapped_pages, round(1e3 * full.paging_seconds, 3),
+             round(1e3 * full.enclave_seconds, 3)],
+            ["64 KB", tiny.swapped_pages, round(1e3 * tiny.paging_seconds, 3),
+             round(1e3 * tiny.enclave_seconds, 3)],
+        ],
+        title="Ablation: EPC paging sensitivity",
+    )
+    archive("ablation_paging", text)
+    assert full.paging_seconds == 0.0
+    assert tiny.paging_seconds > 0.0
+    assert tiny.enclave_seconds > full.enclave_seconds
+
+
+def test_sage_backbone_vault(run_once):
+    """Future work (paper §VI): GraphSAGE through the GNNVault pipeline."""
+    graph = load_dataset("cora", seed=0)
+    split = per_class_split(graph.labels, 20, seed=0)
+    from repro.substitute import KnnGraphBuilder
+
+    def pipeline():
+        substitute = KnnGraphBuilder(2)(graph.features)
+        sub_mean = prepare_sage_adjacency(substitute)
+        real_mean = prepare_sage_adjacency(graph.adjacency)
+        backbone = SAGEBackbone(graph.num_features, (64, 16, graph.num_classes), seed=0)
+        bb_result = train_node_classifier(
+            backbone, graph.features, sub_mean, graph.labels, split, TRAIN
+        )
+        rect = make_rectifier(
+            "parallel", backbone.layer_output_dims(),
+            (64, 16, graph.num_classes), seed=1,
+        )
+        rec_result = train_rectifier(
+            rect, backbone, graph.features, sub_mean,
+            graph.normalized_adjacency(), graph.labels, split, TRAIN,
+        )
+        return 100 * bb_result.test_accuracy, 100 * rec_result.test_accuracy
+
+    p_bb, p_rec = run_once(pipeline)
+    text = render_table(
+        ["model", "p_bb(%)", "p_rec(%)", "dp"],
+        [["GraphSAGE", round(p_bb, 1), round(p_rec, 1), round(p_rec - p_bb, 1)]],
+        title="Extension: GraphSAGE backbone + parallel rectifier",
+    )
+    archive("extension_sage", text)
+    assert p_rec > p_bb  # rectification transfers to SAGE

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Fig. 4 (latent-space silhouette + t-SNE).
+
+Shape checks: the rectifier's final-layer clustering quality approaches
+the original GNN's, while the backbone's stays clearly below — the
+numeric content of Fig. 4's line chart.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import render_fig4, run_fig4
+
+from .conftest import archive
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig4(dataset="cora", compute_tsne=True, tsne_nodes=200)
+
+
+def test_fig4(result, run_once):
+    run_once(lambda: None)
+    archive("fig4_silhouette", render_fig4(result))
+
+    original = result.silhouette["original"]
+    backbone = result.silhouette["backbone"]
+    rectifier = result.silhouette["rectifier"]
+
+    # Backbone clusters poorly at every layer vs the original model.
+    assert all(b < o for b, o in zip(backbone, original))
+    # The rectifier's final layer approaches the original's quality...
+    assert result.final_gap() < 0.15
+    # ...and clearly improves over the backbone's final layer.
+    assert rectifier[-1] > backbone[-1] + 0.1
+    # t-SNE coordinates were produced for every layer of every model.
+    for name, coords in result.tsne_coords.items():
+        assert len(coords) == len(result.silhouette[name])
+        assert all(c.shape[1] == 2 for c in coords)

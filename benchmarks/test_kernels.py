@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the substrate kernels.
+
+These are true pytest-benchmark loops (many rounds) over the hot paths
+that every experiment exercises: the autograd GCN forward/backward, the
+sparse message-passing product, substitute-graph construction, the link
+stealing scorer, and the enclave ECALL round trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.attacks import link_stealing_attack
+from repro.graph import gcn_normalize, make_sbm_graph
+from repro.models import GCNBackbone, make_rectifier
+from repro.substitute import KnnGraphBuilder
+from repro.tee import OneWayChannel, RectifierEnclave, seal_private_graph, seal_rectifier_weights
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return make_sbm_graph(600, 5, 128, 8.0, seed=0, name="bench")
+
+
+@pytest.fixture(scope="module")
+def adj(graph):
+    return gcn_normalize(graph.adjacency)
+
+
+def test_bench_gcn_forward(benchmark, graph, adj):
+    model = GCNBackbone(graph.num_features, (64, 16, 5), seed=0)
+    model.eval()
+    x = nn.Tensor(graph.features)
+    benchmark(lambda: model(x, adj))
+
+
+def test_bench_gcn_train_step(benchmark, graph, adj):
+    model = GCNBackbone(graph.num_features, (64, 16, 5), seed=0)
+    optimizer = nn.Adam(model.parameters())
+    x = nn.Tensor(graph.features)
+
+    def step():
+        optimizer.zero_grad()
+        loss = nn.cross_entropy(model(x, adj), graph.labels)
+        loss.backward()
+        optimizer.step()
+
+    benchmark(step)
+
+
+def test_bench_sparse_matmul(benchmark, graph, adj):
+    x = nn.Tensor(np.random.default_rng(0).random((graph.num_nodes, 64)))
+    benchmark(lambda: nn.sparse_matmul(adj, x))
+
+
+def test_bench_knn_substitute(benchmark, graph):
+    builder = KnnGraphBuilder(k=2)
+    benchmark(lambda: builder(graph.features))
+
+
+def test_bench_link_stealing(benchmark, graph):
+    embeddings = np.random.default_rng(0).random((graph.num_nodes, 32))
+    benchmark(
+        lambda: link_stealing_attack(
+            embeddings, graph.adjacency, num_pairs=500, seed=0
+        )
+    )
+
+
+def test_bench_enclave_ecall(benchmark, graph):
+    rectifier = make_rectifier("series", (64, 16, 5), (16, 5), seed=0)
+    enclave = RectifierEnclave(rectifier)
+    enclave.provision_weights(seal_rectifier_weights(rectifier))
+    enclave.provision_graph(seal_private_graph(graph.adjacency, rectifier))
+    embedding = np.random.default_rng(0).random((graph.num_nodes, 16))
+
+    def ecall():
+        channel = OneWayChannel()
+        channel.push(embedding)
+        enclave.ecall_infer(channel)
+        return channel.collect()
+
+    benchmark(ecall)
+
+
+def test_bench_sealing(benchmark, graph):
+    rectifier = make_rectifier("parallel", (64, 16, 5), (64, 16, 5), seed=0)
+    benchmark(lambda: seal_rectifier_weights(rectifier))

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table I (dataset statistics + dense-A memory)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import render_table1, run_table1
+
+from .conftest import archive
+
+
+def test_table1(run_once):
+    rows = run_once(run_table1)
+    archive("table1_datasets", render_table1(rows))
+
+    # The published "Dense A (MB)" column must be reproduced exactly
+    # (n² × 24 bytes — see repro.datasets.registry).
+    for row in rows:
+        assert row.computed_dense_mb == pytest.approx(row.paper_dense_mb, abs=0.02)
+    # Synthetic stand-ins keep the class structure.
+    by_name = {r.dataset: r for r in rows}
+    assert by_name["corafull"].num_classes == 70
+    assert all(r.synthetic_edges > 0 for r in rows)

@@ -1,0 +1,102 @@
+"""Benchmark: regenerate Table II (GNNVault accuracy/size, KNN k=2).
+
+Shape checks mirror the paper's headline claims rather than absolute
+numbers (the datasets are synthetic stand-ins — see DESIGN.md §2):
+
+* every rectifier improves on the public backbone (Δp > 0);
+* the best rectifier lands close to the original model's accuracy;
+* θ_rec ≪ θ_bb, series is the smallest rectifier;
+* M1/M3 parameter counts match the published θ columns almost exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.experiments import PAPER_TABLE2, render_table2, run_table2
+from repro.experiments.table2 import SCHEMES
+
+from .conftest import ALL_DATASETS, archive
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table2(datasets=ALL_DATASETS)
+
+
+def _comparison_text(rows):
+    headers = ["Dataset", "metric", "paper", "measured"]
+    body = []
+    for row in rows:
+        paper = PAPER_TABLE2[row.dataset]
+        body.append([row.dataset, "p_org", paper["p_org"], round(row.p_org, 1)])
+        body.append([row.dataset, "p_bb", paper["p_bb"], round(row.p_bb, 1)])
+        for scheme in SCHEMES:
+            body.append(
+                [
+                    row.dataset,
+                    f"{scheme}:p_rec",
+                    paper[scheme]["p_rec"],
+                    round(row.per_scheme[scheme]["p_rec"], 1),
+                ]
+            )
+            body.append(
+                [
+                    row.dataset,
+                    f"{scheme}:theta",
+                    paper[scheme]["theta_rec"],
+                    round(row.per_scheme[scheme]["theta_rec_m"], 4),
+                ]
+            )
+    return render_table(headers, body, title="Table II: paper vs measured")
+
+
+def test_table2(rows, run_once):
+    run_once(lambda: None)  # table built once in the module fixture
+    archive("table2_rectifiers", render_table2(rows) + "\n\n" + _comparison_text(rows))
+
+    for row in rows:
+        # Protection: every rectifier must beat the public backbone.
+        for scheme in SCHEMES:
+            assert row.delta_p(scheme) > 0, (row.dataset, scheme)
+        # Backbone is the inaccurate model.
+        assert row.p_bb < row.p_org
+        # Accuracy recovery: best rectifier within 10 points of original.
+        best = max(row.per_scheme[s]["p_rec"] for s in SCHEMES)
+        assert row.p_org - best < 10.0
+        # Enclave model is far smaller than the public model *at paper
+        # scale* (θ_bb scales with the real feature dimension; the shrunk
+        # synthetic features make θ_bb artificially small here).
+        from repro.datasets import get_spec
+        from repro.models import get_preset
+
+        spec = get_spec(row.dataset)
+        preset = get_preset(spec.model_preset)
+        full_theta_bb = preset.build_backbone(
+            spec.num_features, spec.num_classes
+        ).num_parameters() / 1e6
+        for scheme in SCHEMES:
+            assert row.per_scheme[scheme]["theta_rec_m"] < full_theta_bb
+        # Series is the smallest rectifier (its transfer is one embedding).
+        assert row.per_scheme["series"]["theta_rec_m"] == min(
+            row.per_scheme[s]["theta_rec_m"] for s in SCHEMES
+        )
+
+
+def test_table2_theta_matches_paper(rows, run_once):
+    run_once(lambda: None)
+    """θ_rec columns for the fully specified presets (M1/M3) match the paper.
+
+    θ_rec depends only on the architecture and class count, so it is
+    scale-independent; θ_bb scales with the (shrunk) feature dimension and
+    is checked against the paper at full scale in the unit tests instead.
+    """
+    for row in rows:
+        if row.dataset == "corafull":  # M2 wiring is underdetermined
+            continue
+        paper = PAPER_TABLE2[row.dataset]
+        for scheme in SCHEMES:
+            assert row.per_scheme[scheme]["theta_rec_m"] == pytest.approx(
+                paper[scheme]["theta_rec"], rel=0.2
+            ), (row.dataset, scheme)

@@ -1,0 +1,22 @@
+"""Final benchmark step: collate all archived results into REPORT.md.
+
+Named ``zz`` so pytest's alphabetical collection runs it after every
+table/figure benchmark has archived its output.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import write_report
+
+from .conftest import RESULTS_DIR
+
+
+def test_generate_report(run_once):
+    path = run_once(lambda: write_report(RESULTS_DIR))
+    text = path.read_text()
+    print(f"\nreproduction report written to {path} ({len(text.splitlines())} lines)")
+    assert "GNNVault reproduction results" in text
+    # At least the core paper artefacts must be present by the end of a
+    # full benchmark run.
+    for heading in ("Table I", "Fig. 6"):
+        assert heading in text, f"missing section {heading}"

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Why a TEE instead of noise? The privacy/utility comparison.
+
+The paper's introduction argues software-only defenses are "passive,
+inaccurate, or computation-expensive". This example makes the claim
+quantitative: perturbing an unprotected GNN's exposed embeddings moves
+along a privacy/utility trade-off curve, while GNNVault sits off the
+curve — baseline-level attack AUC at (near-)original accuracy.
+
+Run:  python examples/defense_comparison.py
+"""
+
+from repro.analysis import render_table
+from repro.attacks import link_stealing_attack
+from repro.defense import GaussianNoiseDefense, TopKLogitDefense, tradeoff_curve
+from repro.experiments import run_gnnvault
+
+
+def main() -> None:
+    print("Training the victim (unprotected GNN) and GNNVault on Cora...")
+    run = run_gnnvault(dataset="cora", schemes=("parallel",), seed=0)
+    graph = run.graph
+    exposed = run.original_embeddings()
+
+    defenses = [
+        GaussianNoiseDefense(scale=0.0, seed=1),
+        GaussianNoiseDefense(scale=0.5, seed=1),
+        GaussianNoiseDefense(scale=1.5, seed=1),
+        GaussianNoiseDefense(scale=4.0, seed=1),
+        TopKLogitDefense(k=1),
+    ]
+    curve = tradeoff_curve(
+        defenses, exposed, graph.adjacency, graph.labels, run.split.test,
+        num_pairs=1500, seed=0,
+    )
+    vault_attack = link_stealing_attack(
+        run.backbone_embeddings(), graph.adjacency, victim="gnnvault",
+        num_pairs=1500, seed=0,
+    )
+
+    rows = [
+        [point.defense, round(point.attack_auc, 3), round(100 * point.accuracy, 1)]
+        for point in curve
+    ]
+    rows.append(
+        [
+            "GNNVault (TEE)",
+            round(vault_attack.mean_auc(), 3),
+            round(100 * run.p_rec["parallel"], 1),
+        ]
+    )
+    print()
+    print(
+        render_table(
+            ["defense", "link-stealing AUC", "accuracy (%)"],
+            rows,
+            title="Perturbation defenses vs GNNVault (lower AUC + higher acc = better)",
+        )
+    )
+    print()
+    print("Noise strong enough to blind the attacker destroys the model;")
+    print("the enclave gets both properties at once, paying only latency.")
+
+
+if __name__ == "__main__":
+    main()

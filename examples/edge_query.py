@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Per-query inference on the edge device.
+
+A deployed recommender doesn't classify the whole graph per request — it
+answers queries about individual nodes. This example shows GNNVault's
+per-node path: the backbone still embeds every node (the untrusted world
+must not learn which neighbourhood the enclave reads — that would itself
+leak edges), but inside the enclave only the targets' k-hop receptive
+field over the private graph is rectified, with global-degree
+normalisation keeping the answers bit-identical to a full-graph pass.
+
+Run:  python examples/edge_query.py
+"""
+
+import numpy as np
+
+from repro.deploy import SecureInferenceSession
+from repro.experiments import run_gnnvault
+
+
+def main() -> None:
+    print("Training GNNVault on synthetic Citeseer...")
+    run = run_gnnvault(dataset="citeseer", schemes=("parallel",), seed=3)
+    session = SecureInferenceSession(
+        backbone=run.backbone,
+        rectifier=run.rectifiers["parallel"],
+        substitute_adjacency=run.substitute,
+        private_adjacency=run.graph.adjacency,
+    )
+
+    print()
+    print("=== Full-graph inference (baseline) ===")
+    full_labels, full_profile = session.predict(run.graph.features)
+    print(f"classified {full_labels.size} nodes; "
+          f"enclave peak memory {full_profile.peak_enclave_memory_mb:.2f} MB, "
+          f"enclave time {1e3 * full_profile.enclave_seconds:.2f} ms")
+
+    print()
+    print("=== Per-node queries ===")
+    rng = np.random.default_rng(0)
+    targets = rng.choice(run.graph.num_nodes, size=2, replace=False).tolist()
+    labels, profile = session.predict_nodes(run.graph.features, targets)
+    for node, label in zip(targets, labels):
+        match = "==" if label == full_labels[node] else "!="
+        print(f"  node {node:4d} -> class {label}  ({match} full-graph answer)")
+    assert np.array_equal(labels, full_labels[targets]), "per-node must be exact"
+
+    print()
+    print(f"enclave peak memory: {profile.peak_enclave_memory_mb:.3f} MB "
+          f"(vs {full_profile.peak_enclave_memory_mb:.2f} MB full-graph)")
+    print(f"enclave compute:     {1e3 * profile.enclave_seconds:.3f} ms "
+          f"(vs {1e3 * full_profile.enclave_seconds:.2f} ms full-graph)")
+    print(f"bytes into enclave:  {profile.payload_bytes / 1024:.0f} KiB "
+          f"(vs {full_profile.payload_bytes / 1024:.0f} KiB full-graph)")
+    print()
+    print("The trusted working set scales with the queried neighbourhood,")
+    print("not the graph — and the private edges never leave the enclave.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: train and evaluate GNNVault on (synthetic) Cora.
+
+Walks the paper's four steps on one dataset:
+
+1. build a KNN substitute graph from public node features,
+2. train the public GCN backbone on the substitute graph,
+3. freeze the backbone and train a parallel rectifier on the real edges,
+4. compare the three accuracies the paper reports: p_org / p_bb / p_rec.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments import run_gnnvault
+
+
+def main() -> None:
+    print("Training GNNVault on synthetic Cora (this takes a few seconds)...")
+    run = run_gnnvault(
+        dataset="cora",
+        schemes=("parallel", "series", "cascaded"),
+        substitute_kind="knn",
+        knn_k=2,
+        seed=0,
+    )
+
+    print()
+    print(run.graph.summary())
+    print(f"substitute graph: {run.substitute.num_edges} edges (KNN, k=2)")
+    print()
+    print(f"original GNN accuracy        p_org = {100 * run.p_org:5.1f}%")
+    print(f"public backbone accuracy     p_bb  = {100 * run.p_bb:5.1f}%")
+    for scheme in ("parallel", "series", "cascaded"):
+        p_rec = 100 * run.p_rec[scheme]
+        delta = 100 * run.protection(scheme)
+        theta = run.theta_rec(scheme)
+        print(
+            f"{scheme:>8} rectifier accuracy p_rec = {p_rec:5.1f}%  "
+            f"(protection dp = +{delta:.1f} pts, enclave params = {theta:,})"
+        )
+    print()
+    best = max(run.p_rec, key=run.p_rec.get)
+    print(
+        f"Accuracy degradation vs the unprotected model: "
+        f"{100 * run.degradation(best):.1f} points ({best} rectifier) — "
+        "the paper reports < 2 points at full scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""The paper's motivating scenario (Fig. 1): a recommender system vault.
+
+Alice (the vendor) trains a product-graph GNN where node features are
+public product attributes and edges are the *private* co-purchase
+relationships mined from user behaviour. She deploys it on Bob's device.
+
+Without GNNVault, Bob reads the model weights and steals the edges via a
+link stealing attack. With GNNVault, Bob only ever sees the public
+backbone and the substitute graph — and the attack collapses to the
+feature-similarity baseline.
+
+Run:  python examples/recommender_vault.py
+"""
+
+import numpy as np
+
+from repro.attacks import link_stealing_attack
+from repro.deploy import SecureInferenceSession, plan_deployment
+from repro.experiments import run_gnnvault
+from repro.graph import edge_overlap
+from repro.training import accuracy
+
+
+def main() -> None:
+    # The Amazon co-purchase graphs are the paper's recommender-style
+    # datasets: "photo" here (7,650 products at full scale).
+    print("=== Alice: builds the product graph and trains GNNVault ===")
+    run = run_gnnvault(
+        dataset="photo",
+        schemes=("series",),
+        substitute_kind="knn",
+        knn_k=2,
+        seed=1,
+    )
+    graph = run.graph
+    print(graph.summary())
+    print(f"private co-purchase edges: {graph.num_edges}")
+    print(f"public substitute edges:   {run.substitute.num_edges}")
+    print(
+        "substitute/private edge overlap (Jaccard): "
+        f"{edge_overlap(run.substitute, graph.adjacency):.3f}"
+    )
+
+    print()
+    print("=== Alice: provisions the vault onto Bob's device ===")
+    session = SecureInferenceSession(
+        backbone=run.backbone,
+        rectifier=run.rectifiers["series"],
+        substitute_adjacency=run.substitute,
+        private_adjacency=graph.adjacency,
+    )
+    plan = plan_deployment(
+        run.backbone, run.rectifiers["series"], run.substitute, graph.adjacency
+    )
+    budget = plan.enclave_budget
+    print(f"enclave working set: {budget.total_mb:.2f} MB "
+          f"(fits 96 MB EPC: {budget.fits_epc()})")
+    print(f"IP split: {plan.trusted_parameter_count:,} protected params vs "
+          f"{plan.untrusted_parameter_count:,} public params "
+          f"(ratio {plan.parameter_ratio:.3f})")
+
+    print()
+    print("=== Bob: queries recommendations (label-only output) ===")
+    labels, profile = session.predict(graph.features)
+    test_acc = accuracy(labels, graph.labels, run.split.test)
+    print(f"classification accuracy through the vault: {100 * test_acc:.1f}% "
+          f"(backbone alone: {100 * run.p_bb:.1f}%)")
+    print(f"inference profile: backbone {1e3 * profile.backbone_seconds:.2f} ms, "
+          f"transfer {1e3 * profile.transfer_seconds:.3f} ms, "
+          f"enclave {1e3 * profile.enclave_seconds:.2f} ms")
+
+    print()
+    print("=== Bob: attempts a link stealing attack ===")
+    unprotected = link_stealing_attack(
+        run.original_embeddings(), graph.adjacency, victim="unprotected GNN",
+        num_pairs=2000, seed=0,
+    )
+    vaulted = link_stealing_attack(
+        run.backbone_embeddings(), graph.adjacency, victim="GNNVault surface",
+        num_pairs=2000, seed=0,
+    )
+    baseline = link_stealing_attack(
+        graph.features, graph.adjacency, victim="raw features",
+        num_pairs=2000, seed=0,
+    )
+    print(f"{'victim':>20}  mean AUC   best metric")
+    for result in (unprotected, vaulted, baseline):
+        metric, auc = result.best_metric()
+        print(f"{result.victim:>20}  {result.mean_auc():.3f}      {metric} ({auc:.3f})")
+    print()
+    print("GNNVault reduces Bob's attack to what public features already")
+    print("reveal — the private co-purchase edges stay in the vault.")
+
+
+if __name__ == "__main__":
+    main()

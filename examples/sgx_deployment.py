@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The full SGX deployment ceremony, step by step.
+
+Shows the machinery a real GNNVault rollout needs — and that the paper's
+C++/SGX implementation performs implicitly:
+
+1. the device enclave produces an attestation quote,
+2. the vendor verifies the quote against the expected measurement,
+3. rectifier weights and the private COO adjacency are sealed to the
+   enclave identity and shipped,
+4. the enclave unseals them internally; tampered or mis-targeted blobs
+   are rejected,
+5. inference ECALLs cross the one-way channel and return label-only
+   results with a cost breakdown (Fig. 6's accounting, per scheme).
+
+Run:  python examples/sgx_deployment.py
+"""
+
+import numpy as np
+
+from repro.errors import SealingError, SecurityViolation
+from repro.experiments import run_gnnvault
+from repro.tee import (
+    EnclaveConfig,
+    OneWayChannel,
+    RectifierEnclave,
+    seal,
+    seal_private_graph,
+    seal_rectifier_weights,
+    verify_quote,
+)
+
+
+def main() -> None:
+    print("Training a GNNVault instance on synthetic Citeseer...")
+    run = run_gnnvault(dataset="citeseer", schemes=("parallel", "series", "cascaded"), seed=2)
+    graph = run.graph
+    embeddings = run.backbone_embeddings()
+
+    for scheme, rectifier in run.rectifiers.items():
+        print()
+        print(f"=== Deploying the {scheme} rectifier ===")
+        enclave = RectifierEnclave(rectifier, EnclaveConfig())
+
+        # -- 1-2: remote attestation --------------------------------------
+        quote = enclave.attest(challenge="vendor-nonce-42")
+        verify_quote(quote, enclave.measurement, "vendor-nonce-42")
+        print(f"attestation OK (measurement {enclave.measurement[:16]}...)")
+
+        # -- 3-4: sealed provisioning --------------------------------------
+        enclave.provision_weights(seal_rectifier_weights(rectifier))
+        enclave.provision_graph(seal_private_graph(graph.adjacency, rectifier))
+        print("sealed weights + private graph provisioned")
+
+        # a blob sealed for a different enclave must be rejected
+        try:
+            enclave.provision_weights(seal({"bogus": 1}, "another-enclave"))
+        except SealingError:
+            print("mis-targeted sealed blob rejected (as required)")
+
+        # -- 5: inference ECALL --------------------------------------------
+        channel = OneWayChannel()
+        for layer in rectifier.consumed_layers():
+            channel.push(embeddings[layer], description=f"backbone layer {layer}")
+        report = enclave.ecall_infer(channel)
+        labels = channel.collect().labels
+        print(f"label-only output: {labels[:10]}... (dtype {labels.dtype})")
+        print(
+            f"cost: transfer {1e3 * report.transfer_seconds:.3f} ms over "
+            f"{report.payload_bytes / 1024:.0f} KiB, "
+            f"enclave compute {1e3 * report.compute_seconds:.2f} ms, "
+            f"peak memory {report.peak_memory_bytes / 2**20:.2f} MB, "
+            f"{report.swapped_pages} EPC pages swapped"
+        )
+
+        # the enclave cannot be talked into exporting embeddings
+        try:
+            channel.publish(np.zeros((4, 4)))
+        except SecurityViolation:
+            print("attempted embedding export blocked by the one-way channel")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""GNNVault reproduction: TEE-protected edge GNN inference (DAC 2025).
+
+Reproduction of "Graph in the Vault: Protecting Edge GNN Inference with
+Trusted Execution Environment" (Ding, Xu, Ding, Fei). The package
+implements the paper's partition-before-training deployment — a public GCN
+backbone trained on a feature-similarity substitute graph plus a private
+in-enclave rectifier trained on the real adjacency — together with every
+substrate it needs: a numpy autograd engine, graph/dataset generators, a
+simulated SGX enclave (EPC memory model, sealed storage, attestation,
+one-way channel), link stealing attacks, and analysis tooling.
+
+Quick start::
+
+    from repro.experiments import run_gnnvault
+    run = run_gnnvault(dataset="cora", schemes=("parallel",))
+    print(run.p_org, run.p_bb, run.p_rec["parallel"])
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from . import analysis, attacks, datasets, deploy, experiments, graph, models
+from . import nn, substitute, tee, training
+from .errors import (
+    AttestationError,
+    EnclaveMemoryError,
+    ReproError,
+    SealingError,
+    SecurityViolation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttestationError",
+    "EnclaveMemoryError",
+    "ReproError",
+    "SealingError",
+    "SecurityViolation",
+    "analysis",
+    "attacks",
+    "datasets",
+    "deploy",
+    "experiments",
+    "graph",
+    "models",
+    "nn",
+    "substitute",
+    "tee",
+    "training",
+]

@@ -1,0 +1,17 @@
+"""Analysis tools: silhouette score, exact t-SNE, report rendering."""
+
+from .reporting import format_cell, render_scatter, render_series, render_table
+from .silhouette import pairwise_euclidean, silhouette_score
+from .tsne import TsneConfig, kl_divergence, tsne
+
+__all__ = [
+    "TsneConfig",
+    "format_cell",
+    "kl_divergence",
+    "pairwise_euclidean",
+    "render_scatter",
+    "render_series",
+    "render_table",
+    "silhouette_score",
+    "tsne",
+]

@@ -1,0 +1,109 @@
+"""Plain-text table/series rendering for experiment reports.
+
+The benchmark harness prints every reproduced table and figure as aligned
+text so the paper-vs-measured comparison is readable straight from the
+pytest output (and from EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_cell(value) -> str:
+    """Human-friendly cell formatting (floats to 4 significant digits)."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table."""
+    string_rows: List[List[str]] = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in string_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_scatter(
+    coordinates,
+    labels,
+    width: int = 60,
+    height: int = 24,
+    title: Optional[str] = None,
+) -> str:
+    """ASCII scatter plot of 2-D points coloured by class digit.
+
+    Used to render Fig. 4's t-SNE latent spaces in text reports: each cell
+    shows the class id (mod 10) of the last point landing in it, so
+    separated clusters appear as contiguous same-digit regions.
+    """
+    import numpy as np
+
+    coordinates = np.asarray(coordinates, dtype=float)
+    labels = np.asarray(labels)
+    if coordinates.ndim != 2 or coordinates.shape[1] != 2:
+        raise ValueError(
+            f"expected (n, 2) coordinates, got shape {coordinates.shape}"
+        )
+    if coordinates.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"{coordinates.shape[0]} points but {labels.shape[0]} labels"
+        )
+    if width < 2 or height < 2:
+        raise ValueError("scatter canvas must be at least 2x2")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if coordinates.shape[0] == 0:
+        lines.append("(no points)")
+        return "\n".join(lines)
+    mins = coordinates.min(axis=0)
+    spans = coordinates.max(axis=0) - mins
+    spans[spans == 0.0] = 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (x, y), label in zip(coordinates, labels):
+        col = int((x - mins[0]) / spans[0] * (width - 1))
+        row = int((y - mins[1]) / spans[1] * (height - 1))
+        grid[height - 1 - row][col] = str(int(label) % 10)
+    border = "+" + "-" * width + "+"
+    lines.append(border)
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(border)
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence,
+    series: dict,
+    title: Optional[str] = None,
+) -> str:
+    """Render named y-series against shared x-values (figure data as text)."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *[values[i] for values in series.values()]])
+    return render_table(headers, rows, title=title)

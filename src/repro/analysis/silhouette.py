@@ -1,0 +1,65 @@
+"""Silhouette score — the clustering-quality metric of Fig. 4.
+
+For sample *i* with mean intra-cluster distance ``a(i)`` and smallest mean
+distance to another cluster ``b(i)``::
+
+    s(i) = (b(i) − a(i)) / max(a(i), b(i))
+
+The score is the mean of ``s(i)`` over all samples. Exact O(n²)
+implementation on Euclidean distances (numpy only).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pairwise_euclidean(x: np.ndarray) -> np.ndarray:
+    """Dense pairwise Euclidean distance matrix."""
+    x = np.asarray(x, dtype=np.float64)
+    squared = (x * x).sum(axis=1)
+    gram = x @ x.T
+    dist_sq = squared[:, None] + squared[None, :] - 2.0 * gram
+    np.maximum(dist_sq, 0.0, out=dist_sq)
+    return np.sqrt(dist_sq)
+
+
+def silhouette_score(x: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient of ``x`` under cluster ``labels``.
+
+    Clusters with a single member contribute 0, following the standard
+    convention. Requires at least two distinct clusters.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    labels = np.asarray(labels)
+    if x.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"{x.shape[0]} samples but {labels.shape[0]} labels"
+        )
+    unique = np.unique(labels)
+    if unique.size < 2:
+        raise ValueError("silhouette score requires at least 2 clusters")
+    distances = pairwise_euclidean(x)
+    n = x.shape[0]
+    members = {cls: np.flatnonzero(labels == cls) for cls in unique}
+    scores = np.zeros(n)
+    for cls in unique:
+        idx = members[cls]
+        if idx.size == 1:
+            scores[idx] = 0.0
+            continue
+        own_block = distances[np.ix_(idx, idx)]
+        a = own_block.sum(axis=1) / (idx.size - 1)
+        b = np.full(idx.size, np.inf)
+        for other in unique:
+            if other == cls:
+                continue
+            other_idx = members[other]
+            mean_to_other = distances[np.ix_(idx, other_idx)].mean(axis=1)
+            np.minimum(b, mean_to_other, out=b)
+        denom = np.maximum(a, b)
+        safe = denom > 0
+        s = np.zeros(idx.size)
+        s[safe] = (b[safe] - a[safe]) / denom[safe]
+        scores[idx] = s
+    return float(scores.mean())

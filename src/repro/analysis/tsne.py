@@ -1,0 +1,130 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008) on numpy.
+
+Used for the Fig. 4 latent-space visualisation. This is the O(n²) exact
+algorithm — Gaussian input affinities with per-point perplexity
+calibration via binary search, Student-t output affinities, gradient
+descent with momentum and early exaggeration — adequate for the few
+hundred to few thousand nodes the reproduction visualises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .silhouette import pairwise_euclidean
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class TsneConfig:
+    """Hyper-parameters for the exact t-SNE optimiser."""
+
+    perplexity: float = 30.0
+    iterations: int = 300
+    # 50 is stable for the few-hundred-sample embeddings Fig. 4 uses;
+    # larger rates overshoot and scatter tight clusters.
+    learning_rate: float = 50.0
+    momentum: float = 0.8
+    early_exaggeration: float = 4.0
+    exaggeration_iters: int = 75
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.perplexity <= 1:
+            raise ValueError(f"perplexity must be > 1, got {self.perplexity}")
+        if self.iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {self.iterations}")
+
+
+def _conditional_probabilities(
+    dist_sq: np.ndarray, perplexity: float, tolerance: float = 1e-5
+) -> np.ndarray:
+    """Row-stochastic P(j|i) with per-row bandwidth matched to perplexity."""
+    n = dist_sq.shape[0]
+    target_entropy = np.log(perplexity)
+    probabilities = np.zeros((n, n))
+    for i in range(n):
+        row = np.delete(dist_sq[i], i)
+        beta_low, beta_high = 0.0, np.inf
+        beta = 1.0
+        for _ in range(50):
+            weights = np.exp(-row * beta)
+            total = weights.sum()
+            if total <= _EPS:
+                entropy = 0.0
+                p = np.zeros_like(row)
+            else:
+                p = weights / total
+                entropy = -(p * np.log(np.maximum(p, _EPS))).sum()
+            error = entropy - target_entropy
+            if abs(error) < tolerance:
+                break
+            if error > 0:  # entropy too high → sharpen
+                beta_low = beta
+                beta = beta * 2.0 if beta_high == np.inf else (beta + beta_high) / 2.0
+            else:
+                beta_high = beta
+                beta = beta / 2.0 if beta_low == 0.0 else (beta + beta_low) / 2.0
+        probabilities[i, np.arange(n) != i] = p
+    return probabilities
+
+
+def tsne(x: np.ndarray, config: TsneConfig = TsneConfig(), dim: int = 2) -> np.ndarray:
+    """Embed ``x`` into ``dim`` dimensions with exact t-SNE."""
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[0]
+    if n < 4:
+        raise ValueError(f"t-SNE needs at least 4 samples, got {n}")
+    perplexity = min(config.perplexity, (n - 1) / 3.0)
+    perplexity = max(perplexity, 1.5)
+
+    dist_sq = pairwise_euclidean(x) ** 2
+    conditional = _conditional_probabilities(dist_sq, perplexity)
+    joint = (conditional + conditional.T) / (2.0 * n)
+    np.maximum(joint, _EPS, out=joint)
+
+    rng = np.random.default_rng(config.seed)
+    y = rng.normal(0.0, 1e-4, size=(n, dim))
+    velocity = np.zeros_like(y)
+
+    for iteration in range(config.iterations):
+        p = joint * (
+            config.early_exaggeration
+            if iteration < config.exaggeration_iters
+            else 1.0
+        )
+        # Student-t output affinities.
+        y_dist_sq = pairwise_euclidean(y) ** 2
+        inv = 1.0 / (1.0 + y_dist_sq)
+        np.fill_diagonal(inv, 0.0)
+        q = inv / max(inv.sum(), _EPS)
+        np.maximum(q, _EPS, out=q)
+
+        # Gradient: 4 Σ_j (p_ij − q_ij)(y_i − y_j)(1 + |y_i − y_j|²)⁻¹
+        coefficient = (p - q) * inv
+        grad = 4.0 * (
+            np.diag(coefficient.sum(axis=1)) @ y - coefficient @ y
+        )
+        velocity = config.momentum * velocity - config.learning_rate * grad
+        y = y + velocity
+        y = y - y.mean(axis=0, keepdims=True)
+    return y
+
+
+def kl_divergence(x: np.ndarray, y: np.ndarray, perplexity: float = 30.0) -> float:
+    """KL(P‖Q) between input and embedding affinities (t-SNE objective)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    n = x.shape[0]
+    perplexity = max(min(perplexity, (n - 1) / 3.0), 1.5)
+    conditional = _conditional_probabilities(pairwise_euclidean(x) ** 2, perplexity)
+    p = (conditional + conditional.T) / (2.0 * n)
+    np.maximum(p, _EPS, out=p)
+    inv = 1.0 / (1.0 + pairwise_euclidean(y) ** 2)
+    np.fill_diagonal(inv, 0.0)
+    q = inv / max(inv.sum(), _EPS)
+    np.maximum(q, _EPS, out=q)
+    return float((p * np.log(p / q)).sum())

@@ -1,0 +1,41 @@
+"""Attacks: link stealing over embedding similarity, plus ROC tooling."""
+
+from .evaluation import attack_advantage, roc_auc_score, roc_curve
+from .extraction import ExtractionResult, extraction_attack
+from .membership import MembershipResult, confidence_attack, label_only_attack
+from .link_stealing import (
+    LinkStealingResult,
+    link_stealing_attack,
+    sample_pairs,
+    stack_embeddings,
+)
+from .shadow import ShadowAttackResult, shadow_link_stealing
+from .similarity import DISTANCE_FUNCTIONS, PAPER_METRICS, pairwise_distance
+from .supervised import (
+    SupervisedAttackResult,
+    pair_features,
+    supervised_link_stealing,
+)
+
+__all__ = [
+    "DISTANCE_FUNCTIONS",
+    "ExtractionResult",
+    "LinkStealingResult",
+    "MembershipResult",
+    "PAPER_METRICS",
+    "ShadowAttackResult",
+    "SupervisedAttackResult",
+    "attack_advantage",
+    "confidence_attack",
+    "extraction_attack",
+    "label_only_attack",
+    "link_stealing_attack",
+    "pair_features",
+    "pairwise_distance",
+    "roc_auc_score",
+    "roc_curve",
+    "sample_pairs",
+    "shadow_link_stealing",
+    "stack_embeddings",
+    "supervised_link_stealing",
+]

@@ -1,0 +1,131 @@
+"""Model extraction against the deployed inference surface.
+
+The paper's threat model includes stealing "the parameters of highly
+accurate GNNs present on the device". Beyond reading weights from
+untrusted memory (which GNNVault prevents by construction), the attacker
+can try *functionality extraction*: query the device's inference API and
+train a surrogate on the answers. This module implements that attacker so
+the evaluation can compare two victim surfaces:
+
+* an unprotected model exposing **logits** — the classic soft-label
+  extraction setting (rich supervision);
+* GNNVault's **label-only** output — hard labels only.
+
+Fidelity (agreement with the victim) is the standard extraction metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..models import MlpBackbone
+
+
+@dataclass(frozen=True)
+class ExtractionResult:
+    """Outcome of a surrogate-training extraction attack."""
+
+    victim: str
+    fidelity: float  # agreement with victim predictions on held-out nodes
+    surrogate_accuracy: float  # surrogate accuracy on true labels
+    supervision: str  # "logits" or "labels"
+
+
+def _train_surrogate(
+    features: np.ndarray,
+    targets,
+    soft: bool,
+    num_classes: int,
+    epochs: int,
+    lr: float,
+    seed: int,
+) -> MlpBackbone:
+    """Fit an MLP surrogate on the victim's answers.
+
+    The attacker has no private adjacency (that is the point), so the
+    surrogate is graph-free: public features in, victim answers out.
+    """
+    surrogate = MlpBackbone(
+        features.shape[1], (64, num_classes), dropout=0.2, seed=seed
+    )
+    optimizer = nn.Adam(surrogate.parameters(), lr=lr, weight_decay=5e-4)
+    x = nn.Tensor(features)
+    for _ in range(epochs):
+        surrogate.train()
+        optimizer.zero_grad()
+        logits = surrogate(x)
+        if soft:
+            # distillation: cross-entropy against the victim's soft labels
+            log_probs = nn.log_softmax(logits, axis=1)
+            loss = -(nn.Tensor(targets) * log_probs).sum() * (1.0 / features.shape[0])
+        else:
+            loss = nn.cross_entropy(logits, targets)
+        loss.backward()
+        optimizer.step()
+    surrogate.eval()
+    return surrogate
+
+
+def extraction_attack(
+    features: np.ndarray,
+    victim_output: np.ndarray,
+    true_labels: np.ndarray,
+    victim: str = "victim",
+    holdout_fraction: float = 0.3,
+    epochs: int = 200,
+    lr: float = 0.01,
+    seed: int = 0,
+) -> ExtractionResult:
+    """Query-train a surrogate and measure its fidelity.
+
+    Parameters
+    ----------
+    victim_output:
+        Either ``(n, C)`` logits (unprotected victim) or ``(n,)`` hard
+        labels (GNNVault's label-only surface); the supervision mode is
+        inferred from the shape.
+    holdout_fraction:
+        Nodes reserved for measuring fidelity (never used for surrogate
+        training) — extraction must generalise, not memorise.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    victim_output = np.asarray(victim_output)
+    true_labels = np.asarray(true_labels)
+    soft = victim_output.ndim == 2
+    if soft:
+        num_classes = victim_output.shape[1]
+        victim_labels = victim_output.argmax(axis=1)
+    else:
+        num_classes = int(victim_output.max()) + 1
+        victim_labels = victim_output
+
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(features.shape[0])
+    cut = int(round(holdout_fraction * features.shape[0]))
+    holdout, train = order[:cut], order[cut:]
+    if holdout.size == 0 or train.size == 0:
+        raise ValueError("holdout split left an empty set")
+
+    if soft:
+        shifted = victim_output - victim_output.max(axis=1, keepdims=True)
+        probabilities = np.exp(shifted)
+        probabilities /= probabilities.sum(axis=1, keepdims=True)
+        targets = probabilities[train]
+    else:
+        targets = victim_labels[train]
+
+    surrogate = _train_surrogate(
+        features[train], targets, soft, num_classes, epochs, lr, seed + 1
+    )
+    predictions = surrogate.predict(features[holdout])
+    fidelity = float((predictions == victim_labels[holdout]).mean())
+    accuracy = float((predictions == true_labels[holdout]).mean())
+    return ExtractionResult(
+        victim=victim,
+        fidelity=fidelity,
+        surrogate_accuracy=accuracy,
+        supervision="logits" if soft else "labels",
+    )

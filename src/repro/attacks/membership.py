@@ -1,0 +1,89 @@
+"""Membership inference against node classifiers.
+
+The partition-before-training strategy GNNVault inherits was originally
+motivated by membership inference (paper §II-B cites Shokri et al. and the
+TEE-shielding analysis of [16]). We implement the standard
+confidence/loss-threshold attack so the reproduction can quantify the
+claim: against GNNVault's label-only output the attack collapses to
+correctness guessing, while an unprotected model's logits leak
+membership.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .evaluation import roc_auc_score
+
+_EPS = 1e-12
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+@dataclass(frozen=True)
+class MembershipResult:
+    """AUC of a membership attack for one victim surface."""
+
+    victim: str
+    auc: float
+    signal: str  # which statistic the attacker thresholds
+
+
+def confidence_attack(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    member_index: np.ndarray,
+    nonmember_index: np.ndarray,
+    victim: str = "victim",
+) -> MembershipResult:
+    """Loss-threshold attack on exposed logits.
+
+    The attacker scores each node by the (negative) cross-entropy of the
+    victim's output at the true label — members (training nodes) tend to
+    have lower loss. Requires the victim to expose logits, which GNNVault
+    does not.
+    """
+    labels = np.asarray(labels)
+    probabilities = _softmax(np.asarray(logits, dtype=np.float64))
+    losses = -np.log(
+        np.maximum(probabilities[np.arange(labels.size), labels], _EPS)
+    )
+    member_index = np.asarray(member_index)
+    nonmember_index = np.asarray(nonmember_index)
+    scores = np.concatenate([-losses[member_index], -losses[nonmember_index]])
+    truth = np.concatenate(
+        [np.ones(member_index.size), np.zeros(nonmember_index.size)]
+    )
+    return MembershipResult(victim, roc_auc_score(truth, scores), "loss threshold")
+
+
+def label_only_attack(
+    predicted_labels: np.ndarray,
+    labels: np.ndarray,
+    member_index: np.ndarray,
+    nonmember_index: np.ndarray,
+    victim: str = "victim",
+) -> MembershipResult:
+    """Best attack available against a label-only surface.
+
+    With only hard labels, the attacker's signal degenerates to "was the
+    prediction correct" — the gap-attack baseline. Its AUC is bounded by
+    the train/test accuracy gap, which is the quantity GNNVault's
+    label-only rule reduces the adversary to.
+    """
+    predicted_labels = np.asarray(predicted_labels)
+    labels = np.asarray(labels)
+    correct = (predicted_labels == labels).astype(np.float64)
+    member_index = np.asarray(member_index)
+    nonmember_index = np.asarray(nonmember_index)
+    scores = np.concatenate([correct[member_index], correct[nonmember_index]])
+    truth = np.concatenate(
+        [np.ones(member_index.size), np.zeros(nonmember_index.size)]
+    )
+    return MembershipResult(victim, roc_auc_score(truth, scores), "correctness")

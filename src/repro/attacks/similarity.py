@@ -1,0 +1,101 @@
+"""Pairwise similarity metrics for link stealing attacks.
+
+He et al.'s link stealing attack scores node pairs by the similarity of
+their model outputs; the paper evaluates six metrics (Table IV):
+Euclidean, Correlation, Cosine, Chebyshev, Bray-Curtis and Canberra. All
+are implemented as *distances* here; the attack negates them into scores.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def euclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise L2 distance between paired rows of ``a`` and ``b``."""
+    return np.linalg.norm(a - b, axis=1)
+
+
+def cosine(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise cosine distance (1 − cosine similarity)."""
+    num = (a * b).sum(axis=1)
+    den = np.linalg.norm(a, axis=1) * np.linalg.norm(b, axis=1)
+    return 1.0 - num / np.maximum(den, _EPS)
+
+
+def correlation(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise correlation distance (1 − Pearson correlation)."""
+    a_centered = a - a.mean(axis=1, keepdims=True)
+    b_centered = b - b.mean(axis=1, keepdims=True)
+    num = (a_centered * b_centered).sum(axis=1)
+    den = np.linalg.norm(a_centered, axis=1) * np.linalg.norm(b_centered, axis=1)
+    return 1.0 - num / np.maximum(den, _EPS)
+
+
+def chebyshev(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise L∞ distance."""
+    return np.abs(a - b).max(axis=1)
+
+
+def braycurtis(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise Bray-Curtis dissimilarity."""
+    num = np.abs(a - b).sum(axis=1)
+    den = np.abs(a + b).sum(axis=1)
+    return num / np.maximum(den, _EPS)
+
+
+def canberra(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise Canberra distance."""
+    num = np.abs(a - b)
+    den = np.abs(a) + np.abs(b)
+    terms = np.where(den > _EPS, num / np.maximum(den, _EPS), 0.0)
+    return terms.sum(axis=1)
+
+
+def manhattan(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise L1 distance (extension beyond the paper's six)."""
+    return np.abs(a - b).sum(axis=1)
+
+
+def sqeuclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise squared L2 distance (extension)."""
+    diff = a - b
+    return (diff * diff).sum(axis=1)
+
+
+#: the six metrics of Table IV, in the paper's order
+PAPER_METRICS: Tuple[str, ...] = (
+    "euclidean",
+    "correlation",
+    "cosine",
+    "chebyshev",
+    "braycurtis",
+    "canberra",
+)
+
+DISTANCE_FUNCTIONS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "euclidean": euclidean,
+    "correlation": correlation,
+    "cosine": cosine,
+    "chebyshev": chebyshev,
+    "braycurtis": braycurtis,
+    "canberra": canberra,
+    "manhattan": manhattan,
+    "sqeuclidean": sqeuclidean,
+}
+
+
+def pairwise_distance(
+    metric: str, embeddings: np.ndarray, left: np.ndarray, right: np.ndarray
+) -> np.ndarray:
+    """Distance between embedding rows ``left[i]`` and ``right[i]``."""
+    if metric not in DISTANCE_FUNCTIONS:
+        raise KeyError(
+            f"unknown metric {metric!r}; available: {sorted(DISTANCE_FUNCTIONS)}"
+        )
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    return DISTANCE_FUNCTIONS[metric](embeddings[left], embeddings[right])

@@ -1,0 +1,223 @@
+"""Command-line interface for the GNNVault reproduction.
+
+Subcommands mirror the lifecycle a user of the library walks through:
+
+* ``repro datasets``              — list the paper's datasets (Table I);
+* ``repro train``                 — train GNNVault and export a bundle;
+* ``repro predict``               — serve queries from an exported bundle;
+* ``repro attack``                — run the link stealing audit;
+* ``repro experiment``            — regenerate a paper table/figure.
+
+Every subcommand prints plain text and returns a process exit code, so the
+CLI is scriptable in CI pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from .experiments import render_table1, run_table1
+
+    print(render_table1(run_table1()))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .experiments import run_gnnvault
+    from .io import export_bundle, save_graph
+    from .training import TrainConfig
+
+    config = TrainConfig(epochs=args.epochs, patience=args.patience, lr=args.lr)
+    print(f"training GNNVault ({args.scheme}) on {args.dataset}...")
+    run = run_gnnvault(
+        dataset=args.dataset,
+        schemes=(args.scheme,),
+        substitute_kind=args.substitute,
+        knn_k=args.knn_k,
+        seed=args.seed,
+        train_config=config,
+    )
+    print(f"p_org = {100 * run.p_org:.1f}%  p_bb = {100 * run.p_bb:.1f}%  "
+          f"p_rec = {100 * run.p_rec[args.scheme]:.1f}%  "
+          f"(dp = +{100 * run.protection(args.scheme):.1f} pts)")
+    if args.output:
+        bundle = export_bundle(
+            args.output,
+            run.backbone,
+            run.rectifiers[args.scheme],
+            run.substitute,
+            run.graph.adjacency,
+        )
+        save_graph(run.graph, bundle.directory / "dataset.npz")
+        print(f"bundle exported to {bundle.directory}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from .io import import_bundle, load_graph
+
+    session = import_bundle(args.bundle)
+    graph = load_graph(args.graph)
+    if args.nodes:
+        labels, profile = session.predict_nodes(graph.features, args.nodes)
+        for node, label in zip(args.nodes, labels):
+            print(f"node {node}: class {label}")
+    else:
+        labels, profile = session.predict(graph.features)
+        print(f"predicted {labels.shape[0]} labels "
+              f"(class histogram: {np.bincount(labels).tolist()})")
+    print(f"cost: backbone {1e3 * profile.backbone_seconds:.2f} ms, "
+          f"transfer {1e3 * profile.transfer_seconds:.3f} ms, "
+          f"enclave {1e3 * profile.enclave_seconds:.2f} ms, "
+          f"peak enclave memory {profile.peak_enclave_memory_mb:.2f} MB")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from .experiments import render_table4, run_table4
+
+    rows = run_table4(
+        datasets=tuple(args.datasets), num_pairs=args.pairs, seed=args.seed
+    )
+    print(render_table4(rows))
+    worst_gap = max(
+        row.m_gv[m] - row.m_base[m] for row in rows for m in row.m_gv
+    )
+    print(f"worst GNNVault-vs-baseline AUC gap: {worst_gap:+.3f}")
+    return 0 if worst_gap < args.tolerance else 1
+
+
+def _cmd_calibration(args: argparse.Namespace) -> int:
+    from .analysis import render_table
+    from .datasets import check_all
+
+    checks = check_all(seed=args.seed)
+    print(
+        render_table(
+            ["dataset", "target hom", "real hom", "sub hom", "mean deg",
+             "mixing", "healthy"],
+            [
+                [c.dataset, round(c.target_homophily, 2),
+                 round(c.real_homophily, 2), round(c.substitute_homophily, 2),
+                 round(c.mean_degree, 1), round(c.mixing_fraction, 4),
+                 "yes" if c.healthy else "NO"]
+                for c in checks
+            ],
+            title="Synthetic dataset calibration",
+        )
+    )
+    return 0 if all(c.healthy for c in checks) else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import write_report
+
+    path = write_report(args.results_dir, args.output)
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from . import experiments as exp
+
+    drivers = {
+        "table1": lambda: exp.render_table1(exp.run_table1()),
+        "table2": lambda: exp.render_table2(exp.run_table2()),
+        "table3": lambda: exp.render_table3(exp.run_table3()),
+        "table4": lambda: exp.render_table4(exp.run_table4()),
+        "fig4": lambda: exp.render_fig4(exp.run_fig4()),
+        "fig5": lambda: exp.render_fig5(exp.run_fig5()),
+        "fig6": lambda: exp.render_fig6(exp.run_fig6()),
+    }
+    print(drivers[args.name]())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GNNVault reproduction (DAC 2025): TEE-protected GNN inference",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the paper's datasets").set_defaults(
+        func=_cmd_datasets
+    )
+
+    train = sub.add_parser("train", help="train GNNVault and export a bundle")
+    train.add_argument("--dataset", default="cora")
+    train.add_argument(
+        "--scheme", default="parallel", choices=("parallel", "series", "cascaded")
+    )
+    train.add_argument(
+        "--substitute", default="knn", choices=("knn", "cosine", "random")
+    )
+    train.add_argument("--knn-k", type=int, default=2)
+    train.add_argument("--epochs", type=int, default=150)
+    train.add_argument("--patience", type=int, default=30)
+    train.add_argument("--lr", type=float, default=0.01)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--output", help="directory for the deployment bundle")
+    train.set_defaults(func=_cmd_train)
+
+    predict = sub.add_parser("predict", help="serve queries from a bundle")
+    predict.add_argument("bundle", help="bundle directory from `repro train`")
+    predict.add_argument("graph", help="dataset .npz with node features")
+    predict.add_argument(
+        "--nodes", type=int, nargs="*", help="specific node ids to classify"
+    )
+    predict.set_defaults(func=_cmd_predict)
+
+    attack = sub.add_parser("attack", help="run the link stealing audit")
+    attack.add_argument("--datasets", nargs="+", default=["cora"])
+    attack.add_argument("--pairs", type=int, default=2000)
+    attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.12,
+        help="max acceptable M_gv-vs-M_base AUC gap before exit code 1",
+    )
+    attack.set_defaults(func=_cmd_attack)
+
+    calibration = sub.add_parser(
+        "calibration", help="verify the synthetic datasets' premises"
+    )
+    calibration.add_argument("--seed", type=int, default=0)
+    calibration.set_defaults(func=_cmd_calibration)
+
+    report = sub.add_parser(
+        "report", help="collate benchmark results into REPORT.md"
+    )
+    report.add_argument(
+        "--results-dir", default="benchmarks/results",
+        help="directory of archived benchmark outputs",
+    )
+    report.add_argument("--output", help="output path (default: <dir>/REPORT.md)")
+    report.set_defaults(func=_cmd_report)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment.add_argument(
+        "name",
+        choices=("table1", "table2", "table3", "table4", "fig4", "fig5", "fig6"),
+    )
+    experiment.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

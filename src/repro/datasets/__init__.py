@@ -1,0 +1,32 @@
+"""Datasets: paper registry (Table I) and synthetic instantiations."""
+
+from .registry import (
+    DENSE_ENTRY_BYTES,
+    PAPER_DATASETS,
+    DatasetSpec,
+    get_spec,
+    list_datasets,
+)
+from .calibration import CalibrationCheck, check_all, check_dataset
+from .planetoid import PlanetoidParseReport, load_planetoid, parse_cites, parse_content
+from .splits import Split, per_class_split
+from .synthetic import load_dataset, synthesize
+
+__all__ = [
+    "DENSE_ENTRY_BYTES",
+    "PAPER_DATASETS",
+    "CalibrationCheck",
+    "DatasetSpec",
+    "PlanetoidParseReport",
+    "Split",
+    "check_all",
+    "check_dataset",
+    "get_spec",
+    "list_datasets",
+    "load_dataset",
+    "load_planetoid",
+    "parse_cites",
+    "parse_content",
+    "per_class_split",
+    "synthesize",
+]

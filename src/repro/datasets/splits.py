@@ -1,0 +1,71 @@
+"""Semi-supervised train/val/test splits.
+
+The paper follows the common Planetoid practice: **20 labelled nodes per
+class** for training, with the remaining (unlabelled) nodes forming the
+test set (§V-A). We additionally carve out a small validation set from the
+non-training nodes for early stopping, mirroring standard GCN recipes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Split:
+    """Index arrays for train/validation/test node sets."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+    def __post_init__(self) -> None:
+        for field_name in ("train", "val", "test"):
+            arr = np.asarray(getattr(self, field_name), dtype=np.int64)
+            object.__setattr__(self, field_name, arr)
+        overlap = (
+            set(self.train.tolist()) & set(self.val.tolist())
+            | set(self.train.tolist()) & set(self.test.tolist())
+            | set(self.val.tolist()) & set(self.test.tolist())
+        )
+        if overlap:
+            raise ValueError(f"split sets overlap on nodes {sorted(overlap)[:5]}...")
+
+    @property
+    def sizes(self):
+        return (self.train.size, self.val.size, self.test.size)
+
+
+def per_class_split(
+    labels: np.ndarray,
+    train_per_class: int = 20,
+    val_fraction: float = 0.1,
+    seed: int = 0,
+) -> Split:
+    """Sample ``train_per_class`` labelled nodes per class; rest is val/test.
+
+    Parameters
+    ----------
+    labels:
+        ``(n,)`` integer class labels.
+    train_per_class:
+        Labelled training nodes drawn from each class (paper: 20).
+    val_fraction:
+        Fraction of the remaining nodes used for validation/early stopping.
+    seed:
+        Seed for the sampling.
+    """
+    labels = np.asarray(labels)
+    rng = np.random.default_rng(seed)
+    train_parts = []
+    for cls in np.unique(labels):
+        members = np.flatnonzero(labels == cls)
+        count = min(train_per_class, max(1, members.size // 2))
+        train_parts.append(rng.choice(members, size=count, replace=False))
+    train = np.sort(np.concatenate(train_parts))
+    rest = np.setdiff1d(np.arange(labels.shape[0]), train)
+    rest = rng.permutation(rest)
+    num_val = int(round(val_fraction * rest.size))
+    return Split(train=train, val=np.sort(rest[:num_val]), test=np.sort(rest[num_val:]))

@@ -1,0 +1,23 @@
+"""Non-TEE defense baselines and their privacy/utility evaluation."""
+
+from .evaluation import DefensePoint, evaluate_defense, tradeoff_curve
+from .perturbation import (
+    GaussianNoiseDefense,
+    LaplaceNoiseDefense,
+    PerturbationDefense,
+    QuantizationDefense,
+    TopKLogitDefense,
+    make_defense,
+)
+
+__all__ = [
+    "DefensePoint",
+    "GaussianNoiseDefense",
+    "LaplaceNoiseDefense",
+    "PerturbationDefense",
+    "QuantizationDefense",
+    "TopKLogitDefense",
+    "evaluate_defense",
+    "make_defense",
+    "tradeoff_curve",
+]

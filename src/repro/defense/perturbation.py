@@ -1,0 +1,147 @@
+"""Non-TEE defense baselines: output perturbation.
+
+GNNVault's related work (paper §I) dismisses software-only defenses as
+"passive, inaccurate, or computation-expensive"; this package makes that
+comparison concrete. Each defense perturbs the embeddings/logits an
+unprotected model would expose, trading accuracy for linkage privacy —
+the trade-off a TEE avoids paying:
+
+* :class:`GaussianNoiseDefense` / :class:`LaplaceNoiseDefense` — additive
+  noise (the Laplace variant is the DP-style mechanism);
+* :class:`QuantizationDefense` — coarse rounding of exposed values;
+* :class:`TopKLogitDefense` — release only the top-k logits (others set to
+  a floor), the common API-hardening measure.
+
+All defenses implement ``apply(embedding) -> perturbed`` and report the
+utility cost via the deployer's own metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+class PerturbationDefense:
+    """Base class: a post-hoc transformation of exposed embeddings."""
+
+    #: identifier used in comparison tables
+    name: str = "base"
+
+    def apply(self, embedding: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def apply_all(self, embeddings: Sequence[np.ndarray]) -> list:
+        """Perturb every exposed layer."""
+        return [self.apply(np.asarray(e, dtype=np.float64)) for e in embeddings]
+
+
+@dataclass
+class GaussianNoiseDefense(PerturbationDefense):
+    """Additive isotropic Gaussian noise scaled to the embedding std."""
+
+    scale: float = 1.0  # noise std as a fraction of the embedding's std
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scale < 0:
+            raise ValueError(f"scale must be >= 0, got {self.scale}")
+        self.name = f"gaussian(x{self.scale})"
+
+    def apply(self, embedding: np.ndarray) -> np.ndarray:
+        embedding = np.asarray(embedding, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        std = embedding.std()
+        return embedding + rng.normal(0.0, self.scale * std, embedding.shape)
+
+
+@dataclass
+class LaplaceNoiseDefense(PerturbationDefense):
+    """Laplace mechanism: noise with scale sensitivity/epsilon.
+
+    Sensitivity is estimated per call as the embedding's value range (the
+    worst-case single-entry change), making ``epsilon`` interpretable as a
+    per-entry differential-privacy budget for the exposed matrix.
+    """
+
+    epsilon: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        self.name = f"laplace(eps={self.epsilon})"
+
+    def apply(self, embedding: np.ndarray) -> np.ndarray:
+        embedding = np.asarray(embedding, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        sensitivity = float(embedding.max() - embedding.min())
+        if sensitivity == 0.0:
+            return embedding.copy()
+        scale = sensitivity / self.epsilon
+        return embedding + rng.laplace(0.0, scale, embedding.shape)
+
+
+@dataclass
+class QuantizationDefense(PerturbationDefense):
+    """Round exposed values onto a coarse grid of ``levels`` buckets."""
+
+    levels: int = 4
+    seed: int = 0  # unused; kept for interface parity
+
+    def __post_init__(self) -> None:
+        if self.levels < 2:
+            raise ValueError(f"levels must be >= 2, got {self.levels}")
+        self.name = f"quantize({self.levels})"
+
+    def apply(self, embedding: np.ndarray) -> np.ndarray:
+        embedding = np.asarray(embedding, dtype=np.float64)
+        low, high = embedding.min(), embedding.max()
+        if high == low:
+            return embedding.copy()
+        normalized = (embedding - low) / (high - low)
+        buckets = np.round(normalized * (self.levels - 1)) / (self.levels - 1)
+        return buckets * (high - low) + low
+
+
+@dataclass
+class TopKLogitDefense(PerturbationDefense):
+    """Expose only each row's top-k values; the rest drop to the row floor.
+
+    Only meaningful for logit-like matrices (k < width); common in
+    hardened prediction APIs.
+    """
+
+    k: int = 1
+    seed: int = 0  # unused; kept for interface parity
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        self.name = f"top{self.k}"
+
+    def apply(self, embedding: np.ndarray) -> np.ndarray:
+        embedding = np.asarray(embedding, dtype=np.float64)
+        if embedding.shape[1] <= self.k:
+            return embedding.copy()
+        out = np.full_like(embedding, embedding.min(axis=1, keepdims=True))
+        top = np.argpartition(embedding, -self.k, axis=1)[:, -self.k:]
+        rows = np.arange(embedding.shape[0])[:, None]
+        out[rows, top] = embedding[rows, top]
+        return out
+
+
+def make_defense(name: str, **kwargs) -> PerturbationDefense:
+    """Factory by short name: gaussian / laplace / quantize / topk."""
+    name = name.lower()
+    if name == "gaussian":
+        return GaussianNoiseDefense(**kwargs)
+    if name == "laplace":
+        return LaplaceNoiseDefense(**kwargs)
+    if name == "quantize":
+        return QuantizationDefense(**kwargs)
+    if name == "topk":
+        return TopKLogitDefense(**kwargs)
+    raise ValueError(f"unknown defense {name!r}")

@@ -1,0 +1,24 @@
+"""Deployment: partition planning, secure inference sessions, profiling."""
+
+from .inference import SecureInferenceSession
+from .partition import DeploymentPlan, EnclaveBudget, enclave_budget, plan_deployment
+from .profiler import InferenceProfile, model_compute_seconds
+from .server import QueryBudgetExceeded, ServerStats, VaultServer, zipf_workload
+from .updates import GraphUpdate, extend_adjacency, seal_graph_update
+
+__all__ = [
+    "DeploymentPlan",
+    "EnclaveBudget",
+    "GraphUpdate",
+    "InferenceProfile",
+    "QueryBudgetExceeded",
+    "SecureInferenceSession",
+    "ServerStats",
+    "VaultServer",
+    "enclave_budget",
+    "extend_adjacency",
+    "model_compute_seconds",
+    "plan_deployment",
+    "seal_graph_update",
+    "zipf_workload",
+]

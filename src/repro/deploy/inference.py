@@ -1,0 +1,198 @@
+"""End-to-end secure inference session.
+
+:class:`SecureInferenceSession` wires together the full GNNVault runtime
+(paper Fig. 2, step 4): the untrusted world executes the public backbone
+over the substitute graph; the consumed embeddings cross the one-way
+channel into the :class:`~repro.tee.enclave.RectifierEnclave`; predictions
+come back label-only, with a per-stage cost profile.
+
+Provisioning follows the real deployment story: the vendor verifies an
+attestation quote, then ships weights and the private graph as sealed
+blobs the enclave unseals internally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..graph import CooAdjacency, gcn_normalize
+from ..models.rectifier import Rectifier
+from ..tee.attestation import verify_quote
+from ..tee.channel import OneWayChannel
+from ..tee.enclave import (
+    EnclaveConfig,
+    RectifierEnclave,
+    seal_private_graph,
+    seal_rectifier_weights,
+)
+from .profiler import InferenceProfile, model_compute_seconds
+
+
+class SecureInferenceSession:
+    """A provisioned GNNVault deployment ready to serve queries."""
+
+    def __init__(
+        self,
+        backbone,
+        rectifier: Rectifier,
+        substitute_adjacency: CooAdjacency,
+        private_adjacency: CooAdjacency,
+        enclave_config: Optional[EnclaveConfig] = None,
+    ) -> None:
+        if substitute_adjacency.num_nodes != private_adjacency.num_nodes:
+            raise ValueError(
+                f"substitute graph covers {substitute_adjacency.num_nodes} "
+                f"nodes but the private graph has {private_adjacency.num_nodes}"
+            )
+        self.backbone = backbone
+        self.backbone.eval()
+        self.substitute_adjacency = substitute_adjacency
+        self._substitute_norm = gcn_normalize(substitute_adjacency)
+        self._num_nodes = substitute_adjacency.num_nodes
+
+        # --- vendor-side provisioning ceremony ---------------------------
+        self.enclave = RectifierEnclave(rectifier, enclave_config)
+        quote = self.enclave.attest(challenge="gnnvault-provision")
+        verify_quote(quote, self.enclave.measurement, "gnnvault-provision")
+        self.enclave.provision_weights(seal_rectifier_weights(rectifier))
+        self.enclave.provision_graph(seal_private_graph(private_adjacency, rectifier))
+
+        self._rectifier_consumed = rectifier.consumed_layers()
+        self._cost = self.enclave.config.cost_model
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def predict(self, features: np.ndarray) -> Tuple[np.ndarray, InferenceProfile]:
+        """Classify every node; returns (labels, cost profile).
+
+        Only integer labels are returned — logits and intermediate
+        embeddings never exist outside the enclave (paper §IV-E).
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape[0] != self._num_nodes:
+            raise ValueError(
+                f"features cover {features.shape[0]} nodes, deployment expects "
+                f"{self._num_nodes}"
+            )
+
+        # Untrusted world: run the public backbone on the substitute graph.
+        embeddings = self.backbone.embeddings(features, self._substitute_norm)
+        nnz = self.substitute_adjacency.num_entries + self._num_nodes
+        backbone_seconds = model_compute_seconds(
+            self.backbone, self._num_nodes, nnz, self._cost, in_enclave=False
+        )
+
+        # One-way transfer of exactly the consumed embeddings.
+        channel = OneWayChannel()
+        for layer in self._rectifier_consumed:
+            channel.push(embeddings[layer], description=f"backbone_layer_{layer}")
+
+        # Trusted world: rectify and publish label-only output.
+        report = self.enclave.ecall_infer(channel)
+        labels = channel.collect().labels
+
+        profile = InferenceProfile(
+            backbone_seconds=backbone_seconds,
+            transfer_seconds=report.transfer_seconds,
+            enclave_seconds=report.enclave_seconds,
+            paging_seconds=report.paging_seconds,
+            payload_bytes=report.payload_bytes,
+            peak_enclave_memory_bytes=report.peak_memory_bytes,
+        )
+        return labels, profile
+
+    def predict_nodes(
+        self, features: np.ndarray, node_ids
+    ) -> Tuple[np.ndarray, InferenceProfile]:
+        """Classify only the queried nodes (the edge-device query mode).
+
+        The backbone still embeds every node (the untrusted world must not
+        learn which neighbourhood the enclave reads — that would leak
+        edges), but the enclave rectifies only the targets' receptive
+        field over the private graph, so trusted memory and compute scale
+        with the neighbourhood size. Output labels align with ``node_ids``.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape[0] != self._num_nodes:
+            raise ValueError(
+                f"features cover {features.shape[0]} nodes, deployment expects "
+                f"{self._num_nodes}"
+            )
+        embeddings = self.backbone.embeddings(features, self._substitute_norm)
+        nnz = self.substitute_adjacency.num_entries + self._num_nodes
+        backbone_seconds = model_compute_seconds(
+            self.backbone, self._num_nodes, nnz, self._cost, in_enclave=False
+        )
+        channel = OneWayChannel()
+        for layer in self._rectifier_consumed:
+            channel.push(embeddings[layer], description=f"backbone_layer_{layer}")
+        report = self.enclave.ecall_infer_nodes(channel, list(node_ids))
+        labels = channel.collect().labels
+        profile = InferenceProfile(
+            backbone_seconds=backbone_seconds,
+            transfer_seconds=report.transfer_seconds,
+            enclave_seconds=report.enclave_seconds,
+            paging_seconds=report.paging_seconds,
+            payload_bytes=report.payload_bytes,
+            peak_enclave_memory_bytes=report.peak_memory_bytes,
+        )
+        return labels, profile
+
+    # ------------------------------------------------------------------
+    # Online updates (new nodes arriving at a live deployment)
+    # ------------------------------------------------------------------
+    def add_node(self, substitute_neighbours, sealed_update) -> int:
+        """Register a new node with the live deployment; returns its id.
+
+        ``substitute_neighbours`` is public (derived from the new node's
+        features, e.g. its KNN matches) and extends the untrusted
+        substitute graph; ``sealed_update`` carries the *private* edges
+        into the enclave, where they are unsealed and applied without ever
+        existing in untrusted memory.
+        """
+        from ..graph import gcn_normalize as _normalize
+        from .updates import extend_adjacency
+
+        new_id = self._num_nodes
+        self.substitute_adjacency = extend_adjacency(
+            self.substitute_adjacency, substitute_neighbours
+        )
+        self._substitute_norm = _normalize(self.substitute_adjacency)
+        self._num_nodes += 1
+        self.enclave.provision_graph_update(sealed_update)
+        return new_id
+
+    # ------------------------------------------------------------------
+    # Baselines (for Fig. 6's overhead comparison)
+    # ------------------------------------------------------------------
+    def unprotected_baseline_seconds(
+        self, reference_model, private_adjacency_nnz: int
+    ) -> float:
+        """Latency of running an unprotected GNN on the plain CPU.
+
+        ``reference_model`` is the original GNN (backbone architecture,
+        real adjacency); no enclave, no transfer.
+        """
+        return model_compute_seconds(
+            reference_model,
+            self._num_nodes,
+            private_adjacency_nnz + self._num_nodes,
+            self._cost,
+            in_enclave=False,
+        )
+
+    def adversary_view(self) -> dict:
+        """Everything an attacker in the untrusted world can observe.
+
+        Used by the security analysis: backbone weights, substitute graph,
+        and (after queries) the transferred embeddings — but never the
+        rectifier weights, real adjacency, logits, or enclave internals.
+        """
+        return {
+            "backbone_state": self.backbone.state_dict(),
+            "substitute_adjacency": self.substitute_adjacency,
+            "consumed_layers": self._rectifier_consumed,
+        }

@@ -1,0 +1,156 @@
+"""Deployment planning: what goes where, and does it fit.
+
+GNNVault's placement rule (paper Fig. 2 / §IV-E): the backbone and the
+substitute graph go to the untrusted world; the rectifier and the real
+adjacency (COO + degrees) go inside the enclave. :func:`plan_deployment`
+materialises that placement and verifies the trusted side's working set
+fits the EPC, which is the feasibility argument of Fig. 6 (bottom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..graph import CooAdjacency
+from ..models.rectifier import Rectifier
+from ..tee.memory import EPC_BYTES
+
+_FLOAT_BYTES = 8
+_MB = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True)
+class EnclaveBudget:
+    """Predicted enclave working set for one inference."""
+
+    model_bytes: int
+    adjacency_bytes: int
+    input_bytes: int
+    activation_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.model_bytes
+            + self.adjacency_bytes
+            + self.input_bytes
+            + self.activation_bytes
+        )
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / _MB
+
+    def fits_epc(self, epc_bytes: int = EPC_BYTES) -> bool:
+        return self.total_bytes <= epc_bytes
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "model": self.model_bytes,
+            "adjacency": self.adjacency_bytes,
+            "inputs": self.input_bytes,
+            "activations": self.activation_bytes,
+        }
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """Validated placement of a trained GNNVault pair."""
+
+    untrusted_parameter_count: int
+    trusted_parameter_count: int
+    substitute_edges: int
+    private_edges: int
+    enclave_budget: EnclaveBudget
+    num_nodes: int
+
+    @property
+    def parameter_ratio(self) -> float:
+        """θ_rec / θ_bb — how little IP sits outside the vault."""
+        if self.untrusted_parameter_count == 0:
+            return float("inf")
+        return self.trusted_parameter_count / self.untrusted_parameter_count
+
+
+def coo_memory_bytes(
+    num_entries: int, num_nodes: int, index_bytes: int = 8, value_bytes: int = 8
+) -> int:
+    """COO triplets plus a degree cache (matches ``CooAdjacency.memory_bytes``)."""
+    return num_entries * (2 * index_bytes + value_bytes) + num_nodes * value_bytes
+
+
+def enclave_budget_analytic(
+    rectifier: Rectifier,
+    num_nodes: int,
+    adjacency_bytes: int,
+    float_bytes: int = _FLOAT_BYTES,
+) -> EnclaveBudget:
+    """Predict the enclave working set from shapes alone.
+
+    Components (paper §V-C2: "enclave memory usage is primarily for each
+    layer's input features, adjacency matrix, and model parameters"):
+    weights, the private adjacency, the inbound embedding buffers, and each
+    rectifier layer's activations. ``float_bytes=4`` models the paper's
+    C++/Eigen float32 implementation; the Python enclave simulator itself
+    runs float64.
+    """
+    model_bytes = rectifier.num_parameters() * float_bytes
+    backbone_dims = rectifier.backbone_dims
+    input_bytes = sum(
+        num_nodes * backbone_dims[layer] * float_bytes
+        for layer in rectifier.consumed_layers()
+    )
+    activation_bytes = sum(
+        num_nodes * width * float_bytes for width in rectifier.channels
+    )
+    return EnclaveBudget(model_bytes, adjacency_bytes, input_bytes, activation_bytes)
+
+
+def enclave_budget(
+    rectifier: Rectifier,
+    adjacency: CooAdjacency,
+    num_nodes: int,
+    float_bytes: int = _FLOAT_BYTES,
+) -> EnclaveBudget:
+    """Predict the enclave working set for a materialised private graph."""
+    return enclave_budget_analytic(
+        rectifier, num_nodes, adjacency.memory_bytes(), float_bytes=float_bytes
+    )
+
+
+def plan_deployment(
+    backbone,
+    rectifier: Rectifier,
+    substitute_adjacency: CooAdjacency,
+    private_adjacency: CooAdjacency,
+    epc_bytes: int = EPC_BYTES,
+    require_fit: bool = False,
+) -> DeploymentPlan:
+    """Build and sanity-check a deployment plan.
+
+    With ``require_fit=True`` the plan raises when the predicted enclave
+    working set exceeds the EPC instead of merely recording it.
+    """
+    if substitute_adjacency.num_nodes != private_adjacency.num_nodes:
+        raise ValueError(
+            f"substitute graph covers {substitute_adjacency.num_nodes} nodes, "
+            f"private graph {private_adjacency.num_nodes}"
+        )
+    num_nodes = private_adjacency.num_nodes
+    budget = enclave_budget(rectifier, private_adjacency, num_nodes)
+    if require_fit and not budget.fits_epc(epc_bytes):
+        from ..errors import EnclaveMemoryError
+
+        raise EnclaveMemoryError(
+            f"enclave working set {budget.total_mb:.1f} MB exceeds EPC "
+            f"{epc_bytes / _MB:.1f} MB"
+        )
+    return DeploymentPlan(
+        untrusted_parameter_count=backbone.num_parameters(),
+        trusted_parameter_count=rectifier.num_parameters(),
+        substitute_edges=substitute_adjacency.num_edges,
+        private_edges=private_adjacency.num_edges,
+        enclave_budget=budget,
+        num_nodes=num_nodes,
+    )

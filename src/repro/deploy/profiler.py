@@ -1,0 +1,80 @@
+"""Inference cost profiles and analytic model timing.
+
+Fig. 6 (top) breaks GNNVault's inference latency into backbone execution,
+data transfer, and rectifier execution, and compares against running the
+unprotected GNN on the CPU. :class:`InferenceProfile` is that breakdown;
+:func:`model_compute_seconds` provides the analytic latency of any
+backbone-interface model under the SGX cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tee.runtime import SgxCostModel
+
+_MB = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True)
+class InferenceProfile:
+    """One secure inference, decomposed the way Fig. 6 plots it."""
+
+    backbone_seconds: float
+    transfer_seconds: float
+    enclave_seconds: float  # rectifier compute + EPC paging
+    paging_seconds: float
+    payload_bytes: int
+    peak_enclave_memory_bytes: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.backbone_seconds + self.transfer_seconds + self.enclave_seconds
+
+    @property
+    def peak_enclave_memory_mb(self) -> float:
+        return self.peak_enclave_memory_bytes / _MB
+
+    def overhead_vs(self, baseline_seconds: float) -> float:
+        """Fractional overhead vs an unprotected baseline (0.52 == +52 %)."""
+        if baseline_seconds <= 0:
+            raise ValueError(f"baseline must be positive, got {baseline_seconds}")
+        return self.total_seconds / baseline_seconds - 1.0
+
+    def breakdown(self) -> dict:
+        """Stage → seconds mapping for plotting/reporting."""
+        return {
+            "backbone": self.backbone_seconds,
+            "transfer": self.transfer_seconds,
+            "enclave": self.enclave_seconds,
+        }
+
+
+def model_compute_seconds(
+    model,
+    num_nodes: int,
+    adjacency_nnz: int,
+    cost: SgxCostModel,
+    in_enclave: bool = False,
+) -> float:
+    """Analytic forward latency of a backbone-interface model.
+
+    Works for GCN-style models (``layers`` of objects with
+    ``in_features``/``out_features``; GCN layers add an SpMM over
+    ``adjacency_nnz`` entries) and MLPs (no SpMM). GCN layers are detected
+    by their ``forward`` accepting an adjacency — here simply by class name
+    to avoid importing model modules.
+    """
+    seconds = 0.0
+    for layer in model.layers:
+        seconds += cost.dense_matmul_time(
+            num_nodes, layer.in_features, layer.out_features, in_enclave=in_enclave
+        )
+        if type(layer).__name__ in ("GCNConv", "SAGEConv", "GATConv"):
+            seconds += cost.sparse_matmul_time(
+                adjacency_nnz, layer.out_features, in_enclave=in_enclave
+            )
+        seconds += cost.elementwise_time(
+            num_nodes * layer.out_features, in_enclave=in_enclave
+        )
+    return seconds

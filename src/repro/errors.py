@@ -1,0 +1,26 @@
+"""Exception hierarchy for the GNNVault reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SecurityViolation(ReproError):
+    """An operation would leak protected data out of the trusted world.
+
+    Raised by the one-way channel and the enclave when code attempts to
+    export anything other than label-only results, or to read private
+    state from the untrusted side.
+    """
+
+
+class EnclaveMemoryError(ReproError):
+    """An allocation exceeded the enclave's physical memory budget."""
+
+
+class AttestationError(ReproError):
+    """Remote attestation failed (wrong measurement or bad signature)."""
+
+
+class SealingError(ReproError):
+    """Sealed-blob unsealing failed (wrong enclave identity or tampering)."""

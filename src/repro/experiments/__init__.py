@@ -1,0 +1,57 @@
+"""Experiment drivers: one module per paper table/figure (see DESIGN.md §4)."""
+
+from .fig4 import Fig4Result, render_fig4, run_fig4
+from .fig5 import AblationSweep, Fig5Result, render_fig5, run_fig5
+from .fig6 import FIG6_CONFIGS, Fig6Row, render_fig6, run_fig6
+from .pipeline import (
+    DEFAULT_TRAIN,
+    GnnVaultRun,
+    make_substitute_builder,
+    run_gnnvault,
+    train_config_for,
+)
+from .paper_scale import PaperScaleResult, run_paper_scale
+from .report import collect_results, generate_report, write_report
+from .table1 import Table1Row, render_table1, run_table1
+from .table2 import PAPER_TABLE2, Table2Row, render_table2, run_table2
+from .table3 import PAPER_TABLE3, Table3Row, render_table3, run_table3
+from .table4 import PAPER_TABLE4, Table4Row, render_table4, run_table4
+
+__all__ = [
+    "AblationSweep",
+    "DEFAULT_TRAIN",
+    "FIG6_CONFIGS",
+    "Fig4Result",
+    "Fig5Result",
+    "Fig6Row",
+    "GnnVaultRun",
+    "PAPER_TABLE2",
+    "PaperScaleResult",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "Table4Row",
+    "make_substitute_builder",
+    "render_fig4",
+    "render_fig5",
+    "render_fig6",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_gnnvault",
+    "run_paper_scale",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "train_config_for",
+    "collect_results",
+    "generate_report",
+    "write_report",
+]

@@ -1,0 +1,121 @@
+"""Fig. 4 — latent-space interpretation of the rectifier.
+
+Visualises (via t-SNE) and quantifies (via silhouette score) the
+layer-by-layer node embeddings of the original GNN, the public backbone,
+and the parallel rectifier on Cora. Expected shape: the rectifier's
+silhouette rises towards the original's, while the backbone stays low.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis import (
+    TsneConfig,
+    render_scatter,
+    render_series,
+    silhouette_score,
+    tsne,
+)
+from ..graph import gcn_normalize
+from ..training import TrainConfig
+from .pipeline import run_gnnvault
+
+
+@dataclass
+class Fig4Result:
+    """Per-layer silhouette scores (and optional t-SNE coordinates)."""
+
+    dataset: str
+    silhouette: Dict[str, List[float]]  # model -> per-layer scores
+    labels: np.ndarray
+    tsne_coords: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+
+    def final_gap(self) -> float:
+        """|silhouette(rectifier) − silhouette(original)| at the last layer."""
+        return abs(self.silhouette["rectifier"][-1] - self.silhouette["original"][-1])
+
+
+def run_fig4(
+    dataset: str = "cora",
+    seed: int = 0,
+    train_config: Optional[TrainConfig] = None,
+    compute_tsne: bool = False,
+    tsne_nodes: int = 300,
+) -> Fig4Result:
+    """Train a parallel GNNVault and score every layer's embedding space."""
+    run = run_gnnvault(
+        dataset=dataset,
+        schemes=("parallel",),
+        substitute_kind="knn",
+        knn_k=2,
+        seed=seed,
+        train_config=train_config,
+    )
+    graph = run.graph
+    labels = graph.labels
+    real_norm = graph.normalized_adjacency()
+    sub_norm = gcn_normalize(run.substitute)
+
+    original_layers = run.original.embeddings(graph.features, real_norm)
+    backbone_layers = run.backbone.embeddings(graph.features, sub_norm)
+    rectifier = run.rectifiers["parallel"]
+    rectifier_layers = [
+        out.data
+        for out in rectifier.forward_with_intermediates(backbone_layers, real_norm)
+    ]
+
+    embedding_sets = {
+        "original": original_layers,
+        "backbone": backbone_layers,
+        "rectifier": rectifier_layers,
+    }
+    silhouettes = {
+        name: [silhouette_score(layer, labels) for layer in layers]
+        for name, layers in embedding_sets.items()
+    }
+    result = Fig4Result(dataset=dataset, silhouette=silhouettes, labels=labels)
+
+    if compute_tsne:
+        rng = np.random.default_rng(seed)
+        subset = rng.choice(
+            graph.num_nodes, size=min(tsne_nodes, graph.num_nodes), replace=False
+        )
+        result.labels = labels[subset]
+        config = TsneConfig(iterations=250, seed=seed)
+        for name, layers in embedding_sets.items():
+            result.tsne_coords[name] = [tsne(layer[subset], config) for layer in layers]
+    return result
+
+
+def render_fig4(result: Fig4Result, include_scatter: bool = True) -> str:
+    """Per-layer silhouette table plus (optionally) t-SNE ASCII scatters."""
+    depth = max(len(v) for v in result.silhouette.values())
+    series = {
+        name: [
+            round(scores[i], 3) if i < len(scores) else ""
+            for i in range(depth)
+        ]
+        for name, scores in result.silhouette.items()
+    }
+    parts = [
+        render_series(
+            "layer",
+            list(range(1, depth + 1)),
+            series,
+            title=f"Fig. 4: per-layer silhouette scores ({result.dataset})",
+        )
+    ]
+    if include_scatter and result.tsne_coords:
+        for name, layers in result.tsne_coords.items():
+            parts.append(
+                render_scatter(
+                    layers[-1],
+                    result.labels,
+                    title=f"Fig. 4 t-SNE (final layer, {name}) — digits are classes",
+                )
+            )
+    return "\n\n".join(parts)

@@ -1,0 +1,111 @@
+"""Fig. 5 — substitute-graph hyper-parameter ablation.
+
+Three sweeps, each reporting backbone and (parallel) rectifier accuracy:
+
+* KNN neighbours ``k`` — performance should stay roughly stable in k.
+* Cosine-similarity threshold τ — low τ (≤ 0.2) connects unrelated nodes
+  and hurts.
+* Random edges as a percentage of the real edge count — more random
+  structure degrades both models; at tiny percentages the backbone
+  approaches the DNN (features-only) behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis import render_series
+from ..training import TrainConfig
+from .pipeline import run_gnnvault
+
+DEFAULT_KNN_KS = (1, 2, 4, 6, 8)
+DEFAULT_COSINE_TAUS = (0.0, 0.1, 0.2, 0.4, 0.6)
+DEFAULT_RANDOM_PERCENTS = (5.0, 25.0, 50.0, 100.0, 200.0)
+
+
+@dataclass
+class AblationSweep:
+    """One hyper-parameter sweep: x values vs (p_bb, p_rec) in percent."""
+
+    parameter: str
+    values: List[float]
+    p_bb: List[float] = field(default_factory=list)
+    p_rec: List[float] = field(default_factory=list)
+
+
+@dataclass
+class Fig5Result:
+    dataset: str
+    sweeps: Dict[str, AblationSweep]
+
+
+def _sweep(
+    dataset: str,
+    parameter: str,
+    values: Sequence[float],
+    seed: int,
+    cfg: TrainConfig,
+) -> AblationSweep:
+    sweep = AblationSweep(parameter=parameter, values=list(values))
+    for value in values:
+        kwargs = dict(
+            dataset=dataset,
+            schemes=("parallel",),
+            seed=seed,
+            train_config=cfg,
+            train_original=False,
+        )
+        if parameter == "knn_k":
+            kwargs.update(substitute_kind="knn", knn_k=int(value))
+        elif parameter == "cosine_tau":
+            kwargs.update(
+                substitute_kind="cosine",
+                cosine_tau=float(value),
+                cosine_density_match=False,  # low τ must flood the graph
+            )
+        elif parameter == "random_percent":
+            kwargs.update(
+                substitute_kind="random", random_edge_fraction=float(value) / 100.0
+            )
+        else:
+            raise ValueError(f"unknown ablation parameter {parameter!r}")
+        run = run_gnnvault(**kwargs)
+        sweep.p_bb.append(100.0 * run.p_bb)
+        sweep.p_rec.append(100.0 * run.p_rec["parallel"])
+    return sweep
+
+
+def run_fig5(
+    dataset: str = "cora",
+    knn_ks: Sequence[int] = DEFAULT_KNN_KS,
+    cosine_taus: Sequence[float] = DEFAULT_COSINE_TAUS,
+    random_percents: Sequence[float] = DEFAULT_RANDOM_PERCENTS,
+    seed: int = 0,
+    train_config: Optional[TrainConfig] = None,
+) -> Fig5Result:
+    """Run all three substitute-graph ablations."""
+    cfg = train_config
+    sweeps = {
+        "knn_k": _sweep(dataset, "knn_k", knn_ks, seed, cfg),
+        "cosine_tau": _sweep(dataset, "cosine_tau", cosine_taus, seed, cfg),
+        "random_percent": _sweep(dataset, "random_percent", random_percents, seed, cfg),
+    }
+    return Fig5Result(dataset=dataset, sweeps=sweeps)
+
+
+def render_fig5(result: Fig5Result) -> str:
+    parts = []
+    for name, sweep in result.sweeps.items():
+        parts.append(
+            render_series(
+                name,
+                sweep.values,
+                {
+                    "p_bb": [round(v, 1) for v in sweep.p_bb],
+                    "p_rec": [round(v, 1) for v in sweep.p_rec],
+                },
+                title=f"Fig. 5 ({result.dataset}): {name} sweep",
+            )
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,237 @@
+"""Fig. 6 — inference-time breakdown and enclave memory usage.
+
+Profiles the paper's three deployments — M1 on Cora, M2 on CoraFull, M3 on
+Amazon Computer — for all three rectifier schemes at **paper scale**,
+using the analytic SGX cost model (DESIGN.md §2): latency = backbone
+compute + ECALL transfer of the consumed embeddings + in-enclave rectifier
+compute (+ EPC paging if the working set overflows), all compared against
+an unprotected CPU-only GNN.
+
+Memory accounting uses float32 (the paper's C++/Eigen implementation);
+expected shape: every rectifier's working set stays well under the 96 MB
+EPC, the series design is the smallest/fastest, and the *backbone's*
+untrusted working set far exceeds the 128 MB PRM — the reason the whole
+GNN cannot live in the enclave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis import render_table
+from ..datasets import get_spec
+from ..deploy import model_compute_seconds
+from ..deploy.partition import coo_memory_bytes, enclave_budget_analytic
+from ..models import get_preset
+from ..tee import EPC_BYTES, DEFAULT_COST_MODEL, SgxCostModel, pages_for
+
+_MB = 1024.0 * 1024.0
+_FLOAT32 = 4
+_INT32 = 4
+
+#: the paper's three Fig. 6 configurations: (preset, dataset)
+FIG6_CONFIGS: Tuple[Tuple[str, str], ...] = (
+    ("M1", "cora"),
+    ("M2", "corafull"),
+    ("M3", "computer"),
+)
+
+SCHEMES = ("parallel", "series", "cascaded")
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    """Cost profile of one (preset, dataset, scheme) deployment."""
+
+    preset: str
+    dataset: str
+    scheme: str
+    backbone_seconds: float
+    transfer_seconds: float
+    enclave_seconds: float
+    paging_seconds: float
+    unprotected_seconds: float
+    enclave_memory_mb: float
+    backbone_memory_mb: float
+    #: end-to-end latency when backbone layer k+1 overlaps with the
+    #: rectification of layer k (only the parallel scheme can do this —
+    #: Fig. 3b runs the two models layer-by-layer in parallel); None for
+    #: schemes that must wait for the full backbone.
+    pipelined_seconds: Optional[float] = None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.backbone_seconds + self.transfer_seconds + self.enclave_seconds
+
+    @property
+    def overhead(self) -> float:
+        """Fractional latency overhead vs the unprotected CPU baseline."""
+        return self.total_seconds / self.unprotected_seconds - 1.0
+
+    @property
+    def fits_epc(self) -> bool:
+        return self.enclave_memory_mb * _MB <= EPC_BYTES
+
+
+def _rectifier_enclave_seconds(
+    rectifier, num_nodes: int, real_nnz: int, cost: SgxCostModel
+) -> float:
+    """Analytic in-enclave forward latency of a rectifier."""
+    seconds = 0.0
+    for conv in rectifier.convs:
+        seconds += cost.dense_matmul_time(
+            num_nodes, conv.in_features, conv.out_features, in_enclave=True
+        )
+        seconds += cost.sparse_matmul_time(real_nnz, conv.out_features, in_enclave=True)
+        seconds += cost.elementwise_time(num_nodes * conv.out_features, in_enclave=True)
+    return seconds
+
+
+def _pipelined_parallel_seconds(
+    backbone,
+    rectifier,
+    num_nodes: int,
+    sub_nnz: int,
+    real_nnz: int,
+    cost: SgxCostModel,
+) -> float:
+    """End-to-end latency of the parallel scheme with stage overlap.
+
+    Backbone layer k's embedding is transferred and rectified while the
+    backbone computes layer k+1: rectifier layer k starts at
+    ``max(backbone_k done + transfer_k, rectifier_{k-1} done)``.
+    """
+    backbone_done = 0.0
+    rectifier_free = 0.0
+    for k, (conv, rect_conv) in enumerate(zip(backbone.layers, rectifier.convs)):
+        backbone_done += cost.dense_matmul_time(
+            num_nodes, conv.in_features, conv.out_features
+        )
+        backbone_done += cost.sparse_matmul_time(sub_nnz, conv.out_features)
+        backbone_done += cost.elementwise_time(num_nodes * conv.out_features)
+        transfer = cost.ecall_time(
+            num_nodes * rectifier.backbone_dims[k] * _FLOAT32
+        )
+        start = max(backbone_done + transfer, rectifier_free)
+        rect_time = (
+            cost.dense_matmul_time(
+                num_nodes, rect_conv.in_features, rect_conv.out_features,
+                in_enclave=True,
+            )
+            + cost.sparse_matmul_time(real_nnz, rect_conv.out_features, in_enclave=True)
+            + cost.elementwise_time(
+                num_nodes * rect_conv.out_features, in_enclave=True
+            )
+        )
+        rectifier_free = start + rect_time
+    return rectifier_free
+
+
+def _backbone_memory_bytes(backbone, num_nodes: int, num_features: int) -> int:
+    """Untrusted-world working set: inputs + weights + all activations."""
+    total = num_nodes * num_features * _FLOAT32
+    total += backbone.num_parameters() * _FLOAT32
+    for width in backbone.layer_output_dims():
+        total += num_nodes * width * _FLOAT32
+    return total
+
+
+def run_fig6(
+    configs: Sequence[Tuple[str, str]] = FIG6_CONFIGS,
+    schemes: Sequence[str] = SCHEMES,
+    knn_k: int = 2,
+    cost: Optional[SgxCostModel] = None,
+) -> List[Fig6Row]:
+    """Profile every (preset, dataset, scheme) combination at paper scale."""
+    cost = cost or DEFAULT_COST_MODEL
+    rows: List[Fig6Row] = []
+    for preset_name, dataset in configs:
+        spec = get_spec(dataset)
+        preset = get_preset(preset_name)
+        n = spec.num_nodes
+        backbone = preset.build_backbone(spec.num_features, spec.num_classes)
+        # Substitute graph: KNN with k neighbours ≈ k·n undirected edges.
+        sub_nnz = 2 * knn_k * n + n
+        real_nnz = 2 * spec.num_edges + n
+        backbone_seconds = model_compute_seconds(backbone, n, sub_nnz, cost)
+        unprotected_seconds = model_compute_seconds(backbone, n, real_nnz, cost)
+        backbone_memory = _backbone_memory_bytes(backbone, n, spec.num_features)
+        adjacency_bytes = coo_memory_bytes(
+            2 * spec.num_edges, n, index_bytes=_INT32, value_bytes=_FLOAT32
+        )
+        for scheme in schemes:
+            rectifier = preset.build_rectifier(scheme, spec.num_classes)
+            payload_bytes = sum(
+                n * rectifier.backbone_dims[layer] * _FLOAT32
+                for layer in rectifier.consumed_layers()
+            )
+            transfer_seconds = cost.ecall_time(payload_bytes)
+            enclave_seconds = _rectifier_enclave_seconds(rectifier, n, real_nnz, cost)
+            budget = enclave_budget_analytic(
+                rectifier, n, adjacency_bytes, float_bytes=_FLOAT32
+            )
+            overflow = max(0, budget.total_bytes - EPC_BYTES)
+            paging_seconds = cost.paging_time(pages_for(overflow))
+            pipelined = None
+            if scheme == "parallel":
+                pipelined = (
+                    _pipelined_parallel_seconds(
+                        backbone, rectifier, n, sub_nnz, real_nnz, cost
+                    )
+                    + paging_seconds
+                )
+            rows.append(
+                Fig6Row(
+                    preset=preset_name,
+                    dataset=dataset,
+                    scheme=scheme,
+                    backbone_seconds=backbone_seconds,
+                    transfer_seconds=transfer_seconds,
+                    enclave_seconds=enclave_seconds + paging_seconds,
+                    paging_seconds=paging_seconds,
+                    unprotected_seconds=unprotected_seconds,
+                    enclave_memory_mb=budget.total_mb,
+                    backbone_memory_mb=backbone_memory / _MB,
+                    pipelined_seconds=pipelined,
+                )
+            )
+    return rows
+
+
+def render_fig6(rows: List[Fig6Row]) -> str:
+    headers = [
+        "Config",
+        "Scheme",
+        "backbone(ms)",
+        "transfer(ms)",
+        "enclave(ms)",
+        "total(ms)",
+        "baseline(ms)",
+        "overhead(%)",
+        "pipelined(ms)",
+        "encl mem(MB)",
+        "bb mem(MB)",
+    ]
+    table_rows = []
+    for r in rows:
+        table_rows.append(
+            [
+                f"{r.preset}/{r.dataset}",
+                r.scheme,
+                round(1e3 * r.backbone_seconds, 2),
+                round(1e3 * r.transfer_seconds, 2),
+                round(1e3 * r.enclave_seconds, 2),
+                round(1e3 * r.total_seconds, 2),
+                round(1e3 * r.unprotected_seconds, 2),
+                round(100.0 * r.overhead, 1),
+                round(1e3 * r.pipelined_seconds, 2) if r.pipelined_seconds else "-",
+                round(r.enclave_memory_mb, 1),
+                round(r.backbone_memory_mb, 1),
+            ]
+        )
+    return render_table(
+        headers,
+        table_rows,
+        title="Fig. 6: inference breakdown and memory (paper scale, simulated SGX)",
+    )

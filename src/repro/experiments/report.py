@@ -1,0 +1,88 @@
+"""Collate archived benchmark outputs into a single reproduction report.
+
+Every benchmark writes its rendered table to ``benchmarks/results/``; this
+module stitches them into one markdown document (the machine-generated
+companion to the hand-written EXPERIMENTS.md), so a full
+``pytest benchmarks/ --benchmark-only`` run ends with an up-to-date,
+shareable artefact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: display order and headings for known result files
+_SECTIONS: Tuple[Tuple[str, str], ...] = (
+    ("table1_datasets", "Table I — datasets"),
+    ("table2_rectifiers", "Table II — GNNVault performance"),
+    ("table3_backbones", "Table III — backbone designs"),
+    ("table4_link_stealing", "Table IV — link stealing"),
+    ("fig4_silhouette", "Fig. 4 — latent-space rectification"),
+    ("fig5_ablation", "Fig. 5 — substitute-graph ablation"),
+    ("fig6_overhead", "Fig. 6 — overhead and enclave memory"),
+    ("ablation_label_only", "Ablation — label-only vs logits"),
+    ("ablation_width", "Ablation — rectifier width"),
+    ("ablation_paging", "Ablation — EPC paging"),
+    ("extension_supervised_attack", "Extension — supervised link stealing"),
+    ("extension_shadow_attack", "Extension — shadow-model link stealing"),
+    ("extension_membership", "Extension — membership inference"),
+    ("extension_extraction", "Extension — model extraction"),
+    ("extension_sage", "Extension — GraphSAGE vault"),
+    ("extension_trustzone", "Extension — TrustZone cost model"),
+    ("extension_defense_tradeoff", "Extension — defenses vs the vault"),
+    ("ablation_quantization", "Ablation — weight quantization"),
+    ("ablation_deep_models", "Ablation — depth vs over-smoothing"),
+    ("serving_zipf", "Serving — Zipf workload"),
+    ("serving_access_pattern", "Serving — access-pattern audit"),
+    ("paper_scale_cora", "Paper scale — full-size Cora"),
+    ("paper_scale_citeseer", "Paper scale — full-size Citeseer"),
+)
+
+
+def collect_results(results_dir: Path) -> Dict[str, str]:
+    """Read every archived ``.txt`` result, keyed by stem."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        return {}
+    return {
+        path.stem: path.read_text().rstrip()
+        for path in sorted(results_dir.glob("*.txt"))
+    }
+
+
+def generate_report(
+    results_dir: Path, title: str = "GNNVault reproduction results"
+) -> str:
+    """Render the collated markdown report."""
+    results = collect_results(results_dir)
+    lines: List[str] = [f"# {title}", ""]
+    if not results:
+        lines.append(
+            "_No archived results found — run `pytest benchmarks/ "
+            "--benchmark-only` first._"
+        )
+        return "\n".join(lines)
+
+    covered = set()
+    for stem, heading in _SECTIONS:
+        if stem not in results:
+            continue
+        covered.add(stem)
+        lines += [f"## {heading}", "", "```", results[stem], "```", ""]
+    # Anything archived but not in the known order goes at the end.
+    for stem in sorted(set(results) - covered):
+        lines += [f"## {stem}", "", "```", results[stem], "```", ""]
+    return "\n".join(lines)
+
+
+def write_report(
+    results_dir: Path, output_path: Optional[Path] = None
+) -> Path:
+    """Generate and write the report; returns the output path."""
+    results_dir = Path(results_dir)
+    output_path = (
+        Path(output_path) if output_path else results_dir / "REPORT.md"
+    )
+    output_path.write_text(generate_report(results_dir) + "\n")
+    return output_path

@@ -1,0 +1,128 @@
+"""Table II — GNNVault performance with the KNN (k=2) substitute graph.
+
+For each dataset: original accuracy p_org and backbone size θ_bb; backbone
+accuracy p_bb; then per rectifier scheme (parallel / series / cascaded)
+the rectified accuracy p_rec, protection Δp = p_rec − p_bb, and enclave
+model size θ_rec.
+
+Paper values for comparison live in ``PAPER_TABLE2`` so the benchmark can
+report paper-vs-measured per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis import render_table
+from ..training import TrainConfig
+from .pipeline import run_gnnvault
+
+SCHEMES = ("parallel", "series", "cascaded")
+
+#: Published Table II numbers: dataset -> dict of metric -> value.
+#: Accuracies in percent; parameter counts in millions.
+PAPER_TABLE2 = {
+    "cora": {
+        "p_org": 80.4, "theta_bb": 0.188, "p_bb": 60.2,
+        "parallel": {"p_rec": 78.8, "dp": 18.6, "theta_rec": 0.022},
+        "series": {"p_rec": 78.2, "dp": 18.0, "theta_rec": 0.0088},
+        "cascaded": {"p_rec": 77.6, "dp": 17.4, "theta_rec": 0.027},
+    },
+    "citeseer": {
+        "p_org": 65.2, "theta_bb": 0.479, "p_bb": 60.3,
+        "parallel": {"p_rec": 70.1, "dp": 9.8, "theta_rec": 0.022},
+        "series": {"p_rec": 68.7, "dp": 8.4, "theta_rec": 0.0087},
+        "cascaded": {"p_rec": 69.0, "dp": 8.7, "theta_rec": 0.026},
+    },
+    "pubmed": {
+        "p_org": 77.1, "theta_bb": 0.068, "p_bb": 66.6,
+        "parallel": {"p_rec": 75.2, "dp": 8.6, "theta_rec": 0.022},
+        "series": {"p_rec": 75.1, "dp": 8.5, "theta_rec": 0.0085},
+        "cascaded": {"p_rec": 73.6, "dp": 7.0, "theta_rec": 0.025},
+    },
+    "computer": {
+        "p_org": 75.5, "theta_bb": 0.216, "p_bb": 56.6,
+        "parallel": {"p_rec": 77.6, "dp": 21.0, "theta_rec": 0.021},
+        "series": {"p_rec": 78.2, "dp": 21.6, "theta_rec": 0.0039},
+        "cascaded": {"p_rec": 77.4, "dp": 20.8, "theta_rec": 0.027},
+    },
+    "photo": {
+        "p_org": 83.7, "theta_bb": 0.210, "p_bb": 68.3,
+        "parallel": {"p_rec": 84.9, "dp": 16.6, "theta_rec": 0.021},
+        "series": {"p_rec": 84.2, "dp": 15.9, "theta_rec": 0.0037},
+        "cascaded": {"p_rec": 85.1, "dp": 16.8, "theta_rec": 0.026},
+    },
+    "corafull": {
+        "p_org": 59.5, "theta_bb": 2.27, "p_bb": 43.1,
+        "parallel": {"p_rec": 57.8, "dp": 14.7, "theta_rec": 0.051},
+        "series": {"p_rec": 58.0, "dp": 14.9, "theta_rec": 0.050},
+        "cascaded": {"p_rec": 55.8, "dp": 12.7, "theta_rec": 0.060},
+    },
+}
+
+
+@dataclass
+class Table2Row:
+    """Measured GNNVault metrics for one dataset (accuracies in %)."""
+
+    dataset: str
+    p_org: float
+    theta_bb_m: float
+    p_bb: float
+    per_scheme: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def delta_p(self, scheme: str) -> float:
+        return self.per_scheme[scheme]["p_rec"] - self.p_bb
+
+
+def run_table2(
+    datasets: Sequence[str] = ("cora", "citeseer", "pubmed", "computer", "photo", "corafull"),
+    schemes: Sequence[str] = SCHEMES,
+    seed: int = 0,
+    train_config: Optional[TrainConfig] = None,
+) -> List[Table2Row]:
+    """Train GNNVault on each dataset with KNN k=2 and all rectifiers."""
+    rows: List[Table2Row] = []
+    for dataset in datasets:
+        run = run_gnnvault(
+            dataset=dataset,
+            schemes=schemes,
+            substitute_kind="knn",
+            knn_k=2,
+            seed=seed,
+            train_config=train_config,
+        )
+        row = Table2Row(
+            dataset=dataset,
+            p_org=100.0 * run.p_org,
+            theta_bb_m=run.theta_bb / 1e6,
+            p_bb=100.0 * run.p_bb,
+        )
+        for scheme in schemes:
+            row.per_scheme[scheme] = {
+                "p_rec": 100.0 * run.p_rec[scheme],
+                "theta_rec_m": run.theta_rec(scheme) / 1e6,
+            }
+        rows.append(row)
+    return rows
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    """Aligned-text rendering in the paper's column order."""
+    headers = ["Dataset", "p_org", "th_bb(M)", "p_bb"]
+    for scheme in SCHEMES:
+        headers += [f"{scheme[:4]}:p_rec", f"{scheme[:4]}:dp", f"{scheme[:4]}:th(M)"]
+    table_rows = []
+    for r in rows:
+        cells = [r.dataset, round(r.p_org, 1), round(r.theta_bb_m, 4), round(r.p_bb, 1)]
+        for scheme in SCHEMES:
+            cells += [
+                round(r.per_scheme[scheme]["p_rec"], 1),
+                round(r.delta_p(scheme), 1),
+                round(r.per_scheme[scheme]["theta_rec_m"], 4),
+            ]
+        table_rows.append(cells)
+    return render_table(
+        headers, table_rows, title="Table II: GNNVault performance (KNN k=2)"
+    )

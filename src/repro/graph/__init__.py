@@ -1,0 +1,36 @@
+"""Graph substrate: containers, sparse formats, normalisation, generators."""
+
+from .generators import (
+    class_conditional_features,
+    make_sbm_graph,
+    planted_partition_edges,
+)
+from .graph import Graph
+from .metrics import average_degree, degree_histogram, edge_homophily, edge_overlap
+from .normalize import (
+    gcn_normalize,
+    gcn_normalize_with_degrees,
+    normalize_features,
+    row_normalize,
+)
+from .sparse import CooAdjacency
+from .subgraph import Subgraph, extract_subgraph, k_hop_neighbourhood
+
+__all__ = [
+    "CooAdjacency",
+    "Graph",
+    "Subgraph",
+    "average_degree",
+    "class_conditional_features",
+    "degree_histogram",
+    "edge_homophily",
+    "edge_overlap",
+    "extract_subgraph",
+    "gcn_normalize",
+    "gcn_normalize_with_degrees",
+    "k_hop_neighbourhood",
+    "make_sbm_graph",
+    "normalize_features",
+    "planted_partition_edges",
+    "row_normalize",
+]

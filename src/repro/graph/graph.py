@@ -1,0 +1,98 @@
+"""The :class:`Graph` container used throughout the reproduction.
+
+A graph bundles node features ``X ∈ R^{n×d}``, integer labels ``y``, and the
+adjacency in :class:`~repro.graph.sparse.CooAdjacency` form — matching the
+paper's formulation G = (V, E) with public features and private edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from .normalize import gcn_normalize
+from .sparse import CooAdjacency
+
+
+@dataclass(frozen=True)
+class Graph:
+    """An attributed, labelled graph.
+
+    Attributes
+    ----------
+    features:
+        ``(n, d)`` node feature matrix (public knowledge in the threat model).
+    labels:
+        ``(n,)`` integer class labels.
+    adjacency:
+        Edge structure (the private asset GNNVault protects).
+    name:
+        Human-readable identifier for reports.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    adjacency: CooAdjacency
+    name: str = "graph"
+
+    def __post_init__(self) -> None:
+        features = np.asarray(self.features, dtype=np.float64)
+        labels = np.asarray(self.labels, dtype=np.int64)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        if labels.ndim != 1:
+            raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"{features.shape[0]} feature rows but {labels.shape[0]} labels"
+            )
+        if self.adjacency.num_nodes != features.shape[0]:
+            raise ValueError(
+                f"adjacency has {self.adjacency.num_nodes} nodes but features "
+                f"have {features.shape[0]}"
+            )
+        object.__setattr__(self, "features", features)
+        object.__setattr__(self, "labels", labels)
+
+    # ------------------------------------------------------------------
+    # Shape properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if self.labels.size else 0
+
+    @property
+    def num_edges(self) -> int:
+        return self.adjacency.num_edges
+
+    # ------------------------------------------------------------------
+    # Derived data
+    # ------------------------------------------------------------------
+    def normalized_adjacency(self):
+        """The GCN propagation matrix ``Â`` (CSR)."""
+        return gcn_normalize(self.adjacency)
+
+    def with_adjacency(self, adjacency: CooAdjacency, name: Optional[str] = None) -> "Graph":
+        """Return a copy of this graph with a different edge structure.
+
+        This is how substitute graphs are attached: same nodes, features and
+        labels, different (public) adjacency.
+        """
+        return replace(self, adjacency=adjacency, name=name or self.name)
+
+    def summary(self) -> str:
+        """One-line description for logs and reports."""
+        return (
+            f"{self.name}: {self.num_nodes} nodes, {self.num_edges} edges, "
+            f"{self.num_features} features, {self.num_classes} classes"
+        )

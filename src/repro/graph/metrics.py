@@ -1,0 +1,48 @@
+"""Structural graph metrics used for validation and reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .sparse import CooAdjacency
+
+
+def edge_homophily(adjacency: CooAdjacency, labels: np.ndarray) -> float:
+    """Fraction of edges whose endpoints share a class label.
+
+    The synthetic datasets must be homophilous for the real adjacency to be
+    informative; this metric validates that property.
+    """
+    labels = np.asarray(labels)
+    mask = adjacency.rows != adjacency.cols
+    if not np.any(mask):
+        return 0.0
+    same = labels[adjacency.rows[mask]] == labels[adjacency.cols[mask]]
+    return float(same.mean())
+
+
+def average_degree(adjacency: CooAdjacency) -> float:
+    """Mean undirected degree (entries / nodes)."""
+    if adjacency.num_nodes == 0:
+        return 0.0
+    return adjacency.num_entries / adjacency.num_nodes
+
+
+def edge_overlap(a: CooAdjacency, b: CooAdjacency) -> float:
+    """Jaccard overlap between the undirected edge sets of two graphs.
+
+    Used by the security analysis to confirm the substitute graph does not
+    simply reproduce the private edges.
+    """
+    set_a, set_b = a.edge_set(), b.edge_set()
+    union = set_a | set_b
+    if not union:
+        return 0.0
+    return len(set_a & set_b) / len(union)
+
+
+def degree_histogram(adjacency: CooAdjacency, num_bins: int = 10) -> np.ndarray:
+    """Histogram of node degrees (diagnostics for generators)."""
+    degrees = adjacency.degrees()
+    hist, _ = np.histogram(degrees, bins=num_bins)
+    return hist

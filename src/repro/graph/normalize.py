@@ -1,0 +1,91 @@
+"""GCN adjacency normalisation.
+
+Implements the ``Â`` of Eq. (1): the adjacency with self-loops, symmetrically
+normalised by the degree matrix,
+
+    Â = D̃^{-1/2} (A + I) D̃^{-1/2},   D̃ = diag(rowsum(A + I)).
+
+Also provides the row-stochastic variant used by GraphSAGE-style mean
+aggregation in the extension models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .sparse import CooAdjacency
+
+
+def _as_scipy(adjacency) -> sp.csr_matrix:
+    if isinstance(adjacency, CooAdjacency):
+        return adjacency.to_csr()
+    return sp.csr_matrix(adjacency)
+
+
+def gcn_normalize(adjacency, add_self_loops: bool = True) -> sp.csr_matrix:
+    """Return ``D̃^{-1/2} (A + I) D̃^{-1/2}`` as CSR.
+
+    Isolated nodes (degree 0 after optional self-loops) get zero rows rather
+    than NaNs.
+    """
+    adj = _as_scipy(adjacency)
+    if add_self_loops:
+        adj = adj + sp.identity(adj.shape[0], format="csr")
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        inv_sqrt = 1.0 / np.sqrt(degrees)
+    inv_sqrt[~np.isfinite(inv_sqrt)] = 0.0
+    d_inv_sqrt = sp.diags(inv_sqrt)
+    return (d_inv_sqrt @ adj @ d_inv_sqrt).tocsr()
+
+
+def row_normalize(adjacency, add_self_loops: bool = True) -> sp.csr_matrix:
+    """Return the row-stochastic ``D̃^{-1} (A + I)`` (mean aggregation)."""
+    adj = _as_scipy(adjacency)
+    if add_self_loops:
+        adj = adj + sp.identity(adj.shape[0], format="csr")
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        inv = 1.0 / degrees
+    inv[~np.isfinite(inv)] = 0.0
+    return (sp.diags(inv) @ adj).tocsr()
+
+
+def gcn_normalize_with_degrees(
+    adjacency, degrees: np.ndarray, add_self_loops: bool = True
+) -> sp.csr_matrix:
+    """GCN normalisation using an externally supplied degree vector.
+
+    Needed for exact per-query subgraph inference: the boundary nodes of a
+    k-hop subgraph keep their *global* degrees (their out-of-subgraph
+    neighbours still count in D̃), so normalising with the induced degrees
+    would perturb the target embeddings.
+
+    ``degrees`` must already include the self-loop (+1) when
+    ``add_self_loops`` is True.
+    """
+    adj = _as_scipy(adjacency)
+    if add_self_loops:
+        adj = adj + sp.identity(adj.shape[0], format="csr")
+    degrees = np.asarray(degrees, dtype=np.float64).ravel()
+    if degrees.shape[0] != adj.shape[0]:
+        raise ValueError(
+            f"{degrees.shape[0]} degrees for a {adj.shape[0]}-node adjacency"
+        )
+    with np.errstate(divide="ignore"):
+        inv_sqrt = 1.0 / np.sqrt(degrees)
+    inv_sqrt[~np.isfinite(inv_sqrt)] = 0.0
+    d_inv_sqrt = sp.diags(inv_sqrt)
+    return (d_inv_sqrt @ adj @ d_inv_sqrt).tocsr()
+
+
+def normalize_features(features: np.ndarray) -> np.ndarray:
+    """Row-normalise a feature matrix to unit L1 norm (Planetoid convention).
+
+    Zero rows are left untouched.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    norms = np.abs(features).sum(axis=1, keepdims=True)
+    safe = np.where(norms == 0.0, 1.0, norms)
+    return features / safe

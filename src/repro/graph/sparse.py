@@ -1,0 +1,166 @@
+"""Sparse adjacency representations.
+
+The paper stores the private adjacency inside the enclave in **COO format**
+"with the pre-computed degree matrix, to accelerate the normalization
+process" (§IV-E). :class:`CooAdjacency` is that object: an immutable,
+memory-accountable edge list with cached degrees, convertible to the CSR
+form the message-passing kernels consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass(frozen=True)
+class CooAdjacency:
+    """Adjacency matrix in coordinate (COO) format.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of nodes ``n``; the matrix is ``n × n``.
+    rows, cols:
+        Edge endpoint index arrays of equal length (directed entries; an
+        undirected edge is stored as two entries).
+    values:
+        Edge weights; all-ones for unweighted graphs.
+    """
+
+    num_nodes: int
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        rows = np.asarray(self.rows, dtype=np.int64)
+        cols = np.asarray(self.cols, dtype=np.int64)
+        if rows.shape != cols.shape:
+            raise ValueError(
+                f"rows and cols must have identical shape, got {rows.shape} "
+                f"vs {cols.shape}"
+            )
+        values = self.values
+        if values is None:
+            values = np.ones(rows.shape[0])
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != rows.shape:
+            raise ValueError(
+                f"values shape {values.shape} does not match edges {rows.shape}"
+            )
+        if rows.size and (rows.min() < 0 or rows.max() >= self.num_nodes):
+            raise ValueError("row index out of range")
+        if cols.size and (cols.min() < 0 or cols.max() >= self.num_nodes):
+            raise ValueError("col index out of range")
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "cols", cols)
+        object.__setattr__(self, "values", values)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_list(
+        cls,
+        num_nodes: int,
+        edges: Iterable[Tuple[int, int]],
+        symmetrize: bool = True,
+    ) -> "CooAdjacency":
+        """Build from an iterable of ``(u, v)`` pairs.
+
+        Duplicate entries and self-loops are removed. With
+        ``symmetrize=True`` each edge is stored in both directions.
+        """
+        edge_array = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+        u, v = edge_array[:, 0], edge_array[:, 1]
+        keep = u != v
+        u, v = u[keep], v[keep]
+        if symmetrize:
+            u, v = np.concatenate([u, v]), np.concatenate([v, u])
+        # Deduplicate via linear edge ids.
+        ids = np.unique(u * np.int64(num_nodes) + v)
+        return cls(num_nodes, ids // num_nodes, ids % num_nodes)
+
+    @classmethod
+    def from_scipy(cls, matrix: sp.spmatrix) -> "CooAdjacency":
+        """Wrap any scipy sparse matrix (must be square)."""
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"adjacency must be square, got {matrix.shape}")
+        coo = matrix.tocoo()
+        return cls(coo.shape[0], coo.row, coo.col, coo.data)
+
+    @classmethod
+    def empty(cls, num_nodes: int) -> "CooAdjacency":
+        """Graph with no edges."""
+        return cls(num_nodes, np.empty(0, np.int64), np.empty(0, np.int64))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        """Number of stored (directed) entries."""
+        return int(self.rows.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (assumes a symmetric matrix)."""
+        return self.num_entries // 2 + int(np.count_nonzero(self.rows == self.cols))
+
+    def degrees(self) -> np.ndarray:
+        """Weighted out-degree of every node (the pre-computed degree matrix)."""
+        deg = np.zeros(self.num_nodes)
+        np.add.at(deg, self.rows, self.values)
+        return deg
+
+    def density(self) -> float:
+        """Fraction of possible (directed, non-loop) entries present."""
+        possible = self.num_nodes * (self.num_nodes - 1)
+        return self.num_entries / possible if possible else 0.0
+
+    def is_symmetric(self) -> bool:
+        """True if the matrix equals its transpose."""
+        mat = self.to_scipy().tocsr()
+        diff = mat - mat.T
+        return diff.nnz == 0 or np.allclose(diff.data, 0.0)
+
+    # ------------------------------------------------------------------
+    # Conversions and memory accounting
+    # ------------------------------------------------------------------
+    def to_scipy(self) -> sp.coo_matrix:
+        """Return the scipy COO view (copies index arrays)."""
+        return sp.coo_matrix(
+            (self.values, (self.rows, self.cols)),
+            shape=(self.num_nodes, self.num_nodes),
+        )
+
+    def to_csr(self) -> sp.csr_matrix:
+        """Return the CSR form used by matmul kernels."""
+        return self.to_scipy().tocsr()
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the dense matrix (only safe for small graphs)."""
+        return self.to_scipy().toarray()
+
+    def memory_bytes(self, index_bytes: int = 8, value_bytes: int = 8) -> int:
+        """Bytes to store the COO triplets plus cached degrees.
+
+        This is the quantity the enclave memory model charges for the
+        private adjacency (paper §IV-E / Fig. 6 bottom).
+        """
+        triplets = self.num_entries * (2 * index_bytes + value_bytes)
+        degree_cache = self.num_nodes * value_bytes
+        return triplets + degree_cache
+
+    def dense_memory_bytes(self, value_bytes: int = 8) -> int:
+        """Bytes for the dense adjacency (the Table I "Dense A" column)."""
+        return self.num_nodes * self.num_nodes * value_bytes
+
+    def edge_set(self) -> set:
+        """Set of undirected edges as ordered tuples ``(min, max)``."""
+        pairs = zip(self.rows.tolist(), self.cols.tolist())
+        return {(min(u, v), max(u, v)) for u, v in pairs if u != v}

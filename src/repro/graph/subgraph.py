@@ -1,0 +1,129 @@
+"""Subgraph extraction for per-query (single-node) inference.
+
+The paper's threat model lets the attacker "query the GNN model with any
+chosen node"; on an edge device such queries touch only the target node's
+receptive field — the k-hop neighbourhood for a k-layer GCN — not the
+whole graph. This module extracts that induced subgraph together with the
+index bookkeeping needed to run both worlds of GNNVault on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+import scipy.sparse as sp
+
+from .normalize import gcn_normalize_with_degrees
+from .sparse import CooAdjacency
+
+
+@dataclass(frozen=True)
+class Subgraph:
+    """An induced subgraph plus the mapping back to global node ids.
+
+    Attributes
+    ----------
+    nodes:
+        Global ids of the retained nodes (sorted ascending).
+    adjacency:
+        Induced adjacency over the local index space ``0..len(nodes)-1``.
+    targets_local:
+        Positions of the originally queried nodes within ``nodes``.
+    global_degrees:
+        Self-loop-inclusive degrees of the retained nodes in the *full*
+        graph; boundary nodes keep neighbours outside the subgraph, so
+        exact GCN inference must normalise with these, not the induced
+        degrees.
+    """
+
+    nodes: np.ndarray
+    adjacency: CooAdjacency
+    targets_local: np.ndarray
+    global_degrees: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.nodes.shape[0])
+
+    def normalized_adjacency(self):
+        """Â over the subgraph using global degrees (exact at the targets).
+
+        A k-layer GCN evaluated on the k-hop subgraph with this matrix
+        produces, at the target rows, exactly the embeddings a full-graph
+        pass would.
+        """
+        return gcn_normalize_with_degrees(self.adjacency, self.global_degrees)
+
+    def restrict(self, features: np.ndarray) -> np.ndarray:
+        """Slice a global feature/embedding matrix down to this subgraph."""
+        features = np.asarray(features)
+        if features.shape[0] < self.nodes.max() + 1:
+            raise ValueError(
+                f"feature matrix covers {features.shape[0]} nodes but the "
+                f"subgraph references node {int(self.nodes.max())}"
+            )
+        return features[self.nodes]
+
+    def lift_labels(self, local_labels: np.ndarray) -> dict:
+        """Map per-subgraph predictions back to global node ids."""
+        local_labels = np.asarray(local_labels)
+        return {
+            int(self.nodes[pos]): int(local_labels[pos])
+            for pos in self.targets_local
+        }
+
+
+def k_hop_neighbourhood(
+    adjacency: CooAdjacency, targets: Iterable[int], hops: int
+) -> np.ndarray:
+    """Global ids of all nodes within ``hops`` edges of any target."""
+    targets = np.asarray(list(targets), dtype=np.int64)
+    if targets.size == 0:
+        raise ValueError("need at least one target node")
+    if targets.min() < 0 or targets.max() >= adjacency.num_nodes:
+        raise ValueError(
+            f"target out of range for a {adjacency.num_nodes}-node graph"
+        )
+    if hops < 0:
+        raise ValueError(f"hops must be >= 0, got {hops}")
+    csr = adjacency.to_csr()
+    frontier = np.unique(targets)
+    visited = set(frontier.tolist())
+    for _ in range(hops):
+        if frontier.size == 0:
+            break
+        neighbours = csr[frontier].indices
+        fresh = [n for n in np.unique(neighbours) if n not in visited]
+        visited.update(fresh)
+        frontier = np.asarray(fresh, dtype=np.int64)
+    return np.asarray(sorted(visited), dtype=np.int64)
+
+
+def extract_subgraph(
+    adjacency: CooAdjacency, targets: Iterable[int], hops: int
+) -> Subgraph:
+    """Induced ``hops``-hop subgraph around ``targets``.
+
+    The receptive field of a ``k``-layer GCN at the targets is exactly the
+    ``k``-hop neighbourhood, so running the layers on this subgraph gives
+    the targets the same embeddings as a full-graph pass.
+    """
+    targets = np.asarray(list(targets), dtype=np.int64)
+    nodes = k_hop_neighbourhood(adjacency, targets, hops)
+    position = {int(node): i for i, node in enumerate(nodes)}
+    keep = np.isin(adjacency.rows, nodes) & np.isin(adjacency.cols, nodes)
+    rows = np.asarray([position[int(r)] for r in adjacency.rows[keep]], dtype=np.int64)
+    cols = np.asarray([position[int(c)] for c in adjacency.cols[keep]], dtype=np.int64)
+    induced = CooAdjacency(
+        nodes.shape[0], rows, cols, adjacency.values[keep]
+    )
+    targets_local = np.asarray([position[int(t)] for t in np.unique(targets)], dtype=np.int64)
+    global_degrees = adjacency.degrees()[nodes] + 1.0  # + self loop
+    return Subgraph(
+        nodes=nodes,
+        adjacency=induced,
+        targets_local=targets_local,
+        global_degrees=global_degrees,
+    )

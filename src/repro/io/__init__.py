@@ -1,0 +1,23 @@
+"""Persistence: graph/model files and sealed deployment bundles."""
+
+from .serialization import (
+    VaultBundle,
+    build_from_architecture,
+    export_bundle,
+    import_bundle,
+    load_graph,
+    load_model,
+    save_graph,
+    save_model,
+)
+
+__all__ = [
+    "VaultBundle",
+    "build_from_architecture",
+    "export_bundle",
+    "import_bundle",
+    "load_graph",
+    "load_model",
+    "save_graph",
+    "save_model",
+]

@@ -1,0 +1,247 @@
+"""Persistence for graphs, models and trained GNNVault bundles.
+
+A real GNNVault rollout is split across machines: the vendor trains on a
+workstation, then ships (a) the public backbone + substitute graph in the
+clear and (b) the rectifier + private graph as sealed blobs. This module
+provides the on-disk formats for both halves:
+
+* graphs → ``.npz`` (features, labels, COO indices);
+* model weights → ``.npz`` keyed by the module's dotted parameter names,
+  with a JSON-encoded architecture header for reconstruction;
+* a :class:`VaultBundle` → directory with public artefacts in the clear
+  and the enclave payload sealed to the rectifier's measurement.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..graph import CooAdjacency, Graph
+from ..models import GCNBackbone, MlpBackbone, Rectifier, make_rectifier
+from ..tee import SealedBlob, seal_private_graph, seal_rectifier_weights
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Graphs
+# ----------------------------------------------------------------------
+def save_graph(graph: Graph, path: PathLike) -> None:
+    """Write a graph to ``.npz`` (features, labels, COO edge arrays)."""
+    np.savez_compressed(
+        Path(path),
+        version=_FORMAT_VERSION,
+        name=np.str_(graph.name),
+        features=graph.features,
+        labels=graph.labels,
+        rows=graph.adjacency.rows,
+        cols=graph.adjacency.cols,
+        values=graph.adjacency.values,
+        num_nodes=graph.num_nodes,
+    )
+
+
+def load_graph(path: PathLike) -> Graph:
+    """Read a graph written by :func:`save_graph`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        adjacency = CooAdjacency(
+            int(data["num_nodes"]), data["rows"], data["cols"], data["values"]
+        )
+        return Graph(
+            features=data["features"],
+            labels=data["labels"],
+            adjacency=adjacency,
+            name=str(data["name"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Models
+# ----------------------------------------------------------------------
+def _architecture_of(model) -> dict:
+    """JSON-serialisable architecture description for reconstruction."""
+    if isinstance(model, GCNBackbone):
+        return {
+            "kind": "gcn_backbone",
+            "in_features": model.in_features,
+            "channels": list(model.channels),
+        }
+    if isinstance(model, MlpBackbone):
+        return {
+            "kind": "mlp_backbone",
+            "in_features": model.in_features,
+            "channels": list(model.channels),
+        }
+    if isinstance(model, Rectifier):
+        arch = {
+            "kind": "rectifier",
+            "scheme": model.scheme,
+            "backbone_dims": list(model.backbone_dims),
+            "channels": list(model.channels),
+        }
+        if model.scheme == "series":
+            arch["tap"] = model.tap
+        return arch
+    raise TypeError(f"cannot serialise architecture of {type(model).__name__}")
+
+
+def build_from_architecture(arch: dict):
+    """Instantiate a model from an architecture description."""
+    kind = arch["kind"]
+    if kind == "gcn_backbone":
+        return GCNBackbone(arch["in_features"], arch["channels"])
+    if kind == "mlp_backbone":
+        return MlpBackbone(arch["in_features"], arch["channels"])
+    if kind == "rectifier":
+        return make_rectifier(
+            arch["scheme"],
+            arch["backbone_dims"],
+            arch["channels"],
+            tap=arch.get("tap", -2),
+        )
+    raise ValueError(f"unknown architecture kind {kind!r}")
+
+
+def save_model(model, path: PathLike) -> None:
+    """Write a model's architecture + weights to ``.npz``."""
+    architecture = _architecture_of(model)  # validates the type first
+    payload = {f"param:{k}": v for k, v in model.state_dict().items()}
+    payload["architecture"] = np.str_(json.dumps(architecture))
+    payload["version"] = np.asarray(_FORMAT_VERSION)
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_model(path: PathLike):
+    """Reconstruct a model written by :func:`save_model`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        arch = json.loads(str(data["architecture"]))
+        model = build_from_architecture(arch)
+        state = {
+            key[len("param:"):]: data[key]
+            for key in data.files
+            if key.startswith("param:")
+        }
+        model.load_state_dict(state)
+        return model
+
+
+# ----------------------------------------------------------------------
+# Deployment bundles
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VaultBundle:
+    """Everything a device needs to host one GNNVault deployment.
+
+    ``backbone_path``/``substitute_path`` are plain artefacts (the
+    adversary may read them — they are the public half). The enclave
+    payload is two sealed blobs bound to the rectifier's measurement plus
+    the architecture needed to instantiate the enclave code itself.
+    """
+
+    directory: Path
+
+    @property
+    def backbone_path(self) -> Path:
+        return self.directory / "backbone.npz"
+
+    @property
+    def substitute_path(self) -> Path:
+        return self.directory / "substitute_graph.npz"
+
+    @property
+    def rectifier_arch_path(self) -> Path:
+        return self.directory / "rectifier_architecture.json"
+
+    @property
+    def sealed_weights_path(self) -> Path:
+        return self.directory / "rectifier_weights.sealed"
+
+    @property
+    def sealed_graph_path(self) -> Path:
+        return self.directory / "private_graph.sealed"
+
+
+def export_bundle(
+    directory: PathLike,
+    backbone,
+    rectifier: Rectifier,
+    substitute: CooAdjacency,
+    private_adjacency: CooAdjacency,
+) -> VaultBundle:
+    """Vendor-side: write a complete deployment bundle to ``directory``."""
+    bundle = VaultBundle(Path(directory))
+    bundle.directory.mkdir(parents=True, exist_ok=True)
+
+    save_model(backbone, bundle.backbone_path)
+    np.savez_compressed(
+        bundle.substitute_path,
+        num_nodes=substitute.num_nodes,
+        rows=substitute.rows,
+        cols=substitute.cols,
+        values=substitute.values,
+    )
+    bundle.rectifier_arch_path.write_text(
+        json.dumps(_architecture_of(rectifier), indent=2)
+    )
+    bundle.sealed_weights_path.write_bytes(
+        pickle.dumps(seal_rectifier_weights(rectifier))
+    )
+    bundle.sealed_graph_path.write_bytes(
+        pickle.dumps(seal_private_graph(private_adjacency, rectifier))
+    )
+    return bundle
+
+
+def import_bundle(directory: PathLike):
+    """Device-side: load a bundle and provision a live inference session.
+
+    Returns a ready :class:`~repro.deploy.inference.SecureInferenceSession`;
+    the sealed blobs are only ever unsealed inside the enclave.
+    """
+    from ..deploy import SecureInferenceSession
+    from ..tee.enclave import RectifierEnclave
+
+    bundle = VaultBundle(Path(directory))
+    for path in (
+        bundle.backbone_path,
+        bundle.substitute_path,
+        bundle.rectifier_arch_path,
+        bundle.sealed_weights_path,
+        bundle.sealed_graph_path,
+    ):
+        if not path.exists():
+            raise FileNotFoundError(f"bundle is missing {path.name}")
+
+    backbone = load_model(bundle.backbone_path)
+    with np.load(bundle.substitute_path, allow_pickle=False) as data:
+        substitute = CooAdjacency(
+            int(data["num_nodes"]), data["rows"], data["cols"], data["values"]
+        )
+    arch = json.loads(bundle.rectifier_arch_path.read_text())
+    rectifier = build_from_architecture(arch)
+
+    sealed_weights: SealedBlob = pickle.loads(bundle.sealed_weights_path.read_bytes())
+    sealed_graph: SealedBlob = pickle.loads(bundle.sealed_graph_path.read_bytes())
+
+    # Stand the enclave up from the shipped blobs, then unseal the private
+    # graph once to learn the deployment's node count for the session.
+    enclave = RectifierEnclave(rectifier)
+    enclave.provision_weights(sealed_weights)
+    enclave.provision_graph(sealed_graph)
+    private = enclave._adjacency  # provisioning already validated the type
+
+    session = SecureInferenceSession(
+        backbone=backbone,
+        rectifier=rectifier,
+        substitute_adjacency=substitute,
+        private_adjacency=private,
+    )
+    return session

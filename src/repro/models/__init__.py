@@ -1,0 +1,52 @@
+"""Models: GCN/MLP/SAGE/GAT backbones and the three rectifier schemes."""
+
+from .deep import ResGCNBackbone, ResGCNLayer
+from .gat import GATBackbone, GATConv, prepare_gat_adjacency
+from .gcn import GCNBackbone
+from .mlp import MlpBackbone
+from .presets import M1, M2, M3, PRESETS, ModelPreset, get_preset, preset_for_graph
+from .quantized import (
+    QuantizationReport,
+    quantization_sweep,
+    quantize_array,
+    quantize_rectifier,
+)
+from .rectifier import (
+    RECTIFIER_SCHEMES,
+    CascadedRectifier,
+    ParallelRectifier,
+    Rectifier,
+    SeriesRectifier,
+    make_rectifier,
+)
+from .sage import SAGEBackbone, SAGEConv, prepare_sage_adjacency
+
+__all__ = [
+    "M1",
+    "M2",
+    "M3",
+    "PRESETS",
+    "RECTIFIER_SCHEMES",
+    "CascadedRectifier",
+    "GATBackbone",
+    "GATConv",
+    "GCNBackbone",
+    "MlpBackbone",
+    "ModelPreset",
+    "ParallelRectifier",
+    "QuantizationReport",
+    "Rectifier",
+    "ResGCNBackbone",
+    "ResGCNLayer",
+    "SAGEBackbone",
+    "SAGEConv",
+    "SeriesRectifier",
+    "get_preset",
+    "make_rectifier",
+    "prepare_gat_adjacency",
+    "prepare_sage_adjacency",
+    "preset_for_graph",
+    "quantization_sweep",
+    "quantize_array",
+    "quantize_rectifier",
+]

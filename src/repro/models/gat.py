@@ -1,0 +1,128 @@
+"""Graph Attention Network backbone — future-work extension.
+
+Single-head GAT layer with the original Veličković formulation:
+
+    e_ij = LeakyReLU( aᵀ [W x_i ; W x_j] ) = LeakyReLU( s_i + t_j )
+    α_ij = softmax_j over N(i) of e_ij
+    h_i  = Σ_j α_ij · W x_j
+
+Attention is computed densely with off-edge entries masked to −∞, which is
+O(n²) memory — acceptable at the reproduction's (scaled) graph sizes and
+kept deliberately simple. The adjacency passed in should contain
+self-loops; :func:`prepare_gat_adjacency` adds them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .. import nn
+from ..graph import CooAdjacency
+
+_NEG_INF = -1e9
+
+
+class GATConv(nn.Module):
+    """Single-head dense-masked graph attention convolution."""
+
+    def __init__(self, in_features: int, out_features: int, rng=None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = nn.Parameter(
+            nn.glorot_uniform((in_features, out_features), rng), name="weight"
+        )
+        self.att_src = nn.Parameter(
+            nn.glorot_uniform((out_features, 1), rng), name="att_src"
+        )
+        self.att_dst = nn.Parameter(
+            nn.glorot_uniform((out_features, 1), rng), name="att_dst"
+        )
+        self.bias = nn.Parameter(nn.zeros(out_features), name="bias")
+
+    def forward(self, x: nn.Tensor, adj_mask: np.ndarray) -> nn.Tensor:
+        """``adj_mask`` is a dense 0/1 matrix including self-loops."""
+        projected = x @ self.weight  # (n, F')
+        source_scores = projected @ self.att_src  # (n, 1)
+        target_scores = projected @ self.att_dst  # (n, 1)
+        scores = nn.leaky_relu(source_scores + target_scores.T, 0.2)
+        penalty = nn.Tensor((1.0 - adj_mask) * _NEG_INF)
+        attention = nn.softmax(scores + penalty, axis=1)
+        return attention @ projected + self.bias
+
+
+class GATBackbone(nn.Module):
+    """Stack of single-head GAT layers with the common backbone interface."""
+
+    def __init__(
+        self,
+        in_features: int,
+        channels: Sequence[int],
+        dropout: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if len(channels) < 1:
+            raise ValueError("need at least one layer")
+        self.in_features = in_features
+        self.channels = tuple(int(c) for c in channels)
+        rng = np.random.default_rng(seed)
+        self.layers = nn.ModuleList()
+        self.dropouts = nn.ModuleList()
+        widths = [in_features, *self.channels]
+        for fan_in, fan_out in zip(widths[:-1], widths[1:]):
+            self.layers.append(GATConv(fan_in, fan_out, rng=rng))
+            self.dropouts.append(nn.Dropout(dropout, rng=rng))
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def num_classes(self) -> int:
+        return self.channels[-1]
+
+    def forward_with_intermediates(self, x, adj_mask) -> List[nn.Tensor]:
+        h = x if isinstance(x, nn.Tensor) else nn.Tensor(x)
+        outputs: List[nn.Tensor] = []
+        last = self.num_layers - 1
+        for index, (conv, drop) in enumerate(zip(self.layers, self.dropouts)):
+            h = drop(h)
+            h = conv(h, adj_mask)
+            if index != last:
+                h = nn.relu(h)
+            outputs.append(h)
+        return outputs
+
+    def forward(self, x, adj_mask) -> nn.Tensor:
+        return self.forward_with_intermediates(x, adj_mask)[-1]
+
+    def embeddings(self, x, adj_mask) -> List[np.ndarray]:
+        was_training = self.training
+        self.eval()
+        try:
+            outputs = self.forward_with_intermediates(x, adj_mask)
+        finally:
+            self.train(was_training)
+        return [out.data for out in outputs]
+
+    def predict(self, x, adj_mask) -> np.ndarray:
+        return self.embeddings(x, adj_mask)[-1].argmax(axis=1)
+
+    def layer_output_dims(self) -> Tuple[int, ...]:
+        return self.channels
+
+
+def prepare_gat_adjacency(adjacency) -> np.ndarray:
+    """Dense 0/1 mask with self-loops for :class:`GATConv`."""
+    if isinstance(adjacency, CooAdjacency):
+        dense = adjacency.to_dense()
+    else:
+        dense = sp.csr_matrix(adjacency).toarray()
+    mask = (dense != 0).astype(np.float64)
+    np.fill_diagonal(mask, 1.0)
+    return mask

@@ -1,0 +1,99 @@
+"""Model presets M1 / M2 / M3 (paper §V-A "Models").
+
+* **M1** — 3-layer GCN backbone ``(128, 32, C)`` with rectifier
+  ``(128, 32, C)``; used for Cora, Citeseer, Pubmed.
+* **M2** — widened variant (256-wide first layer) for the 70-class
+  CoraFull.
+* **M3** — larger/deeper backbone ``(256, 64, 32, 16, C)`` with rectifier
+  ``(64, 32, C)``; used for Amazon Computer and Photo.
+
+The channel tuples below reproduce the published parameter counts of
+Table II: exactly for M1/M3 (θ_rec 0.022 / 0.0088 / 0.026 M for parallel /
+series / cascaded M1) and to within rounding for M2, whose exact wiring the
+paper does not fully specify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..graph import Graph
+from .gcn import GCNBackbone
+from .mlp import MlpBackbone
+from .rectifier import Rectifier, make_rectifier
+
+
+@dataclass(frozen=True)
+class ModelPreset:
+    """Architecture hyper-parameters for one backbone/rectifier pair."""
+
+    name: str
+    backbone_hidden: Tuple[int, ...]  # hidden widths; C is appended
+    rectifier_hidden: Tuple[int, ...]  # hidden widths; C is appended
+    dropout: float = 0.5
+
+    def backbone_channels(self, num_classes: int) -> Tuple[int, ...]:
+        return (*self.backbone_hidden, num_classes)
+
+    def rectifier_channels(self, num_classes: int) -> Tuple[int, ...]:
+        return (*self.rectifier_hidden, num_classes)
+
+    def build_backbone(
+        self, in_features: int, num_classes: int, seed: int = 0
+    ) -> GCNBackbone:
+        """GCN backbone (also used for the original/unprotected model)."""
+        return GCNBackbone(
+            in_features,
+            self.backbone_channels(num_classes),
+            dropout=self.dropout,
+            seed=seed,
+        )
+
+    def build_mlp_backbone(
+        self, in_features: int, num_classes: int, seed: int = 0
+    ) -> MlpBackbone:
+        """Graph-free DNN backbone (Table III baseline)."""
+        return MlpBackbone(
+            in_features,
+            self.backbone_channels(num_classes),
+            dropout=self.dropout,
+            seed=seed,
+        )
+
+    def build_rectifier(
+        self, scheme: str, num_classes: int, seed: int = 0
+    ) -> Rectifier:
+        """Rectifier of the given communication scheme."""
+        return make_rectifier(
+            scheme,
+            backbone_dims=self.backbone_channels(num_classes),
+            channels=self.rectifier_channels(num_classes),
+            dropout=self.dropout,
+            seed=seed,
+        )
+
+
+M1 = ModelPreset("M1", backbone_hidden=(128, 32), rectifier_hidden=(128, 32))
+M2 = ModelPreset("M2", backbone_hidden=(256, 256), rectifier_hidden=(128, 96))
+M3 = ModelPreset("M3", backbone_hidden=(256, 64, 32, 16), rectifier_hidden=(64, 32))
+
+PRESETS = {"M1": M1, "M2": M2, "M3": M3}
+
+
+def get_preset(name: str) -> ModelPreset:
+    """Look up a preset by name (case-insensitive)."""
+    key = name.upper()
+    if key not in PRESETS:
+        raise KeyError(f"unknown preset {name!r}; available: {sorted(PRESETS)}")
+    return PRESETS[key]
+
+
+def preset_for_graph(graph: Graph) -> ModelPreset:
+    """The preset the paper pairs with a given dataset (via the registry)."""
+    from ..datasets import PAPER_DATASETS
+
+    spec = PAPER_DATASETS.get(graph.name)
+    if spec is not None:
+        return get_preset(spec.model_preset)
+    return M1

@@ -1,0 +1,94 @@
+"""Post-training weight quantization for enclave-resident rectifiers.
+
+TEE memory is the binding constraint of the whole design (paper §III-C),
+and the paper's C++ implementation already drops to float32. Going
+further — int8/int4 weights — shrinks the enclave's model allocation
+proportionally. This module implements symmetric per-tensor post-training
+quantization with *fake-quantized* arithmetic (weights are snapped to the
+integer grid but stored as floats), which measures exactly the accuracy
+cost a real fixed-point kernel would pay while keeping the numpy compute
+path unchanged.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .rectifier import Rectifier
+
+_FLOAT_BYTES = 8
+
+
+def quantize_array(weights: np.ndarray, bits: int) -> Tuple[np.ndarray, float]:
+    """Symmetric per-tensor quantization; returns (dequantized, scale).
+
+    Values are mapped to the signed grid ``[-(2^{b-1}-1), 2^{b-1}-1]`` and
+    back, so the returned array carries the exact rounding error of a
+    ``bits``-wide fixed-point representation.
+    """
+    if bits < 2 or bits > 16:
+        raise ValueError(f"bits must be in [2, 16], got {bits}")
+    weights = np.asarray(weights, dtype=np.float64)
+    max_abs = float(np.abs(weights).max())
+    if max_abs == 0.0:
+        return weights.copy(), 1.0
+    levels = 2 ** (bits - 1) - 1
+    scale = max_abs / levels
+    quantized = np.clip(np.round(weights / scale), -levels, levels)
+    return quantized * scale, scale
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """What a quantization pass did to one rectifier."""
+
+    bits: int
+    num_parameters: int
+    memory_bytes: int  # enclave bytes for the quantized weights
+    float_memory_bytes: int  # the float64 baseline
+    max_round_error: float  # worst per-weight absolute rounding error
+
+    @property
+    def compression(self) -> float:
+        return self.float_memory_bytes / self.memory_bytes
+
+
+def quantize_rectifier(
+    rectifier: Rectifier, bits: int = 8
+) -> Tuple[Rectifier, QuantizationReport]:
+    """Return a deep-copied rectifier with ``bits``-wide weights.
+
+    The original rectifier is untouched. The report carries the enclave
+    memory the quantized model would occupy (ceil(bits/8) bytes per
+    weight, per-tensor scales amortised away).
+    """
+    quantized = copy.deepcopy(rectifier)
+    max_error = 0.0
+    for _, param in quantized.named_parameters():
+        snapped, _ = quantize_array(param.data, bits)
+        max_error = max(max_error, float(np.abs(snapped - param.data).max()))
+        param.data = snapped
+    quantized.eval()
+    num_params = quantized.num_parameters()
+    bytes_per_weight = -(-bits // 8)
+    report = QuantizationReport(
+        bits=bits,
+        num_parameters=num_params,
+        memory_bytes=num_params * bytes_per_weight,
+        float_memory_bytes=num_params * _FLOAT_BYTES,
+        max_round_error=max_error,
+    )
+    return quantized, report
+
+
+def quantization_sweep(
+    rectifier: Rectifier, bit_widths=(16, 8, 4, 2)
+) -> Dict[int, Tuple[Rectifier, QuantizationReport]]:
+    """Quantize at several widths (for the accuracy/memory ablation)."""
+    return {
+        bits: quantize_rectifier(rectifier, bits) for bits in bit_widths
+    }

@@ -1,0 +1,299 @@
+"""Private GNN rectifiers — the enclave-resident half of GNNVault.
+
+Three communication schemes (paper Fig. 3 and §IV-D), all consuming the
+list of backbone layer embeddings plus the **real** normalised adjacency:
+
+* **Parallel** — rectifier layer *k* rectifies the backbone's layer-*k*
+  embedding: its input is ``concat(backbone_out[k], previous_rect_out)``
+  (layer 0 takes the backbone embedding alone). With the paper's channel
+  presets this reproduces Table II's θ_rec (e.g. 0.022 M for M1) exactly.
+* **Cascaded** — the backbone runs to completion first, then *all* layer
+  embeddings are concatenated into the rectifier's first layer.
+* **Series** — only a single backbone embedding is consumed. Matching the
+  published θ_rec requires tapping the backbone's **penultimate** layer
+  (its last hidden representation; e.g. the 32-d layer of M1 — feeding the
+  C-dim logits instead cannot reach 0.0088 M), so ``tap`` defaults to −2.
+
+Every rectifier layer is a GCN convolution over the private adjacency, so
+the real edges are consulted at every rectification step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .. import nn
+
+
+class Rectifier(nn.Module):
+    """Common machinery: GCN stack construction + prediction helpers."""
+
+    #: scheme identifier used by reports and the deployment profiler
+    scheme: str = "base"
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    # -- interface ------------------------------------------------------
+    def consumed_layers(self) -> Tuple[int, ...]:
+        """Backbone layer indices whose embeddings cross into the enclave.
+
+        Determines the transfer cost charged by the SGX profiler (Fig. 6).
+        """
+        raise NotImplementedError
+
+    def forward(
+        self, backbone_outputs: Sequence[nn.Tensor], adj_norm: sp.spmatrix
+    ) -> nn.Tensor:
+        raise NotImplementedError
+
+    # -- helpers --------------------------------------------------------
+    @staticmethod
+    def _as_tensors(backbone_outputs: Sequence) -> List[nn.Tensor]:
+        return [
+            out if isinstance(out, nn.Tensor) else nn.Tensor(out)
+            for out in backbone_outputs
+        ]
+
+    def predict(
+        self, backbone_outputs: Sequence, adj_norm: sp.spmatrix
+    ) -> np.ndarray:
+        """Inference-mode argmax predictions (label-only output)."""
+        was_training = self.training
+        self.eval()
+        try:
+            logits = self.forward(self._as_tensors(backbone_outputs), adj_norm)
+        finally:
+            self.train(was_training)
+        return logits.data.argmax(axis=1)
+
+    def input_dims(self) -> Tuple[int, ...]:
+        """Input width of each rectifier layer (for memory accounting)."""
+        return tuple(conv.in_features for conv in self.convs)
+
+    def forward_with_intermediates(
+        self, backbone_outputs: Sequence, adj_norm: sp.spmatrix
+    ) -> List[nn.Tensor]:
+        """Per-layer rectifier outputs (hidden post-ReLU, final logits).
+
+        These stay inside the enclave in a real deployment; the analysis
+        tooling (Fig. 4) uses them to measure clustering quality.
+        """
+        raise NotImplementedError
+
+
+def _conv_factory(conv: str):
+    """Resolve a rectifier convolution type by name.
+
+    ``gcn`` (the paper's design) uses symmetric-normalised propagation;
+    ``sage`` (future-work extension) uses GraphSAGE-mean layers — pass a
+    row-stochastic adjacency (``prepare_sage_adjacency``) at call time.
+    """
+    conv = conv.lower()
+    if conv == "gcn":
+        return nn.GCNConv
+    if conv == "sage":
+        from .sage import SAGEConv
+
+        return SAGEConv
+    raise ValueError(f"unknown rectifier conv {conv!r}; use gcn/sage")
+
+
+def _build_convs(
+    input_dims: Sequence[int],
+    output_dims: Sequence[int],
+    seed: int,
+    conv: str = "gcn",
+) -> nn.ModuleList:
+    rng = np.random.default_rng(seed)
+    factory = _conv_factory(conv)
+    convs = nn.ModuleList()
+    for fan_in, fan_out in zip(input_dims, output_dims):
+        convs.append(factory(fan_in, fan_out, rng=rng))
+    return convs
+
+
+class ParallelRectifier(Rectifier):
+    """Rectify each backbone layer's embedding as it is produced (Fig. 3b)."""
+
+    scheme = "parallel"
+
+    def __init__(
+        self,
+        backbone_dims: Sequence[int],
+        channels: Sequence[int],
+        dropout: float = 0.5,
+        seed: int = 0,
+        conv: str = "gcn",
+    ) -> None:
+        super().__init__()
+        if len(channels) > len(backbone_dims):
+            raise ValueError(
+                f"rectifier depth {len(channels)} exceeds backbone depth "
+                f"{len(backbone_dims)}"
+            )
+        self.backbone_dims = tuple(backbone_dims)
+        self.channels = tuple(channels)
+        input_dims = []
+        prev = 0
+        for k, width in enumerate(self.channels):
+            input_dims.append(self.backbone_dims[k] + prev)
+            prev = width
+        self.convs = _build_convs(input_dims, self.channels, seed, conv=conv)
+        rng = np.random.default_rng(seed + 1)
+        self.dropouts = nn.ModuleList(
+            nn.Dropout(dropout, rng=rng) for _ in self.channels
+        )
+
+    def consumed_layers(self) -> Tuple[int, ...]:
+        return tuple(range(len(self.channels)))
+
+    def forward_with_intermediates(self, backbone_outputs, adj_norm):
+        backbone_outputs = self._as_tensors(backbone_outputs)
+        if len(backbone_outputs) < len(self.convs):
+            raise ValueError(
+                f"expected >= {len(self.convs)} backbone embeddings, got "
+                f"{len(backbone_outputs)}"
+            )
+        outputs: List[nn.Tensor] = []
+        h = None
+        last = len(self.convs) - 1
+        for k, (conv, drop) in enumerate(zip(self.convs, self.dropouts)):
+            inputs = backbone_outputs[k].detach()
+            if h is not None:
+                inputs = nn.concatenate([inputs, h], axis=1)
+            h = conv(drop(inputs), adj_norm)
+            if k != last:
+                h = nn.relu(h)
+            outputs.append(h)
+        return outputs
+
+    def forward(self, backbone_outputs, adj_norm):
+        return self.forward_with_intermediates(backbone_outputs, adj_norm)[-1]
+
+
+class CascadedRectifier(Rectifier):
+    """Concatenate every backbone embedding into the rectifier (Fig. 3c)."""
+
+    scheme = "cascaded"
+
+    def __init__(
+        self,
+        backbone_dims: Sequence[int],
+        channels: Sequence[int],
+        dropout: float = 0.5,
+        seed: int = 0,
+        conv: str = "gcn",
+    ) -> None:
+        super().__init__()
+        self.backbone_dims = tuple(backbone_dims)
+        self.channels = tuple(channels)
+        widths = [sum(self.backbone_dims), *self.channels]
+        self.convs = _build_convs(widths[:-1], self.channels, seed, conv=conv)
+        rng = np.random.default_rng(seed + 1)
+        self.dropouts = nn.ModuleList(
+            nn.Dropout(dropout, rng=rng) for _ in self.channels
+        )
+
+    def consumed_layers(self) -> Tuple[int, ...]:
+        return tuple(range(len(self.backbone_dims)))
+
+    def forward_with_intermediates(self, backbone_outputs, adj_norm):
+        backbone_outputs = self._as_tensors(backbone_outputs)
+        if len(backbone_outputs) != len(self.backbone_dims):
+            raise ValueError(
+                f"expected {len(self.backbone_dims)} backbone embeddings, got "
+                f"{len(backbone_outputs)}"
+            )
+        h = nn.concatenate([out.detach() for out in backbone_outputs], axis=1)
+        outputs: List[nn.Tensor] = []
+        last = len(self.convs) - 1
+        for k, (conv, drop) in enumerate(zip(self.convs, self.dropouts)):
+            h = conv(drop(h), adj_norm)
+            if k != last:
+                h = nn.relu(h)
+            outputs.append(h)
+        return outputs
+
+    def forward(self, backbone_outputs, adj_norm):
+        return self.forward_with_intermediates(backbone_outputs, adj_norm)[-1]
+
+
+class SeriesRectifier(Rectifier):
+    """Consume a single backbone embedding (Fig. 3d) — smallest transfer."""
+
+    scheme = "series"
+
+    def __init__(
+        self,
+        backbone_dims: Sequence[int],
+        channels: Sequence[int],
+        tap: int = -2,
+        dropout: float = 0.5,
+        seed: int = 0,
+        conv: str = "gcn",
+    ) -> None:
+        super().__init__()
+        self.backbone_dims = tuple(backbone_dims)
+        self.channels = tuple(channels)
+        self.tap = tap if tap >= 0 else len(self.backbone_dims) + tap
+        if not 0 <= self.tap < len(self.backbone_dims):
+            raise ValueError(
+                f"tap {tap} out of range for backbone depth {len(self.backbone_dims)}"
+            )
+        widths = [self.backbone_dims[self.tap], *self.channels]
+        self.convs = _build_convs(widths[:-1], self.channels, seed, conv=conv)
+        rng = np.random.default_rng(seed + 1)
+        self.dropouts = nn.ModuleList(
+            nn.Dropout(dropout, rng=rng) for _ in self.channels
+        )
+
+    def consumed_layers(self) -> Tuple[int, ...]:
+        return (self.tap,)
+
+    def forward_with_intermediates(self, backbone_outputs, adj_norm):
+        backbone_outputs = self._as_tensors(backbone_outputs)
+        h = backbone_outputs[self.tap].detach()
+        outputs: List[nn.Tensor] = []
+        last = len(self.convs) - 1
+        for k, (conv, drop) in enumerate(zip(self.convs, self.dropouts)):
+            h = conv(drop(h), adj_norm)
+            if k != last:
+                h = nn.relu(h)
+            outputs.append(h)
+        return outputs
+
+    def forward(self, backbone_outputs, adj_norm):
+        return self.forward_with_intermediates(backbone_outputs, adj_norm)[-1]
+
+
+RECTIFIER_SCHEMES = ("parallel", "cascaded", "series")
+
+
+def make_rectifier(
+    scheme: str,
+    backbone_dims: Sequence[int],
+    channels: Sequence[int],
+    dropout: float = 0.5,
+    seed: int = 0,
+    tap: int = -2,
+    conv: str = "gcn",
+) -> Rectifier:
+    """Factory over the three communication schemes (and conv types)."""
+    scheme = scheme.lower()
+    if scheme == "parallel":
+        return ParallelRectifier(
+            backbone_dims, channels, dropout=dropout, seed=seed, conv=conv
+        )
+    if scheme == "cascaded":
+        return CascadedRectifier(
+            backbone_dims, channels, dropout=dropout, seed=seed, conv=conv
+        )
+    if scheme == "series":
+        return SeriesRectifier(
+            backbone_dims, channels, tap=tap, dropout=dropout, seed=seed, conv=conv
+        )
+    raise ValueError(f"unknown rectifier scheme {scheme!r}; use {RECTIFIER_SCHEMES}")

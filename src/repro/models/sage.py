@@ -1,0 +1,118 @@
+"""GraphSAGE backbone — the paper's stated future-work extension.
+
+Mean-aggregator SAGE layer:
+
+    h_k = ReLU( [x ; mean_agg(x)] @ W )  =  ReLU( x @ W_self + (D⁻¹A x) @ W_neigh )
+
+The mean aggregation uses the row-stochastic adjacency (no self-loops in
+the neighbour term; the self term is the separate ``W_self`` path).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .. import nn
+from ..graph import row_normalize
+
+
+class SAGEConv(nn.Module):
+    """GraphSAGE-mean convolution with separate self/neighbour weights."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight_self = nn.Parameter(
+            nn.glorot_uniform((in_features, out_features), rng), name="weight_self"
+        )
+        self.weight_neigh = nn.Parameter(
+            nn.glorot_uniform((in_features, out_features), rng), name="weight_neigh"
+        )
+        self.bias = nn.Parameter(nn.zeros(out_features), name="bias")
+
+    def forward(self, x: nn.Tensor, adj_mean: sp.spmatrix) -> nn.Tensor:
+        self_term = x @ self.weight_self
+        neigh_term = nn.sparse_matmul(adj_mean, x) @ self.weight_neigh
+        return self_term + neigh_term + self.bias
+
+
+class SAGEBackbone(nn.Module):
+    """Stack of SAGE layers with the GCNBackbone interface.
+
+    ``adj_norm`` passed to forward should be the *row-stochastic* adjacency
+    (use :func:`prepare_sage_adjacency`); passing a GCN-normalised matrix
+    still works but changes the aggregation semantics.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        channels: Sequence[int],
+        dropout: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if len(channels) < 1:
+            raise ValueError("need at least one layer")
+        self.in_features = in_features
+        self.channels = tuple(int(c) for c in channels)
+        rng = np.random.default_rng(seed)
+        self.layers = nn.ModuleList()
+        self.dropouts = nn.ModuleList()
+        widths = [in_features, *self.channels]
+        for fan_in, fan_out in zip(widths[:-1], widths[1:]):
+            self.layers.append(SAGEConv(fan_in, fan_out, rng=rng))
+            self.dropouts.append(nn.Dropout(dropout, rng=rng))
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def num_classes(self) -> int:
+        return self.channels[-1]
+
+    def forward_with_intermediates(self, x, adj_norm) -> List[nn.Tensor]:
+        h = x if isinstance(x, nn.Tensor) else nn.Tensor(x)
+        outputs: List[nn.Tensor] = []
+        last = self.num_layers - 1
+        for index, (conv, drop) in enumerate(zip(self.layers, self.dropouts)):
+            h = drop(h)
+            h = conv(h, adj_norm)
+            if index != last:
+                h = nn.relu(h)
+            outputs.append(h)
+        return outputs
+
+    def forward(self, x, adj_norm) -> nn.Tensor:
+        return self.forward_with_intermediates(x, adj_norm)[-1]
+
+    def embeddings(self, x, adj_norm) -> List[np.ndarray]:
+        was_training = self.training
+        self.eval()
+        try:
+            outputs = self.forward_with_intermediates(x, adj_norm)
+        finally:
+            self.train(was_training)
+        return [out.data for out in outputs]
+
+    def predict(self, x, adj_norm) -> np.ndarray:
+        return self.embeddings(x, adj_norm)[-1].argmax(axis=1)
+
+    def layer_output_dims(self) -> Tuple[int, ...]:
+        return self.channels
+
+
+def prepare_sage_adjacency(adjacency) -> sp.csr_matrix:
+    """Row-stochastic neighbour-mean matrix for SAGE (no self-loops)."""
+    return row_normalize(adjacency, add_self_loops=False)

@@ -1,0 +1,66 @@
+"""Numpy-backed neural-network substrate (autograd, layers, optimisers).
+
+This package replaces the PyTorch dependency of the original GNNVault
+implementation with a self-contained reverse-mode autodiff engine sufficient
+for training GCN backbones and rectifiers.
+"""
+
+from .init import glorot_uniform, kaiming_uniform, normal, zeros
+from .layers import Dropout, GCNConv, LayerNorm, Linear
+from .loss import cross_entropy, l2_loss, nll_loss
+from .module import Module, ModuleList, Parameter
+from .optim import SGD, Adam, Optimizer
+from .tensor import (
+    Tensor,
+    concatenate,
+    dropout,
+    exp,
+    leaky_relu,
+    log,
+    log_softmax,
+    matmul,
+    relu,
+    sigmoid,
+    softmax,
+    sparse_matmul,
+    take_rows,
+    tanh,
+    tensor_mean,
+    tensor_sum,
+)
+
+__all__ = [
+    "Adam",
+    "Dropout",
+    "GCNConv",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "ModuleList",
+    "Optimizer",
+    "Parameter",
+    "SGD",
+    "Tensor",
+    "concatenate",
+    "cross_entropy",
+    "dropout",
+    "exp",
+    "glorot_uniform",
+    "kaiming_uniform",
+    "l2_loss",
+    "leaky_relu",
+    "log",
+    "log_softmax",
+    "matmul",
+    "nll_loss",
+    "normal",
+    "relu",
+    "sigmoid",
+    "softmax",
+    "sparse_matmul",
+    "take_rows",
+    "tanh",
+    "tensor_mean",
+    "tensor_sum",
+    "zeros",
+]

@@ -1,0 +1,37 @@
+"""Weight initialisation schemes for the NN substrate.
+
+GCN implementations conventionally use Glorot (Xavier) initialisation for
+weight matrices and zeros for biases; we reproduce that here with an
+explicit random generator so every experiment is seed-reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+def glorot_uniform(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = shape
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """He uniform initialisation for ReLU networks."""
+    fan_in = shape[0]
+    limit = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zeros array (biases)."""
+    return np.zeros(shape)
+
+
+def normal(shape, rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
+    """Small-variance Gaussian initialisation."""
+    return rng.normal(0.0, std, size=shape)

@@ -1,0 +1,77 @@
+"""Loss functions.
+
+Cross-entropy on a node subset is the semi-supervised node-classification
+objective both the backbone and the rectifier are trained with (paper
+§IV-C/§IV-D: "cross-entropy loss for node classification" over the labelled
+training nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, log_softmax, take_rows, tensor_mean, tensor_sum
+
+
+def cross_entropy(
+    logits: Tensor,
+    labels: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Mean cross-entropy of ``logits`` against integer ``labels``.
+
+    Parameters
+    ----------
+    logits:
+        ``(n, C)`` unnormalised class scores.
+    labels:
+        ``(n,)`` integer class indices.
+    mask:
+        Optional index array (or boolean mask) selecting the nodes the loss
+        is computed over — the labelled training split in semi-supervised
+        node classification.
+    """
+    labels = np.asarray(labels)
+    if mask is not None:
+        mask = np.asarray(mask)
+        if mask.dtype == bool:
+            mask = np.flatnonzero(mask)
+        logits = take_rows(logits, mask)
+        labels = labels[mask]
+    if logits.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"got {logits.shape[0]} logit rows for {labels.shape[0]} labels"
+        )
+    if labels.size == 0:
+        raise ValueError("cross_entropy over an empty node set")
+    if labels.min() < 0 or labels.max() >= logits.shape[1]:
+        raise ValueError(
+            f"labels must be in [0, {logits.shape[1]}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    log_probs = log_softmax(logits, axis=1)
+    # Pick out the log-probability of the true class per row via a one-hot
+    # inner product (keeps everything inside the autograd graph).
+    n, num_classes = log_probs.shape
+    one_hot = np.zeros((n, num_classes))
+    one_hot[np.arange(n), labels] = 1.0
+    picked = log_probs * Tensor(one_hot)
+    return -tensor_sum(picked) * (1.0 / n)
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """Negative log-likelihood for pre-computed log-probabilities."""
+    labels = np.asarray(labels)
+    n, num_classes = log_probs.shape
+    one_hot = np.zeros((n, num_classes))
+    one_hot[np.arange(n), labels] = 1.0
+    picked = log_probs * Tensor(one_hot)
+    return -tensor_sum(picked) * (1.0 / n)
+
+
+def l2_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error (used by embedding-matching ablations)."""
+    diff = prediction - Tensor(np.asarray(target))
+    return tensor_mean(diff * diff)

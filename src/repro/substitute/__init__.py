@@ -1,0 +1,15 @@
+"""Substitute-graph builders: KNN, cosine-threshold, random (paper §IV-C)."""
+
+from .base import SubstituteGraphBuilder, cosine_similarity_matrix
+from .cosine import CosineGraphBuilder
+from .knn import KnnGraphBuilder
+from .random_graph import RandomGraphBuilder, density_matched_random
+
+__all__ = [
+    "CosineGraphBuilder",
+    "KnnGraphBuilder",
+    "RandomGraphBuilder",
+    "SubstituteGraphBuilder",
+    "cosine_similarity_matrix",
+    "density_matched_random",
+]

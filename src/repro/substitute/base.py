@@ -1,0 +1,43 @@
+"""Substitute-graph builder interface.
+
+A substitute graph (paper §IV-C) replaces the private adjacency in the
+untrusted world. It must be computable from *public* information only —
+i.e. from the node features — so every builder here consumes just the
+feature matrix.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..graph import CooAdjacency
+
+
+class SubstituteGraphBuilder(ABC):
+    """Build a public adjacency matrix from node features alone."""
+
+    #: short identifier used by reports and the experiment registry
+    name: str = "base"
+
+    @abstractmethod
+    def build(self, features: np.ndarray) -> CooAdjacency:
+        """Return the substitute adjacency for ``features``."""
+
+    def __call__(self, features: np.ndarray) -> CooAdjacency:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        return self.build(features)
+
+
+def cosine_similarity_matrix(features: np.ndarray) -> np.ndarray:
+    """Dense pairwise cosine similarity with zero-safe normalisation."""
+    features = np.asarray(features, dtype=np.float64)
+    norms = np.linalg.norm(features, axis=1, keepdims=True)
+    safe = np.where(norms == 0.0, 1.0, norms)
+    unit = features / safe
+    sim = unit @ unit.T
+    np.clip(sim, -1.0, 1.0, out=sim)
+    return sim

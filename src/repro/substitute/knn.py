@@ -1,0 +1,42 @@
+"""K-nearest-neighbour substitute graph (the paper's default, k = 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import CooAdjacency
+from .base import SubstituteGraphBuilder, cosine_similarity_matrix
+
+
+class KnnGraphBuilder(SubstituteGraphBuilder):
+    """Connect each node to its ``k`` most cosine-similar peers.
+
+    The paper selects ``k = 2`` because the resulting edge count is close to
+    the real graph's for most datasets (§V-B4). Edges are symmetrised, so
+    actual degrees can exceed ``k``.
+    """
+
+    name = "knn"
+
+    def __init__(self, k: int = 2) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+
+    def build(self, features: np.ndarray) -> CooAdjacency:
+        n = features.shape[0]
+        if n <= 1:
+            return CooAdjacency.empty(n)
+        k = min(self.k, n - 1)
+        sim = cosine_similarity_matrix(features)
+        np.fill_diagonal(sim, -np.inf)  # a node is never its own neighbour
+        # argpartition gives the top-k columns per row in O(n² ) total.
+        top = np.argpartition(sim, -k, axis=1)[:, -k:]
+        rows = np.repeat(np.arange(n), k)
+        cols = top.ravel()
+        return CooAdjacency.from_edge_list(
+            n, np.stack([rows, cols], axis=1), symmetrize=True
+        )
+
+    def __repr__(self) -> str:
+        return f"KnnGraphBuilder(k={self.k})"

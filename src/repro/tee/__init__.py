@@ -1,0 +1,58 @@
+"""TEE substrate: simulated SGX enclave, memory/cost models, sealing, attestation."""
+
+from .attestation import Quote, generate_quote, verify_quote
+from .channel import LabelOnlyResult, OneWayChannel, TransferRecord, payload_num_bytes
+from .enclave import (
+    EcallReport,
+    EnclaveConfig,
+    RectifierEnclave,
+    rectifier_measurement,
+    seal_private_graph,
+    seal_rectifier_weights,
+)
+from .memory import (
+    EPC_BYTES,
+    PAGE_BYTES,
+    PRM_BYTES,
+    Allocation,
+    EnclaveMemoryModel,
+    MemoryStats,
+    pages_for,
+)
+from .runtime import DEFAULT_COST_MODEL, TRUSTZONE_COST_MODEL, SgxCostModel
+from .sealed import SealedBlob, derive_seal_key, measure_code, seal, unseal
+from .side_channels import AccessObservation, AccessPatternAuditor, LeakageReport
+
+__all__ = [
+    "AccessObservation",
+    "AccessPatternAuditor",
+    "Allocation",
+    "DEFAULT_COST_MODEL",
+    "EPC_BYTES",
+    "EcallReport",
+    "EnclaveConfig",
+    "EnclaveMemoryModel",
+    "LabelOnlyResult",
+    "LeakageReport",
+    "MemoryStats",
+    "OneWayChannel",
+    "PAGE_BYTES",
+    "PRM_BYTES",
+    "Quote",
+    "RectifierEnclave",
+    "SealedBlob",
+    "SgxCostModel",
+    "TRUSTZONE_COST_MODEL",
+    "TransferRecord",
+    "derive_seal_key",
+    "generate_quote",
+    "measure_code",
+    "pages_for",
+    "payload_num_bytes",
+    "rectifier_measurement",
+    "seal",
+    "seal_private_graph",
+    "seal_rectifier_weights",
+    "unseal",
+    "verify_quote",
+]

@@ -1,0 +1,50 @@
+"""Remote attestation (simulated).
+
+Before the model vendor provisions sealed rectifier weights and the
+private adjacency to a device, it must know the device runs the *expected*
+enclave. SGX proves this with a quote: a hardware-signed statement of the
+enclave measurement. We model the protocol with HMAC in place of EPID/DCAP
+signatures — same message flow, simulated root of trust.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+from dataclasses import dataclass
+
+from ..errors import AttestationError
+
+_DEVICE_ATTESTATION_KEY = b"repro-quoting-enclave-key"
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed statement that an enclave with ``measurement`` is running."""
+
+    measurement: str
+    user_data: str  # challenge / report data bound into the quote
+    signature: bytes
+
+
+def generate_quote(measurement: str, user_data: str = "") -> Quote:
+    """Produce a quote for the given enclave measurement (device side)."""
+    body = json.dumps({"m": measurement, "u": user_data}, sort_keys=True)
+    signature = hmac.new(_DEVICE_ATTESTATION_KEY, body.encode(), hashlib.sha256).digest()
+    return Quote(measurement, user_data, signature)
+
+
+def verify_quote(quote: Quote, expected_measurement: str, expected_user_data: str = "") -> None:
+    """Verify a quote (vendor side); raises :class:`AttestationError` on failure."""
+    body = json.dumps({"m": quote.measurement, "u": quote.user_data}, sort_keys=True)
+    expected_sig = hmac.new(_DEVICE_ATTESTATION_KEY, body.encode(), hashlib.sha256).digest()
+    if not hmac.compare_digest(expected_sig, quote.signature):
+        raise AttestationError("quote signature is invalid")
+    if quote.measurement != expected_measurement:
+        raise AttestationError(
+            f"enclave measurement mismatch: quote says {quote.measurement!r}, "
+            f"expected {expected_measurement!r}"
+        )
+    if quote.user_data != expected_user_data:
+        raise AttestationError("quote user data does not match the challenge")

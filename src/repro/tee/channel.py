@@ -1,0 +1,119 @@
+"""One-way untrusted→enclave communication channel.
+
+GNNVault "allows only one-way communication from the untrusted environment
+to the enclave" and keeps every rectifier intermediate — including logits —
+inside; only the predicted class labels leave (paper §IV-B/§IV-E). The
+channel below makes those rules *structural*: the untrusted side can only
+push; the enclave can only publish :class:`LabelOnlyResult` objects, and
+any attempt to export floating-point payloads raises
+:class:`~repro.errors.SecurityViolation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List
+
+import numpy as np
+
+from ..errors import SecurityViolation
+
+
+@dataclass(frozen=True)
+class LabelOnlyResult:
+    """The only object allowed to cross from the enclave to the outside.
+
+    Carries integer class predictions — no logits, no embeddings, no
+    confidence scores.
+    """
+
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.labels)
+        if not np.issubdtype(labels.dtype, np.integer):
+            raise SecurityViolation(
+                "label-only output must be integer class ids; got dtype "
+                f"{labels.dtype} (logits or scores must stay in the enclave)"
+            )
+        object.__setattr__(self, "labels", labels)
+
+
+@dataclass
+class TransferRecord:
+    """Audit record of one inbound payload (visible to the adversary)."""
+
+    description: str
+    num_bytes: int
+
+
+class OneWayChannel:
+    """Structurally one-directional channel into the enclave.
+
+    The untrusted world calls :meth:`push`; the enclave drains with
+    :meth:`_drain` (private by convention) and publishes results with
+    :meth:`publish`, which type-checks that only label-only data leaves.
+    """
+
+    def __init__(self) -> None:
+        self._inbox: List[Any] = []
+        self._outbox: List[LabelOnlyResult] = []
+        self.transfer_log: List[TransferRecord] = []
+
+    # -- untrusted side -------------------------------------------------
+    def push(self, payload: Any, description: str = "payload") -> int:
+        """Send data into the enclave; returns the payload size in bytes.
+
+        Everything pushed here is, by definition, visible to the adversary
+        — the security analysis (Table IV) attacks exactly these buffers.
+        """
+        num_bytes = payload_num_bytes(payload)
+        self._inbox.append(payload)
+        self.transfer_log.append(TransferRecord(description, num_bytes))
+        return num_bytes
+
+    def collect(self) -> LabelOnlyResult:
+        """Receive the enclave's published result (untrusted side)."""
+        if not self._outbox:
+            raise SecurityViolation("no published result available")
+        return self._outbox.pop(0)
+
+    # -- enclave side ----------------------------------------------------
+    def _drain(self) -> List[Any]:
+        """Enclave-side: take all pending inbound payloads."""
+        items, self._inbox = self._inbox, []
+        return items
+
+    def publish(self, result: Any) -> None:
+        """Enclave-side: emit a result to the untrusted world.
+
+        Only :class:`LabelOnlyResult` may pass; anything else — arrays,
+        floats, tuples of embeddings — is a security violation.
+        """
+        if not isinstance(result, LabelOnlyResult):
+            raise SecurityViolation(
+                f"enclave attempted to export {type(result).__name__}; only "
+                "LabelOnlyResult may leave the trusted world"
+            )
+        self._outbox.append(result)
+
+    # -- accounting -------------------------------------------------------
+    @property
+    def total_bytes_in(self) -> int:
+        return sum(record.num_bytes for record in self.transfer_log)
+
+
+def payload_num_bytes(payload: Any) -> int:
+    """Estimate the wire size of a payload crossing the enclave boundary."""
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, (list, tuple)):
+        return sum(payload_num_bytes(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(payload_num_bytes(value) for value in payload.values())
+    if hasattr(payload, "num_bytes"):
+        return int(payload.num_bytes)
+    # Fallback: a machine word.
+    return 8

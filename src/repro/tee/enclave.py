@@ -1,0 +1,342 @@
+"""The simulated SGX enclave hosting a GNN rectifier.
+
+:class:`RectifierEnclave` reproduces the trusted half of GNNVault's
+deployment (paper Fig. 2, right): the rectifier weights and the real
+adjacency (COO + pre-computed degrees) live only inside the enclave,
+provisioned as sealed blobs after attestation; inference enters through a
+one-way channel and exits as label-only predictions.
+
+The enclave does real numeric work (numpy forward pass of the rectifier)
+while *accounting* for SGX costs — ECALL transitions, buffer marshalling,
+in-enclave slowdown, EPC paging — through :class:`~repro.tee.runtime.SgxCostModel`
+and :class:`~repro.tee.memory.EnclaveMemoryModel`. See DESIGN.md §2 for the
+substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SecurityViolation
+from ..graph import CooAdjacency, extract_subgraph, gcn_normalize
+from ..models.rectifier import Rectifier
+from .attestation import Quote, generate_quote
+from .channel import LabelOnlyResult, OneWayChannel
+from .memory import EPC_BYTES, EnclaveMemoryModel
+from .runtime import DEFAULT_COST_MODEL, SgxCostModel
+from .sealed import SealedBlob, measure_code, seal, unseal
+
+_FLOAT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class EnclaveConfig:
+    """Enclave sizing and device-cost parameters."""
+
+    epc_bytes: int = EPC_BYTES
+    hard_limit_bytes: Optional[int] = None
+    cost_model: SgxCostModel = DEFAULT_COST_MODEL
+
+
+@dataclass
+class EcallReport:
+    """Cost accounting for one inference ECALL."""
+
+    transfer_seconds: float
+    compute_seconds: float
+    paging_seconds: float
+    payload_bytes: int
+    peak_memory_bytes: int
+    swapped_pages: int
+
+    @property
+    def enclave_seconds(self) -> float:
+        """Time spent inside the trusted world (compute + paging)."""
+        return self.compute_seconds + self.paging_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return self.transfer_seconds + self.enclave_seconds
+
+
+def rectifier_measurement(rectifier: Rectifier) -> str:
+    """MRENCLAVE-like identity of the enclave code for this rectifier.
+
+    Covers everything that defines the enclave's computation: the
+    communication scheme, layer shapes, and the convolution type (a GCN
+    and a SAGE rectifier with identical shapes are different code).
+    """
+    description = {
+        "scheme": rectifier.scheme,
+        "input_dims": list(rectifier.input_dims()),
+        "channels": list(rectifier.channels),
+        "conv": [type(conv).__name__ for conv in rectifier.convs],
+    }
+    return measure_code(description)
+
+
+class RectifierEnclave:
+    """Trusted compartment running a GNN rectifier over the private graph."""
+
+    def __init__(self, rectifier: Rectifier, config: Optional[EnclaveConfig] = None) -> None:
+        self._rectifier = rectifier
+        self._rectifier.eval()
+        self.config = config or EnclaveConfig()
+        self.memory = EnclaveMemoryModel(
+            epc_bytes=self.config.epc_bytes,
+            hard_limit_bytes=self.config.hard_limit_bytes,
+        )
+        self.measurement = rectifier_measurement(rectifier)
+        self._adjacency: Optional[CooAdjacency] = None
+        self._adj_norm = None
+        self._provisioned_weights = False
+        # Model parameters are resident for the enclave's lifetime.
+        self.memory.allocate(
+            "model/parameters", rectifier.num_parameters() * _FLOAT_BYTES
+        )
+
+    # ------------------------------------------------------------------
+    # Provisioning (vendor → device)
+    # ------------------------------------------------------------------
+    def attest(self, challenge: str = "") -> Quote:
+        """Produce an attestation quote for the vendor to verify."""
+        return generate_quote(self.measurement, challenge)
+
+    def provision_weights(self, blob: SealedBlob) -> None:
+        """Unseal and install rectifier weights (fails on identity mismatch)."""
+        state = unseal(blob, self.measurement)
+        self._rectifier.load_state_dict(state)
+        self._provisioned_weights = True
+
+    def provision_graph(self, blob: SealedBlob) -> None:
+        """Unseal and install the private adjacency (COO + degree cache)."""
+        adjacency = unseal(blob, self.measurement)
+        if not isinstance(adjacency, CooAdjacency):
+            raise SecurityViolation(
+                f"graph blob contained {type(adjacency).__name__}, expected CooAdjacency"
+            )
+        if self._adjacency is not None:
+            self.memory.free("graph/adjacency")
+        self._adjacency = adjacency
+        self._adj_norm = gcn_normalize(adjacency)
+        self.memory.allocate("graph/adjacency", adjacency.memory_bytes())
+
+    def provision_graph_update(self, blob: SealedBlob) -> None:
+        """Unseal and apply a private-graph delta (new node + edges).
+
+        The edges only ever exist inside the enclave; the memory charge for
+        the grown adjacency is re-booked atomically.
+        """
+        from ..deploy.updates import GraphUpdate, extend_adjacency
+
+        if self._adjacency is None:
+            raise SecurityViolation("cannot update a graph that was never provisioned")
+        update = unseal(blob, self.measurement)
+        if not isinstance(update, GraphUpdate):
+            raise SecurityViolation(
+                f"update blob contained {type(update).__name__}, expected GraphUpdate"
+            )
+        extended = extend_adjacency(self._adjacency, update.neighbours)
+        self.memory.free("graph/adjacency")
+        self._adjacency = extended
+        self._adj_norm = gcn_normalize(extended)
+        self.memory.allocate("graph/adjacency", extended.memory_bytes())
+
+    @property
+    def ready(self) -> bool:
+        return self._provisioned_weights and self._adjacency is not None
+
+    # ------------------------------------------------------------------
+    # Inference ECALL
+    # ------------------------------------------------------------------
+    def ecall_infer(self, channel: OneWayChannel) -> EcallReport:
+        """Run one rectifier inference over the channel's pending payloads.
+
+        Drains the backbone embeddings pushed by the untrusted world,
+        executes the rectifier against the private adjacency, publishes a
+        :class:`LabelOnlyResult`, and returns the cost report. Intermediate
+        embeddings and logits never leave this method.
+        """
+        if not self.ready:
+            raise SecurityViolation(
+                "enclave not provisioned (weights and graph must be unsealed first)"
+            )
+        payloads = channel._drain()
+        if not payloads:
+            raise SecurityViolation("inference ECALL with no input payload")
+        embeddings: List[np.ndarray] = [np.asarray(p, dtype=np.float64) for p in payloads]
+        num_nodes = embeddings[0].shape[0]
+        if num_nodes != self._adjacency.num_nodes:
+            raise ValueError(
+                f"embeddings cover {num_nodes} nodes but the private graph has "
+                f"{self._adjacency.num_nodes}"
+            )
+
+        payload_bytes = sum(e.nbytes for e in embeddings)
+        cost = self.config.cost_model
+
+        # --- memory: copy inbound buffers into the enclave heap ---------
+        self.memory.reset_peak()
+        for index, embedding in enumerate(embeddings):
+            self.memory.allocate(f"ecall/input{index}", embedding.nbytes)
+
+        # --- actual rectifier forward (functional correctness) ----------
+        outputs = self._rectifier.forward_with_intermediates(
+            self._expand_inputs(embeddings), self._adj_norm
+        )
+        for index, out in enumerate(outputs):
+            self.memory.allocate(f"ecall/act{index}", out.data.nbytes)
+        logits = outputs[-1].data
+
+        # --- analytic cost accounting ------------------------------------
+        transfer_seconds = cost.ecall_time(payload_bytes)
+        compute_seconds = self._rectifier_compute_seconds(num_nodes, cost)
+        stats = self.memory.stats()
+        paging_seconds = cost.paging_time(stats.swapped_pages_peak)
+        report = EcallReport(
+            transfer_seconds=transfer_seconds,
+            compute_seconds=compute_seconds,
+            paging_seconds=paging_seconds,
+            payload_bytes=payload_bytes,
+            peak_memory_bytes=stats.peak_bytes,
+            swapped_pages=stats.swapped_pages_peak,
+        )
+
+        # --- label-only egress -------------------------------------------
+        channel.publish(LabelOnlyResult(labels=logits.argmax(axis=1)))
+
+        # Scratch buffers are freed when the ECALL returns.
+        self.memory.free_all("ecall/")
+        return report
+
+    def ecall_infer_nodes(
+        self, channel: OneWayChannel, targets: Sequence[int]
+    ) -> EcallReport:
+        """Per-query inference: rectify only the targets' receptive field.
+
+        The untrusted world stages the full embedding matrices (it must not
+        learn which rows the enclave needs — that would leak edges), but the
+        enclave pulls in only the k-hop neighbourhood of the queried nodes
+        over the *private* graph, normalised with global degrees so the
+        target logits match a full-graph pass exactly. Enclave memory and
+        compute then scale with the neighbourhood, not the graph.
+
+        Access-pattern side channels (the OS observing which staged rows
+        the enclave touches) are out of scope, matching the paper's threat
+        model.
+        """
+        if not self.ready:
+            raise SecurityViolation(
+                "enclave not provisioned (weights and graph must be unsealed first)"
+            )
+        payloads = channel._drain()
+        if not payloads:
+            raise SecurityViolation("inference ECALL with no input payload")
+        embeddings = [np.asarray(p, dtype=np.float64) for p in payloads]
+        if embeddings[0].shape[0] != self._adjacency.num_nodes:
+            raise ValueError(
+                f"embeddings cover {embeddings[0].shape[0]} nodes but the "
+                f"private graph has {self._adjacency.num_nodes}"
+            )
+        hops = len(self._rectifier.convs)
+        sub = extract_subgraph(self._adjacency, targets, hops)
+        local = [e[sub.nodes] for e in embeddings]
+        adj_local = sub.normalized_adjacency()
+        cost = self.config.cost_model
+
+        self.memory.reset_peak()
+        for index, embedding in enumerate(local):
+            self.memory.allocate(f"ecall/input{index}", embedding.nbytes)
+        outputs = self._rectifier.forward_with_intermediates(
+            self._expand_inputs(local), adj_local
+        )
+        for index, out in enumerate(outputs):
+            self.memory.allocate(f"ecall/act{index}", out.data.nbytes)
+        logits = outputs[-1].data
+
+        payload_bytes = sum(e.nbytes for e in local)  # rows actually pulled in
+        transfer_seconds = cost.ecall_time(payload_bytes)
+        nnz = sub.adjacency.num_entries + sub.num_nodes
+        compute_seconds = 0.0
+        for conv in self._rectifier.convs:
+            compute_seconds += cost.dense_matmul_time(
+                sub.num_nodes, conv.in_features, conv.out_features, in_enclave=True
+            )
+            compute_seconds += cost.sparse_matmul_time(
+                nnz, conv.out_features, in_enclave=True
+            )
+            compute_seconds += cost.elementwise_time(
+                sub.num_nodes * conv.out_features, in_enclave=True
+            )
+        stats = self.memory.stats()
+        paging_seconds = cost.paging_time(stats.swapped_pages_peak)
+        report = EcallReport(
+            transfer_seconds=transfer_seconds,
+            compute_seconds=compute_seconds,
+            paging_seconds=paging_seconds,
+            payload_bytes=payload_bytes,
+            peak_memory_bytes=stats.peak_bytes,
+            swapped_pages=stats.swapped_pages_peak,
+        )
+
+        # Label-only output, in the order the targets were queried.
+        labels_by_node = sub.lift_labels(logits.argmax(axis=1))
+        ordered = np.asarray(
+            [labels_by_node[int(t)] for t in targets], dtype=np.int64
+        )
+        channel.publish(LabelOnlyResult(labels=ordered))
+        self.memory.free_all("ecall/")
+        return report
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _expand_inputs(self, embeddings: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Map channel payloads onto the backbone-embedding slots.
+
+        Parallel/cascaded rectifiers receive one payload per consumed
+        backbone layer; the series rectifier receives exactly one, which
+        must be placed at its tap position.
+        """
+        consumed = self._rectifier.consumed_layers()
+        if len(embeddings) != len(consumed):
+            raise ValueError(
+                f"rectifier consumes {len(consumed)} embeddings, got {len(embeddings)}"
+            )
+        slots: Dict[int, np.ndarray] = dict(zip(consumed, embeddings))
+        size = max(consumed) + 1
+        num_nodes = embeddings[0].shape[0]
+        filler = np.zeros((num_nodes, 0))
+        return [slots.get(i, filler) for i in range(size)]
+
+    def _rectifier_compute_seconds(self, num_nodes: int, cost: SgxCostModel) -> float:
+        """Analytic forward-pass latency of the rectifier inside the enclave."""
+        nnz = self._adjacency.num_entries + self._adjacency.num_nodes  # + self loops
+        seconds = 0.0
+        for conv in self._rectifier.convs:
+            seconds += cost.dense_matmul_time(
+                num_nodes, conv.in_features, conv.out_features, in_enclave=True
+            )
+            seconds += cost.sparse_matmul_time(nnz, conv.out_features, in_enclave=True)
+            seconds += cost.elementwise_time(num_nodes * conv.out_features, in_enclave=True)
+        return seconds
+
+    def memory_report(self) -> Dict[str, int]:
+        """Bytes per live region (model, graph) for Fig. 6-style reporting."""
+        return {
+            name: allocation.num_bytes
+            for name, allocation in self.memory.allocations().items()
+        }
+
+
+def seal_rectifier_weights(rectifier: Rectifier) -> SealedBlob:
+    """Vendor-side: seal trained weights to the rectifier's enclave identity."""
+    return seal(rectifier.state_dict(), rectifier_measurement(rectifier))
+
+
+def seal_private_graph(adjacency: CooAdjacency, rectifier: Rectifier) -> SealedBlob:
+    """Vendor-side: seal the private adjacency to the enclave identity."""
+    return seal(adjacency, rectifier_measurement(rectifier))

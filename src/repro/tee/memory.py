@@ -1,0 +1,162 @@
+"""Enclave memory model: EPC page accounting and paging cost.
+
+Intel SGX reserves 128 MB of Processor Reserved Memory (PRM), of which
+~96 MB forms the Enclave Page Cache (EPC) available to enclave heaps
+(paper §III-C). Allocations beyond the EPC trigger page swapping between
+the EPC and untrusted DRAM, with transparent encryption/integrity checks —
+slow enough that staying under the limit is a first-order design goal,
+and the reason GNNVault's rectifier must be small.
+
+:class:`EnclaveMemoryModel` tracks named allocations in 4 KiB pages,
+records the peak working set, and reports how many resident pages exceed
+the EPC budget (those are charged swap latency by the runtime cost model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import EnclaveMemoryError
+
+PAGE_BYTES = 4096
+EPC_BYTES = 96 * 1024 * 1024  # usable Enclave Page Cache
+PRM_BYTES = 128 * 1024 * 1024  # total Processor Reserved Memory
+
+
+def pages_for(num_bytes: int) -> int:
+    """Number of 4 KiB pages needed to hold ``num_bytes``."""
+    if num_bytes < 0:
+        raise ValueError(f"negative allocation size {num_bytes}")
+    return -(-num_bytes // PAGE_BYTES)
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One named region of enclave memory."""
+
+    name: str
+    num_bytes: int
+
+    @property
+    def pages(self) -> int:
+        return pages_for(self.num_bytes)
+
+
+@dataclass
+class MemoryStats:
+    """Snapshot of the enclave's memory behaviour."""
+
+    resident_bytes: int
+    peak_bytes: int
+    epc_bytes: int
+    swapped_pages_peak: int
+    total_allocations: int
+
+    @property
+    def peak_mb(self) -> float:
+        return self.peak_bytes / (1024.0 * 1024.0)
+
+    @property
+    def within_epc(self) -> bool:
+        return self.peak_bytes <= self.epc_bytes
+
+
+class EnclaveMemoryModel:
+    """Track enclave heap allocations against the EPC budget.
+
+    Parameters
+    ----------
+    epc_bytes:
+        Usable EPC size; defaults to SGX1's 96 MB.
+    hard_limit_bytes:
+        Absolute ceiling (PRM plus allowed swap space). ``None`` disables
+        the hard failure — the model then only *accounts* for swapping,
+        which matches SGX's behaviour of paging rather than failing.
+    """
+
+    def __init__(
+        self,
+        epc_bytes: int = EPC_BYTES,
+        hard_limit_bytes: Optional[int] = None,
+    ) -> None:
+        if epc_bytes <= 0:
+            raise ValueError(f"epc_bytes must be positive, got {epc_bytes}")
+        self.epc_bytes = epc_bytes
+        self.hard_limit_bytes = hard_limit_bytes
+        self._allocations: Dict[str, Allocation] = {}
+        self._resident_bytes = 0
+        self._peak_bytes = 0
+        self._swapped_pages_peak = 0
+        self._total_allocations = 0
+
+    # ------------------------------------------------------------------
+    # Allocation API
+    # ------------------------------------------------------------------
+    def allocate(self, name: str, num_bytes: int) -> Allocation:
+        """Reserve a named region; raises if the hard limit is exceeded."""
+        if name in self._allocations:
+            raise EnclaveMemoryError(f"region {name!r} already allocated")
+        allocation = Allocation(name, num_bytes)
+        new_resident = self._resident_bytes + allocation.pages * PAGE_BYTES
+        if self.hard_limit_bytes is not None and new_resident > self.hard_limit_bytes:
+            raise EnclaveMemoryError(
+                f"allocating {num_bytes} B for {name!r} would exceed the "
+                f"enclave hard limit ({new_resident} > {self.hard_limit_bytes} B)"
+            )
+        self._allocations[name] = allocation
+        self._resident_bytes = new_resident
+        self._total_allocations += 1
+        if new_resident > self._peak_bytes:
+            self._peak_bytes = new_resident
+        overflow = self.swapped_pages()
+        if overflow > self._swapped_pages_peak:
+            self._swapped_pages_peak = overflow
+        return allocation
+
+    def free(self, name: str) -> None:
+        """Release a named region."""
+        allocation = self._allocations.pop(name, None)
+        if allocation is None:
+            raise EnclaveMemoryError(f"region {name!r} is not allocated")
+        self._resident_bytes -= allocation.pages * PAGE_BYTES
+
+    def free_all(self, prefix: str = "") -> None:
+        """Release every region whose name starts with ``prefix``."""
+        for name in [n for n in self._allocations if n.startswith(prefix)]:
+            self.free(name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def resident_bytes(self) -> int:
+        return self._resident_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._peak_bytes
+
+    def swapped_pages(self) -> int:
+        """Resident pages currently beyond the EPC budget."""
+        overflow_bytes = max(0, self._resident_bytes - self.epc_bytes)
+        return pages_for(overflow_bytes)
+
+    def allocations(self) -> Dict[str, Allocation]:
+        """Copy of the live allocation table."""
+        return dict(self._allocations)
+
+    def stats(self) -> MemoryStats:
+        """Snapshot counters for reporting (Fig. 6 bottom)."""
+        return MemoryStats(
+            resident_bytes=self._resident_bytes,
+            peak_bytes=self._peak_bytes,
+            epc_bytes=self.epc_bytes,
+            swapped_pages_peak=self._swapped_pages_peak,
+            total_allocations=self._total_allocations,
+        )
+
+    def reset_peak(self) -> None:
+        """Restart peak tracking from the current residency."""
+        self._peak_bytes = self._resident_bytes
+        self._swapped_pages_peak = self.swapped_pages()

@@ -1,0 +1,31 @@
+"""Training loops, schedules and metrics for GNNVault's training phases."""
+
+from .metrics import accuracy, confusion_matrix
+from .schedules import (
+    ConstantLr,
+    CosineDecay,
+    LrSchedule,
+    StepDecay,
+    WarmupWrapper,
+    make_schedule,
+)
+from .sampling import ClusterBatch, ClusterSampler, train_node_classifier_clustered
+from .trainer import TrainConfig, TrainResult, train_node_classifier, train_rectifier
+
+__all__ = [
+    "ClusterBatch",
+    "ClusterSampler",
+    "ConstantLr",
+    "CosineDecay",
+    "LrSchedule",
+    "StepDecay",
+    "TrainConfig",
+    "TrainResult",
+    "WarmupWrapper",
+    "accuracy",
+    "confusion_matrix",
+    "make_schedule",
+    "train_node_classifier",
+    "train_node_classifier_clustered",
+    "train_rectifier",
+]

@@ -1,0 +1,42 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def accuracy(
+    predictions: np.ndarray,
+    labels: np.ndarray,
+    index: Optional[np.ndarray] = None,
+) -> float:
+    """Fraction of correct predictions, optionally over a node subset.
+
+    ``predictions`` may be class indices ``(n,)`` or logits ``(n, C)``.
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    if index is not None:
+        index = np.asarray(index)
+        predictions = predictions[index]
+        labels = labels[index]
+    if labels.size == 0:
+        raise ValueError("accuracy over an empty node set")
+    return float((predictions == labels).mean())
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """``(C, C)`` confusion counts, rows = true class."""
+    predictions = np.asarray(predictions)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    labels = np.asarray(labels)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix

@@ -1,0 +1,161 @@
+"""Cluster-sampled mini-batch training (Cluster-GCN style).
+
+The paper trains full-batch on a TITAN RTX; this reproduction's default
+graphs are small enough to do the same on CPU. But at ``scale=1.0`` the
+stand-ins reach paper size (19,793 nodes for CoraFull), where a full-batch
+float64 forward pass is slow and memory-hungry. The standard remedy is
+Cluster-GCN: partition the nodes, drop inter-cluster edges for the
+training pass, and optimise on one cluster-induced subgraph per step.
+
+The partition must be *label-agnostic and feature-agnostic* for backbones
+(they see only public data) — we use random balanced partitions, which is
+the Cluster-GCN ablation baseline and requires no private information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .. import nn
+from ..datasets import Split
+from ..graph import CooAdjacency, gcn_normalize
+from .metrics import accuracy
+from .trainer import TrainConfig, TrainResult
+
+
+@dataclass(frozen=True)
+class ClusterBatch:
+    """One cluster-induced training subgraph."""
+
+    nodes: np.ndarray  # global ids in the cluster
+    adj_norm: sp.spmatrix  # normalised induced adjacency
+    train_mask: np.ndarray  # positions within the cluster that are train nodes
+
+
+class ClusterSampler:
+    """Random balanced node partition with induced-subgraph batches."""
+
+    def __init__(
+        self,
+        adjacency: CooAdjacency,
+        num_clusters: int,
+        seed: int = 0,
+    ) -> None:
+        if num_clusters < 1:
+            raise ValueError(f"num_clusters must be >= 1, got {num_clusters}")
+        if num_clusters > adjacency.num_nodes:
+            raise ValueError(
+                f"{num_clusters} clusters for {adjacency.num_nodes} nodes"
+            )
+        self.adjacency = adjacency
+        self.num_clusters = num_clusters
+        rng = np.random.default_rng(seed)
+        assignment = rng.permutation(adjacency.num_nodes) % num_clusters
+        self._clusters: List[np.ndarray] = [
+            np.sort(np.flatnonzero(assignment == c)) for c in range(num_clusters)
+        ]
+        self._csr = adjacency.to_csr()
+
+    def clusters(self) -> List[np.ndarray]:
+        """The node partition (global ids per cluster)."""
+        return [cluster.copy() for cluster in self._clusters]
+
+    def batch(self, cluster_index: int, train_nodes: np.ndarray) -> ClusterBatch:
+        """Build the induced batch for one cluster."""
+        nodes = self._clusters[cluster_index]
+        induced = self._csr[np.ix_(nodes, nodes)]
+        train_set = set(np.asarray(train_nodes).tolist())
+        train_mask = np.asarray(
+            [i for i, node in enumerate(nodes) if int(node) in train_set],
+            dtype=np.int64,
+        )
+        return ClusterBatch(
+            nodes=nodes,
+            adj_norm=gcn_normalize(induced),
+            train_mask=train_mask,
+        )
+
+    def epoch(self, train_nodes: np.ndarray, rng: np.random.Generator) -> Iterator[ClusterBatch]:
+        """Yield every cluster once, in random order, skipping clusters
+        with no labelled training node."""
+        order = rng.permutation(self.num_clusters)
+        for cluster_index in order:
+            batch = self.batch(int(cluster_index), train_nodes)
+            if batch.train_mask.size:
+                yield batch
+
+
+def train_node_classifier_clustered(
+    model,
+    features: np.ndarray,
+    adjacency: CooAdjacency,
+    labels: np.ndarray,
+    split: Split,
+    num_clusters: int = 4,
+    config: Optional[TrainConfig] = None,
+    seed: int = 0,
+) -> TrainResult:
+    """Cluster-GCN training loop with full-graph validation.
+
+    Mini-batch steps run on cluster-induced subgraphs (dropping
+    inter-cluster edges); validation/early-stopping and the final test
+    evaluation use the full graph, so reported numbers are comparable to
+    full-batch training.
+    """
+    config = config or TrainConfig()
+    labels = np.asarray(labels)
+    sampler = ClusterSampler(adjacency, num_clusters, seed=seed)
+    full_adj = gcn_normalize(adjacency)
+    optimizer = nn.Adam(
+        model.parameters(), lr=config.lr, weight_decay=config.weight_decay
+    )
+    schedule = config.make_schedule()
+    rng = np.random.default_rng(seed + 1)
+
+    best_val = -1.0
+    best_state = model.state_dict()
+    since_best = 0
+    losses: List[float] = []
+    vals: List[float] = []
+    epochs_run = 0
+
+    for epoch in range(config.epochs):
+        epochs_run = epoch + 1
+        schedule.apply(optimizer, epoch)
+        model.train()
+        epoch_loss = 0.0
+        batches = 0
+        for batch in sampler.epoch(split.train, rng):
+            optimizer.zero_grad()
+            logits = model(nn.Tensor(features[batch.nodes]), batch.adj_norm)
+            loss = nn.cross_entropy(
+                logits, labels[batch.nodes], mask=batch.train_mask
+            )
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+            batches += 1
+        losses.append(epoch_loss / max(batches, 1))
+
+        model.eval()
+        eval_logits = model(nn.Tensor(features), full_adj).data
+        val_acc = accuracy(eval_logits, labels, split.val)
+        vals.append(val_acc)
+        if val_acc > best_val:
+            best_val = val_acc
+            best_state = model.state_dict()
+            since_best = 0
+        else:
+            since_best += 1
+            if since_best >= config.patience:
+                break
+
+    model.load_state_dict(best_state)
+    model.eval()
+    final_logits = model(nn.Tensor(features), full_adj).data
+    test_acc = accuracy(final_logits, labels, split.test)
+    return TrainResult(best_val, test_acc, epochs_run, losses, vals)

@@ -1,0 +1,113 @@
+"""Learning-rate schedules for the training loops.
+
+The default experiments use constant-LR Adam (the standard GCN recipe),
+but deeper models (M3) and wide-output models (M2 on CoraFull) benefit
+from warmup and decay; these schedules plug into the trainer via
+``TrainConfig``-style loops or manual stepping.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..nn.optim import Optimizer
+
+
+class LrSchedule:
+    """Base class: maps an epoch index to a learning rate."""
+
+    def __init__(self, base_lr: float) -> None:
+        if base_lr <= 0:
+            raise ValueError(f"base_lr must be positive, got {base_lr}")
+        self.base_lr = base_lr
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def apply(self, optimizer: Optimizer, epoch: int) -> float:
+        """Set the optimiser's learning rate for ``epoch``; returns it."""
+        lr = self.lr_at(epoch)
+        optimizer.lr = lr
+        return lr
+
+
+class ConstantLr(LrSchedule):
+    """No schedule — the default recipe."""
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepDecay(LrSchedule):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, base_lr: float, step_size: int, gamma: float = 0.5) -> None:
+        super().__init__(base_lr)
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineDecay(LrSchedule):
+    """Cosine annealing from ``base_lr`` to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, base_lr: float, total_epochs: int, min_lr: float = 0.0) -> None:
+        super().__init__(base_lr)
+        if total_epochs < 1:
+            raise ValueError(f"total_epochs must be >= 1, got {total_epochs}")
+        if min_lr < 0 or min_lr > base_lr:
+            raise ValueError(f"min_lr must be in [0, base_lr], got {min_lr}")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def lr_at(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupWrapper(LrSchedule):
+    """Linear warmup for ``warmup_epochs`` before delegating to ``inner``."""
+
+    def __init__(self, inner: LrSchedule, warmup_epochs: int) -> None:
+        super().__init__(inner.base_lr)
+        if warmup_epochs < 0:
+            raise ValueError(f"warmup_epochs must be >= 0, got {warmup_epochs}")
+        self.inner = inner
+        self.warmup_epochs = warmup_epochs
+
+    def lr_at(self, epoch: int) -> float:
+        if self.warmup_epochs and epoch < self.warmup_epochs:
+            return self.inner.lr_at(epoch) * (epoch + 1) / self.warmup_epochs
+        return self.inner.lr_at(epoch)
+
+
+def make_schedule(
+    kind: str,
+    base_lr: float,
+    total_epochs: int,
+    warmup_epochs: int = 0,
+    step_size: Optional[int] = None,
+    gamma: float = 0.5,
+    min_lr: float = 0.0,
+) -> LrSchedule:
+    """Factory over the schedule kinds (constant / step / cosine)."""
+    kind = kind.lower()
+    if kind == "constant":
+        schedule: LrSchedule = ConstantLr(base_lr)
+    elif kind == "step":
+        schedule = StepDecay(base_lr, step_size or max(1, total_epochs // 3), gamma)
+    elif kind == "cosine":
+        schedule = CosineDecay(base_lr, total_epochs, min_lr)
+    else:
+        raise ValueError(f"unknown schedule kind {kind!r}")
+    if warmup_epochs:
+        schedule = WarmupWrapper(schedule, warmup_epochs)
+    return schedule

@@ -1,0 +1,70 @@
+"""Shared fixtures: tiny graphs and a pre-trained mini GNNVault instance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import per_class_split
+from repro.graph import make_sbm_graph
+from repro.models import ModelPreset
+from repro.training import TrainConfig
+from repro.experiments import run_gnnvault
+
+#: small preset for fast test-time training
+TINY_PRESET = ModelPreset("T", backbone_hidden=(16, 8), rectifier_hidden=(16, 8))
+FAST_TRAIN = TrainConfig(epochs=40, patience=15)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture
+def tiny_graph():
+    """60-node, 3-class homophilous SBM with class-correlated features."""
+    return make_sbm_graph(
+        num_nodes=60,
+        num_classes=3,
+        num_features=24,
+        avg_degree=6.0,
+        homophily=0.85,
+        seed=11,
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def tiny_split(tiny_graph):
+    return per_class_split(tiny_graph.labels, train_per_class=8, seed=0)
+
+
+@pytest.fixture(scope="session")
+def session_graph():
+    """Slightly larger shared graph for session-scoped trained artefacts."""
+    return make_sbm_graph(
+        num_nodes=120,
+        num_classes=4,
+        num_features=48,
+        avg_degree=6.0,
+        homophily=0.8,
+        topic_concentration=0.45,
+        active_per_node=10,
+        seed=23,
+        name="session",
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_vault(session_graph):
+    """A fully trained mini GNNVault (all three rectifier schemes)."""
+    return run_gnnvault(
+        graph=session_graph,
+        schemes=("parallel", "series", "cascaded"),
+        substitute_kind="knn",
+        knn_k=2,
+        preset=TINY_PRESET,
+        seed=3,
+        train_config=FAST_TRAIN,
+    )

@@ -1,0 +1,231 @@
+"""Analysis tests: silhouette, t-SNE, report rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    TsneConfig,
+    format_cell,
+    kl_divergence,
+    pairwise_euclidean,
+    render_series,
+    render_table,
+    silhouette_score,
+    tsne,
+)
+
+
+class TestPairwiseEuclidean:
+    def test_matches_norm(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((10, 4))
+        dist = pairwise_euclidean(x)
+        expected = np.linalg.norm(x[:, None, :] - x[None, :, :], axis=2)
+        np.testing.assert_allclose(dist, expected, atol=1e-7)
+
+    def test_zero_diagonal(self):
+        x = np.random.default_rng(1).random((5, 3))
+        np.testing.assert_allclose(np.diag(pairwise_euclidean(x)), 0.0, atol=1e-9)
+
+    def test_no_negative_values_from_rounding(self):
+        x = np.ones((4, 2)) * 1e8
+        assert np.all(pairwise_euclidean(x) >= 0)
+
+
+class TestSilhouette:
+    def test_well_separated_clusters_near_one(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.01, (20, 2))
+        b = rng.normal(10, 0.01, (20, 2)) + 10
+        x = np.vstack([a, b])
+        labels = np.array([0] * 20 + [1] * 20)
+        assert silhouette_score(x, labels) > 0.95
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((60, 4))
+        labels = rng.integers(0, 3, 60)
+        assert abs(silhouette_score(x, labels)) < 0.2
+
+    def test_swapped_clusters_negative(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 0.01, (10, 2))
+        b = rng.normal(5, 0.01, (10, 2))
+        x = np.vstack([a, b])
+        wrong = np.array([0, 1] * 10)  # labels uncorrelated with clusters
+        right = np.array([0] * 10 + [1] * 10)
+        assert silhouette_score(x, wrong) < silhouette_score(x, right)
+
+    def test_singleton_cluster_contributes_zero(self):
+        x = np.array([[0.0], [0.1], [5.0]])
+        labels = np.array([0, 0, 1])
+        score = silhouette_score(x, labels)
+        assert np.isfinite(score)
+
+    def test_single_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.ones((5, 2)), np.zeros(5))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.ones((5, 2)), np.zeros(4))
+
+    def test_matches_manual_two_point_case(self):
+        # two clusters of two points each at distance d apart
+        x = np.array([[0.0], [1.0], [10.0], [11.0]])
+        labels = np.array([0, 0, 1, 1])
+        # a(i)=1, b(i)=mean(|x_i - other cluster|)
+        score = silhouette_score(x, labels)
+        a = 1.0
+        b0 = (10.0 + 11.0) / 2
+        expected0 = (b0 - a) / b0
+        b1 = (9.0 + 10.0) / 2
+        expected1 = (b1 - a) / b1
+        assert score == pytest.approx((expected0 * 2 + expected1 * 2) / 4, rel=1e-6)
+
+
+class TestTsne:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((30, 8))
+        y = tsne(x, TsneConfig(iterations=50, seed=0))
+        assert y.shape == (30, 2)
+        assert np.all(np.isfinite(y))
+
+    def test_preserves_cluster_structure(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 0.05, (15, 6))
+        b = rng.normal(4, 0.05, (15, 6))
+        x = np.vstack([a, b])
+        y = tsne(x, TsneConfig(iterations=250, seed=0))
+        labels = np.array([0] * 15 + [1] * 15)
+        # clusters should separate in the embedding too
+        assert silhouette_score(y, labels) > 0.3
+
+    def test_centres_output(self):
+        x = np.random.default_rng(2).random((20, 5))
+        y = tsne(x, TsneConfig(iterations=30, seed=0))
+        np.testing.assert_allclose(y.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            tsne(np.ones((3, 2)))
+
+    def test_deterministic(self):
+        x = np.random.default_rng(3).random((15, 4))
+        a = tsne(x, TsneConfig(iterations=30, seed=5))
+        b = tsne(x, TsneConfig(iterations=30, seed=5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TsneConfig(perplexity=0.5)
+        with pytest.raises(ValueError):
+            TsneConfig(iterations=0)
+
+    def test_kl_divergence_nonnegative(self):
+        rng = np.random.default_rng(4)
+        x = rng.random((20, 5))
+        y = tsne(x, TsneConfig(iterations=100, seed=0))
+        assert kl_divergence(x, y) >= 0
+
+    def test_kl_lower_for_better_embedding(self):
+        rng = np.random.default_rng(5)
+        x = np.vstack([
+            rng.normal(0, 0.05, (12, 6)),
+            rng.normal(5, 0.05, (12, 6)),
+        ])
+        good = tsne(x, TsneConfig(iterations=250, seed=0))
+        bad = rng.random((24, 2))
+        assert kl_divergence(x, good) < kl_divergence(x, bad)
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_table_with_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_series(self):
+        text = render_series("k", [1, 2], {"acc": [0.5, 0.6]})
+        assert "k" in text and "acc" in text and "0.6" in text
+
+    def test_format_cell_floats(self):
+        assert format_cell(0.123456) == "0.1235"
+        assert format_cell(123456.0) == "1.23e+05"
+        assert format_cell(0) == "0"
+        assert format_cell("word") == "word"
+        assert format_cell(0.0) == "0"
+
+
+class TestRenderScatter:
+    def test_basic_grid(self):
+        import numpy as np
+        from repro.analysis import render_scatter
+
+        coords = np.array([[0.0, 0.0], [1.0, 1.0]])
+        text = render_scatter(coords, np.array([0, 1]), width=10, height=5)
+        lines = text.splitlines()
+        assert lines[0].startswith("+") and lines[-1].startswith("+")
+        assert "0" in text and "1" in text
+
+    def test_clusters_occupy_different_regions(self):
+        import numpy as np
+        from repro.analysis import render_scatter
+
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.1, (20, 2))
+        b = rng.normal(5, 0.1, (20, 2))
+        coords = np.vstack([a, b])
+        labels = np.array([0] * 20 + [1] * 20)
+        text = render_scatter(coords, labels, width=40, height=12)
+        # zeros land left/bottom, ones right/top: no row mixes them heavily
+        body = text.splitlines()[1:-1]
+        mixed = sum(1 for row in body if "0" in row and "1" in row)
+        assert mixed <= 2
+
+    def test_title(self):
+        import numpy as np
+        from repro.analysis import render_scatter
+
+        text = render_scatter(np.ones((3, 2)), np.zeros(3), title="My scatter")
+        assert text.splitlines()[0] == "My scatter"
+
+    def test_degenerate_identical_points(self):
+        import numpy as np
+        from repro.analysis import render_scatter
+
+        text = render_scatter(np.ones((5, 2)), np.arange(5), width=8, height=4)
+        assert "+--------+" in text
+
+    def test_validation(self):
+        import numpy as np
+        import pytest as _pytest
+        from repro.analysis import render_scatter
+
+        with _pytest.raises(ValueError):
+            render_scatter(np.ones((3, 3)), np.zeros(3))
+        with _pytest.raises(ValueError):
+            render_scatter(np.ones((3, 2)), np.zeros(2))
+        with _pytest.raises(ValueError):
+            render_scatter(np.ones((3, 2)), np.zeros(3), width=1)
+
+    def test_class_digits_mod_ten(self):
+        import numpy as np
+        from repro.analysis import render_scatter
+
+        text = render_scatter(
+            np.array([[0.0, 0.0]]), np.array([12]), width=5, height=3
+        )
+        assert "2" in text

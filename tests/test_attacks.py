@@ -1,0 +1,198 @@
+"""Attack tests: similarity metrics, ROC-AUC, and link stealing behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.spatial import distance as sp_distance
+
+from repro.attacks import (
+    DISTANCE_FUNCTIONS,
+    PAPER_METRICS,
+    attack_advantage,
+    link_stealing_attack,
+    pairwise_distance,
+    roc_auc_score,
+    roc_curve,
+    sample_pairs,
+    stack_embeddings,
+)
+from repro.graph import CooAdjacency, make_sbm_graph
+
+
+class TestSimilarityMetrics:
+    @pytest.mark.parametrize("metric", PAPER_METRICS)
+    def test_matches_scipy(self, metric):
+        """Each row-wise metric must agree with scipy's reference."""
+        rng = np.random.default_rng(0)
+        a = rng.random((20, 6)) + 0.1
+        b = rng.random((20, 6)) + 0.1
+        scipy_fn = getattr(sp_distance, metric)
+        ours = DISTANCE_FUNCTIONS[metric](a, b)
+        expected = np.array([scipy_fn(x, y) for x, y in zip(a, b)])
+        np.testing.assert_allclose(ours, expected, rtol=1e-8)
+
+    def test_six_paper_metrics(self):
+        assert len(PAPER_METRICS) == 6
+        assert set(PAPER_METRICS) <= set(DISTANCE_FUNCTIONS)
+
+    def test_identical_rows_give_zero(self):
+        x = np.random.default_rng(1).random((5, 4)) + 0.5
+        for metric in PAPER_METRICS:
+            np.testing.assert_allclose(
+                DISTANCE_FUNCTIONS[metric](x, x), 0.0, atol=1e-9
+            )
+
+    def test_pairwise_distance_indexing(self):
+        embeddings = np.array([[0.0, 0.0], [3.0, 4.0], [1.0, 1.0]])
+        out = pairwise_distance(
+            "euclidean", embeddings, np.array([0]), np.array([1])
+        )
+        assert out[0] == pytest.approx(5.0)
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            pairwise_distance("hamming", np.ones((2, 2)), [0], [1])
+
+    def test_zero_vector_safety(self):
+        a = np.zeros((2, 3))
+        for metric in PAPER_METRICS:
+            assert np.all(np.isfinite(DISTANCE_FUNCTIONS[metric](a, a)))
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc_score(labels, scores) == 1.0
+
+    def test_inverted_scores(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(labels, scores) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 2000)
+        scores = rng.random(2000)
+        assert roc_auc_score(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_averaged(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc_score(labels, scores) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.ones(5), np.random.default_rng(0).random(5))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.ones(3), np.ones(4))
+
+    def test_roc_curve_endpoints(self):
+        labels = np.array([0, 1, 0, 1, 1])
+        scores = np.array([0.1, 0.9, 0.3, 0.8, 0.6])
+        fpr, tpr, thresholds = roc_curve(labels, scores)
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_attack_advantage(self):
+        assert attack_advantage(0.5) == 0.0
+        assert attack_advantage(1.0) == 1.0
+        assert attack_advantage(0.0) == 1.0  # anti-correlated is informative
+
+
+class TestSamplePairs:
+    @pytest.fixture
+    def graph(self):
+        return make_sbm_graph(60, 3, 24, 5.0, homophily=0.8, seed=0)
+
+    def test_balanced(self, graph):
+        left, right, labels = sample_pairs(graph.adjacency, seed=0)
+        assert labels.sum() * 2 == labels.size
+
+    def test_positives_are_edges(self, graph):
+        left, right, labels = sample_pairs(graph.adjacency, seed=0)
+        edges = graph.adjacency.edge_set()
+        for u, v, is_edge in zip(left, right, labels):
+            pair = (min(u, v), max(u, v))
+            assert (pair in edges) == bool(is_edge)
+
+    def test_num_pairs_caps(self, graph):
+        left, right, labels = sample_pairs(graph.adjacency, num_pairs=10, seed=0)
+        assert labels.size == 20
+
+    def test_no_self_pairs(self, graph):
+        left, right, _ = sample_pairs(graph.adjacency, seed=0)
+        assert np.all(left != right)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            sample_pairs(CooAdjacency.empty(5))
+
+    def test_deterministic(self, graph):
+        a = sample_pairs(graph.adjacency, seed=3)
+        b = sample_pairs(graph.adjacency, seed=3)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+
+class TestStackEmbeddings:
+    def test_concatenates(self):
+        out = stack_embeddings([np.ones((4, 2)), np.zeros((4, 3))])
+        assert out.shape == (4, 5)
+
+    def test_single_passthrough(self):
+        x = np.ones((4, 2))
+        assert stack_embeddings([x]).shape == (4, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stack_embeddings([])
+
+
+class TestLinkStealing:
+    def test_smoothed_embeddings_leak(self):
+        """Embeddings averaged over true neighbours must be attackable."""
+        g = make_sbm_graph(80, 4, 32, 6.0, homophily=0.85, seed=1)
+        from repro.graph import gcn_normalize
+
+        smoothed = gcn_normalize(g.adjacency) @ g.features
+        smoothed = gcn_normalize(g.adjacency) @ smoothed
+        result = link_stealing_attack(smoothed, g.adjacency, victim="org", seed=0)
+        assert result.mean_auc() > 0.75
+
+    def test_random_embeddings_do_not_leak(self):
+        g = make_sbm_graph(80, 4, 32, 6.0, homophily=0.85, seed=1)
+        noise = np.random.default_rng(0).random((80, 16))
+        result = link_stealing_attack(noise, g.adjacency, seed=0)
+        assert abs(result.mean_auc() - 0.5) < 0.1
+
+    def test_accepts_embedding_list(self):
+        g = make_sbm_graph(50, 3, 16, 5.0, seed=2)
+        layers = [np.random.default_rng(i).random((50, 4)) for i in range(3)]
+        result = link_stealing_attack(layers, g.adjacency, seed=0)
+        assert set(result.auc) == set(PAPER_METRICS)
+
+    def test_node_count_mismatch_rejected(self):
+        g = make_sbm_graph(50, 3, 16, 5.0, seed=2)
+        with pytest.raises(ValueError):
+            link_stealing_attack(np.ones((10, 4)), g.adjacency)
+
+    def test_best_metric(self):
+        g = make_sbm_graph(60, 3, 24, 5.0, homophily=0.9, seed=3)
+        from repro.graph import gcn_normalize
+
+        smoothed = gcn_normalize(g.adjacency) @ g.features
+        result = link_stealing_attack(smoothed, g.adjacency, seed=0)
+        metric, auc = result.best_metric()
+        assert auc == max(result.auc.values())
+
+    def test_custom_metric_subset(self):
+        g = make_sbm_graph(40, 2, 16, 4.0, seed=4)
+        result = link_stealing_attack(
+            g.features, g.adjacency, metrics=("cosine",), seed=0
+        )
+        assert list(result.auc) == ["cosine"]

@@ -1,0 +1,162 @@
+"""Extended attack tests: supervised link stealing, MIA, extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    confidence_attack,
+    extraction_attack,
+    label_only_attack,
+    pair_features,
+    supervised_link_stealing,
+)
+from repro.graph import gcn_normalize, make_sbm_graph
+
+
+@pytest.fixture(scope="module")
+def leaky_graph():
+    g = make_sbm_graph(150, 4, 48, 6.0, homophily=0.85, seed=3)
+    smoothed = gcn_normalize(g.adjacency) @ g.features
+    smoothed = gcn_normalize(g.adjacency) @ smoothed
+    return g, smoothed
+
+
+class TestPairFeatures:
+    def test_shape_one_column_per_metric(self, leaky_graph):
+        g, emb = leaky_graph
+        left = np.array([0, 1, 2])
+        right = np.array([3, 4, 5])
+        x = pair_features(emb, left, right)
+        assert x.shape == (3, 6)
+
+    def test_standardised(self, leaky_graph):
+        g, emb = leaky_graph
+        rng = np.random.default_rng(0)
+        left = rng.integers(0, 150, 50)
+        right = rng.integers(0, 150, 50)
+        x = pair_features(emb, left, right)
+        np.testing.assert_allclose(x.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_custom_metric_subset(self, leaky_graph):
+        g, emb = leaky_graph
+        x = pair_features(emb, np.array([0]), np.array([1]), metrics=("cosine",))
+        assert x.shape == (1, 1)
+
+
+class TestSupervisedLinkStealing:
+    def test_beats_random_on_leaky_embeddings(self, leaky_graph):
+        g, emb = leaky_graph
+        result = supervised_link_stealing(
+            emb, g.adjacency, num_pairs=600, epochs=150, seed=0
+        )
+        assert result.auc > 0.7
+
+    def test_supervision_helps_over_noise_embeddings(self, leaky_graph):
+        g, _ = leaky_graph
+        noise = np.random.default_rng(0).random((150, 16))
+        result = supervised_link_stealing(
+            noise, g.adjacency, num_pairs=400, epochs=100, seed=0
+        )
+        assert abs(result.auc - 0.5) < 0.15  # nothing to learn
+
+    def test_split_bookkeeping(self, leaky_graph):
+        g, emb = leaky_graph
+        result = supervised_link_stealing(
+            emb, g.adjacency, num_pairs=400, train_fraction=0.25, epochs=20, seed=0
+        )
+        total = result.num_train_pairs + result.num_test_pairs
+        assert result.num_train_pairs == pytest.approx(0.25 * total, abs=1)
+
+    def test_invalid_fraction(self, leaky_graph):
+        g, emb = leaky_graph
+        with pytest.raises(ValueError):
+            supervised_link_stealing(emb, g.adjacency, train_fraction=1.0)
+
+    def test_accepts_layer_list(self, leaky_graph):
+        g, emb = leaky_graph
+        result = supervised_link_stealing(
+            [emb[:, :8], emb[:, 8:]], g.adjacency, num_pairs=300, epochs=20, seed=0
+        )
+        assert 0.0 <= result.auc <= 1.0
+
+
+class TestMembership:
+    def _overfit_setup(self):
+        """Victim logits that are confidently right on members only."""
+        rng = np.random.default_rng(0)
+        n, c = 200, 4
+        labels = rng.integers(0, c, n)
+        members = np.arange(0, 100)
+        nonmembers = np.arange(100, 200)
+        logits = rng.normal(0, 1.0, (n, c))
+        logits[members, labels[members]] += 6.0  # memorised
+        return logits, labels, members, nonmembers
+
+    def test_confidence_attack_detects_overfitting(self):
+        logits, labels, members, nonmembers = self._overfit_setup()
+        result = confidence_attack(logits, labels, members, nonmembers)
+        assert result.auc > 0.85
+
+    def test_confidence_attack_blind_without_gap(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 3, 100)
+        logits = rng.normal(0, 1, (100, 3))
+        result = confidence_attack(logits, labels, np.arange(50), np.arange(50, 100))
+        assert abs(result.auc - 0.5) < 0.15
+
+    def test_label_only_attack_bounded_by_accuracy_gap(self):
+        logits, labels, members, nonmembers = self._overfit_setup()
+        hard = logits.argmax(axis=1)
+        soft_result = confidence_attack(logits, labels, members, nonmembers)
+        hard_result = label_only_attack(hard, labels, members, nonmembers)
+        # label-only collapses the signal: strictly weaker than logits here
+        assert hard_result.auc < soft_result.auc
+
+    def test_result_records_signal(self):
+        logits, labels, members, nonmembers = self._overfit_setup()
+        assert confidence_attack(logits, labels, members, nonmembers).signal == (
+            "loss threshold"
+        )
+        assert label_only_attack(
+            logits.argmax(axis=1), labels, members, nonmembers
+        ).signal == "correctness"
+
+
+class TestExtraction:
+    @pytest.fixture(scope="class")
+    def victim(self):
+        """A feature-predictable victim: labels derived from features."""
+        rng = np.random.default_rng(2)
+        n, d, c = 300, 16, 3
+        features = rng.random((n, d))
+        true_labels = features[:, :c].argmax(axis=1)
+        # victim logits: confident, mostly correct
+        logits = np.eye(c)[true_labels] * 4.0 + rng.normal(0, 0.3, (n, c))
+        return features, logits, true_labels
+
+    def test_soft_label_extraction(self, victim):
+        features, logits, labels = victim
+        result = extraction_attack(features, logits, labels, epochs=150, seed=0)
+        assert result.supervision == "logits"
+        assert result.fidelity > 0.8
+
+    def test_hard_label_extraction(self, victim):
+        features, logits, labels = victim
+        hard = logits.argmax(axis=1)
+        result = extraction_attack(features, hard, labels, epochs=150, seed=0)
+        assert result.supervision == "labels"
+        assert 0.0 <= result.fidelity <= 1.0
+
+    def test_holdout_validation(self, victim):
+        features, logits, labels = victim
+        with pytest.raises(ValueError):
+            extraction_attack(features, logits, labels, holdout_fraction=0.0)
+
+    def test_fidelity_measured_on_holdout_only(self, victim):
+        """Same seed → same split → deterministic fidelity."""
+        features, logits, labels = victim
+        a = extraction_attack(features, logits, labels, epochs=30, seed=5)
+        b = extraction_attack(features, logits, labels, epochs=30, seed=5)
+        assert a.fidelity == b.fidelity

@@ -1,0 +1,96 @@
+"""Shadow-transfer link stealing tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import shadow_link_stealing
+from repro.graph import gcn_normalize, make_sbm_graph
+
+
+def _smoothed(graph, hops=2):
+    norm = gcn_normalize(graph.adjacency)
+    embedding = graph.features
+    for _ in range(hops):
+        embedding = norm @ embedding
+    return embedding
+
+
+@pytest.fixture(scope="module")
+def shadow_and_victim():
+    """Two disjoint graphs with different sizes/feature widths."""
+    shadow = make_sbm_graph(130, 4, 40, 6.0, homophily=0.85, seed=1, name="shadow")
+    victim = make_sbm_graph(170, 5, 56, 7.0, homophily=0.85, seed=2, name="victim")
+    return shadow, victim
+
+
+class TestShadowTransfer:
+    def test_transfers_across_graphs(self, shadow_and_victim):
+        """A classifier trained on the shadow graph attacks the victim's
+        smoothed (GNN-like) embeddings well above chance."""
+        shadow, victim = shadow_and_victim
+        result = shadow_link_stealing(
+            _smoothed(shadow), shadow.adjacency,
+            _smoothed(victim), victim.adjacency,
+            num_pairs=600, epochs=150, seed=0,
+        )
+        assert result.shadow_train_auc > 0.75  # learned something at home
+        assert result.auc > 0.7  # and it transferred
+
+    def test_fails_against_unsmoothed_noise(self, shadow_and_victim):
+        """No GNN structure in the victim's surface → little transfer."""
+        shadow, victim = shadow_and_victim
+        noise = np.random.default_rng(0).random((170, 24))
+        result = shadow_link_stealing(
+            _smoothed(shadow), shadow.adjacency,
+            noise, victim.adjacency,
+            num_pairs=500, epochs=100, seed=0,
+        )
+        assert abs(result.auc - 0.5) < 0.12
+
+    def test_different_embedding_widths_ok(self, shadow_and_victim):
+        """The metric feature space decouples widths (40-d vs 8-d)."""
+        shadow, victim = shadow_and_victim
+        narrow = _smoothed(victim)[:, :8]
+        result = shadow_link_stealing(
+            _smoothed(shadow), shadow.adjacency,
+            narrow, victim.adjacency,
+            num_pairs=300, epochs=50, seed=0,
+        )
+        assert 0.0 <= result.auc <= 1.0
+
+    def test_accepts_layer_lists(self, shadow_and_victim):
+        shadow, victim = shadow_and_victim
+        emb = _smoothed(victim)
+        result = shadow_link_stealing(
+            [_smoothed(shadow)], shadow.adjacency,
+            [emb[:, :20], emb[:, 20:]], victim.adjacency,
+            num_pairs=300, epochs=50, seed=0,
+        )
+        assert result.num_victim_pairs == 600
+
+    def test_victim_size_mismatch_rejected(self, shadow_and_victim):
+        shadow, victim = shadow_and_victim
+        with pytest.raises(ValueError):
+            shadow_link_stealing(
+                _smoothed(shadow), shadow.adjacency,
+                np.ones((10, 4)), victim.adjacency,
+            )
+
+    def test_gnnvault_resists_shadow_attack(self, trained_vault):
+        """The full ladder: even a shadow attacker gets only baseline-level
+        AUC from GNNVault's exposed surface."""
+        run = trained_vault
+        shadow = make_sbm_graph(130, 4, 48, 6.0, homophily=0.85, seed=7)
+        gv = shadow_link_stealing(
+            _smoothed(shadow), shadow.adjacency,
+            run.backbone_embeddings(), run.graph.adjacency,
+            victim="M_gv", num_pairs=500, epochs=100, seed=0,
+        )
+        org = shadow_link_stealing(
+            _smoothed(shadow), shadow.adjacency,
+            run.original_embeddings(), run.graph.adjacency,
+            victim="M_org", num_pairs=500, epochs=100, seed=0,
+        )
+        assert org.auc > gv.auc

@@ -1,0 +1,93 @@
+"""CLI tests (driven through ``repro.cli.main`` with fast configurations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.dataset == "cora"
+        assert args.scheme == "parallel"
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table9"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "cora" in out and "corafull" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_experiment_fig6(self, capsys):
+        assert main(["experiment", "fig6"]) == 0
+        assert "overhead" in capsys.readouterr().out
+
+    def test_train_predict_roundtrip(self, tmp_path, capsys):
+        bundle_dir = tmp_path / "bundle"
+        code = main(
+            [
+                "train",
+                "--dataset", "cora",
+                "--scheme", "series",
+                "--epochs", "25",
+                "--patience", "10",
+                "--output", str(bundle_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p_rec" in out and "bundle exported" in out
+
+        code = main(["predict", str(bundle_dir), str(bundle_dir / "dataset.npz")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "predicted" in out and "enclave" in out
+
+    def test_calibration(self, capsys):
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "healthy" in out and "corafull" in out
+
+    def test_report(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table1_datasets.txt").write_text("Table body\n")
+        code = main(["report", "--results-dir", str(results)])
+        assert code == 0
+        assert (results / "REPORT.md").exists()
+        assert "report written" in capsys.readouterr().out
+
+    def test_predict_specific_nodes(self, tmp_path, capsys):
+        bundle_dir = tmp_path / "bundle"
+        main(
+            [
+                "train", "--dataset", "cora", "--scheme", "series",
+                "--epochs", "15", "--patience", "10",
+                "--output", str(bundle_dir),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "predict", str(bundle_dir), str(bundle_dir / "dataset.npz"),
+                "--nodes", "0", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "node 0:" in out and "node 5:" in out

@@ -1,0 +1,159 @@
+"""Dataset registry, synthetic instantiation, and split tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DENSE_ENTRY_BYTES,
+    PAPER_DATASETS,
+    Split,
+    get_spec,
+    list_datasets,
+    load_dataset,
+    per_class_split,
+    synthesize,
+)
+from repro.graph import edge_homophily
+
+
+class TestRegistry:
+    def test_all_six_paper_datasets_present(self):
+        assert set(list_datasets()) == {
+            "cora", "citeseer", "pubmed", "computer", "photo", "corafull",
+        }
+
+    def test_published_statistics(self):
+        cora = get_spec("cora")
+        assert cora.num_nodes == 2708
+        assert cora.num_edges == 10556
+        assert cora.num_features == 1433
+        assert cora.num_classes == 7
+
+    @pytest.mark.parametrize("name", list(PAPER_DATASETS))
+    def test_dense_adjacency_column_matches_n_squared(self, name):
+        """Table I's Dense A column is exactly n² × 24 bytes."""
+        spec = get_spec(name)
+        assert spec.computed_dense_adjacency_mb() == pytest.approx(
+            spec.dense_adjacency_mb, abs=0.02
+        )
+
+    def test_dense_entry_bytes_constant(self):
+        assert DENSE_ENTRY_BYTES == 24
+
+    def test_case_insensitive_lookup(self):
+        assert get_spec("CoRa").name == "cora"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("imaginary")
+
+    def test_average_degree(self):
+        cora = get_spec("cora")
+        assert cora.average_degree == pytest.approx(2 * 10556 / 2708)
+
+    def test_scaled_shape_floors(self):
+        corafull = get_spec("corafull")
+        nodes, features = corafull.scaled_shape(0.001)
+        assert nodes >= corafull.num_classes * 40
+        assert features >= corafull.num_classes * 4
+
+    def test_model_preset_assignment(self):
+        assert get_spec("cora").model_preset == "M1"
+        assert get_spec("corafull").model_preset == "M2"
+        assert get_spec("computer").model_preset == "M3"
+
+
+class TestSynthetic:
+    def test_load_by_name(self):
+        g = load_dataset("cora")
+        assert g.name == "cora"
+        assert g.num_classes == 7
+
+    def test_deterministic(self):
+        a = load_dataset("cora", seed=5)
+        b = load_dataset("cora", seed=5)
+        np.testing.assert_array_equal(a.features, b.features)
+        assert a.adjacency.edge_set() == b.adjacency.edge_set()
+
+    def test_seed_changes_graph(self):
+        a = load_dataset("cora", seed=1)
+        b = load_dataset("cora", seed=2)
+        assert a.adjacency.edge_set() != b.adjacency.edge_set()
+
+    def test_scale_controls_size(self):
+        small = load_dataset("cora", scale=0.2)
+        large = load_dataset("cora", scale=0.4)
+        assert large.num_nodes > small.num_nodes
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("cora", scale=0.0)
+
+    def test_homophily_matches_spec(self):
+        spec = get_spec("cora")
+        g = synthesize(spec, seed=0)
+        measured = edge_homophily(g.adjacency, g.labels)
+        assert measured == pytest.approx(spec.homophily, abs=0.1)
+
+    def test_relative_density_preserved(self):
+        """Computer (dense) stays denser than Citeseer (sparse) even after
+        the degree cap that keeps per-hop mixing realistic under scaling."""
+        computer = load_dataset("computer")
+        citeseer = load_dataset("citeseer")
+        deg_computer = 2 * computer.num_edges / computer.num_nodes
+        deg_citeseer = 2 * citeseer.num_edges / citeseer.num_nodes
+        assert deg_computer > 1.5 * deg_citeseer
+
+    def test_every_class_represented(self):
+        g = load_dataset("corafull")
+        assert set(np.unique(g.labels)) == set(range(70))
+
+    def test_stable_seed_differs_per_dataset(self):
+        """Same seed must not yield identical structure across datasets."""
+        a = load_dataset("cora", scale=0.2, seed=0)
+        b = load_dataset("citeseer", scale=0.2, seed=0)
+        assert a.num_nodes != b.num_nodes or a.adjacency.edge_set() != b.adjacency.edge_set()
+
+
+class TestSplits:
+    def test_sizes(self):
+        labels = np.repeat(np.arange(4), 50)
+        split = per_class_split(labels, train_per_class=20, val_fraction=0.1)
+        assert split.train.size == 80
+        assert split.val.size == pytest.approx(12, abs=1)
+        assert split.train.size + split.val.size + split.test.size == 200
+
+    def test_train_has_exactly_per_class(self):
+        labels = np.repeat(np.arange(3), 40)
+        split = per_class_split(labels, train_per_class=20)
+        counts = np.bincount(labels[split.train])
+        np.testing.assert_array_equal(counts, [20, 20, 20])
+
+    def test_no_overlap(self):
+        labels = np.repeat(np.arange(3), 30)
+        split = per_class_split(labels, train_per_class=10)
+        all_nodes = np.concatenate([split.train, split.val, split.test])
+        assert np.unique(all_nodes).size == all_nodes.size
+
+    def test_small_class_capped(self):
+        labels = np.array([0] * 50 + [1] * 4)
+        split = per_class_split(labels, train_per_class=20)
+        # class 1 contributes at most half its members
+        assert np.count_nonzero(labels[split.train] == 1) <= 2
+
+    def test_deterministic(self):
+        labels = np.repeat(np.arange(3), 40)
+        a = per_class_split(labels, seed=9)
+        b = per_class_split(labels, seed=9)
+        np.testing.assert_array_equal(a.train, b.train)
+        np.testing.assert_array_equal(a.test, b.test)
+
+    def test_split_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            Split(train=np.array([0, 1]), val=np.array([1]), test=np.array([2]))
+
+    def test_sizes_property(self):
+        split = Split(np.array([0]), np.array([1]), np.array([2, 3]))
+        assert split.sizes == (1, 1, 2)

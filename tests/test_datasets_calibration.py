@@ -1,0 +1,60 @@
+"""Calibration-checker tests: all six stand-ins satisfy the premises."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import check_all, check_dataset, list_datasets
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return {check.dataset: check for check in check_all(seed=0)}
+
+
+class TestAllDatasetsHealthy:
+    def test_every_dataset_checked(self, checks):
+        assert set(checks) == set(list_datasets())
+
+    @pytest.mark.parametrize("name", [
+        "cora", "citeseer", "pubmed", "computer", "photo", "corafull",
+    ])
+    def test_healthy(self, checks, name):
+        check = checks[name]
+        assert check.real_graph_informative, (
+            f"{name}: homophily {check.real_homophily:.2f} far from "
+            f"target {check.target_homophily:.2f}"
+        )
+        assert check.substitute_weaker_than_real, (
+            f"{name}: substitute homophily {check.substitute_homophily:.2f} "
+            f"dominates real {check.real_homophily:.2f}"
+        )
+        assert check.mixing_bounded, (
+            f"{name}: mixing fraction {check.mixing_fraction:.3f} is in the "
+            "over-smoothing regime"
+        )
+        assert check.healthy
+
+
+class TestCheckMechanics:
+    def test_chance_corrected_target(self, checks):
+        """Pubmed (3 classes, h=0.5) → corrected target 0.5 + 0.5/3."""
+        assert checks["pubmed"].target_homophily == pytest.approx(
+            0.5 + 0.5 / 3.0
+        )
+
+    def test_corafull_substitute_markedly_weaker(self, checks):
+        """The recalibrated CoraFull must keep its substitute weak
+        (the original calibration bug this module guards against)."""
+        check = checks["corafull"]
+        assert check.substitute_homophily < check.real_homophily
+
+    def test_single_dataset_check(self):
+        check = check_dataset("cora", seed=1)
+        assert check.dataset == "cora"
+        assert 0.0 <= check.real_homophily <= 1.0
+
+    def test_deterministic(self):
+        a = check_dataset("citeseer", seed=2)
+        b = check_dataset("citeseer", seed=2)
+        assert a == b

@@ -1,0 +1,169 @@
+"""Perturbation-defense tests: mechanisms and the trade-off evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.defense import (
+    GaussianNoiseDefense,
+    LaplaceNoiseDefense,
+    QuantizationDefense,
+    TopKLogitDefense,
+    evaluate_defense,
+    make_defense,
+    tradeoff_curve,
+)
+from repro.graph import gcn_normalize, make_sbm_graph
+
+
+@pytest.fixture
+def embedding():
+    return np.random.default_rng(0).random((50, 8)) * 4.0 - 2.0
+
+
+class TestGaussian:
+    def test_zero_scale_identity(self, embedding):
+        out = GaussianNoiseDefense(scale=0.0).apply(embedding)
+        np.testing.assert_array_equal(out, embedding)
+
+    def test_noise_magnitude_tracks_scale(self, embedding):
+        small = GaussianNoiseDefense(scale=0.1, seed=1).apply(embedding)
+        large = GaussianNoiseDefense(scale=2.0, seed=1).apply(embedding)
+        assert np.abs(large - embedding).mean() > np.abs(small - embedding).mean()
+
+    def test_deterministic_by_seed(self, embedding):
+        a = GaussianNoiseDefense(scale=0.5, seed=3).apply(embedding)
+        b = GaussianNoiseDefense(scale=0.5, seed=3).apply(embedding)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNoiseDefense(scale=-0.1)
+
+
+class TestLaplace:
+    def test_smaller_epsilon_more_noise(self, embedding):
+        strong = LaplaceNoiseDefense(epsilon=0.1, seed=1).apply(embedding)
+        weak = LaplaceNoiseDefense(epsilon=10.0, seed=1).apply(embedding)
+        assert np.abs(strong - embedding).mean() > np.abs(weak - embedding).mean()
+
+    def test_constant_embedding_unchanged(self):
+        constant = np.ones((5, 3))
+        out = LaplaceNoiseDefense(epsilon=1.0).apply(constant)
+        np.testing.assert_array_equal(out, constant)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            LaplaceNoiseDefense(epsilon=0.0)
+
+
+class TestQuantization:
+    def test_level_count(self, embedding):
+        out = QuantizationDefense(levels=4).apply(embedding)
+        assert np.unique(out).size <= 4
+
+    def test_range_preserved(self, embedding):
+        out = QuantizationDefense(levels=8).apply(embedding)
+        assert out.min() == pytest.approx(embedding.min())
+        assert out.max() == pytest.approx(embedding.max())
+
+    def test_constant_input(self):
+        constant = np.full((4, 2), 3.0)
+        np.testing.assert_array_equal(
+            QuantizationDefense(levels=4).apply(constant), constant
+        )
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            QuantizationDefense(levels=1)
+
+
+class TestTopK:
+    def test_keeps_topk_values(self):
+        logits = np.array([[1.0, 5.0, 3.0], [2.0, 0.0, 7.0]])
+        out = TopKLogitDefense(k=1).apply(logits)
+        assert out[0, 1] == 5.0 and out[1, 2] == 7.0
+        # others dropped to the row floor
+        assert out[0, 0] == logits.min(axis=1)[0]
+
+    def test_argmax_preserved(self, embedding):
+        out = TopKLogitDefense(k=1).apply(embedding)
+        np.testing.assert_array_equal(out.argmax(axis=1), embedding.argmax(axis=1))
+
+    def test_k_wider_than_matrix_is_identity(self):
+        logits = np.random.default_rng(0).random((4, 3))
+        np.testing.assert_array_equal(TopKLogitDefense(k=5).apply(logits), logits)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKLogitDefense(k=0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("gaussian", GaussianNoiseDefense),
+            ("laplace", LaplaceNoiseDefense),
+            ("quantize", QuantizationDefense),
+            ("topk", TopKLogitDefense),
+        ],
+    )
+    def test_kinds(self, name, cls):
+        assert isinstance(make_defense(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_defense("blur")
+
+
+class TestTradeoff:
+    @pytest.fixture(scope="class")
+    def victim(self):
+        g = make_sbm_graph(100, 3, 32, 6.0, homophily=0.85, seed=4)
+        adj = gcn_normalize(g.adjacency)
+        smoothed = adj @ g.features
+        smoothed = adj @ smoothed
+        # logits layer: one column per class, aligned with labels
+        logits = np.eye(3)[g.labels] * 3.0 + np.random.default_rng(0).normal(
+            0, 0.4, (100, 3)
+        )
+        test_index = np.arange(50, 100)
+        return g, [smoothed, logits], test_index
+
+    def test_noise_reduces_attack_auc(self, victim):
+        g, embeddings, test_index = victim
+        clean = evaluate_defense(
+            GaussianNoiseDefense(scale=0.0), embeddings, g.adjacency,
+            g.labels, test_index, num_pairs=300,
+        )
+        noisy = evaluate_defense(
+            GaussianNoiseDefense(scale=5.0, seed=1), embeddings, g.adjacency,
+            g.labels, test_index, num_pairs=300,
+        )
+        assert noisy.attack_auc < clean.attack_auc
+
+    def test_noise_costs_accuracy(self, victim):
+        g, embeddings, test_index = victim
+        clean = evaluate_defense(
+            GaussianNoiseDefense(scale=0.0), embeddings, g.adjacency,
+            g.labels, test_index, num_pairs=300,
+        )
+        noisy = evaluate_defense(
+            GaussianNoiseDefense(scale=5.0, seed=1), embeddings, g.adjacency,
+            g.labels, test_index, num_pairs=300,
+        )
+        assert noisy.accuracy <= clean.accuracy
+
+    def test_curve_one_point_per_defense(self, victim):
+        g, embeddings, test_index = victim
+        defenses = [
+            GaussianNoiseDefense(scale=s, seed=1) for s in (0.0, 1.0, 3.0)
+        ]
+        curve = tradeoff_curve(
+            defenses, embeddings, g.adjacency, g.labels, test_index,
+            num_pairs=200,
+        )
+        assert len(curve) == 3
+        assert all(0.0 <= p.attack_auc <= 1.0 for p in curve)

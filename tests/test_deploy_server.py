@@ -1,0 +1,191 @@
+"""VaultServer, workload generator, and access-pattern auditor tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.deploy import (
+    QueryBudgetExceeded,
+    SecureInferenceSession,
+    VaultServer,
+    zipf_workload,
+)
+from repro.graph import CooAdjacency, make_sbm_graph
+from repro.tee import AccessPatternAuditor
+
+
+@pytest.fixture
+def server(trained_vault):
+    run = trained_vault
+    session = SecureInferenceSession(
+        run.backbone,
+        run.rectifiers["series"],
+        run.substitute,
+        run.graph.adjacency,
+    )
+    return VaultServer(session, run.graph.features), run
+
+
+class TestVaultServer:
+    def test_single_query_matches_full_pass(self, server):
+        vault_server, run = server
+        session = SecureInferenceSession(
+            run.backbone, run.rectifiers["series"], run.substitute,
+            run.graph.adjacency,
+        )
+        full, _ = session.predict(run.graph.features)
+        assert vault_server.query(11) == full[11]
+
+    def test_batch_query(self, server):
+        vault_server, run = server
+        labels = vault_server.query_batch([1, 2, 3])
+        assert labels.shape == (3,)
+
+    def test_empty_batch_rejected(self, server):
+        vault_server, _ = server
+        with pytest.raises(ValueError):
+            vault_server.query_batch([])
+
+    def test_stats_accumulate(self, server):
+        vault_server, _ = server
+        vault_server.query(0)
+        vault_server.query_batch([1, 2])
+        stats = vault_server.stats
+        assert stats.queries_served == 3
+        assert stats.total_seconds > 0
+        assert stats.total_payload_bytes > 0
+        assert stats.per_node_counts == {0: 1, 1: 1, 2: 1}
+
+    def test_mean_latency(self, server):
+        vault_server, _ = server
+        assert vault_server.stats.mean_latency_seconds == 0.0
+        vault_server.query(4)
+        assert vault_server.stats.mean_latency_seconds > 0
+
+    def test_hottest_nodes(self, server):
+        vault_server, _ = server
+        for _ in range(3):
+            vault_server.query(7)
+        vault_server.query(8)
+        assert vault_server.stats.hottest_nodes(top=1) == [7]
+
+    def test_query_budget_enforced(self, trained_vault):
+        run = trained_vault
+        session = SecureInferenceSession(
+            run.backbone, run.rectifiers["series"], run.substitute,
+            run.graph.adjacency,
+        )
+        vault_server = VaultServer(session, run.graph.features, query_budget=2)
+        vault_server.query(0)
+        vault_server.query(1)
+        with pytest.raises(QueryBudgetExceeded):
+            vault_server.query(2)
+
+    def test_invalid_budget(self, trained_vault):
+        run = trained_vault
+        session = SecureInferenceSession(
+            run.backbone, run.rectifiers["series"], run.substitute,
+            run.graph.adjacency,
+        )
+        with pytest.raises(ValueError):
+            VaultServer(session, run.graph.features, query_budget=0)
+
+    def test_serve_workload(self, server):
+        vault_server, run = server
+        workload = [0, 1, 2, 3, 4, 5]
+        labels = vault_server.serve(workload, batch_size=2)
+        assert labels.shape == (6,)
+        assert vault_server.stats.queries_served == 6
+
+    def test_serve_empty_workload(self, server):
+        vault_server, _ = server
+        assert vault_server.serve([], batch_size=3).size == 0
+
+    def test_serve_invalid_batch_size(self, server):
+        vault_server, _ = server
+        with pytest.raises(ValueError):
+            vault_server.serve([1], batch_size=0)
+
+
+class TestZipfWorkload:
+    def test_shape_and_range(self):
+        workload = zipf_workload(100, 500, seed=0)
+        assert workload.shape == (500,)
+        assert workload.min() >= 0 and workload.max() < 100
+
+    def test_heavy_tail(self):
+        workload = zipf_workload(1000, 5000, alpha=1.2, seed=1)
+        counts = np.bincount(workload, minlength=1000)
+        top_share = np.sort(counts)[::-1][:10].sum() / 5000
+        assert top_share > 0.5  # top-10 nodes dominate
+
+    def test_deterministic(self):
+        a = zipf_workload(50, 100, seed=3)
+        b = zipf_workload(50, 100, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_workload(0, 10)
+        with pytest.raises(ValueError):
+            zipf_workload(10, -1)
+        with pytest.raises(ValueError):
+            zipf_workload(10, 10, alpha=1.0)
+
+
+class TestAccessPatternAuditor:
+    @pytest.fixture
+    def graph(self):
+        return make_sbm_graph(40, 2, 16, 4.0, homophily=0.8, seed=2)
+
+    def test_full_graph_ecalls_leak_nothing(self, graph):
+        auditor = AccessPatternAuditor(graph.num_nodes)
+        for target in range(5):
+            auditor.observe_full_graph_ecall([target])
+        report = auditor.leakage_report(graph.adjacency)
+        assert not report.leaks
+        assert report.num_candidates == 0
+
+    def test_node_ecalls_reveal_neighbourhood(self, graph):
+        auditor = AccessPatternAuditor(graph.num_nodes)
+        auditor.observe_node_ecall(graph.adjacency, [0], hops=1)
+        report = auditor.leakage_report(graph.adjacency)
+        # 1-hop access pattern is exactly the target's neighbour set.
+        degree = int(graph.adjacency.degrees()[0])
+        assert report.leaks or degree == 0
+        if degree:
+            assert report.num_recovered == degree
+
+    def test_recall_grows_with_observations(self, graph):
+        few = AccessPatternAuditor(graph.num_nodes)
+        many = AccessPatternAuditor(graph.num_nodes)
+        for target in range(3):
+            few.observe_node_ecall(graph.adjacency, [target], hops=1)
+        for target in range(30):
+            many.observe_node_ecall(graph.adjacency, [target], hops=1)
+        assert (
+            many.leakage_report(graph.adjacency).recall
+            >= few.leakage_report(graph.adjacency).recall
+        )
+
+    def test_multi_hop_lowers_precision(self, graph):
+        """2-hop access patterns include non-neighbours → noisier signal."""
+        one_hop = AccessPatternAuditor(graph.num_nodes)
+        two_hop = AccessPatternAuditor(graph.num_nodes)
+        for target in range(10):
+            one_hop.observe_node_ecall(graph.adjacency, [target], hops=1)
+            two_hop.observe_node_ecall(graph.adjacency, [target], hops=2)
+        p1 = one_hop.leakage_report(graph.adjacency).precision
+        p2 = two_hop.leakage_report(graph.adjacency).precision
+        assert p2 <= p1 + 1e-9
+
+    def test_summary_text(self, graph):
+        auditor = AccessPatternAuditor(graph.num_nodes)
+        auditor.observe_node_ecall(graph.adjacency, [0], hops=1)
+        text = auditor.leakage_report(graph.adjacency).summary()
+        assert "observations" in text and "recovered" in text
+
+    def test_invalid_num_nodes(self):
+        with pytest.raises(ValueError):
+            AccessPatternAuditor(0)

@@ -1,0 +1,148 @@
+"""Online graph-update tests: new nodes arriving at a live vault."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.deploy import (
+    GraphUpdate,
+    SecureInferenceSession,
+    extend_adjacency,
+    seal_graph_update,
+)
+from repro.errors import SealingError, SecurityViolation
+from repro.graph import CooAdjacency
+from repro.tee import seal
+
+
+@pytest.fixture
+def session(trained_vault):
+    run = trained_vault
+    return SecureInferenceSession(
+        run.backbone,
+        run.rectifiers["parallel"],
+        run.substitute,
+        run.graph.adjacency,
+    ), run
+
+
+class TestExtendAdjacency:
+    def test_appends_node_and_edges(self):
+        adj = CooAdjacency.from_edge_list(3, [(0, 1)])
+        extended = extend_adjacency(adj, [0, 2])
+        assert extended.num_nodes == 4
+        assert extended.edge_set() == {(0, 1), (0, 3), (2, 3)}
+        assert extended.is_symmetric()
+
+    def test_isolated_new_node(self):
+        adj = CooAdjacency.from_edge_list(3, [(0, 1)])
+        extended = extend_adjacency(adj, [])
+        assert extended.num_nodes == 4
+        assert extended.num_edges == 1
+
+    def test_deduplicates_neighbours(self):
+        adj = CooAdjacency.empty(2)
+        extended = extend_adjacency(adj, [0, 0, 1])
+        assert extended.edge_set() == {(0, 2), (1, 2)}
+
+    def test_out_of_range_neighbour(self):
+        adj = CooAdjacency.empty(2)
+        with pytest.raises(ValueError):
+            extend_adjacency(adj, [5])
+
+    def test_original_untouched(self):
+        adj = CooAdjacency.from_edge_list(3, [(0, 1)])
+        extend_adjacency(adj, [2])
+        assert adj.num_nodes == 3
+
+
+class TestGraphUpdate:
+    def test_duplicate_neighbours_rejected(self):
+        with pytest.raises(ValueError):
+            GraphUpdate(neighbours=(1, 1))
+
+    def test_seal_binds_to_rectifier(self, trained_vault):
+        run = trained_vault
+        update = GraphUpdate(neighbours=(0, 1))
+        blob = seal_graph_update(update, run.rectifiers["parallel"])
+        # sealed for the parallel rectifier's enclave; series differs
+        from repro.tee import rectifier_measurement, unseal
+
+        assert unseal(
+            blob, rectifier_measurement(run.rectifiers["parallel"])
+        ).neighbours == (0, 1)
+        with pytest.raises(SealingError):
+            unseal(blob, rectifier_measurement(run.rectifiers["series"]))
+
+
+class TestSessionAddNode:
+    def _new_node_features(self, run, like_class: int):
+        """Features resembling an existing class (mean of its members)."""
+        members = run.graph.labels == like_class
+        return run.graph.features[members].mean(axis=0)
+
+    def test_add_and_classify_new_node(self, session):
+        vault_session, run = session
+        graph = run.graph
+        target_class = 0
+        members = np.flatnonzero(graph.labels == target_class)[:4]
+
+        update = GraphUpdate(neighbours=tuple(int(m) for m in members))
+        blob = seal_graph_update(update, run.rectifiers["parallel"])
+        new_id = vault_session.add_node(
+            substitute_neighbours=members[:2], sealed_update=blob
+        )
+        assert new_id == graph.num_nodes
+
+        new_features = np.vstack(
+            [graph.features, self._new_node_features(run, target_class)]
+        )
+        labels, _ = vault_session.predict_nodes(new_features, [new_id])
+        # Homophilous neighbourhood + class-typical features → the vault
+        # classifies the new node into its class without retraining.
+        assert labels[0] == target_class
+
+    def test_full_graph_predict_covers_new_node(self, session):
+        vault_session, run = session
+        graph = run.graph
+        update = GraphUpdate(neighbours=(0, 1))
+        blob = seal_graph_update(update, run.rectifiers["parallel"])
+        vault_session.add_node(substitute_neighbours=[0], sealed_update=blob)
+        new_features = np.vstack([graph.features, graph.features[0]])
+        labels, _ = vault_session.predict(new_features)
+        assert labels.shape == (graph.num_nodes + 1,)
+
+    def test_old_feature_matrix_rejected_after_update(self, session):
+        vault_session, run = session
+        update = GraphUpdate(neighbours=(0,))
+        blob = seal_graph_update(update, run.rectifiers["parallel"])
+        vault_session.add_node(substitute_neighbours=[0], sealed_update=blob)
+        with pytest.raises(ValueError):
+            vault_session.predict(run.graph.features)  # stale size
+
+    def test_update_requires_provisioned_graph(self, trained_vault):
+        from repro.tee import RectifierEnclave, seal_rectifier_weights
+
+        run = trained_vault
+        rect = run.rectifiers["parallel"]
+        enclave = RectifierEnclave(rect)
+        enclave.provision_weights(seal_rectifier_weights(rect))
+        blob = seal_graph_update(GraphUpdate(neighbours=(0,)), rect)
+        with pytest.raises(SecurityViolation):
+            enclave.provision_graph_update(blob)
+
+    def test_bogus_update_blob_rejected(self, session):
+        vault_session, run = session
+        bogus = seal("not an update", vault_session.enclave.measurement)
+        with pytest.raises(SecurityViolation):
+            vault_session.enclave.provision_graph_update(bogus)
+
+    def test_enclave_memory_rebooked(self, session):
+        vault_session, run = session
+        before = vault_session.enclave.memory_report()["graph/adjacency"]
+        update = GraphUpdate(neighbours=(0, 1, 2))
+        blob = seal_graph_update(update, run.rectifiers["parallel"])
+        vault_session.add_node(substitute_neighbours=[0], sealed_update=blob)
+        after = vault_session.enclave.memory_report()["graph/adjacency"]
+        assert after > before

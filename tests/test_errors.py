@@ -1,0 +1,38 @@
+"""Exception-hierarchy tests: catchability contracts the API relies on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AttestationError,
+    EnclaveMemoryError,
+    ReproError,
+    SealingError,
+    SecurityViolation,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error",
+        [SecurityViolation, EnclaveMemoryError, AttestationError, SealingError],
+    )
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+        with pytest.raises(ReproError):
+            raise error("boom")
+
+    def test_query_budget_is_security_violation(self):
+        from repro.deploy import QueryBudgetExceeded
+
+        assert issubclass(QueryBudgetExceeded, SecurityViolation)
+
+    def test_catch_all_deployment_failures_with_one_except(self):
+        """Library contract: a caller can wrap any vault operation in a
+        single `except ReproError`."""
+        from repro.tee import SealedBlob, unseal
+
+        blob = SealedBlob("m", b"0" * 16, b"junk", b"0" * 32)
+        with pytest.raises(ReproError):
+            unseal(blob, "m")

@@ -1,0 +1,62 @@
+"""Example-script smoke tests: importable, documented, runnable entry points.
+
+Full example runs take tens of seconds each (they train real models), so
+CI-level checks verify structure; the `make examples` target runs them for
+real.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleStructure:
+    def test_six_examples_present(self):
+        names = {p.stem for p in EXAMPLES}
+        assert {
+            "quickstart",
+            "recommender_vault",
+            "sgx_deployment",
+            "link_stealing_audit",
+            "edge_query",
+            "defense_comparison",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_parses_and_has_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.stem} missing a module docstring"
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_has_main_guard(self, path):
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_defines_main_callable(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None))
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_only_uses_public_api(self, path):
+        """Examples must demonstrate the public surface, not internals."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                assert not any(part.startswith("_") for part in node.module.split(".")), (
+                    f"{path.stem} imports private module {node.module}"
+                )

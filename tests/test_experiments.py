@@ -1,0 +1,232 @@
+"""Experiment driver tests (fast configurations of each table/figure)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    make_substitute_builder,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_gnnvault,
+    run_table1,
+)
+from repro.graph import CooAdjacency
+from repro.training import TrainConfig
+from tests.conftest import TINY_PRESET, FAST_TRAIN
+
+
+class TestPipeline:
+    def test_run_returns_all_metrics(self, trained_vault):
+        run = trained_vault
+        assert 0 <= run.p_org <= 1
+        assert 0 <= run.p_bb <= 1
+        assert set(run.p_rec) == {"parallel", "series", "cascaded"}
+        assert run.theta_bb > run.theta_rec("series")
+
+    def test_protection_and_degradation(self, trained_vault):
+        run = trained_vault
+        assert run.protection("parallel") == pytest.approx(
+            run.p_rec["parallel"] - run.p_bb
+        )
+        assert run.degradation("parallel") == pytest.approx(
+            run.p_org - run.p_rec["parallel"]
+        )
+
+    def test_embedding_access(self, trained_vault):
+        run = trained_vault
+        bb = run.backbone_embeddings()
+        org = run.original_embeddings()
+        assert len(bb) == len(org) == 3
+        assert bb[0].shape[0] == run.graph.num_nodes
+
+    def test_mlp_backbone_kind(self, session_graph):
+        run = run_gnnvault(
+            graph=session_graph,
+            schemes=("series",),
+            backbone_kind="mlp",
+            preset=TINY_PRESET,
+            train_config=FAST_TRAIN,
+            train_original=False,
+        )
+        assert run.p_rec["series"] > 0
+
+    def test_unknown_backbone_kind(self, session_graph):
+        with pytest.raises(ValueError):
+            run_gnnvault(graph=session_graph, backbone_kind="cnn")
+
+    def test_skip_original_training(self, session_graph):
+        run = run_gnnvault(
+            graph=session_graph,
+            schemes=("series",),
+            preset=TINY_PRESET,
+            train_config=FAST_TRAIN,
+            train_original=False,
+        )
+        assert run.p_org == 0.0
+
+
+class TestSubstituteBuilderFactory:
+    def test_knn(self):
+        builder = make_substitute_builder("knn", knn_k=3)
+        assert builder.k == 3
+
+    def test_cosine_density_matched(self):
+        reference = CooAdjacency.from_edge_list(10, [(0, 1), (2, 3)])
+        builder = make_substitute_builder("cosine", reference, cosine_tau=0.3)
+        assert builder.max_edges == 2
+
+    def test_random_fraction(self):
+        reference = CooAdjacency.from_edge_list(10, [(0, 1), (2, 3), (4, 5), (6, 7)])
+        builder = make_substitute_builder(
+            "random", reference, random_edge_fraction=0.5
+        )
+        assert builder.num_edges == 2
+
+    def test_random_needs_reference(self):
+        with pytest.raises(ValueError):
+            make_substitute_builder("random")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_substitute_builder("magic")
+
+
+class TestTable1:
+    def test_all_rows(self):
+        rows = run_table1()
+        assert [r.dataset for r in rows] == [
+            "cora", "citeseer", "pubmed", "computer", "photo", "corafull",
+        ]
+
+    def test_dense_column_agrees_with_paper(self):
+        for row in run_table1():
+            assert row.computed_dense_mb == pytest.approx(row.paper_dense_mb, abs=0.02)
+
+    def test_render(self):
+        text = render_table1(run_table1(datasets=("cora",)))
+        assert "cora" in text and "167.8" in text
+
+
+class TestPaperReferenceData:
+    def test_table2_covers_all_datasets(self):
+        assert set(PAPER_TABLE2) == {
+            "cora", "citeseer", "pubmed", "computer", "photo", "corafull",
+        }
+
+    def test_table2_consistency(self):
+        """Published Δp must equal p_rec − p_bb within rounding."""
+        for dataset, row in PAPER_TABLE2.items():
+            for scheme in ("parallel", "series", "cascaded"):
+                cell = row[scheme]
+                assert cell["dp"] == pytest.approx(
+                    cell["p_rec"] - row["p_bb"], abs=0.15
+                ), (dataset, scheme)
+
+    def test_table3_shapes(self):
+        for dataset, row in PAPER_TABLE3.items():
+            assert set(row) == {"dnn", "random", "cosine", "knn"}
+            # random is always the worst backbone in the paper
+            assert row["random"][0] == min(v[0] for v in row.values())
+
+    def test_table4_gv_close_to_base(self):
+        """Published claim: GNNVault attack AUC ≈ baseline AUC."""
+        for dataset, metrics in PAPER_TABLE4.items():
+            for metric, (m_org, m_gv, m_base) in metrics.items():
+                assert m_org > m_gv
+                assert abs(m_gv - m_base) < 0.06
+
+
+class TestFig4:
+    def test_runs_small(self):
+        result = run_fig4(
+            dataset="cora",
+            train_config=TrainConfig(epochs=30, patience=15),
+        )
+        assert set(result.silhouette) == {"original", "backbone", "rectifier"}
+        assert len(result.silhouette["rectifier"]) == 3
+        text = render_fig4(result)
+        assert "silhouette" in text
+
+    def test_tsne_coords_optional(self):
+        result = run_fig4(
+            dataset="cora",
+            train_config=TrainConfig(epochs=15, patience=10),
+            compute_tsne=True,
+            tsne_nodes=60,
+        )
+        coords = result.tsne_coords["rectifier"]
+        assert len(coords) == 3
+        assert coords[0].shape == (60, 2)
+
+
+class TestFig6:
+    def test_all_configurations(self):
+        rows = run_fig6()
+        assert len(rows) == 9  # 3 configs × 3 schemes
+
+    def test_every_rectifier_fits_epc(self):
+        assert all(row.fits_epc for row in run_fig6())
+
+    def test_series_cheapest_transfer(self):
+        rows = run_fig6()
+        for config in ("M1", "M2", "M3"):
+            subset = {r.scheme: r for r in rows if r.preset == config}
+            assert subset["series"].transfer_seconds < subset["parallel"].transfer_seconds
+            assert subset["series"].transfer_seconds < subset["cascaded"].transfer_seconds
+
+    def test_series_smallest_enclave_memory(self):
+        rows = run_fig6()
+        for config in ("M1", "M2", "M3"):
+            subset = {r.scheme: r for r in rows if r.preset == config}
+            assert (
+                subset["series"].enclave_memory_mb
+                == min(r.enclave_memory_mb for r in subset.values())
+            )
+
+    def test_backbone_memory_exceeds_prm_for_m2(self):
+        """Paper claim: full models cannot fit — backbone >> 128 MB PRM."""
+        rows = [r for r in run_fig6() if r.preset == "M2"]
+        assert all(r.backbone_memory_mb > 128.0 for r in rows)
+
+    def test_protection_has_positive_overhead(self):
+        assert all(row.overhead > 0 for row in run_fig6())
+
+    def test_render(self):
+        text = render_fig6(run_fig6())
+        assert "M2/corafull" in text and "overhead" in text
+
+
+class TestTrainConfigResolution:
+    def test_corafull_gets_longer_budget(self):
+        from repro.experiments import train_config_for
+
+        assert train_config_for("corafull").epochs > train_config_for("cora").epochs
+
+    def test_unknown_dataset_gets_default(self):
+        from repro.experiments import DEFAULT_TRAIN, train_config_for
+
+        assert train_config_for("something-else") == DEFAULT_TRAIN
+
+
+class TestFig6Pipelining:
+    def test_parallel_rows_carry_pipelined_latency(self):
+        rows = run_fig6()
+        for row in rows:
+            if row.scheme == "parallel":
+                assert row.pipelined_seconds is not None
+                assert 0 < row.pipelined_seconds <= row.total_seconds + 1e-12
+            else:
+                assert row.pipelined_seconds is None

@@ -1,0 +1,33 @@
+"""Paper-scale driver tests (short training budgets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_paper_scale
+from repro.models import ModelPreset
+from repro.training import TrainConfig
+
+
+class TestPaperScaleDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Tiny preset and budget: this test checks plumbing, not accuracy.
+        return run_paper_scale(
+            "cora",
+            scheme="series",
+            num_clusters=6,
+            train_config=TrainConfig(epochs=8, patience=8),
+            preset=ModelPreset("PS", (16, 8), (16, 8)),
+        )
+
+    def test_full_scale_dimensions(self, result):
+        assert result.num_nodes == 2708
+        assert result.num_features == 1433
+
+    def test_metrics_in_range(self, result):
+        for value in (result.p_org, result.p_bb, result.p_rec):
+            assert 0.0 <= value <= 1.0
+
+    def test_scheme_recorded(self, result):
+        assert result.scheme == "series"

@@ -1,0 +1,59 @@
+"""Report collation tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import collect_results, generate_report, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "table1_datasets.txt").write_text("Table I body\n")
+    (directory / "custom_extra.txt").write_text("extra body\n")
+    return directory
+
+
+class TestCollect:
+    def test_reads_all_txt(self, results_dir):
+        results = collect_results(results_dir)
+        assert set(results) == {"table1_datasets", "custom_extra"}
+        assert results["table1_datasets"] == "Table I body"
+
+    def test_missing_dir_empty(self, tmp_path):
+        assert collect_results(tmp_path / "nope") == {}
+
+
+class TestGenerate:
+    def test_known_sections_ordered_first(self, results_dir):
+        report = generate_report(results_dir)
+        assert report.index("Table I — datasets") < report.index("custom_extra")
+
+    def test_unknown_files_appended(self, results_dir):
+        report = generate_report(results_dir)
+        assert "extra body" in report
+
+    def test_empty_dir_message(self, tmp_path):
+        directory = tmp_path / "empty"
+        directory.mkdir()
+        assert "No archived results" in generate_report(directory)
+
+    def test_code_fences(self, results_dir):
+        report = generate_report(results_dir)
+        assert report.count("```") % 2 == 0
+
+
+class TestWrite:
+    def test_default_location(self, results_dir):
+        path = write_report(results_dir)
+        assert path == results_dir / "REPORT.md"
+        assert path.exists()
+
+    def test_custom_location(self, results_dir, tmp_path):
+        out = tmp_path / "custom.md"
+        assert write_report(results_dir, out) == out
+        assert "Table I body" in out.read_text()

@@ -1,0 +1,143 @@
+"""Generator tests: SBM structure, feature/class correlation, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    class_conditional_features,
+    edge_homophily,
+    make_sbm_graph,
+    planted_partition_edges,
+)
+from repro.substitute import cosine_similarity_matrix
+
+
+class TestPlantedPartition:
+    def test_edge_budget_respected(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, 200)
+        adj = planted_partition_edges(labels, avg_degree=6.0, homophily=0.8, rng=rng)
+        target = 6.0 * 200 / 2
+        assert adj.num_edges <= target
+        assert adj.num_edges > target * 0.7  # oversampling covers most of it
+
+    def test_high_homophily_graph_is_homophilous(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 4, 300)
+        adj = planted_partition_edges(labels, 8.0, homophily=0.9, rng=rng)
+        assert edge_homophily(adj, labels) > 0.8
+
+    def test_low_homophily_graph_is_mixed(self):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 4, 300)
+        adj = planted_partition_edges(labels, 8.0, homophily=0.25, rng=rng)
+        assert edge_homophily(adj, labels) < 0.5
+
+    def test_symmetric_no_self_loops(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 2, 50)
+        adj = planted_partition_edges(labels, 4.0, 0.8, rng)
+        assert adj.is_symmetric()
+        assert not np.any(adj.rows == adj.cols)
+
+    def test_tiny_graph(self):
+        rng = np.random.default_rng(4)
+        adj = planted_partition_edges(np.array([0]), 2.0, 0.5, rng)
+        assert adj.num_edges == 0
+
+    def test_invalid_homophily(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            planted_partition_edges(np.zeros(10, dtype=int), 2.0, 1.5, rng)
+
+
+class TestClassConditionalFeatures:
+    def test_shape_and_binary(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, 50)
+        x = class_conditional_features(labels, 60, rng, active_per_node=10)
+        assert x.shape == (50, 60)
+        assert set(np.unique(x)) <= {0.0, 1.0}
+
+    def test_sparsity_bounded_by_active_words(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 3, 30)
+        x = class_conditional_features(labels, 60, rng, active_per_node=10)
+        assert np.all(x.sum(axis=1) <= 10)
+        assert np.all(x.sum(axis=1) >= 1)
+
+    def test_same_class_nodes_more_similar(self):
+        rng = np.random.default_rng(2)
+        labels = np.repeat([0, 1, 2], 40)
+        x = class_conditional_features(
+            labels, 120, rng, active_per_node=15, topic_concentration=0.8,
+            subtopics_per_class=1,
+        )
+        sim = cosine_similarity_matrix(x)
+        same = labels[:, None] == labels[None, :]
+        np.fill_diagonal(same, False)
+        off_diag = ~np.eye(len(labels), dtype=bool)
+        assert sim[same].mean() > sim[~same & off_diag].mean() + 0.05
+
+    def test_concentration_controls_correlation(self):
+        labels = np.repeat([0, 1], 50)
+
+        def class_gap(concentration, seed):
+            rng = np.random.default_rng(seed)
+            x = class_conditional_features(
+                labels, 80, rng, topic_concentration=concentration,
+                subtopics_per_class=1,
+            )
+            sim = cosine_similarity_matrix(x)
+            same = labels[:, None] == labels[None, :]
+            np.fill_diagonal(same, False)
+            off = ~np.eye(100, dtype=bool)
+            return sim[same].mean() - sim[~same & off].mean()
+
+        assert class_gap(0.9, 3) > class_gap(0.2, 3)
+
+    def test_too_few_features_raises(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            class_conditional_features(np.arange(5), 3, rng)
+
+    def test_invalid_subtopics(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            class_conditional_features(np.zeros(4, dtype=int), 16, rng, subtopics_per_class=0)
+
+
+class TestMakeSbmGraph:
+    def test_basic_shape(self):
+        g = make_sbm_graph(80, 4, 32, 5.0, seed=0)
+        assert g.num_nodes == 80
+        assert g.num_features == 32
+        assert g.num_classes == 4
+
+    def test_every_class_present(self):
+        g = make_sbm_graph(30, 7, 56, 4.0, seed=1)
+        assert set(np.unique(g.labels)) == set(range(7))
+
+    def test_deterministic_by_seed(self):
+        a = make_sbm_graph(50, 3, 24, 4.0, seed=42)
+        b = make_sbm_graph(50, 3, 24, 4.0, seed=42)
+        np.testing.assert_array_equal(a.features, b.features)
+        assert a.adjacency.edge_set() == b.adjacency.edge_set()
+
+    def test_different_seeds_differ(self):
+        a = make_sbm_graph(50, 3, 24, 4.0, seed=1)
+        b = make_sbm_graph(50, 3, 24, 4.0, seed=2)
+        assert a.adjacency.edge_set() != b.adjacency.edge_set()
+
+    def test_class_weights(self):
+        g = make_sbm_graph(
+            300, 2, 16, 4.0, class_weights=[0.9, 0.1], seed=3
+        )
+        counts = np.bincount(g.labels)
+        assert counts[0] > counts[1] * 3
+
+    def test_invalid_scale_params(self):
+        with pytest.raises(ValueError):
+            make_sbm_graph(10, 2, 8, 4.0, homophily=-0.1)

@@ -1,0 +1,79 @@
+"""Graph container tests: validation, derived properties, adjacency swap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CooAdjacency, Graph
+
+
+@pytest.fixture
+def small_graph():
+    adjacency = CooAdjacency.from_edge_list(4, [(0, 1), (1, 2), (2, 3)])
+    features = np.eye(4)
+    labels = np.array([0, 0, 1, 1])
+    return Graph(features=features, labels=labels, adjacency=adjacency, name="small")
+
+
+class TestValidation:
+    def test_feature_label_mismatch(self):
+        adj = CooAdjacency.empty(3)
+        with pytest.raises(ValueError):
+            Graph(np.ones((3, 2)), np.zeros(2, dtype=int), adj)
+
+    def test_adjacency_node_mismatch(self):
+        adj = CooAdjacency.empty(5)
+        with pytest.raises(ValueError):
+            Graph(np.ones((3, 2)), np.zeros(3, dtype=int), adj)
+
+    def test_features_must_be_2d(self):
+        adj = CooAdjacency.empty(3)
+        with pytest.raises(ValueError):
+            Graph(np.ones(3), np.zeros(3, dtype=int), adj)
+
+    def test_labels_must_be_1d(self):
+        adj = CooAdjacency.empty(3)
+        with pytest.raises(ValueError):
+            Graph(np.ones((3, 2)), np.zeros((3, 1), dtype=int), adj)
+
+
+class TestProperties:
+    def test_counts(self, small_graph):
+        assert small_graph.num_nodes == 4
+        assert small_graph.num_features == 4
+        assert small_graph.num_classes == 2
+        assert small_graph.num_edges == 3
+
+    def test_summary_mentions_everything(self, small_graph):
+        text = small_graph.summary()
+        assert "small" in text and "4 nodes" in text and "2 classes" in text
+
+    def test_normalized_adjacency_shape(self, small_graph):
+        norm = small_graph.normalized_adjacency()
+        assert norm.shape == (4, 4)
+
+    def test_dtype_coercion(self):
+        adj = CooAdjacency.empty(2)
+        g = Graph(np.ones((2, 2), dtype=np.float32), np.zeros(2, dtype=np.int8), adj)
+        assert g.features.dtype == np.float64
+        assert g.labels.dtype == np.int64
+
+
+class TestWithAdjacency:
+    def test_swaps_edges_keeps_features(self, small_graph):
+        substitute = CooAdjacency.from_edge_list(4, [(0, 3)])
+        swapped = small_graph.with_adjacency(substitute, name="sub")
+        assert swapped.num_edges == 1
+        assert swapped.name == "sub"
+        np.testing.assert_array_equal(swapped.features, small_graph.features)
+        # original untouched (frozen dataclass semantics)
+        assert small_graph.num_edges == 3
+
+    def test_name_defaults_to_original(self, small_graph):
+        swapped = small_graph.with_adjacency(CooAdjacency.empty(4))
+        assert swapped.name == "small"
+
+    def test_rejects_wrong_size(self, small_graph):
+        with pytest.raises(ValueError):
+            small_graph.with_adjacency(CooAdjacency.empty(7))

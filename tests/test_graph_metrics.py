@@ -1,0 +1,68 @@
+"""Graph metric tests: homophily, degree, overlap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CooAdjacency,
+    average_degree,
+    degree_histogram,
+    edge_homophily,
+    edge_overlap,
+)
+
+
+class TestEdgeHomophily:
+    def test_all_same_class(self):
+        adj = CooAdjacency.from_edge_list(4, [(0, 1), (2, 3)])
+        assert edge_homophily(adj, np.zeros(4, dtype=int)) == 1.0
+
+    def test_all_cross_class(self):
+        adj = CooAdjacency.from_edge_list(4, [(0, 1), (2, 3)])
+        assert edge_homophily(adj, np.array([0, 1, 0, 1])) == 0.0
+
+    def test_mixed(self):
+        adj = CooAdjacency.from_edge_list(4, [(0, 1), (0, 2)])
+        labels = np.array([0, 0, 1, 1])
+        assert edge_homophily(adj, labels) == pytest.approx(0.5)
+
+    def test_empty_graph(self):
+        assert edge_homophily(CooAdjacency.empty(3), np.zeros(3, dtype=int)) == 0.0
+
+
+class TestAverageDegree:
+    def test_value(self):
+        adj = CooAdjacency.from_edge_list(4, [(0, 1), (1, 2)])
+        # 4 directed entries over 4 nodes
+        assert average_degree(adj) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert average_degree(CooAdjacency.empty(0)) == 0.0
+
+
+class TestEdgeOverlap:
+    def test_identical(self):
+        adj = CooAdjacency.from_edge_list(4, [(0, 1), (1, 2)])
+        assert edge_overlap(adj, adj) == 1.0
+
+    def test_disjoint(self):
+        a = CooAdjacency.from_edge_list(4, [(0, 1)])
+        b = CooAdjacency.from_edge_list(4, [(2, 3)])
+        assert edge_overlap(a, b) == 0.0
+
+    def test_partial(self):
+        a = CooAdjacency.from_edge_list(4, [(0, 1), (1, 2)])
+        b = CooAdjacency.from_edge_list(4, [(0, 1), (2, 3)])
+        assert edge_overlap(a, b) == pytest.approx(1.0 / 3.0)
+
+    def test_both_empty(self):
+        assert edge_overlap(CooAdjacency.empty(3), CooAdjacency.empty(3)) == 0.0
+
+
+class TestDegreeHistogram:
+    def test_counts_all_nodes(self):
+        adj = CooAdjacency.from_edge_list(5, [(0, 1), (0, 2), (0, 3)])
+        hist = degree_histogram(adj, num_bins=4)
+        assert hist.sum() == 5

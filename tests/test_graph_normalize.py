@@ -1,0 +1,94 @@
+"""Adjacency normalisation tests: symmetric GCN norm, row norm, features."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import (
+    CooAdjacency,
+    gcn_normalize,
+    normalize_features,
+    row_normalize,
+)
+
+
+@pytest.fixture
+def path_graph():
+    return CooAdjacency.from_edge_list(3, [(0, 1), (1, 2)])
+
+
+class TestGcnNormalize:
+    def test_matches_closed_form(self, path_graph):
+        a = path_graph.to_dense() + np.eye(3)
+        d_inv_sqrt = np.diag(1.0 / np.sqrt(a.sum(axis=1)))
+        expected = d_inv_sqrt @ a @ d_inv_sqrt
+        np.testing.assert_allclose(gcn_normalize(path_graph).toarray(), expected)
+
+    def test_symmetric_output(self, path_graph):
+        norm = gcn_normalize(path_graph).toarray()
+        np.testing.assert_allclose(norm, norm.T)
+
+    def test_without_self_loops(self, path_graph):
+        norm = gcn_normalize(path_graph, add_self_loops=False).toarray()
+        assert np.all(np.diag(norm) == 0.0)
+
+    def test_isolated_node_row_is_zero_without_self_loops(self):
+        adj = CooAdjacency.from_edge_list(3, [(0, 1)])
+        norm = gcn_normalize(adj, add_self_loops=False).toarray()
+        np.testing.assert_array_equal(norm[2], np.zeros(3))
+        assert np.all(np.isfinite(norm))
+
+    def test_isolated_node_self_loop_weight_one(self):
+        adj = CooAdjacency.from_edge_list(3, [(0, 1)])
+        norm = gcn_normalize(adj).toarray()
+        assert norm[2, 2] == pytest.approx(1.0)
+
+    def test_accepts_scipy_input(self, path_graph):
+        from_scipy = gcn_normalize(path_graph.to_csr())
+        from_coo = gcn_normalize(path_graph)
+        np.testing.assert_allclose(from_scipy.toarray(), from_coo.toarray())
+
+    def test_spectral_radius_at_most_one(self):
+        rng = np.random.default_rng(0)
+        edges = [(rng.integers(20), rng.integers(20)) for _ in range(40)]
+        adj = CooAdjacency.from_edge_list(20, edges)
+        norm = gcn_normalize(adj).toarray()
+        eigenvalues = np.linalg.eigvalsh(norm)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self, path_graph):
+        norm = row_normalize(path_graph).toarray()
+        np.testing.assert_allclose(norm.sum(axis=1), np.ones(3))
+
+    def test_isolated_node_without_self_loops(self):
+        adj = CooAdjacency.from_edge_list(3, [(0, 1)])
+        norm = row_normalize(adj, add_self_loops=False).toarray()
+        np.testing.assert_array_equal(norm[2], np.zeros(3))
+
+    def test_mean_aggregation_semantics(self):
+        adj = CooAdjacency.from_edge_list(3, [(0, 1), (0, 2)])
+        norm = row_normalize(adj, add_self_loops=False)
+        x = np.array([[0.0], [2.0], [4.0]])
+        out = norm @ x
+        assert out[0, 0] == pytest.approx(3.0)  # mean of neighbours 1,2
+
+
+class TestNormalizeFeatures:
+    def test_rows_sum_to_one(self):
+        x = np.array([[1.0, 3.0], [2.0, 2.0]])
+        out = normalize_features(x)
+        np.testing.assert_allclose(np.abs(out).sum(axis=1), np.ones(2))
+
+    def test_zero_rows_untouched(self):
+        x = np.array([[0.0, 0.0], [1.0, 1.0]])
+        out = normalize_features(x)
+        np.testing.assert_array_equal(out[0], [0.0, 0.0])
+        assert np.all(np.isfinite(out))
+
+    def test_negative_values_use_l1(self):
+        out = normalize_features(np.array([[-1.0, 1.0]]))
+        np.testing.assert_allclose(out, [[-0.5, 0.5]])

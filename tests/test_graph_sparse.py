@@ -1,0 +1,107 @@
+"""CooAdjacency tests: construction, invariants, conversions, memory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import CooAdjacency
+
+
+@pytest.fixture
+def triangle():
+    """3-node triangle graph."""
+    return CooAdjacency.from_edge_list(3, [(0, 1), (1, 2), (0, 2)])
+
+
+class TestConstruction:
+    def test_from_edge_list_symmetrizes(self, triangle):
+        assert triangle.num_entries == 6
+        assert triangle.num_edges == 3
+        assert triangle.is_symmetric()
+
+    def test_from_edge_list_deduplicates(self):
+        adj = CooAdjacency.from_edge_list(3, [(0, 1), (1, 0), (0, 1)])
+        assert adj.num_edges == 1
+
+    def test_from_edge_list_drops_self_loops(self):
+        adj = CooAdjacency.from_edge_list(3, [(0, 0), (1, 2)])
+        assert adj.num_edges == 1
+
+    def test_asymmetric_option(self):
+        adj = CooAdjacency.from_edge_list(3, [(0, 1)], symmetrize=False)
+        assert adj.num_entries == 1
+        assert not adj.is_symmetric()
+
+    def test_from_scipy_roundtrip(self, triangle):
+        again = CooAdjacency.from_scipy(triangle.to_scipy())
+        assert again.edge_set() == triangle.edge_set()
+
+    def test_from_scipy_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            CooAdjacency.from_scipy(sp.csr_matrix(np.ones((2, 3))))
+
+    def test_empty(self):
+        adj = CooAdjacency.empty(5)
+        assert adj.num_edges == 0
+        assert adj.num_entries == 0
+        assert adj.density() == 0.0
+
+    def test_rejects_out_of_range_indices(self):
+        with pytest.raises(ValueError):
+            CooAdjacency(2, np.array([0]), np.array([5]))
+        with pytest.raises(ValueError):
+            CooAdjacency(2, np.array([-1]), np.array([0]))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            CooAdjacency(3, np.array([0, 1]), np.array([1]))
+        with pytest.raises(ValueError):
+            CooAdjacency(3, np.array([0]), np.array([1]), values=np.ones(2))
+
+    def test_default_values_are_ones(self, triangle):
+        np.testing.assert_array_equal(triangle.values, np.ones(6))
+
+
+class TestDerivedQuantities:
+    def test_degrees(self, triangle):
+        np.testing.assert_array_equal(triangle.degrees(), [2.0, 2.0, 2.0])
+
+    def test_degrees_weighted(self):
+        adj = CooAdjacency(2, np.array([0]), np.array([1]), values=np.array([2.5]))
+        np.testing.assert_array_equal(adj.degrees(), [2.5, 0.0])
+
+    def test_density_of_complete_graph(self, triangle):
+        assert triangle.density() == pytest.approx(1.0)
+
+    def test_density_single_node(self):
+        assert CooAdjacency.empty(1).density() == 0.0
+
+    def test_edge_set(self, triangle):
+        assert triangle.edge_set() == {(0, 1), (1, 2), (0, 2)}
+
+    def test_to_dense_matches_scipy(self, triangle):
+        np.testing.assert_array_equal(triangle.to_dense(), triangle.to_scipy().toarray())
+
+    def test_to_csr_is_csr(self, triangle):
+        assert sp.issparse(triangle.to_csr())
+        assert triangle.to_csr().format == "csr"
+
+
+class TestMemoryAccounting:
+    def test_coo_memory_formula(self, triangle):
+        # 6 entries × (2×8 idx + 8 val) + 3 nodes × 8 degree cache
+        assert triangle.memory_bytes() == 6 * 24 + 3 * 8
+
+    def test_dense_memory_formula(self, triangle):
+        assert triangle.dense_memory_bytes() == 9 * 8
+        assert triangle.dense_memory_bytes(value_bytes=4) == 9 * 4
+
+    def test_coo_beats_dense_for_sparse_graphs(self):
+        n = 1000
+        adj = CooAdjacency.from_edge_list(n, [(i, (i + 1) % n) for i in range(n)])
+        assert adj.memory_bytes() < adj.dense_memory_bytes() / 100
+
+    def test_custom_index_bytes(self, triangle):
+        assert triangle.memory_bytes(index_bytes=4, value_bytes=4) == 6 * 12 + 3 * 4

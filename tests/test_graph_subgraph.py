@@ -1,0 +1,165 @@
+"""Subgraph extraction + per-node secure query tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.deploy import SecureInferenceSession
+from repro.graph import (
+    CooAdjacency,
+    extract_subgraph,
+    gcn_normalize,
+    gcn_normalize_with_degrees,
+    k_hop_neighbourhood,
+)
+from repro.models import GCNBackbone
+
+
+@pytest.fixture
+def path():
+    """0-1-2-3-4 path graph."""
+    return CooAdjacency.from_edge_list(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+class TestKHopNeighbourhood:
+    def test_zero_hops_is_targets(self, path):
+        np.testing.assert_array_equal(k_hop_neighbourhood(path, [2], 0), [2])
+
+    def test_one_hop(self, path):
+        np.testing.assert_array_equal(k_hop_neighbourhood(path, [2], 1), [1, 2, 3])
+
+    def test_two_hops(self, path):
+        np.testing.assert_array_equal(
+            k_hop_neighbourhood(path, [2], 2), [0, 1, 2, 3, 4]
+        )
+
+    def test_multiple_targets_union(self, path):
+        np.testing.assert_array_equal(
+            k_hop_neighbourhood(path, [0, 4], 1), [0, 1, 3, 4]
+        )
+
+    def test_out_of_range_target(self, path):
+        with pytest.raises(ValueError):
+            k_hop_neighbourhood(path, [9], 1)
+
+    def test_empty_targets(self, path):
+        with pytest.raises(ValueError):
+            k_hop_neighbourhood(path, [], 1)
+
+    def test_negative_hops(self, path):
+        with pytest.raises(ValueError):
+            k_hop_neighbourhood(path, [0], -1)
+
+
+class TestExtractSubgraph:
+    def test_induced_edges(self, path):
+        sub = extract_subgraph(path, [2], hops=1)
+        # nodes 1,2,3 with edges (1,2),(2,3) locally re-indexed
+        assert sub.num_nodes == 3
+        assert sub.adjacency.edge_set() == {(0, 1), (1, 2)}
+
+    def test_targets_local_positions(self, path):
+        sub = extract_subgraph(path, [2], hops=1)
+        assert sub.nodes[sub.targets_local[0]] == 2
+
+    def test_global_degrees_include_cut_edges(self, path):
+        sub = extract_subgraph(path, [2], hops=1)
+        # node 1 has global degree 2 (+1 self loop) even though its edge to
+        # node 0 was cut from the induced subgraph
+        idx = list(sub.nodes).index(1)
+        assert sub.global_degrees[idx] == 3.0
+
+    def test_restrict_features(self, path):
+        sub = extract_subgraph(path, [2], hops=1)
+        features = np.arange(10.0).reshape(5, 2)
+        np.testing.assert_array_equal(sub.restrict(features), features[[1, 2, 3]])
+
+    def test_restrict_rejects_short_matrix(self, path):
+        sub = extract_subgraph(path, [4], hops=0)
+        with pytest.raises(ValueError):
+            sub.restrict(np.ones((2, 2)))
+
+    def test_lift_labels(self, path):
+        sub = extract_subgraph(path, [2, 3], hops=0)
+        mapping = sub.lift_labels(np.array([7, 9]))
+        assert mapping == {2: 7, 3: 9}
+
+
+class TestExactSubgraphInference:
+    def test_target_embeddings_match_full_graph(self):
+        """k-layer GCN on the k-hop subgraph with global-degree
+        normalisation reproduces the full-graph embedding at the target."""
+        rng = np.random.default_rng(0)
+        edges = [(int(rng.integers(30)), int(rng.integers(30))) for _ in range(60)]
+        adjacency = CooAdjacency.from_edge_list(30, edges)
+        features = rng.random((30, 8))
+        model = GCNBackbone(8, (6, 4), seed=1)
+        model.eval()
+
+        full = model.embeddings(features, gcn_normalize(adjacency))[-1]
+        target = 5
+        sub = extract_subgraph(adjacency, [target], hops=model.num_layers)
+        local = model.embeddings(sub.restrict(features), sub.normalized_adjacency())[-1]
+        pos = list(sub.nodes).index(target)
+        np.testing.assert_allclose(local[pos], full[target], rtol=1e-9)
+
+    def test_induced_degree_normalisation_would_differ(self):
+        """Sanity check on why global degrees matter: induced-degree
+        normalisation perturbs the target embedding on boundary-heavy
+        graphs."""
+        adjacency = CooAdjacency.from_edge_list(
+            6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (1, 4)]
+        )
+        features = np.eye(6)
+        model = GCNBackbone(6, (4, 3), seed=2)
+        model.eval()
+        full = model.embeddings(features, gcn_normalize(adjacency))[-1]
+        sub = extract_subgraph(adjacency, [2], hops=2)
+        induced_norm = gcn_normalize(sub.adjacency)
+        local = model.embeddings(sub.restrict(features), induced_norm)[-1]
+        pos = list(sub.nodes).index(2)
+        assert not np.allclose(local[pos], full[2])
+
+
+class TestPredictNodes:
+    def test_matches_full_predict(self, trained_vault):
+        run = trained_vault
+        session = SecureInferenceSession(
+            run.backbone,
+            run.rectifiers["parallel"],
+            run.substitute,
+            run.graph.adjacency,
+        )
+        full_labels, _ = session.predict(run.graph.features)
+        targets = [0, 7, 42]
+        labels, profile = session.predict_nodes(run.graph.features, targets)
+        np.testing.assert_array_equal(labels, full_labels[targets])
+
+    def test_enclave_memory_scales_with_neighbourhood(self, trained_vault):
+        run = trained_vault
+        session = SecureInferenceSession(
+            run.backbone,
+            run.rectifiers["parallel"],
+            run.substitute,
+            run.graph.adjacency,
+        )
+        _, full_profile = session.predict(run.graph.features)
+        _, node_profile = session.predict_nodes(run.graph.features, [3])
+        assert node_profile.payload_bytes < full_profile.payload_bytes
+        assert (
+            node_profile.peak_enclave_memory_bytes
+            <= full_profile.peak_enclave_memory_bytes
+        )
+
+    def test_label_order_follows_query(self, trained_vault):
+        run = trained_vault
+        session = SecureInferenceSession(
+            run.backbone,
+            run.rectifiers["series"],
+            run.substitute,
+            run.graph.adjacency,
+        )
+        a, _ = session.predict_nodes(run.graph.features, [5, 9])
+        b, _ = session.predict_nodes(run.graph.features, [9, 5])
+        np.testing.assert_array_equal(a, b[::-1])

@@ -1,0 +1,91 @@
+"""Integration: the full operational lifecycle on one deployment.
+
+Vendor exports a bundle → device imports it → a VaultServer serves a
+heavy-tailed query stream through per-node ECALLs → the deployer audits
+the access-pattern side channel and the link stealing surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import link_stealing_attack
+from repro.deploy import VaultServer, zipf_workload
+from repro.errors import SecurityViolation
+from repro.io import export_bundle, import_bundle, save_graph, load_graph
+from repro.tee import AccessPatternAuditor, OneWayChannel
+
+
+@pytest.fixture(scope="module")
+def operational(trained_vault, tmp_path_factory):
+    run = trained_vault
+    bundle_dir = tmp_path_factory.mktemp("ops") / "bundle"
+    export_bundle(
+        bundle_dir,
+        run.backbone,
+        run.rectifiers["parallel"],
+        run.substitute,
+        run.graph.adjacency,
+    )
+    save_graph(run.graph, bundle_dir / "dataset.npz")
+    session = import_bundle(bundle_dir)
+    return run, bundle_dir, session
+
+
+class TestOperationalLifecycle:
+    def test_imported_session_serves_workload(self, operational):
+        run, bundle_dir, session = operational
+        graph = load_graph(bundle_dir / "dataset.npz")
+        server = VaultServer(session, graph.features)
+        workload = zipf_workload(graph.num_nodes, 60, seed=1)
+        labels = server.serve(workload, batch_size=6)
+        assert labels.shape == (60,)
+        assert server.stats.queries_served == 60
+
+    def test_served_labels_match_direct_inference(self, operational):
+        run, bundle_dir, session = operational
+        graph = load_graph(bundle_dir / "dataset.npz")
+        full, _ = session.predict(graph.features)
+        server = VaultServer(session, graph.features)
+        for node in (0, 17, 42):
+            assert server.query(node) == full[node]
+
+    def test_per_node_ecall_error_paths(self, operational):
+        run, bundle_dir, session = operational
+        # empty channel
+        with pytest.raises(SecurityViolation):
+            session.enclave.ecall_infer_nodes(OneWayChannel(), [0])
+        # wrong node count in payload
+        channel = OneWayChannel()
+        for layer in run.rectifiers["parallel"].consumed_layers():
+            channel.push(np.ones((3, run.backbone.layer_output_dims()[layer])))
+        with pytest.raises(ValueError):
+            session.enclave.ecall_infer_nodes(channel, [0])
+
+    def test_deployment_survives_security_audit(self, operational):
+        run, bundle_dir, session = operational
+        graph = run.graph
+        # 1. link stealing on the observable surface collapses to baseline.
+        gv = link_stealing_attack(
+            run.backbone_embeddings(), graph.adjacency, num_pairs=400, seed=0
+        )
+        base = link_stealing_attack(
+            graph.features, graph.adjacency, num_pairs=400, seed=0
+        )
+        assert gv.mean_auc() <= base.mean_auc() + 0.12
+        # 2. full-graph serving is access-pattern silent.
+        auditor = AccessPatternAuditor(graph.num_nodes)
+        for node in range(5):
+            auditor.observe_full_graph_ecall([node])
+        assert not auditor.leakage_report(graph.adjacency).leaks
+
+    def test_audit_flags_per_node_path(self, operational):
+        run, bundle_dir, session = operational
+        graph = run.graph
+        hops = len(run.rectifiers["parallel"].convs)
+        auditor = AccessPatternAuditor(graph.num_nodes)
+        for node in range(20):
+            auditor.observe_node_ecall(graph.adjacency, [node], hops)
+        report = auditor.leakage_report(graph.adjacency)
+        assert report.leaks  # the deployer sees the cost before choosing

@@ -1,0 +1,155 @@
+"""Serialization tests: graphs, models, sealed deployment bundles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    build_from_architecture,
+    export_bundle,
+    import_bundle,
+    load_graph,
+    load_model,
+    save_graph,
+    save_model,
+)
+from repro.models import GCNBackbone, MlpBackbone, make_rectifier
+
+
+class TestGraphRoundtrip:
+    def test_roundtrip(self, tiny_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_graph(tiny_graph, path)
+        loaded = load_graph(path)
+        assert loaded.name == tiny_graph.name
+        np.testing.assert_array_equal(loaded.features, tiny_graph.features)
+        np.testing.assert_array_equal(loaded.labels, tiny_graph.labels)
+        assert loaded.adjacency.edge_set() == tiny_graph.adjacency.edge_set()
+
+    def test_preserves_edge_weights(self, tmp_path):
+        from repro.graph import CooAdjacency, Graph
+
+        adj = CooAdjacency(
+            3, np.array([0, 1]), np.array([1, 0]), values=np.array([2.5, 2.5])
+        )
+        graph = Graph(np.eye(3), np.array([0, 1, 0]), adj, name="weighted")
+        path = tmp_path / "weighted.npz"
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        np.testing.assert_array_equal(loaded.adjacency.values, [2.5, 2.5])
+
+
+class TestModelRoundtrip:
+    def test_gcn_backbone(self, tmp_path):
+        model = GCNBackbone(12, (8, 3), seed=4)
+        path = tmp_path / "gcn.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert isinstance(loaded, GCNBackbone)
+        assert loaded.channels == (8, 3)
+        for (name_a, p_a), (name_b, p_b) in zip(
+            model.named_parameters(), loaded.named_parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_array_equal(p_a.data, p_b.data)
+
+    def test_mlp_backbone(self, tmp_path):
+        model = MlpBackbone(6, (4, 2), seed=1)
+        path = tmp_path / "mlp.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert isinstance(loaded, MlpBackbone)
+        x = np.random.default_rng(0).random((5, 6))
+        model.eval(), loaded.eval()
+        np.testing.assert_array_equal(
+            model.predict(x), loaded.predict(x)
+        )
+
+    @pytest.mark.parametrize("scheme", ["parallel", "series", "cascaded"])
+    def test_rectifiers(self, tmp_path, scheme):
+        rect = make_rectifier(scheme, (16, 8, 3), (16, 8, 3), seed=2)
+        path = tmp_path / f"{scheme}.npz"
+        save_model(rect, path)
+        loaded = load_model(path)
+        assert loaded.scheme == scheme
+        assert loaded.num_parameters() == rect.num_parameters()
+        assert loaded.consumed_layers() == rect.consumed_layers()
+
+    def test_series_tap_preserved(self, tmp_path):
+        rect = make_rectifier("series", (16, 8, 3), (4, 3), tap=0, seed=2)
+        path = tmp_path / "series.npz"
+        save_model(rect, path)
+        assert load_model(path).consumed_layers() == (0,)
+
+    def test_unknown_architecture_kind(self):
+        with pytest.raises(ValueError):
+            build_from_architecture({"kind": "transformer"})
+
+    def test_unsupported_model_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_model(object(), tmp_path / "bad.npz")
+
+
+class TestBundle:
+    def test_export_import_roundtrip(self, trained_vault, tmp_path):
+        run = trained_vault
+        bundle_dir = tmp_path / "bundle"
+        export_bundle(
+            bundle_dir,
+            run.backbone,
+            run.rectifiers["parallel"],
+            run.substitute,
+            run.graph.adjacency,
+        )
+        session = import_bundle(bundle_dir)
+        labels, profile = session.predict(run.graph.features)
+        direct = run.rectifiers["parallel"].predict(
+            run.backbone_embeddings(), run.graph.normalized_adjacency()
+        )
+        np.testing.assert_array_equal(labels, direct)
+
+    def test_bundle_files_exist(self, trained_vault, tmp_path):
+        run = trained_vault
+        bundle = export_bundle(
+            tmp_path / "b",
+            run.backbone,
+            run.rectifiers["series"],
+            run.substitute,
+            run.graph.adjacency,
+        )
+        for path in (
+            bundle.backbone_path,
+            bundle.substitute_path,
+            bundle.rectifier_arch_path,
+            bundle.sealed_weights_path,
+            bundle.sealed_graph_path,
+        ):
+            assert path.exists(), path
+
+    def test_private_graph_not_in_plaintext(self, trained_vault, tmp_path):
+        """The sealed graph file must not contain the raw edge arrays."""
+        run = trained_vault
+        bundle = export_bundle(
+            tmp_path / "b",
+            run.backbone,
+            run.rectifiers["series"],
+            run.substitute,
+            run.graph.adjacency,
+        )
+        blob_bytes = bundle.sealed_graph_path.read_bytes()
+        raw_rows = run.graph.adjacency.rows.tobytes()
+        assert raw_rows not in blob_bytes
+
+    def test_missing_file_rejected(self, trained_vault, tmp_path):
+        run = trained_vault
+        bundle = export_bundle(
+            tmp_path / "b",
+            run.backbone,
+            run.rectifiers["series"],
+            run.substitute,
+            run.graph.adjacency,
+        )
+        bundle.sealed_graph_path.unlink()
+        with pytest.raises(FileNotFoundError):
+            import_bundle(bundle.directory)

@@ -1,0 +1,158 @@
+"""GCN and MLP backbone tests: shapes, interfaces, determinism, presets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import gcn_normalize
+from repro.models import (
+    M1,
+    M2,
+    M3,
+    GCNBackbone,
+    MlpBackbone,
+    get_preset,
+    preset_for_graph,
+)
+from repro.datasets import load_dataset
+
+
+@pytest.fixture
+def adj(tiny_graph):
+    return gcn_normalize(tiny_graph.adjacency)
+
+
+class TestGCNBackbone:
+    def test_output_shape(self, tiny_graph, adj):
+        model = GCNBackbone(tiny_graph.num_features, (16, 8, 3), seed=0)
+        logits = model(tiny_graph.features, adj)
+        assert logits.shape == (60, 3)
+
+    def test_intermediates_match_channels(self, tiny_graph, adj):
+        model = GCNBackbone(tiny_graph.num_features, (16, 8, 3), seed=0)
+        outs = model.forward_with_intermediates(tiny_graph.features, adj)
+        assert [o.shape[1] for o in outs] == [16, 8, 3]
+
+    def test_hidden_layers_relu_nonnegative(self, tiny_graph, adj):
+        model = GCNBackbone(tiny_graph.num_features, (16, 8, 3), seed=0)
+        model.eval()
+        outs = model.forward_with_intermediates(tiny_graph.features, adj)
+        assert np.all(outs[0].data >= 0)
+        assert np.all(outs[1].data >= 0)
+
+    def test_final_layer_unactivated(self, tiny_graph, adj):
+        model = GCNBackbone(tiny_graph.num_features, (16, 8, 3), seed=0)
+        model.eval()
+        outs = model.forward_with_intermediates(tiny_graph.features, adj)
+        assert np.any(outs[-1].data < 0)  # raw logits go negative
+
+    def test_embeddings_is_eval_mode_and_plain_arrays(self, tiny_graph, adj):
+        model = GCNBackbone(tiny_graph.num_features, (16, 3), dropout=0.9, seed=0)
+        model.train()
+        a = model.embeddings(tiny_graph.features, adj)
+        b = model.embeddings(tiny_graph.features, adj)
+        np.testing.assert_array_equal(a[0], b[0])  # no dropout noise
+        assert isinstance(a[0], np.ndarray)
+        assert model.training  # restored
+
+    def test_predict_returns_class_ids(self, tiny_graph, adj):
+        model = GCNBackbone(tiny_graph.num_features, (8, 3), seed=0)
+        preds = model.predict(tiny_graph.features, adj)
+        assert preds.shape == (60,)
+        assert set(np.unique(preds)) <= {0, 1, 2}
+
+    def test_deterministic_seed(self, tiny_graph, adj):
+        a = GCNBackbone(tiny_graph.num_features, (8, 3), seed=5)
+        b = GCNBackbone(tiny_graph.num_features, (8, 3), seed=5)
+        np.testing.assert_array_equal(
+            a.layers[0].weight.data, b.layers[0].weight.data
+        )
+
+    def test_needs_at_least_one_layer(self):
+        with pytest.raises(ValueError):
+            GCNBackbone(4, ())
+
+    def test_dropout_active_in_training(self, tiny_graph, adj):
+        model = GCNBackbone(tiny_graph.num_features, (16, 3), dropout=0.5, seed=0)
+        model.train()
+        a = model(tiny_graph.features, adj).data
+        b = model(tiny_graph.features, adj).data
+        assert not np.allclose(a, b)
+
+    def test_adjacency_affects_output(self, tiny_graph, adj):
+        from repro.graph import CooAdjacency
+
+        model = GCNBackbone(tiny_graph.num_features, (8, 3), seed=0)
+        model.eval()
+        empty = gcn_normalize(CooAdjacency.empty(60))
+        with_edges = model(tiny_graph.features, adj).data
+        without = model(tiny_graph.features, empty).data
+        assert not np.allclose(with_edges, without)
+
+
+class TestMlpBackbone:
+    def test_ignores_adjacency(self, tiny_graph, adj):
+        model = MlpBackbone(tiny_graph.num_features, (8, 3), seed=0)
+        model.eval()
+        a = model(tiny_graph.features, adj).data
+        b = model(tiny_graph.features, None).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_shapes_and_interface_parity(self, tiny_graph):
+        model = MlpBackbone(tiny_graph.num_features, (16, 8, 3), seed=0)
+        outs = model.forward_with_intermediates(tiny_graph.features)
+        assert [o.shape[1] for o in outs] == [16, 8, 3]
+        assert model.layer_output_dims() == (16, 8, 3)
+        assert model.num_classes == 3
+
+    def test_predict(self, tiny_graph):
+        model = MlpBackbone(tiny_graph.num_features, (8, 3), seed=0)
+        assert model.predict(tiny_graph.features).shape == (60,)
+
+    def test_needs_layer(self):
+        with pytest.raises(ValueError):
+            MlpBackbone(4, ())
+
+
+class TestPresets:
+    def test_m1_channels(self):
+        assert M1.backbone_channels(7) == (128, 32, 7)
+        assert M1.rectifier_channels(7) == (128, 32, 7)
+
+    def test_m3_depth(self):
+        assert M3.backbone_channels(10) == (256, 64, 32, 16, 10)
+        assert M3.rectifier_channels(10) == (64, 32, 10)
+
+    def test_get_preset_case_insensitive(self):
+        assert get_preset("m2") is M2
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            get_preset("M9")
+
+    def test_theta_bb_matches_table2_cora(self):
+        """Paper Table II: Cora θ_bb = 0.188 M."""
+        backbone = M1.build_backbone(1433, 7)
+        assert backbone.num_parameters() / 1e6 == pytest.approx(0.188, abs=0.003)
+
+    def test_theta_bb_matches_table2_corafull(self):
+        """Paper Table II: CoraFull θ_bb = 2.27 M."""
+        backbone = M2.build_backbone(8710, 70)
+        assert backbone.num_parameters() / 1e6 == pytest.approx(2.27, abs=0.06)
+
+    def test_theta_bb_matches_table2_computer(self):
+        """Paper Table II: Computer θ_bb = 0.216 M."""
+        backbone = M3.build_backbone(767, 10)
+        assert backbone.num_parameters() / 1e6 == pytest.approx(0.216, abs=0.005)
+
+    def test_preset_for_graph_uses_registry(self):
+        g = load_dataset("corafull")
+        assert preset_for_graph(g).name == "M2"
+
+    def test_preset_for_unknown_graph_defaults_m1(self, tiny_graph):
+        assert preset_for_graph(tiny_graph).name == "M1"
+
+    def test_build_mlp_backbone(self):
+        mlp = M1.build_mlp_backbone(100, 5)
+        assert mlp.layer_output_dims() == (128, 32, 5)

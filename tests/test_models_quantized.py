@@ -1,0 +1,101 @@
+"""Quantization tests: grids, errors, memory accounting, functionality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import gcn_normalize
+from repro.models import (
+    GCNBackbone,
+    make_rectifier,
+    quantization_sweep,
+    quantize_array,
+    quantize_rectifier,
+)
+
+
+class TestQuantizeArray:
+    def test_roundtrip_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(0, 1, (20, 10))
+        snapped, scale = quantize_array(weights, bits=8)
+        assert np.abs(snapped - weights).max() <= scale / 2 + 1e-12
+
+    def test_grid_size(self):
+        rng = np.random.default_rng(1)
+        weights = rng.normal(0, 1, (50, 50))
+        snapped, _ = quantize_array(weights, bits=4)
+        # 4 bits → at most 2*(2^3-1)+1 = 15 distinct levels
+        assert np.unique(snapped).size <= 15
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(2)
+        weights = rng.normal(0, 1, (30, 30))
+        err8 = np.abs(quantize_array(weights, 8)[0] - weights).max()
+        err2 = np.abs(quantize_array(weights, 2)[0] - weights).max()
+        assert err8 < err2
+
+    def test_zero_weights_passthrough(self):
+        snapped, scale = quantize_array(np.zeros((3, 3)), 8)
+        np.testing.assert_array_equal(snapped, 0.0)
+        assert scale == 1.0
+
+    def test_sign_symmetry(self):
+        weights = np.array([[-1.0, 1.0]])
+        snapped, _ = quantize_array(weights, 8)
+        assert snapped[0, 0] == -snapped[0, 1]
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_array(np.ones(3), 1)
+        with pytest.raises(ValueError):
+            quantize_array(np.ones(3), 20)
+
+
+class TestQuantizeRectifier:
+    @pytest.fixture
+    def rectifier(self):
+        return make_rectifier("parallel", (16, 8, 3), (16, 8, 3), seed=0)
+
+    def test_original_untouched(self, rectifier):
+        before = rectifier.state_dict()
+        quantize_rectifier(rectifier, bits=4)
+        after = rectifier.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_memory_accounting(self, rectifier):
+        _, report = quantize_rectifier(rectifier, bits=8)
+        assert report.memory_bytes == rectifier.num_parameters()
+        assert report.compression == pytest.approx(8.0)
+
+    def test_sub_byte_widths_round_up(self, rectifier):
+        _, report = quantize_rectifier(rectifier, bits=4)
+        assert report.memory_bytes == rectifier.num_parameters()  # 1 B each
+
+    def test_report_error_positive(self, rectifier):
+        _, report = quantize_rectifier(rectifier, bits=4)
+        assert report.max_round_error > 0
+
+    def test_quantized_model_still_functional(self, tiny_graph, rectifier):
+        adj = gcn_normalize(tiny_graph.adjacency)
+        backbone = GCNBackbone(tiny_graph.num_features, (16, 8, 3), seed=0)
+        outs = backbone.embeddings(tiny_graph.features, adj)
+        quantized, _ = quantize_rectifier(rectifier, bits=8)
+        preds = quantized.predict(outs, adj)
+        assert preds.shape == (60,)
+
+    def test_8bit_predictions_mostly_agree(self, tiny_graph, rectifier):
+        adj = gcn_normalize(tiny_graph.adjacency)
+        backbone = GCNBackbone(tiny_graph.num_features, (16, 8, 3), seed=0)
+        outs = backbone.embeddings(tiny_graph.features, adj)
+        rectifier.eval()
+        original = rectifier.predict(outs, adj)
+        quantized, _ = quantize_rectifier(rectifier, bits=8)
+        assert (quantized.predict(outs, adj) == original).mean() > 0.9
+
+    def test_sweep_covers_widths(self, rectifier):
+        sweep = quantization_sweep(rectifier, bit_widths=(8, 4))
+        assert set(sweep) == {8, 4}
+        assert sweep[4][1].max_round_error >= sweep[8][1].max_round_error

@@ -1,0 +1,177 @@
+"""Rectifier tests: the three communication schemes and their θ counts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.graph import gcn_normalize
+from repro.models import (
+    M1,
+    M3,
+    CascadedRectifier,
+    GCNBackbone,
+    ParallelRectifier,
+    SeriesRectifier,
+    make_rectifier,
+)
+
+
+@pytest.fixture
+def setup(tiny_graph):
+    adj = gcn_normalize(tiny_graph.adjacency)
+    backbone = GCNBackbone(tiny_graph.num_features, (16, 8, 3), seed=0)
+    backbone.eval()
+    outs = backbone.forward_with_intermediates(tiny_graph.features, adj)
+    return tiny_graph, adj, backbone, outs
+
+
+class TestParallel:
+    def test_output_shape(self, setup):
+        graph, adj, backbone, outs = setup
+        rect = ParallelRectifier((16, 8, 3), (16, 8, 3), seed=1)
+        assert rect(outs, adj).shape == (60, 3)
+
+    def test_consumes_all_aligned_layers(self):
+        rect = ParallelRectifier((16, 8, 3), (16, 8, 3))
+        assert rect.consumed_layers() == (0, 1, 2)
+
+    def test_input_dims_concat_previous(self):
+        rect = ParallelRectifier((16, 8, 3), (16, 8, 3))
+        assert rect.input_dims() == (16, 8 + 16, 3 + 8)
+
+    def test_shallower_than_backbone(self):
+        rect = ParallelRectifier((32, 16, 8, 4), (16, 8, 4))
+        assert rect.consumed_layers() == (0, 1, 2)
+        assert rect.input_dims() == (32, 16 + 16, 8 + 8)
+
+    def test_deeper_than_backbone_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRectifier((16, 3), (16, 8, 3))
+
+    def test_too_few_embeddings_rejected(self, setup):
+        graph, adj, backbone, outs = setup
+        rect = ParallelRectifier((16, 8, 3), (16, 8, 3))
+        with pytest.raises(ValueError):
+            rect(outs[:2], adj)
+
+    def test_theta_matches_paper_m1(self):
+        """Table II parallel M1: θ_rec = 0.022 M (Cora, C=7)."""
+        rect = M1.build_rectifier("parallel", 7)
+        assert rect.num_parameters() / 1e6 == pytest.approx(0.022, abs=0.001)
+
+    def test_theta_matches_paper_m3(self):
+        """Table II parallel M3: θ_rec = 0.021 M (Computer, C=10)."""
+        rect = M3.build_rectifier("parallel", 10)
+        assert rect.num_parameters() / 1e6 == pytest.approx(0.021, abs=0.001)
+
+
+class TestCascaded:
+    def test_output_shape(self, setup):
+        graph, adj, backbone, outs = setup
+        rect = CascadedRectifier((16, 8, 3), (16, 8, 3), seed=1)
+        assert rect(outs, adj).shape == (60, 3)
+
+    def test_first_layer_sees_concatenation(self):
+        rect = CascadedRectifier((16, 8, 3), (16, 8, 3))
+        assert rect.input_dims()[0] == 16 + 8 + 3
+
+    def test_consumes_every_layer(self):
+        rect = CascadedRectifier((16, 8, 3), (16, 8, 3))
+        assert rect.consumed_layers() == (0, 1, 2)
+
+    def test_wrong_embedding_count_rejected(self, setup):
+        graph, adj, backbone, outs = setup
+        rect = CascadedRectifier((16, 8, 3), (16, 8, 3))
+        with pytest.raises(ValueError):
+            rect(outs[:-1], adj)
+
+    def test_theta_matches_paper_m1(self):
+        """Table II cascaded M1: θ_rec ≈ 0.026-0.027 M (Cora)."""
+        rect = M1.build_rectifier("cascaded", 7)
+        assert rect.num_parameters() / 1e6 == pytest.approx(0.026, abs=0.0015)
+
+
+class TestSeries:
+    def test_default_tap_is_penultimate(self):
+        rect = SeriesRectifier((16, 8, 3), (16, 8, 3))
+        assert rect.consumed_layers() == (1,)
+        assert rect.input_dims()[0] == 8
+
+    def test_explicit_tap(self):
+        rect = SeriesRectifier((16, 8, 3), (4, 3), tap=0)
+        assert rect.consumed_layers() == (0,)
+        assert rect.input_dims()[0] == 16
+
+    def test_tap_out_of_range(self):
+        with pytest.raises(ValueError):
+            SeriesRectifier((16, 8), (4, 3), tap=5)
+
+    def test_forward_uses_only_tap(self, setup):
+        graph, adj, backbone, outs = setup
+        rect = SeriesRectifier((16, 8, 3), (8, 3), seed=1)
+        rect.eval()
+        full = rect(outs, adj).data
+        # Garbage in the non-consumed slots must not change the output.
+        noisy = [nn.Tensor(np.random.default_rng(0).random(o.shape)) for o in outs]
+        noisy[1] = outs[1]
+        np.testing.assert_allclose(rect(noisy, adj).data, full)
+
+    def test_theta_matches_paper_m1(self):
+        """Table II series M1: θ_rec = 0.0085-0.0088 M."""
+        rect = M1.build_rectifier("series", 7)
+        assert rect.num_parameters() / 1e6 == pytest.approx(0.0088, abs=0.0005)
+
+    def test_series_is_smallest(self):
+        sizes = {
+            scheme: M1.build_rectifier(scheme, 7).num_parameters()
+            for scheme in ("parallel", "series", "cascaded")
+        }
+        assert sizes["series"] < sizes["parallel"] < sizes["cascaded"]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("scheme", ["parallel", "series", "cascaded"])
+    def test_factory(self, scheme):
+        rect = make_rectifier(scheme, (16, 8, 3), (16, 8, 3))
+        assert rect.scheme == scheme
+
+    def test_factory_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            make_rectifier("zigzag", (8, 3), (8, 3))
+
+    @pytest.mark.parametrize("scheme", ["parallel", "series", "cascaded"])
+    def test_predict_label_only(self, setup, scheme):
+        graph, adj, backbone, outs = setup
+        rect = make_rectifier(scheme, (16, 8, 3), (16, 8, 3), seed=2)
+        preds = rect.predict(outs, adj)
+        assert preds.dtype.kind == "i"
+        assert preds.shape == (60,)
+
+    @pytest.mark.parametrize("scheme", ["parallel", "series", "cascaded"])
+    def test_inputs_are_detached(self, setup, scheme):
+        """One-way flow: rectifier gradients must not reach the backbone."""
+        graph, adj, backbone, outs = setup
+        backbone.zero_grad()
+        rect = make_rectifier(scheme, (16, 8, 3), (16, 8, 3), seed=2)
+        outs_live = backbone.forward_with_intermediates(
+            nn.Tensor(graph.features), adj
+        )
+        rect(outs_live, adj).sum().backward()
+        assert all(p.grad is None for p in backbone.parameters())
+        assert any(p.grad is not None for p in rect.parameters())
+
+    @pytest.mark.parametrize("scheme", ["parallel", "series", "cascaded"])
+    def test_intermediates_depth(self, setup, scheme):
+        graph, adj, backbone, outs = setup
+        rect = make_rectifier(scheme, (16, 8, 3), (16, 8, 3), seed=2)
+        layers = rect.forward_with_intermediates(outs, adj)
+        assert len(layers) == 3
+        assert layers[-1].shape == (60, 3)
+
+    def test_accepts_plain_arrays(self, setup):
+        graph, adj, backbone, outs = setup
+        rect = make_rectifier("series", (16, 8, 3), (8, 3), seed=2)
+        arrays = [o.data for o in outs]
+        assert rect(rect._as_tensors(arrays), adj).shape == (60, 3)

@@ -1,0 +1,180 @@
+"""GraphSAGE and GAT extension tests (the paper's future-work models)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import per_class_split
+from repro.graph import gcn_normalize
+from repro.models import (
+    GATBackbone,
+    SAGEBackbone,
+    prepare_gat_adjacency,
+    prepare_sage_adjacency,
+)
+from repro.training import TrainConfig, train_node_classifier
+
+
+class TestSAGE:
+    def test_shapes(self, tiny_graph):
+        adj = prepare_sage_adjacency(tiny_graph.adjacency)
+        model = SAGEBackbone(tiny_graph.num_features, (16, 3), seed=0)
+        assert model(tiny_graph.features, adj).shape == (60, 3)
+
+    def test_interface_parity(self, tiny_graph):
+        adj = prepare_sage_adjacency(tiny_graph.adjacency)
+        model = SAGEBackbone(tiny_graph.num_features, (16, 8, 3), seed=0)
+        outs = model.forward_with_intermediates(tiny_graph.features, adj)
+        assert [o.shape[1] for o in outs] == [16, 8, 3]
+        assert model.layer_output_dims() == (16, 8, 3)
+
+    def test_self_and_neighbour_paths_differ(self, tiny_graph):
+        """Zeroing neighbour weights must reduce to a per-node transform."""
+        adj = prepare_sage_adjacency(tiny_graph.adjacency)
+        model = SAGEBackbone(tiny_graph.num_features, (5,), seed=0)
+        model.eval()
+        full = model(tiny_graph.features, adj).data
+        model.layers[0].weight_neigh.data[:] = 0.0
+        self_only = model(tiny_graph.features, adj).data
+        assert not np.allclose(full, self_only)
+        expected = (
+            tiny_graph.features @ model.layers[0].weight_self.data
+            + model.layers[0].bias.data
+        )
+        np.testing.assert_allclose(self_only, expected)
+
+    def test_trains_on_tiny_graph(self, tiny_graph, tiny_split):
+        adj = prepare_sage_adjacency(tiny_graph.adjacency)
+        model = SAGEBackbone(tiny_graph.num_features, (16, 3), seed=0)
+        result = train_node_classifier(
+            model, tiny_graph.features, adj, tiny_graph.labels, tiny_split,
+            TrainConfig(epochs=60, patience=20),
+        )
+        assert result.test_accuracy > 0.5
+
+    def test_needs_layer(self):
+        with pytest.raises(ValueError):
+            SAGEBackbone(4, ())
+
+    def test_sage_adjacency_row_stochastic(self, tiny_graph):
+        adj = prepare_sage_adjacency(tiny_graph.adjacency).toarray()
+        sums = adj.sum(axis=1)
+        connected = tiny_graph.adjacency.degrees() > 0
+        np.testing.assert_allclose(sums[connected], 1.0)
+
+
+class TestGAT:
+    def test_shapes(self, tiny_graph):
+        mask = prepare_gat_adjacency(tiny_graph.adjacency)
+        model = GATBackbone(tiny_graph.num_features, (8, 3), seed=0)
+        assert model(tiny_graph.features, mask).shape == (60, 3)
+
+    def test_mask_has_self_loops(self, tiny_graph):
+        mask = prepare_gat_adjacency(tiny_graph.adjacency)
+        assert np.all(np.diag(mask) == 1.0)
+
+    def test_attention_respects_mask(self, tiny_graph):
+        """Changing a non-neighbour's features must not affect a node."""
+        mask = prepare_gat_adjacency(tiny_graph.adjacency)
+        model = GATBackbone(tiny_graph.num_features, (6,), seed=0)
+        model.eval()
+        base = model(tiny_graph.features, mask).data
+        # find a pair (u, v) that are not connected
+        u = 0
+        non_neighbours = np.flatnonzero(mask[u] == 0.0)
+        assert non_neighbours.size > 0
+        v = non_neighbours[0]
+        perturbed = tiny_graph.features.copy()
+        perturbed[v] += 10.0
+        after = model(perturbed, mask).data
+        np.testing.assert_allclose(base[u], after[u], rtol=1e-8)
+
+    def test_trains_on_tiny_graph(self, tiny_graph, tiny_split):
+        mask = prepare_gat_adjacency(tiny_graph.adjacency)
+        model = GATBackbone(tiny_graph.num_features, (8, 3), seed=0)
+        result = train_node_classifier(
+            model, tiny_graph.features, mask, tiny_graph.labels, tiny_split,
+            TrainConfig(epochs=100, patience=50),
+        )
+        assert result.test_accuracy > 0.45
+
+    def test_interface_parity(self, tiny_graph):
+        mask = prepare_gat_adjacency(tiny_graph.adjacency)
+        model = GATBackbone(tiny_graph.num_features, (8, 4, 3), seed=0)
+        outs = model.forward_with_intermediates(tiny_graph.features, mask)
+        assert [o.shape[1] for o in outs] == [8, 4, 3]
+        assert model.predict(tiny_graph.features, mask).shape == (60,)
+
+    def test_needs_layer(self):
+        with pytest.raises(ValueError):
+            GATBackbone(4, ())
+
+    def test_gat_adjacency_accepts_scipy(self, tiny_graph):
+        from_coo = prepare_gat_adjacency(tiny_graph.adjacency)
+        from_scipy = prepare_gat_adjacency(tiny_graph.adjacency.to_csr())
+        np.testing.assert_array_equal(from_coo, from_scipy)
+
+
+class TestSageRectifier:
+    """The pluggable-conv rectifier: GraphSAGE layers inside the enclave."""
+
+    def test_factory_builds_sage_convs(self):
+        from repro.models import make_rectifier
+        from repro.models.sage import SAGEConv
+
+        rect = make_rectifier("parallel", (16, 8, 3), (16, 8, 3), conv="sage")
+        assert all(isinstance(c, SAGEConv) for c in rect.convs)
+
+    def test_unknown_conv_rejected(self):
+        from repro.models import make_rectifier
+
+        with pytest.raises(ValueError):
+            make_rectifier("series", (16, 8, 3), (8, 3), conv="cheb")
+
+    def test_sage_rectifier_trains(self, tiny_graph, tiny_split):
+        from repro.graph import gcn_normalize
+        from repro.models import GCNBackbone, make_rectifier
+        from repro.substitute import KnnGraphBuilder
+
+        sub_adj = gcn_normalize(KnnGraphBuilder(2)(tiny_graph.features))
+        real_mean = prepare_sage_adjacency(tiny_graph.adjacency)
+        backbone = GCNBackbone(tiny_graph.num_features, (16, 8, 3), seed=0)
+        train_node_classifier(
+            backbone, tiny_graph.features, sub_adj, tiny_graph.labels,
+            tiny_split, TrainConfig(epochs=40, patience=20),
+        )
+        rect = make_rectifier("parallel", (16, 8, 3), (16, 8, 3), conv="sage", seed=1)
+        from repro.training import train_rectifier
+
+        result = train_rectifier(
+            rect, backbone, tiny_graph.features, sub_adj, real_mean,
+            tiny_graph.labels, tiny_split, TrainConfig(epochs=40, patience=20),
+        )
+        assert result.test_accuracy > 0.5
+
+    def test_sage_rectifier_hosts_in_enclave(self, tiny_graph):
+        """SAGE rectifiers deploy through the same enclave machinery."""
+        from repro.graph import gcn_normalize
+        from repro.models import GCNBackbone, make_rectifier
+        from repro.tee import (
+            OneWayChannel,
+            RectifierEnclave,
+            seal_private_graph,
+            seal_rectifier_weights,
+        )
+
+        adj = gcn_normalize(tiny_graph.adjacency)
+        backbone = GCNBackbone(tiny_graph.num_features, (16, 8, 3), seed=0)
+        embeddings = backbone.embeddings(tiny_graph.features, adj)
+        rect = make_rectifier("series", (16, 8, 3), (8, 3), conv="sage", seed=1)
+        rect.eval()
+        enclave = RectifierEnclave(rect)
+        enclave.provision_weights(seal_rectifier_weights(rect))
+        enclave.provision_graph(seal_private_graph(tiny_graph.adjacency, rect))
+        channel = OneWayChannel()
+        channel.push(embeddings[1])
+        report = enclave.ecall_infer(channel)
+        labels = channel.collect().labels
+        assert labels.shape == (60,)
+        assert report.compute_seconds > 0

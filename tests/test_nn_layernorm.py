@@ -1,0 +1,89 @@
+"""LayerNorm tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestLayerNorm:
+    def test_normalises_rows(self):
+        rng = np.random.default_rng(0)
+        layer = nn.LayerNorm(6)
+        out = layer(nn.Tensor(rng.random((10, 6)) * 5 + 2)).data
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=1), 1.0, atol=1e-3)
+
+    def test_affine_parameters_learnable(self):
+        layer = nn.LayerNorm(4)
+        assert len(layer.parameters()) == 2
+        x = nn.Tensor(np.random.default_rng(1).random((5, 4)), requires_grad=True)
+        layer(x).sum().backward()
+        assert layer.gain.grad is not None
+        assert layer.bias.grad is not None
+        assert x.grad is not None
+
+    def test_gain_and_bias_applied(self):
+        layer = nn.LayerNorm(3)
+        layer.gain.data[:] = 2.0
+        layer.bias.data[:] = 1.0
+        out = layer(nn.Tensor(np.array([[1.0, 2.0, 3.0]]))).data
+        reference = nn.LayerNorm(3)(nn.Tensor(np.array([[1.0, 2.0, 3.0]]))).data
+        np.testing.assert_allclose(out, reference * 2.0 + 1.0)
+
+    def test_constant_rows_stable(self):
+        layer = nn.LayerNorm(4)
+        out = layer(nn.Tensor(np.ones((3, 4)))).data
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, 0.0, atol=1e-2)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            nn.LayerNorm(0)
+
+    def test_gradient_matches_finite_differences(self):
+        from tests.test_nn_tensor import numerical_gradient
+
+        rng = np.random.default_rng(2)
+        x_data = rng.random((4, 5)) + 0.5
+        layer = nn.LayerNorm(5)
+        layer.gain.data[:] = rng.random(5) + 0.5
+        weight = rng.random((4, 5))
+
+        def scalar_fn(data):
+            return float((layer(nn.Tensor(data)).data * weight).sum())
+
+        x = nn.Tensor(x_data.copy(), requires_grad=True)
+        layer(x).backward(weight)
+        expected = numerical_gradient(scalar_fn, x_data.copy())
+        np.testing.assert_allclose(x.grad, expected, rtol=1e-4, atol=1e-6)
+
+    def test_helps_training_a_deep_mlp(self):
+        """Sanity: LayerNorm composes with the rest of the stack."""
+        rng = np.random.default_rng(3)
+        x = rng.random((60, 8))
+        labels = x[:, :3].argmax(axis=1)
+
+        class NormedMlp(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.first = nn.Linear(8, 16, rng=rng)
+                self.norm = nn.LayerNorm(16)
+                self.second = nn.Linear(16, 3, rng=rng)
+
+            def forward(self, inputs):
+                return self.second(nn.relu(self.norm(self.first(inputs))))
+
+        model = NormedMlp()
+        optimizer = nn.Adam(model.parameters(), lr=0.05)
+        first_loss = None
+        for _ in range(120):
+            optimizer.zero_grad()
+            loss = nn.cross_entropy(model(nn.Tensor(x)), labels)
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss * 0.2

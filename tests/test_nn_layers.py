@@ -1,0 +1,106 @@
+"""Linear / GCNConv / Dropout layer behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import nn
+from repro.graph import gcn_normalize, make_sbm_graph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = nn.Linear(5, 3, rng=rng)
+        out = layer(nn.Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_matches_manual_affine(self, rng):
+        layer = nn.Linear(4, 2, rng=rng)
+        x = rng.random((3, 4))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(nn.Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_glorot_scale(self, rng):
+        layer = nn.Linear(100, 100, rng=rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(layer.weight.data).max() <= limit
+
+    def test_repr(self, rng):
+        assert "4 -> 2" in repr(nn.Linear(4, 2, rng=rng))
+
+
+class TestGCNConv:
+    def test_shapes(self, rng):
+        graph = make_sbm_graph(20, 2, 8, 4.0, seed=1)
+        adj = gcn_normalize(graph.adjacency)
+        conv = nn.GCNConv(8, 5, rng=rng)
+        out = conv(nn.Tensor(graph.features), adj)
+        assert out.shape == (20, 5)
+
+    def test_equals_dense_formula(self, rng):
+        graph = make_sbm_graph(15, 2, 6, 4.0, seed=2)
+        adj = gcn_normalize(graph.adjacency)
+        conv = nn.GCNConv(6, 4, rng=rng)
+        expected = adj.toarray() @ (graph.features @ conv.weight.data) + conv.bias.data
+        np.testing.assert_allclose(
+            conv(nn.Tensor(graph.features), adj).data, expected, rtol=1e-10
+        )
+
+    def test_isolated_node_gets_self_only(self, rng):
+        # 3 nodes, node 2 isolated: with self loops its output is its own
+        # projected feature scaled by 1 (degree 1).
+        adj = sp.csr_matrix(np.array([[0, 1, 0], [1, 0, 0], [0, 0, 0]], dtype=float))
+        norm = gcn_normalize(adj)
+        conv = nn.GCNConv(2, 2, bias=False, rng=rng)
+        x = np.array([[1.0, 0.0], [0.0, 1.0], [2.0, 2.0]])
+        out = conv(nn.Tensor(x), norm)
+        np.testing.assert_allclose(out.data[2], x[2] @ conv.weight.data, rtol=1e-10)
+
+    def test_node_count_mismatch_raises(self, rng):
+        adj = gcn_normalize(sp.identity(4, format="csr"))
+        conv = nn.GCNConv(3, 2, rng=rng)
+        with pytest.raises(ValueError):
+            conv(nn.Tensor(np.ones((5, 3))), adj)
+
+    def test_gradients_flow_to_weight(self, rng):
+        graph = make_sbm_graph(12, 2, 5, 3.0, seed=3)
+        adj = gcn_normalize(graph.adjacency)
+        conv = nn.GCNConv(5, 3, rng=rng)
+        conv(nn.Tensor(graph.features), adj).sum().backward()
+        assert conv.weight.grad is not None
+        assert conv.bias.grad is not None
+
+    def test_repr(self, rng):
+        assert "5 -> 3" in repr(nn.GCNConv(5, 3, rng=rng))
+
+
+class TestDropoutModule:
+    def test_respects_training_flag(self, rng):
+        layer = nn.Dropout(0.9, rng=rng)
+        layer.training = False
+        x = nn.Tensor(np.ones(100))
+        assert layer(x) is x
+
+    def test_drops_in_training(self, rng):
+        layer = nn.Dropout(0.5, rng=rng)
+        out = layer(nn.Tensor(np.ones(1000)))
+        assert (out.data == 0).sum() > 300
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(-0.1)
+
+    def test_repr(self):
+        assert "0.5" in repr(nn.Dropout(0.5))

@@ -1,0 +1,103 @@
+"""Loss function tests: values against closed forms, masking, gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_c(self):
+        logits = nn.Tensor(np.zeros((5, 4)))
+        loss = nn.cross_entropy(logits, np.zeros(5, dtype=int))
+        assert loss.item() == pytest.approx(np.log(4.0))
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((3, 3), -100.0)
+        logits[np.arange(3), np.arange(3)] = 100.0
+        loss = nn.cross_entropy(nn.Tensor(logits), np.arange(3))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_mask_selects_subset(self):
+        logits = np.zeros((4, 2))
+        logits[2] = [100.0, -100.0]  # node 2 predicts class 0 perfectly
+        labels = np.array([0, 0, 0, 0])
+        masked = nn.cross_entropy(nn.Tensor(logits), labels, mask=np.array([2]))
+        assert masked.item() == pytest.approx(0.0, abs=1e-6)
+        full = nn.cross_entropy(nn.Tensor(logits), labels)
+        assert full.item() > masked.item()
+
+    def test_boolean_mask(self):
+        logits = nn.Tensor(np.zeros((4, 2)))
+        labels = np.zeros(4, dtype=int)
+        mask = np.array([True, False, True, False])
+        loss = nn.cross_entropy(logits, labels, mask=mask)
+        assert loss.item() == pytest.approx(np.log(2.0))
+
+    def test_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            nn.cross_entropy(
+                nn.Tensor(np.zeros((3, 2))), np.zeros(3, dtype=int), mask=np.array([], dtype=int)
+            )
+
+    def test_out_of_range_labels_raise(self):
+        with pytest.raises(ValueError):
+            nn.cross_entropy(nn.Tensor(np.zeros((2, 2))), np.array([0, 5]))
+
+    def test_label_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nn.cross_entropy(nn.Tensor(np.zeros((3, 2))), np.zeros(2, dtype=int))
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        rng = np.random.default_rng(0)
+        raw = rng.random((4, 3))
+        labels = np.array([0, 1, 2, 1])
+        logits = nn.Tensor(raw, requires_grad=True)
+        nn.cross_entropy(logits, labels).backward()
+        exp = np.exp(raw - raw.max(axis=1, keepdims=True))
+        softmax = exp / exp.sum(axis=1, keepdims=True)
+        one_hot = np.eye(3)[labels]
+        np.testing.assert_allclose(logits.grad, (softmax - one_hot) / 4.0, rtol=1e-8)
+
+    def test_training_decreases_loss(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((30, 6))
+        labels = x[:, :3].argmax(axis=1)  # linearly learnable target
+        layer = nn.Linear(6, 3, rng=rng)
+        opt = nn.Adam(layer.parameters(), lr=0.1)
+        losses = []
+        for _ in range(60):
+            opt.zero_grad()
+            loss = nn.cross_entropy(layer(nn.Tensor(x)), labels)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.5
+
+
+class TestNllLoss:
+    def test_matches_cross_entropy(self):
+        rng = np.random.default_rng(2)
+        raw = rng.random((5, 4))
+        labels = rng.integers(0, 4, 5)
+        ce = nn.cross_entropy(nn.Tensor(raw), labels).item()
+        nll = nn.nll_loss(nn.log_softmax(nn.Tensor(raw), axis=1), labels).item()
+        assert ce == pytest.approx(nll)
+
+
+class TestL2Loss:
+    def test_zero_for_exact_match(self):
+        target = np.ones((3, 2))
+        assert nn.l2_loss(nn.Tensor(target), target).item() == pytest.approx(0.0)
+
+    def test_value(self):
+        pred = nn.Tensor(np.zeros((2, 2)))
+        target = np.ones((2, 2)) * 2.0
+        assert nn.l2_loss(pred, target).item() == pytest.approx(4.0)
+
+    def test_gradient_direction(self):
+        pred = nn.Tensor(np.zeros((2, 2)), requires_grad=True)
+        nn.l2_loss(pred, np.ones((2, 2))).backward()
+        assert np.all(pred.grad < 0)  # move towards target

@@ -1,0 +1,128 @@
+"""Module/Parameter machinery: discovery, modes, state dicts, freezing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TwoLayer(nn.Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.first = nn.Linear(4, 3, rng=rng)
+        self.second = nn.Linear(3, 2, rng=rng)
+        self.scale = nn.Parameter(np.ones(1), name="scale")
+
+    def forward(self, x):
+        return self.second(nn.relu(self.first(x))) * self.scale
+
+
+class TestDiscovery:
+    def test_parameters_found_recursively(self):
+        model = TwoLayer()
+        # 2 weights + 2 biases + scale
+        assert len(model.parameters()) == 5
+
+    def test_named_parameters_have_dotted_names(self):
+        names = dict(TwoLayer().named_parameters())
+        assert "first.weight" in names
+        assert "second.bias" in names
+        assert "scale" in names
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2 + 1
+
+    def test_modules_iteration(self):
+        model = TwoLayer()
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert kinds.count("Linear") == 2
+
+    def test_module_list(self):
+        layers = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(layers) == 2
+        assert len(list(layers)) == 2
+        assert layers[1] is list(layers)[1]
+        # parameters of children are discovered
+        assert len(layers.parameters()) == 4
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        model = TwoLayer()
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        model = TwoLayer()
+        out = model(nn.Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestFreezing:
+    def test_freeze_blocks_gradients(self):
+        model = TwoLayer()
+        model.freeze()
+        out = model(nn.Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_unfreeze_restores_gradients(self):
+        model = TwoLayer()
+        model.freeze().unfreeze()
+        out = model(nn.Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_frozen_backbone_still_forwards(self):
+        model = TwoLayer()
+        model.freeze()
+        out = model(nn.Tensor(np.ones((2, 4))))
+        assert out.shape == (2, 2)
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = TwoLayer(seed=0), TwoLayer(seed=1)
+        b.load_state_dict(a.state_dict())
+        x = nn.Tensor(np.random.default_rng(0).random((3, 4)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_state_dict_is_a_copy(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"][:] = 0.0
+        assert not np.allclose(model.first.weight.data, 0.0)
+
+    def test_missing_key_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["ghost"] = np.ones(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["scale"] = np.ones(2)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)

@@ -1,0 +1,124 @@
+"""Optimiser tests: convergence, momentum/weight-decay semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def quadratic_loss(param: nn.Parameter) -> nn.Tensor:
+    """(p - 3)² summed — minimum at 3."""
+    diff = param - nn.Tensor(np.full(param.shape, 3.0))
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_single_step_matches_formula(self):
+        p = nn.Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.1)
+        loss = quadratic_loss(p)
+        loss.backward()
+        opt.step()
+        # grad = 2(1-3) = -4 -> p = 1 + 0.4
+        assert p.data[0] == pytest.approx(1.4)
+
+    def test_converges_on_quadratic(self):
+        p = nn.Parameter(np.zeros(4))
+        opt = nn.SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = nn.Parameter(np.zeros(1))
+            opt = nn.SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(20):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            return abs(p.data[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = nn.Parameter(np.array([10.0]))
+        opt = nn.SGD([p], lr=0.1, weight_decay=1.0)
+        # zero-gradient step: only decay acts
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] == pytest.approx(9.0)
+
+    def test_skips_parameters_without_grad(self):
+        p = nn.Parameter(np.array([1.0]))
+        nn.SGD([p], lr=0.1).step()
+        assert p.data[0] == 1.0
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            nn.SGD([nn.Parameter(np.zeros(1))], lr=0.0)
+
+    def test_rejects_empty_parameters(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # Adam's bias correction makes the first update ≈ lr * sign(grad).
+        p = nn.Parameter(np.array([0.0]))
+        opt = nn.Adam([p], lr=0.05)
+        p.grad = np.array([1.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(-0.05, rel=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = nn.Parameter(np.zeros(3))
+        opt = nn.Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-3)
+
+    def test_weight_decay_pulls_towards_zero(self):
+        p = nn.Parameter(np.array([5.0]))
+        opt = nn.Adam([p], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            p.zero_grad()
+            p.grad = np.zeros(1)  # pure decay
+            opt.step()
+        assert abs(p.data[0]) < 5.0
+
+    def test_trains_small_network(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((40, 4))
+        true_w = rng.random((4, 1))
+        y = x @ true_w
+        layer = nn.Linear(4, 1, rng=rng)
+        opt = nn.Adam(layer.parameters(), lr=0.05)
+        first_loss = None
+        for step in range(300):
+            opt.zero_grad()
+            pred = layer(nn.Tensor(x))
+            loss = ((pred - nn.Tensor(y)) ** 2.0).mean()
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first_loss * 0.01
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            nn.Adam([nn.Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+    def test_zero_grad_clears_all(self):
+        p = nn.Parameter(np.zeros(2))
+        opt = nn.Adam([p])
+        p.grad = np.ones(2)
+        opt.zero_grad()
+        assert p.grad is None

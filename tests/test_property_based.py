@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import nn
+from repro.attacks import roc_auc_score
+from repro.attacks.similarity import DISTANCE_FUNCTIONS, PAPER_METRICS
+from repro.graph import CooAdjacency, gcn_normalize
+from repro.tee import pages_for, PAGE_BYTES
+from repro.tee.sealed import seal, unseal
+
+SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def matrices(max_rows=6, max_cols=6):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(1, max_rows), st.integers(1, max_cols)
+        ),
+        elements=finite_floats,
+    )
+
+
+class TestAutogradProperties:
+    @SETTINGS
+    @given(matrices())
+    def test_add_gradient_is_ones(self, x):
+        t = nn.Tensor(x, requires_grad=True)
+        (t + t).sum().backward()
+        np.testing.assert_allclose(t.grad, 2.0 * np.ones_like(x))
+
+    @SETTINGS
+    @given(matrices())
+    def test_sum_gradient_shape(self, x):
+        t = nn.Tensor(x, requires_grad=True)
+        t.sum().backward()
+        assert t.grad.shape == x.shape
+
+    @SETTINGS
+    @given(matrices())
+    def test_relu_idempotent(self, x):
+        once = nn.relu(nn.Tensor(x)).data
+        twice = nn.relu(nn.relu(nn.Tensor(x))).data
+        np.testing.assert_array_equal(once, twice)
+
+    @SETTINGS
+    @given(matrices())
+    def test_log_softmax_rows_are_distributions(self, x):
+        out = nn.log_softmax(nn.Tensor(x), axis=1).data
+        np.testing.assert_allclose(np.exp(out).sum(axis=1), 1.0, rtol=1e-9)
+
+    @SETTINGS
+    @given(matrices(), matrices())
+    def test_concat_preserves_content(self, a, b):
+        rows = min(a.shape[0], b.shape[0])
+        a, b = a[:rows], b[:rows]
+        out = nn.concatenate([nn.Tensor(a), nn.Tensor(b)], axis=1).data
+        np.testing.assert_array_equal(out[:, : a.shape[1]], a)
+        np.testing.assert_array_equal(out[:, a.shape[1]:], b)
+
+    @SETTINGS
+    @given(matrices())
+    def test_transpose_involution(self, x):
+        t = nn.Tensor(x)
+        np.testing.assert_array_equal(t.T.T.data, x)
+
+
+@st.composite
+def edge_lists(draw, max_nodes=12):
+    n = draw(st.integers(2, max_nodes))
+    num_edges = draw(st.integers(0, n * (n - 1) // 2))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=num_edges,
+            max_size=num_edges,
+        )
+    )
+    return n, edges
+
+
+class TestAdjacencyProperties:
+    @SETTINGS
+    @given(edge_lists())
+    def test_from_edge_list_always_symmetric(self, data):
+        n, edges = data
+        adj = CooAdjacency.from_edge_list(n, edges)
+        assert adj.is_symmetric()
+
+    @SETTINGS
+    @given(edge_lists())
+    def test_no_self_loops(self, data):
+        n, edges = data
+        adj = CooAdjacency.from_edge_list(n, edges)
+        assert not np.any(adj.rows == adj.cols)
+
+    @SETTINGS
+    @given(edge_lists())
+    def test_edge_count_consistency(self, data):
+        n, edges = data
+        adj = CooAdjacency.from_edge_list(n, edges)
+        assert adj.num_entries == 2 * adj.num_edges
+        assert adj.num_edges == len(adj.edge_set())
+
+    @SETTINGS
+    @given(edge_lists())
+    def test_degrees_sum_to_entries(self, data):
+        n, edges = data
+        adj = CooAdjacency.from_edge_list(n, edges)
+        assert adj.degrees().sum() == adj.num_entries
+
+    @SETTINGS
+    @given(edge_lists())
+    def test_gcn_norm_rows_bounded(self, data):
+        n, edges = data
+        adj = CooAdjacency.from_edge_list(n, edges)
+        norm = gcn_normalize(adj).toarray()
+        assert np.all(np.isfinite(norm))
+        assert np.all(norm >= 0)
+        assert norm.max() <= 1.0 + 1e-12
+
+    @SETTINGS
+    @given(edge_lists())
+    def test_memory_nonnegative_and_monotone(self, data):
+        n, edges = data
+        adj = CooAdjacency.from_edge_list(n, edges)
+        assert adj.memory_bytes() >= n * 8
+        assert adj.memory_bytes() <= adj.num_entries * 24 + n * 8
+
+
+class TestAttackProperties:
+    @SETTINGS
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(2, 8), st.integers(1, 5)),
+            elements=st.floats(0.1, 10.0),
+        )
+    )
+    def test_distances_nonnegative(self, x):
+        for metric in PAPER_METRICS:
+            assert np.all(DISTANCE_FUNCTIONS[metric](x, x[::-1]) >= -1e-9)
+
+    @SETTINGS
+    @given(st.integers(1, 30), st.integers(1, 30), st.randoms())
+    def test_auc_complement_symmetry(self, pos, neg, rnd):
+        rng = np.random.default_rng(rnd.randint(0, 10**6))
+        labels = np.array([1] * pos + [0] * neg)
+        scores = rng.random(pos + neg)
+        auc = roc_auc_score(labels, scores)
+        flipped = roc_auc_score(labels, -scores)
+        assert auc + flipped == pytest.approx(1.0)
+
+    @SETTINGS
+    @given(st.integers(1, 30), st.integers(1, 30))
+    def test_auc_bounded(self, pos, neg):
+        rng = np.random.default_rng(pos * 31 + neg)
+        labels = np.array([1] * pos + [0] * neg)
+        auc = roc_auc_score(labels, rng.random(pos + neg))
+        assert 0.0 <= auc <= 1.0
+
+
+class TestTeeProperties:
+    @SETTINGS
+    @given(st.integers(0, 10**9))
+    def test_pages_cover_bytes(self, num_bytes):
+        pages = pages_for(num_bytes)
+        assert pages * PAGE_BYTES >= num_bytes
+        assert (pages - 1) * PAGE_BYTES < num_bytes or pages == 0
+
+    @SETTINGS
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=5),
+            max_size=4,
+        ),
+        st.text(min_size=1, max_size=16),
+    )
+    def test_seal_unseal_roundtrip(self, payload, measurement):
+        blob = seal(payload, measurement)
+        assert unseal(blob, measurement) == payload
+
+    @SETTINGS
+    @given(st.text(min_size=1, max_size=16), st.text(min_size=1, max_size=16))
+    def test_seal_binds_identity(self, m1, m2):
+        if m1 == m2:
+            return
+        from repro.errors import SealingError
+
+        blob = seal("secret", m1)
+        with pytest.raises(SealingError):
+            unseal(blob, m2)

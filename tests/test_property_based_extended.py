@@ -1,0 +1,147 @@
+"""Property-based tests for the extension modules (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.defense import (
+    GaussianNoiseDefense,
+    QuantizationDefense,
+    TopKLogitDefense,
+)
+from repro.deploy import extend_adjacency, zipf_workload
+from repro.graph import CooAdjacency, extract_subgraph, k_hop_neighbourhood
+from repro.models import quantize_array
+
+SETTINGS = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def graphs_with_target(draw, max_nodes=15):
+    n = draw(st.integers(2, max_nodes))
+    num_edges = draw(st.integers(0, n * 2))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=num_edges,
+            max_size=num_edges,
+        )
+    )
+    target = draw(st.integers(0, n - 1))
+    hops = draw(st.integers(0, 3))
+    return CooAdjacency.from_edge_list(n, edges), target, hops
+
+
+class TestSubgraphProperties:
+    @SETTINGS
+    @given(graphs_with_target())
+    def test_neighbourhood_contains_target(self, data):
+        adjacency, target, hops = data
+        nodes = k_hop_neighbourhood(adjacency, [target], hops)
+        assert target in set(nodes.tolist())
+
+    @SETTINGS
+    @given(graphs_with_target())
+    def test_neighbourhood_monotone_in_hops(self, data):
+        adjacency, target, hops = data
+        inner = set(k_hop_neighbourhood(adjacency, [target], hops).tolist())
+        outer = set(k_hop_neighbourhood(adjacency, [target], hops + 1).tolist())
+        assert inner <= outer
+
+    @SETTINGS
+    @given(graphs_with_target())
+    def test_induced_edges_subset_of_original(self, data):
+        adjacency, target, hops = data
+        sub = extract_subgraph(adjacency, [target], hops)
+        lifted = {
+            (min(sub.nodes[u], sub.nodes[v]), max(sub.nodes[u], sub.nodes[v]))
+            for u, v in sub.adjacency.edge_set()
+        }
+        assert lifted <= adjacency.edge_set()
+
+    @SETTINGS
+    @given(graphs_with_target())
+    def test_global_degrees_at_least_induced(self, data):
+        adjacency, target, hops = data
+        sub = extract_subgraph(adjacency, [target], hops)
+        induced_degrees = sub.adjacency.degrees() + 1.0
+        assert np.all(sub.global_degrees >= induced_degrees - 1e-9)
+
+
+class TestUpdateProperties:
+    @SETTINGS
+    @given(graphs_with_target())
+    def test_extend_preserves_existing_edges(self, data):
+        adjacency, target, _ = data
+        extended = extend_adjacency(adjacency, [target])
+        assert adjacency.edge_set() <= extended.edge_set()
+        assert extended.num_nodes == adjacency.num_nodes + 1
+
+    @SETTINGS
+    @given(graphs_with_target())
+    def test_extended_graph_symmetric(self, data):
+        adjacency, target, _ = data
+        extended = extend_adjacency(adjacency, [target])
+        assert extended.is_symmetric()
+
+
+finite_matrices = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(2, 10), st.integers(2, 8)),
+    elements=st.floats(-100.0, 100.0, allow_nan=False),
+)
+
+
+class TestDefenseProperties:
+    @SETTINGS
+    @given(finite_matrices)
+    def test_quantization_stays_in_range(self, x):
+        out = QuantizationDefense(levels=4).apply(x)
+        assert out.min() >= x.min() - 1e-9
+        assert out.max() <= x.max() + 1e-9
+
+    @SETTINGS
+    @given(finite_matrices)
+    def test_topk_preserves_max_value(self, x):
+        """The released argmax always attains the true row maximum
+        (ties may keep a different-but-equal column)."""
+        out = TopKLogitDefense(k=1).apply(x)
+        rows = np.arange(x.shape[0])
+        np.testing.assert_allclose(x[rows, out.argmax(axis=1)], x.max(axis=1))
+
+    @SETTINGS
+    @given(finite_matrices, st.integers(0, 1000))
+    def test_gaussian_zero_scale_identity(self, x, seed):
+        out = GaussianNoiseDefense(scale=0.0, seed=seed).apply(x)
+        np.testing.assert_array_equal(out, x)
+
+
+class TestQuantizeArrayProperties:
+    @SETTINGS
+    @given(finite_matrices, st.integers(2, 16))
+    def test_error_bounded_by_half_step(self, x, bits):
+        snapped, scale = quantize_array(x, bits)
+        assert np.abs(snapped - x).max() <= scale / 2 + 1e-9
+
+    @SETTINGS
+    @given(finite_matrices, st.integers(2, 16))
+    def test_idempotent(self, x, bits):
+        once, _ = quantize_array(x, bits)
+        twice, _ = quantize_array(once, bits)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+class TestWorkloadProperties:
+    @SETTINGS
+    @given(st.integers(1, 200), st.integers(0, 300), st.integers(0, 100))
+    def test_zipf_in_range(self, nodes, queries, seed):
+        workload = zipf_workload(nodes, queries, seed=seed)
+        assert workload.shape == (queries,)
+        if queries:
+            assert workload.min() >= 0 and workload.max() < nodes

@@ -1,0 +1,137 @@
+"""Security invariants: the threat-model guarantees GNNVault must uphold.
+
+These are integration tests of the defence itself, phrased as adversarial
+checks: what the untrusted world can see must not contain the private
+assets, and the enclave boundary must only ever emit labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import link_stealing_attack
+from repro.deploy import SecureInferenceSession
+from repro.errors import SecurityViolation
+from repro.graph import edge_overlap, gcn_normalize
+from repro.tee import LabelOnlyResult, OneWayChannel
+
+
+@pytest.fixture
+def session(trained_vault):
+    run = trained_vault
+    return SecureInferenceSession(
+        backbone=run.backbone,
+        rectifier=run.rectifiers["parallel"],
+        substitute_adjacency=run.substitute,
+        private_adjacency=run.graph.adjacency,
+    )
+
+
+class TestModelIpProtection:
+    def test_untrusted_world_holds_only_backbone_weights(self, session, trained_vault):
+        run = trained_vault
+        view = session.adversary_view()
+        exposed = set(view["backbone_state"])
+        rectifier_params = set(run.rectifiers["parallel"].state_dict())
+        # the name spaces could coincide; compare actual values
+        for name in exposed & rectifier_params:
+            assert not np.array_equal(
+                view["backbone_state"][name],
+                run.rectifiers["parallel"].state_dict()[name],
+            )
+
+    def test_backbone_is_the_inaccurate_model(self, trained_vault):
+        """The accurate model (rectifier) must not be derivable from the
+        untrusted world alone: the backbone alone scores worse."""
+        run = trained_vault
+        assert run.p_bb < run.p_rec["parallel"]
+
+
+class TestEdgePrivacy:
+    def test_substitute_graph_is_not_the_private_graph(self, trained_vault):
+        run = trained_vault
+        assert edge_overlap(run.substitute, run.graph.adjacency) < 0.6
+
+    def test_exposed_embeddings_leak_no_more_than_features(self, trained_vault):
+        """Table IV's qualitative claim at mini scale: attacking what
+        GNNVault exposes is no better than attacking raw features."""
+        run = trained_vault
+        gv = link_stealing_attack(
+            run.backbone_embeddings(), run.graph.adjacency, seed=0
+        )
+        base = link_stealing_attack(
+            run.graph.features, run.graph.adjacency, seed=0
+        )
+        org = link_stealing_attack(
+            run.original_embeddings(), run.graph.adjacency, seed=0
+        )
+        assert org.mean_auc() > gv.mean_auc()
+        assert gv.mean_auc() <= base.mean_auc() + 0.1
+
+    def test_private_adjacency_never_in_untrusted_view(self, session, trained_vault):
+        view = session.adversary_view()
+        observable = view["substitute_adjacency"]
+        private = trained_vault.graph.adjacency
+        assert observable.edge_set() != private.edge_set()
+
+
+class TestOneWayFlow:
+    def test_enclave_outputs_only_labels(self, session, trained_vault):
+        labels, _ = session.predict(trained_vault.graph.features)
+        assert labels.dtype.kind == "i"
+
+    def test_channel_rejects_embedding_export(self):
+        channel = OneWayChannel()
+        with pytest.raises(SecurityViolation):
+            channel.publish(np.random.default_rng(0).random((10, 8)))
+
+    def test_channel_rejects_float_labels(self):
+        channel = OneWayChannel()
+        with pytest.raises(SecurityViolation):
+            channel.publish(LabelOnlyResult(np.array([0.0, 1.0])))
+
+    def test_rectifier_gradients_never_reach_backbone(self, trained_vault):
+        """Training-time one-way flow (partition-before-training)."""
+        from repro import nn
+
+        run = trained_vault
+        backbone = run.backbone
+        backbone.unfreeze()
+        backbone.zero_grad()
+        outs = backbone.forward_with_intermediates(
+            nn.Tensor(run.graph.features), gcn_normalize(run.substitute)
+        )
+        rect = run.rectifiers["parallel"]
+        rect(outs, run.graph.normalized_adjacency()).sum().backward()
+        assert all(p.grad is None for p in backbone.parameters())
+        backbone.freeze()
+
+    def test_transfer_log_is_the_only_observable_flow(self, session, trained_vault):
+        """Everything that crossed into the enclave is in the audit log and
+        consists of backbone embeddings only (no raw private data)."""
+        run = trained_vault
+        # fresh channel per predict; inspect through a manual run
+        channel = OneWayChannel()
+        embeddings = run.backbone_embeddings()
+        for layer in run.rectifiers["parallel"].consumed_layers():
+            channel.push(embeddings[layer], description=f"layer{layer}")
+        descriptions = [r.description for r in channel.transfer_log]
+        assert all(d.startswith("layer") for d in descriptions)
+
+
+class TestLabelOnlyRationale:
+    def test_logits_leak_more_than_labels(self, trained_vault):
+        """Why the paper keeps logits inside: attacking rectifier logits
+        succeeds better than attacking hard labels."""
+        run = trained_vault
+        rect = run.rectifiers["parallel"]
+        outs = rect.forward_with_intermediates(
+            run.backbone_embeddings(), run.graph.normalized_adjacency()
+        )
+        logits = outs[-1].data
+        labels = logits.argmax(axis=1)
+        one_hot = np.eye(logits.shape[1])[labels]
+        logit_attack = link_stealing_attack(logits, run.graph.adjacency, seed=0)
+        label_attack = link_stealing_attack(one_hot, run.graph.adjacency, seed=0)
+        assert logit_attack.mean_auc() >= label_attack.mean_auc() - 0.02

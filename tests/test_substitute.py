@@ -1,0 +1,165 @@
+"""Substitute-graph builder tests: KNN, cosine-threshold, random."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CooAdjacency, edge_overlap, make_sbm_graph
+from repro.substitute import (
+    CosineGraphBuilder,
+    KnnGraphBuilder,
+    RandomGraphBuilder,
+    cosine_similarity_matrix,
+    density_matched_random,
+)
+
+
+@pytest.fixture
+def clustered_features():
+    """Two tight feature clusters of 10 nodes each."""
+    rng = np.random.default_rng(0)
+    a = rng.normal(0.0, 0.05, size=(10, 8)) + np.array([1.0] * 4 + [0.0] * 4)
+    b = rng.normal(0.0, 0.05, size=(10, 8)) + np.array([0.0] * 4 + [1.0] * 4)
+    return np.vstack([a, b])
+
+
+class TestCosineSimilarityMatrix:
+    def test_diagonal_is_one(self, clustered_features):
+        sim = cosine_similarity_matrix(clustered_features)
+        np.testing.assert_allclose(np.diag(sim), np.ones(20), atol=1e-12)
+
+    def test_bounded(self, clustered_features):
+        sim = cosine_similarity_matrix(clustered_features)
+        assert sim.max() <= 1.0 and sim.min() >= -1.0
+
+    def test_zero_rows_safe(self):
+        sim = cosine_similarity_matrix(np.zeros((3, 4)))
+        assert np.all(np.isfinite(sim))
+
+    def test_orthogonal_vectors(self):
+        x = np.array([[1.0, 0.0], [0.0, 1.0]])
+        sim = cosine_similarity_matrix(x)
+        assert sim[0, 1] == pytest.approx(0.0)
+
+
+class TestKnnBuilder:
+    def test_connects_within_clusters(self, clustered_features):
+        adj = KnnGraphBuilder(k=2)(clustered_features)
+        # Every edge should stay inside a cluster (first 10 vs last 10).
+        for u, v in adj.edge_set():
+            assert (u < 10) == (v < 10)
+
+    def test_min_degree_k(self, clustered_features):
+        k = 3
+        adj = KnnGraphBuilder(k=k)(clustered_features)
+        assert np.all(adj.degrees() >= k)
+
+    def test_edge_count_scales_with_k(self, clustered_features):
+        e1 = KnnGraphBuilder(k=1)(clustered_features).num_edges
+        e4 = KnnGraphBuilder(k=4)(clustered_features).num_edges
+        assert e4 > e1
+
+    def test_no_self_loops(self, clustered_features):
+        adj = KnnGraphBuilder(k=2)(clustered_features)
+        assert not np.any(adj.rows == adj.cols)
+
+    def test_symmetric(self, clustered_features):
+        assert KnnGraphBuilder(k=2)(clustered_features).is_symmetric()
+
+    def test_k_capped_at_n_minus_one(self):
+        x = np.random.default_rng(1).random((4, 3))
+        adj = KnnGraphBuilder(k=10)(x)
+        assert adj.num_edges <= 6  # complete graph on 4 nodes
+
+    def test_single_node(self):
+        adj = KnnGraphBuilder(k=2)(np.ones((1, 3)))
+        assert adj.num_edges == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KnnGraphBuilder(k=0)
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError):
+            KnnGraphBuilder(k=1)(np.ones(5))
+
+
+class TestCosineBuilder:
+    def test_threshold_filters(self, clustered_features):
+        tight = CosineGraphBuilder(tau=0.95)(clustered_features)
+        loose = CosineGraphBuilder(tau=-0.5)(clustered_features)
+        assert loose.num_edges > tight.num_edges
+
+    def test_high_threshold_intra_cluster_only(self, clustered_features):
+        adj = CosineGraphBuilder(tau=0.9)(clustered_features)
+        assert adj.num_edges > 0
+        for u, v in adj.edge_set():
+            assert (u < 10) == (v < 10)
+
+    def test_max_edges_keeps_most_similar(self, clustered_features):
+        adj = CosineGraphBuilder(tau=0.0, max_edges=5)(clustered_features)
+        assert adj.num_edges == 5
+
+    def test_tau_one_with_identical_rows(self):
+        x = np.ones((4, 3))
+        adj = CosineGraphBuilder(tau=1.0)(x)
+        assert adj.num_edges == 6  # all pairs identical
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            CosineGraphBuilder(tau=2.0)
+
+    def test_invalid_max_edges(self):
+        with pytest.raises(ValueError):
+            CosineGraphBuilder(max_edges=-1)
+
+    def test_empty_result_for_impossible_threshold(self):
+        x = np.eye(4)  # orthogonal features
+        adj = CosineGraphBuilder(tau=0.99)(x)
+        assert adj.num_edges == 0
+
+
+class TestRandomBuilder:
+    def test_exact_edge_budget(self):
+        adj = RandomGraphBuilder(num_edges=30, seed=0)(np.ones((20, 2)))
+        assert adj.num_edges == 30
+
+    def test_budget_capped_at_complete_graph(self):
+        adj = RandomGraphBuilder(num_edges=100, seed=0)(np.ones((5, 2)))
+        assert adj.num_edges == 10
+
+    def test_deterministic_by_seed(self):
+        x = np.ones((30, 2))
+        a = RandomGraphBuilder(num_edges=20, seed=7)(x)
+        b = RandomGraphBuilder(num_edges=20, seed=7)(x)
+        assert a.edge_set() == b.edge_set()
+
+    def test_independent_of_features(self):
+        rng = np.random.default_rng(0)
+        a = RandomGraphBuilder(num_edges=15, seed=3)(rng.random((20, 4)))
+        b = RandomGraphBuilder(num_edges=15, seed=3)(rng.random((20, 9)))
+        assert a.edge_set() == b.edge_set()
+
+    def test_zero_edges(self):
+        adj = RandomGraphBuilder(num_edges=0)(np.ones((5, 2)))
+        assert adj.num_edges == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RandomGraphBuilder(num_edges=-1)
+
+    def test_density_matched_factory(self):
+        reference = CooAdjacency.from_edge_list(10, [(0, 1), (2, 3), (4, 5)])
+        builder = density_matched_random(reference, seed=1)
+        adj = builder(np.ones((10, 2)))
+        assert adj.num_edges == reference.num_edges
+
+
+class TestSubstituteIndependence:
+    def test_substitute_does_not_copy_private_edges(self):
+        """Substitutes are built from features only — overlap with the real
+        (structural) adjacency should be far from 1."""
+        g = make_sbm_graph(100, 4, 40, 6.0, homophily=0.8, seed=5)
+        sub = KnnGraphBuilder(k=2)(g.features)
+        assert edge_overlap(sub, g.adjacency) < 0.5

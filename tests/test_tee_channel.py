@@ -1,0 +1,87 @@
+"""One-way channel tests: label-only egress, transfer accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SecurityViolation
+from repro.tee import LabelOnlyResult, OneWayChannel, payload_num_bytes
+
+
+class TestLabelOnlyResult:
+    def test_accepts_integer_labels(self):
+        result = LabelOnlyResult(np.array([0, 1, 2]))
+        np.testing.assert_array_equal(result.labels, [0, 1, 2])
+
+    def test_rejects_float_payload(self):
+        with pytest.raises(SecurityViolation):
+            LabelOnlyResult(np.array([0.1, 0.9]))
+
+    def test_rejects_logit_matrix(self):
+        with pytest.raises(SecurityViolation):
+            LabelOnlyResult(np.random.default_rng(0).random((5, 3)))
+
+
+class TestChannel:
+    def test_push_and_drain(self):
+        channel = OneWayChannel()
+        channel.push(np.ones((4, 2)), description="emb0")
+        items = channel._drain()
+        assert len(items) == 1
+        assert channel._drain() == []  # drained
+
+    def test_publish_and_collect(self):
+        channel = OneWayChannel()
+        channel.publish(LabelOnlyResult(np.array([1, 0])))
+        np.testing.assert_array_equal(channel.collect().labels, [1, 0])
+
+    def test_collect_without_result_raises(self):
+        with pytest.raises(SecurityViolation):
+            OneWayChannel().collect()
+
+    def test_publish_rejects_arrays(self):
+        channel = OneWayChannel()
+        with pytest.raises(SecurityViolation):
+            channel.publish(np.ones(3))
+
+    def test_publish_rejects_embedding_tuple(self):
+        channel = OneWayChannel()
+        with pytest.raises(SecurityViolation):
+            channel.publish((np.ones(3), "logits"))
+
+    def test_transfer_log_records_bytes(self):
+        channel = OneWayChannel()
+        payload = np.ones((10, 4))
+        channel.push(payload, description="layer0")
+        assert channel.total_bytes_in == payload.nbytes
+        assert channel.transfer_log[0].description == "layer0"
+
+    def test_total_accumulates(self):
+        channel = OneWayChannel()
+        channel.push(np.ones(4))
+        channel.push(np.ones(6))
+        assert channel.total_bytes_in == 10 * 8
+
+
+class TestPayloadBytes:
+    def test_ndarray(self):
+        assert payload_num_bytes(np.ones((2, 3))) == 48
+
+    def test_bytes(self):
+        assert payload_num_bytes(b"abcd") == 4
+
+    def test_nested_list(self):
+        assert payload_num_bytes([np.ones(2), np.ones(3)]) == 40
+
+    def test_dict(self):
+        assert payload_num_bytes({"a": np.ones(2)}) == 16
+
+    def test_object_with_num_bytes(self):
+        class Blob:
+            num_bytes = 123
+
+        assert payload_num_bytes(Blob()) == 123
+
+    def test_fallback_scalar(self):
+        assert payload_num_bytes(7) == 8

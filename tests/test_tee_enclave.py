@@ -1,0 +1,223 @@
+"""RectifierEnclave tests: provisioning ceremony, inference ECALL, costs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SealingError, SecurityViolation
+from repro.graph import gcn_normalize
+from repro.models import GCNBackbone, make_rectifier
+from repro.tee import (
+    EnclaveConfig,
+    LabelOnlyResult,
+    OneWayChannel,
+    RectifierEnclave,
+    SgxCostModel,
+    rectifier_measurement,
+    seal,
+    seal_private_graph,
+    seal_rectifier_weights,
+    verify_quote,
+)
+
+
+@pytest.fixture
+def world(tiny_graph):
+    """Backbone embeddings + a rectifier ready for enclave hosting."""
+    adj = gcn_normalize(tiny_graph.adjacency)
+    backbone = GCNBackbone(tiny_graph.num_features, (16, 8, 3), seed=0)
+    embeddings = backbone.embeddings(tiny_graph.features, adj)
+    rectifier = make_rectifier("parallel", (16, 8, 3), (16, 8, 3), seed=1)
+    rectifier.eval()
+    return tiny_graph, embeddings, rectifier
+
+
+def provision(rectifier, graph):
+    enclave = RectifierEnclave(rectifier)
+    enclave.provision_weights(seal_rectifier_weights(rectifier))
+    enclave.provision_graph(seal_private_graph(graph.adjacency, rectifier))
+    return enclave
+
+
+class TestProvisioning:
+    def test_attestation_roundtrip(self, world):
+        graph, embeddings, rectifier = world
+        enclave = RectifierEnclave(rectifier)
+        quote = enclave.attest("nonce-7")
+        verify_quote(quote, rectifier_measurement(rectifier), "nonce-7")
+
+    def test_not_ready_until_provisioned(self, world):
+        graph, embeddings, rectifier = world
+        enclave = RectifierEnclave(rectifier)
+        assert not enclave.ready
+        enclave.provision_weights(seal_rectifier_weights(rectifier))
+        assert not enclave.ready
+        enclave.provision_graph(seal_private_graph(graph.adjacency, rectifier))
+        assert enclave.ready
+
+    def test_infer_before_provision_rejected(self, world):
+        graph, embeddings, rectifier = world
+        enclave = RectifierEnclave(rectifier)
+        channel = OneWayChannel()
+        channel.push(embeddings[0])
+        with pytest.raises(SecurityViolation):
+            enclave.ecall_infer(channel)
+
+    def test_weights_sealed_to_other_enclave_rejected(self, world):
+        graph, embeddings, rectifier = world
+        other = make_rectifier("series", (16, 8, 3), (8, 3), seed=2)
+        enclave = RectifierEnclave(rectifier)
+        with pytest.raises(SealingError):
+            enclave.provision_weights(seal_rectifier_weights(other))
+
+    def test_graph_blob_must_contain_adjacency(self, world):
+        graph, embeddings, rectifier = world
+        enclave = RectifierEnclave(rectifier)
+        bogus = seal("not a graph", enclave.measurement)
+        with pytest.raises(SecurityViolation):
+            enclave.provision_graph(bogus)
+
+    def test_model_memory_resident_from_start(self, world):
+        graph, embeddings, rectifier = world
+        enclave = RectifierEnclave(rectifier)
+        report = enclave.memory_report()
+        assert report["model/parameters"] == rectifier.num_parameters() * 8
+
+    def test_graph_memory_accounted(self, world):
+        graph, embeddings, rectifier = world
+        enclave = provision(rectifier, graph)
+        report = enclave.memory_report()
+        assert report["graph/adjacency"] == graph.adjacency.memory_bytes()
+
+    def test_reprovision_graph_replaces(self, world):
+        graph, embeddings, rectifier = world
+        enclave = provision(rectifier, graph)
+        enclave.provision_graph(seal_private_graph(graph.adjacency, rectifier))
+        assert "graph/adjacency" in enclave.memory_report()
+
+
+class TestInference:
+    def test_labels_match_direct_rectifier(self, world):
+        graph, embeddings, rectifier = world
+        enclave = provision(rectifier, graph)
+        channel = OneWayChannel()
+        for e in embeddings:
+            channel.push(e)
+        enclave.ecall_infer(channel)
+        labels = channel.collect().labels
+        direct = rectifier.predict(embeddings, gcn_normalize(graph.adjacency))
+        np.testing.assert_array_equal(labels, direct)
+
+    def test_series_takes_single_payload(self, tiny_graph):
+        adj = gcn_normalize(tiny_graph.adjacency)
+        backbone = GCNBackbone(tiny_graph.num_features, (16, 8, 3), seed=0)
+        embeddings = backbone.embeddings(tiny_graph.features, adj)
+        rectifier = make_rectifier("series", (16, 8, 3), (8, 3), seed=1)
+        rectifier.eval()
+        enclave = provision(rectifier, tiny_graph)
+        channel = OneWayChannel()
+        channel.push(embeddings[1])  # the tap (penultimate layer)
+        enclave.ecall_infer(channel)
+        labels = channel.collect().labels
+        np.testing.assert_array_equal(labels, rectifier.predict(embeddings, adj))
+
+    def test_wrong_payload_count_rejected(self, world):
+        graph, embeddings, rectifier = world
+        enclave = provision(rectifier, graph)
+        channel = OneWayChannel()
+        channel.push(embeddings[0])
+        with pytest.raises(ValueError):
+            enclave.ecall_infer(channel)
+
+    def test_empty_channel_rejected(self, world):
+        graph, embeddings, rectifier = world
+        enclave = provision(rectifier, graph)
+        with pytest.raises(SecurityViolation):
+            enclave.ecall_infer(OneWayChannel())
+
+    def test_node_count_mismatch_rejected(self, world):
+        graph, embeddings, rectifier = world
+        enclave = provision(rectifier, graph)
+        channel = OneWayChannel()
+        for e in embeddings:
+            channel.push(e[:10])
+        with pytest.raises(ValueError):
+            enclave.ecall_infer(channel)
+
+    def test_report_costs_positive(self, world):
+        graph, embeddings, rectifier = world
+        enclave = provision(rectifier, graph)
+        channel = OneWayChannel()
+        for e in embeddings:
+            channel.push(e)
+        report = enclave.ecall_infer(channel)
+        assert report.transfer_seconds > 0
+        assert report.compute_seconds > 0
+        assert report.payload_bytes == sum(e.nbytes for e in embeddings)
+        assert report.total_seconds == pytest.approx(
+            report.transfer_seconds + report.enclave_seconds
+        )
+
+    def test_scratch_freed_after_ecall(self, world):
+        graph, embeddings, rectifier = world
+        enclave = provision(rectifier, graph)
+        channel = OneWayChannel()
+        for e in embeddings:
+            channel.push(e)
+        enclave.ecall_infer(channel)
+        live = enclave.memory_report()
+        assert not any(name.startswith("ecall/") for name in live)
+
+    def test_peak_memory_includes_inputs_and_activations(self, world):
+        graph, embeddings, rectifier = world
+        enclave = provision(rectifier, graph)
+        channel = OneWayChannel()
+        for e in embeddings:
+            channel.push(e)
+        report = enclave.ecall_infer(channel)
+        baseline = sum(a.num_bytes for a in enclave.memory.allocations().values())
+        assert report.peak_memory_bytes > baseline
+
+    def test_paging_charged_when_epc_tiny(self, world):
+        graph, embeddings, rectifier = world
+        config = EnclaveConfig(epc_bytes=4096)  # one page of EPC
+        enclave = RectifierEnclave(rectifier, config)
+        enclave.provision_weights(seal_rectifier_weights(rectifier))
+        enclave.provision_graph(seal_private_graph(graph.adjacency, rectifier))
+        channel = OneWayChannel()
+        for e in embeddings:
+            channel.push(e)
+        report = enclave.ecall_infer(channel)
+        assert report.swapped_pages > 0
+        assert report.paging_seconds > 0
+
+    def test_no_logits_escape(self, world):
+        """The only cross-boundary object is integer labels."""
+        graph, embeddings, rectifier = world
+        enclave = provision(rectifier, graph)
+        channel = OneWayChannel()
+        for e in embeddings:
+            channel.push(e)
+        enclave.ecall_infer(channel)
+        result = channel.collect()
+        assert isinstance(result, LabelOnlyResult)
+        assert result.labels.dtype.kind == "i"
+
+
+class TestMeasurementIdentity:
+    def test_same_architecture_same_measurement(self):
+        a = make_rectifier("parallel", (16, 8, 3), (16, 8, 3), seed=1)
+        b = make_rectifier("parallel", (16, 8, 3), (16, 8, 3), seed=99)
+        assert rectifier_measurement(a) == rectifier_measurement(b)
+
+    def test_scheme_changes_measurement(self):
+        a = make_rectifier("parallel", (16, 8, 3), (16, 8, 3))
+        b = make_rectifier("cascaded", (16, 8, 3), (16, 8, 3))
+        assert rectifier_measurement(a) != rectifier_measurement(b)
+
+    def test_conv_type_changes_measurement(self):
+        """A SAGE rectifier with identical shapes is different enclave code."""
+        a = make_rectifier("series", (16, 8, 3), (8, 3), conv="gcn")
+        b = make_rectifier("series", (16, 8, 3), (8, 3), conv="sage")
+        assert rectifier_measurement(a) != rectifier_measurement(b)

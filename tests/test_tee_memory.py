@@ -1,0 +1,113 @@
+"""Enclave memory model tests: page accounting, peaks, EPC overflow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EnclaveMemoryError
+from repro.tee import (
+    EPC_BYTES,
+    PAGE_BYTES,
+    PRM_BYTES,
+    EnclaveMemoryModel,
+    pages_for,
+)
+
+
+class TestPagesFor:
+    def test_exact_page(self):
+        assert pages_for(PAGE_BYTES) == 1
+
+    def test_rounds_up(self):
+        assert pages_for(PAGE_BYTES + 1) == 2
+
+    def test_zero(self):
+        assert pages_for(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pages_for(-1)
+
+
+class TestConstants:
+    def test_sgx1_sizes(self):
+        assert EPC_BYTES == 96 * 1024 * 1024
+        assert PRM_BYTES == 128 * 1024 * 1024
+        assert EPC_BYTES < PRM_BYTES
+
+
+class TestAllocation:
+    def test_allocate_and_free(self):
+        mem = EnclaveMemoryModel()
+        mem.allocate("weights", 10_000)
+        assert mem.resident_bytes == pages_for(10_000) * PAGE_BYTES
+        mem.free("weights")
+        assert mem.resident_bytes == 0
+
+    def test_duplicate_name_rejected(self):
+        mem = EnclaveMemoryModel()
+        mem.allocate("a", 100)
+        with pytest.raises(EnclaveMemoryError):
+            mem.allocate("a", 100)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(EnclaveMemoryError):
+            EnclaveMemoryModel().free("ghost")
+
+    def test_free_all_prefix(self):
+        mem = EnclaveMemoryModel()
+        mem.allocate("ecall/input0", 100)
+        mem.allocate("ecall/input1", 100)
+        mem.allocate("model/w", 100)
+        mem.free_all("ecall/")
+        assert list(mem.allocations()) == ["model/w"]
+
+    def test_peak_tracks_maximum(self):
+        mem = EnclaveMemoryModel()
+        mem.allocate("a", 5 * PAGE_BYTES)
+        mem.allocate("b", 3 * PAGE_BYTES)
+        mem.free("a")
+        assert mem.peak_bytes == 8 * PAGE_BYTES
+        assert mem.resident_bytes == 3 * PAGE_BYTES
+
+    def test_reset_peak(self):
+        mem = EnclaveMemoryModel()
+        mem.allocate("a", 5 * PAGE_BYTES)
+        mem.free("a")
+        mem.reset_peak()
+        assert mem.peak_bytes == 0
+
+
+class TestEpcOverflow:
+    def test_no_swap_under_epc(self):
+        mem = EnclaveMemoryModel(epc_bytes=10 * PAGE_BYTES)
+        mem.allocate("a", 5 * PAGE_BYTES)
+        assert mem.swapped_pages() == 0
+
+    def test_swap_counts_overflow_pages(self):
+        mem = EnclaveMemoryModel(epc_bytes=10 * PAGE_BYTES)
+        mem.allocate("a", 14 * PAGE_BYTES)
+        assert mem.swapped_pages() == 4
+
+    def test_hard_limit_enforced(self):
+        mem = EnclaveMemoryModel(
+            epc_bytes=4 * PAGE_BYTES, hard_limit_bytes=8 * PAGE_BYTES
+        )
+        mem.allocate("a", 6 * PAGE_BYTES)
+        with pytest.raises(EnclaveMemoryError):
+            mem.allocate("b", 6 * PAGE_BYTES)
+        # failed allocation must not be recorded
+        assert "b" not in mem.allocations()
+
+    def test_stats_snapshot(self):
+        mem = EnclaveMemoryModel(epc_bytes=4 * PAGE_BYTES)
+        mem.allocate("a", 6 * PAGE_BYTES)
+        stats = mem.stats()
+        assert stats.swapped_pages_peak == 2
+        assert stats.total_allocations == 1
+        assert not stats.within_epc
+        assert stats.peak_mb == pytest.approx(6 * PAGE_BYTES / (1024 * 1024))
+
+    def test_invalid_epc(self):
+        with pytest.raises(ValueError):
+            EnclaveMemoryModel(epc_bytes=0)

@@ -1,0 +1,87 @@
+"""SGX cost model tests: formulae, monotonicity, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tee import DEFAULT_COST_MODEL, SgxCostModel
+
+
+@pytest.fixture
+def cost():
+    return SgxCostModel(
+        cpu_gflops=10.0,
+        enclave_slowdown=5.0,
+        sparse_efficiency=0.1,
+        ecall_latency_s=1e-5,
+        transfer_bytes_per_s=1e9,
+        page_swap_latency_s=1e-4,
+        memory_bytes_per_s=1e10,
+    )
+
+
+class TestDenseMatmul:
+    def test_formula(self, cost):
+        # 2*10*10*10 = 2000 flops at 10 GF/s
+        assert cost.dense_matmul_time(10, 10, 10) == pytest.approx(2000 / 1e10)
+
+    def test_enclave_slowdown_applied(self, cost):
+        outside = cost.dense_matmul_time(100, 100, 100)
+        inside = cost.dense_matmul_time(100, 100, 100, in_enclave=True)
+        assert inside == pytest.approx(outside * 5.0)
+
+    def test_monotone_in_size(self, cost):
+        assert cost.dense_matmul_time(20, 20, 20) > cost.dense_matmul_time(10, 10, 10)
+
+
+class TestSparseMatmul:
+    def test_formula(self, cost):
+        # 2*1000*8 flops at 10 GF/s * 0.1 efficiency
+        assert cost.sparse_matmul_time(1000, 8) == pytest.approx(16000 / 1e9)
+
+    def test_slower_than_dense_per_flop(self, cost):
+        dense = cost.dense_matmul_time(1, 1000, 8)
+        sparse = cost.sparse_matmul_time(1000, 8)
+        assert sparse > dense
+
+
+class TestTransitions:
+    def test_ecall_fixed_plus_linear(self, cost):
+        empty = cost.ecall_time(0)
+        loaded = cost.ecall_time(10**9)
+        assert empty == pytest.approx(1e-5)
+        assert loaded == pytest.approx(1e-5 + 1.0)
+
+    def test_negative_payload_rejected(self, cost):
+        with pytest.raises(ValueError):
+            cost.ecall_time(-1)
+
+    def test_paging_linear(self, cost):
+        assert cost.paging_time(10) == pytest.approx(1e-3)
+        assert cost.paging_time(0) == 0.0
+
+    def test_negative_pages_rejected(self, cost):
+        with pytest.raises(ValueError):
+            cost.paging_time(-1)
+
+    def test_untrusted_copy(self, cost):
+        assert cost.untrusted_copy_time(1e10) == pytest.approx(1.0)
+
+    def test_elementwise_slower_in_enclave(self, cost):
+        assert cost.elementwise_time(1000, in_enclave=True) > cost.elementwise_time(1000)
+
+
+class TestDefaults:
+    def test_default_model_valid(self):
+        assert DEFAULT_COST_MODEL.cpu_gflops > 0
+        assert DEFAULT_COST_MODEL.enclave_slowdown > 1.0
+
+    def test_rejects_nonpositive_constants(self):
+        with pytest.raises(ValueError):
+            SgxCostModel(cpu_gflops=0.0)
+        with pytest.raises(ValueError):
+            SgxCostModel(transfer_bytes_per_s=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.cpu_gflops = 1.0

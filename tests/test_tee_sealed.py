@@ -1,0 +1,105 @@
+"""Sealed storage + attestation tests: identity binding, tamper detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AttestationError, SealingError
+from repro.tee import (
+    SealedBlob,
+    derive_seal_key,
+    generate_quote,
+    measure_code,
+    seal,
+    unseal,
+    verify_quote,
+)
+
+
+class TestMeasurement:
+    def test_deterministic(self):
+        desc = {"scheme": "parallel", "dims": [16, 8]}
+        assert measure_code(desc) == measure_code(desc)
+
+    def test_order_independent(self):
+        assert measure_code({"a": 1, "b": 2}) == measure_code({"b": 2, "a": 1})
+
+    def test_differs_by_content(self):
+        assert measure_code({"a": 1}) != measure_code({"a": 2})
+
+
+class TestSealUnseal:
+    def test_roundtrip(self):
+        payload = {"weights": np.arange(10).tolist(), "arch": "parallel"}
+        blob = seal(payload, "enclave-x")
+        assert unseal(blob, "enclave-x") == payload
+
+    def test_roundtrip_numpy(self):
+        payload = np.random.default_rng(0).random((5, 3))
+        blob = seal(payload, "m")
+        np.testing.assert_array_equal(unseal(blob, "m"), payload)
+
+    def test_identity_mismatch_rejected(self):
+        blob = seal("secret", "enclave-a")
+        with pytest.raises(SealingError):
+            unseal(blob, "enclave-b")
+
+    def test_tampered_ciphertext_rejected(self):
+        blob = seal("secret", "m")
+        flipped = bytes([blob.ciphertext[0] ^ 0xFF]) + blob.ciphertext[1:]
+        tampered = SealedBlob(blob.measurement, blob.nonce, flipped, blob.mac)
+        with pytest.raises(SealingError):
+            unseal(tampered, "m")
+
+    def test_tampered_mac_rejected(self):
+        blob = seal("secret", "m")
+        bad_mac = bytes([blob.mac[0] ^ 0x01]) + blob.mac[1:]
+        tampered = SealedBlob(blob.measurement, blob.nonce, blob.ciphertext, bad_mac)
+        with pytest.raises(SealingError):
+            unseal(tampered, "m")
+
+    def test_device_secret_binds(self):
+        blob = seal("secret", "m", device_secret=b"device-1")
+        with pytest.raises(SealingError):
+            unseal(blob, "m", device_secret=b"device-2")
+
+    def test_ciphertext_hides_plaintext(self):
+        blob = seal("A" * 100, "m")
+        assert b"AAAA" not in blob.ciphertext
+
+    def test_blob_size(self):
+        blob = seal("x", "m")
+        assert blob.num_bytes == len(blob.ciphertext) + len(blob.nonce) + len(blob.mac)
+
+    def test_key_derivation_depends_on_measurement(self):
+        assert derive_seal_key("a") != derive_seal_key("b")
+
+
+class TestAttestation:
+    def test_valid_quote_verifies(self):
+        quote = generate_quote("enclave-m", "challenge-1")
+        verify_quote(quote, "enclave-m", "challenge-1")  # no raise
+
+    def test_wrong_measurement_rejected(self):
+        quote = generate_quote("enclave-m")
+        with pytest.raises(AttestationError):
+            verify_quote(quote, "other-enclave")
+
+    def test_wrong_challenge_rejected(self):
+        quote = generate_quote("enclave-m", "challenge-1")
+        with pytest.raises(AttestationError):
+            verify_quote(quote, "enclave-m", "challenge-2")
+
+    def test_forged_signature_rejected(self):
+        quote = generate_quote("enclave-m")
+        forged = type(quote)(quote.measurement, quote.user_data, b"\x00" * 32)
+        with pytest.raises(AttestationError):
+            verify_quote(forged, "enclave-m")
+
+    def test_replayed_quote_for_other_measurement_rejected(self):
+        """A quote for enclave A cannot attest enclave B."""
+        quote_a = generate_quote("A")
+        forged = type(quote_a)("B", quote_a.user_data, quote_a.signature)
+        with pytest.raises(AttestationError):
+            verify_quote(forged, "B")

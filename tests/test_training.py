@@ -1,0 +1,176 @@
+"""Training loop tests: convergence, early stopping, frozen-backbone rule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import gcn_normalize
+from repro.models import GCNBackbone, make_rectifier
+from repro.training import (
+    TrainConfig,
+    accuracy,
+    confusion_matrix,
+    train_node_classifier,
+    train_rectifier,
+)
+
+
+class TestMetrics:
+    def test_accuracy_from_labels(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+
+    def test_accuracy_from_logits(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+
+    def test_accuracy_with_index(self):
+        preds = np.array([0, 1, 0, 1])
+        labels = np.array([0, 0, 0, 0])
+        assert accuracy(preds, labels, index=np.array([0, 2])) == 1.0
+
+    def test_accuracy_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix(np.array([0, 1, 1]), np.array([0, 0, 1]), 2)
+        np.testing.assert_array_equal(cm, [[1, 1], [0, 1]])
+
+    def test_confusion_matrix_from_logits(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        cm = confusion_matrix(logits, np.array([0, 1]), 2)
+        np.testing.assert_array_equal(cm, np.eye(2))
+
+
+class TestTrainConfig:
+    def test_rejects_zero_epochs(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+
+    def test_rejects_zero_patience(self):
+        with pytest.raises(ValueError):
+            TrainConfig(patience=0)
+
+
+class TestTrainNodeClassifier:
+    def test_learns_tiny_graph(self, tiny_graph, tiny_split):
+        adj = gcn_normalize(tiny_graph.adjacency)
+        model = GCNBackbone(tiny_graph.num_features, (16, 3), seed=0)
+        result = train_node_classifier(
+            model, tiny_graph.features, adj, tiny_graph.labels, tiny_split,
+            TrainConfig(epochs=60, patience=30),
+        )
+        assert result.test_accuracy > 0.6
+        assert result.loss_history[-1] < result.loss_history[0]
+
+    def test_early_stopping_triggers(self, tiny_graph, tiny_split):
+        adj = gcn_normalize(tiny_graph.adjacency)
+        model = GCNBackbone(tiny_graph.num_features, (16, 3), seed=0)
+        result = train_node_classifier(
+            model, tiny_graph.features, adj, tiny_graph.labels, tiny_split,
+            TrainConfig(epochs=500, patience=5),
+        )
+        assert result.epochs_run < 500
+
+    def test_restores_best_weights(self, tiny_graph, tiny_split):
+        adj = gcn_normalize(tiny_graph.adjacency)
+        model = GCNBackbone(tiny_graph.num_features, (16, 3), seed=0)
+        result = train_node_classifier(
+            model, tiny_graph.features, adj, tiny_graph.labels, tiny_split,
+            TrainConfig(epochs=40, patience=40),
+        )
+        model.eval()
+        from repro import nn
+
+        val_acc = accuracy(
+            model(nn.Tensor(tiny_graph.features), adj).data,
+            tiny_graph.labels,
+            tiny_split.val,
+        )
+        assert val_acc == pytest.approx(result.best_val_accuracy)
+
+    def test_histories_recorded(self, tiny_graph, tiny_split):
+        adj = gcn_normalize(tiny_graph.adjacency)
+        model = GCNBackbone(tiny_graph.num_features, (8, 3), seed=0)
+        result = train_node_classifier(
+            model, tiny_graph.features, adj, tiny_graph.labels, tiny_split,
+            TrainConfig(epochs=10, patience=10),
+        )
+        assert len(result.loss_history) == result.epochs_run
+        assert len(result.val_history) == result.epochs_run
+
+    def test_model_left_in_eval_mode(self, tiny_graph, tiny_split):
+        adj = gcn_normalize(tiny_graph.adjacency)
+        model = GCNBackbone(tiny_graph.num_features, (8, 3), seed=0)
+        train_node_classifier(
+            model, tiny_graph.features, adj, tiny_graph.labels, tiny_split,
+            TrainConfig(epochs=5, patience=5),
+        )
+        assert not model.training
+
+
+class TestTrainRectifier:
+    def _trained_backbone(self, graph, split, adj):
+        backbone = GCNBackbone(graph.num_features, (16, 8, 3), seed=0)
+        train_node_classifier(
+            backbone, graph.features, adj, graph.labels, split,
+            TrainConfig(epochs=40, patience=20),
+        )
+        return backbone
+
+    def test_backbone_weights_untouched(self, tiny_graph, tiny_split):
+        from repro.substitute import KnnGraphBuilder
+
+        sub_adj = gcn_normalize(KnnGraphBuilder(2)(tiny_graph.features))
+        real_adj = gcn_normalize(tiny_graph.adjacency)
+        backbone = self._trained_backbone(tiny_graph, tiny_split, sub_adj)
+        before = backbone.state_dict()
+        rectifier = make_rectifier("parallel", (16, 8, 3), (16, 8, 3), seed=1)
+        train_rectifier(
+            rectifier, backbone, tiny_graph.features, sub_adj, real_adj,
+            tiny_graph.labels, tiny_split, TrainConfig(epochs=30, patience=15),
+        )
+        after = backbone.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_rectifier_improves_on_backbone(self, tiny_graph, tiny_split):
+        """The core GNNVault claim at miniature scale: real edges help."""
+        from repro.substitute import RandomGraphBuilder
+
+        # deliberately bad substitute so the backbone underperforms
+        sub = RandomGraphBuilder(num_edges=tiny_graph.num_edges, seed=0)(
+            tiny_graph.features
+        )
+        sub_adj = gcn_normalize(sub)
+        real_adj = gcn_normalize(tiny_graph.adjacency)
+        backbone = self._trained_backbone(tiny_graph, tiny_split, sub_adj)
+        from repro import nn
+
+        backbone.eval()
+        p_bb = accuracy(
+            backbone(nn.Tensor(tiny_graph.features), sub_adj).data,
+            tiny_graph.labels,
+            tiny_split.test,
+        )
+        rectifier = make_rectifier("parallel", (16, 8, 3), (16, 8, 3), seed=1)
+        result = train_rectifier(
+            rectifier, backbone, tiny_graph.features, sub_adj, real_adj,
+            tiny_graph.labels, tiny_split, TrainConfig(epochs=60, patience=30),
+        )
+        assert result.test_accuracy > p_bb
+
+    @pytest.mark.parametrize("scheme", ["parallel", "series", "cascaded"])
+    def test_all_schemes_train(self, tiny_graph, tiny_split, scheme):
+        from repro.substitute import KnnGraphBuilder
+
+        sub_adj = gcn_normalize(KnnGraphBuilder(2)(tiny_graph.features))
+        real_adj = gcn_normalize(tiny_graph.adjacency)
+        backbone = self._trained_backbone(tiny_graph, tiny_split, sub_adj)
+        rectifier = make_rectifier(scheme, (16, 8, 3), (16, 8, 3), seed=1)
+        result = train_rectifier(
+            rectifier, backbone, tiny_graph.features, sub_adj, real_adj,
+            tiny_graph.labels, tiny_split, TrainConfig(epochs=40, patience=20),
+        )
+        assert result.test_accuracy > 0.5

@@ -1,0 +1,108 @@
+"""Cluster-sampled training tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CooAdjacency, make_sbm_graph
+from repro.datasets import per_class_split
+from repro.models import GCNBackbone
+from repro.training import (
+    ClusterSampler,
+    TrainConfig,
+    train_node_classifier,
+    train_node_classifier_clustered,
+)
+
+
+@pytest.fixture
+def graph():
+    return make_sbm_graph(120, 3, 32, 6.0, homophily=0.85, seed=4)
+
+
+@pytest.fixture
+def split(graph):
+    return per_class_split(graph.labels, 15, seed=0)
+
+
+class TestClusterSampler:
+    def test_partition_covers_all_nodes(self, graph):
+        sampler = ClusterSampler(graph.adjacency, num_clusters=5, seed=0)
+        all_nodes = np.concatenate(sampler.clusters())
+        assert np.unique(all_nodes).size == graph.num_nodes
+
+    def test_partition_balanced(self, graph):
+        sampler = ClusterSampler(graph.adjacency, num_clusters=4, seed=0)
+        sizes = [c.size for c in sampler.clusters()]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_batch_induced_subgraph(self, graph, split):
+        sampler = ClusterSampler(graph.adjacency, num_clusters=3, seed=0)
+        batch = sampler.batch(0, split.train)
+        assert batch.adj_norm.shape == (batch.nodes.size, batch.nodes.size)
+        # train mask positions index into the cluster
+        assert np.all(batch.train_mask < batch.nodes.size)
+
+    def test_train_mask_maps_to_global_train_nodes(self, graph, split):
+        sampler = ClusterSampler(graph.adjacency, num_clusters=3, seed=0)
+        batch = sampler.batch(1, split.train)
+        train_set = set(split.train.tolist())
+        assert all(int(batch.nodes[i]) in train_set for i in batch.train_mask)
+
+    def test_epoch_skips_trainless_clusters(self, graph):
+        sampler = ClusterSampler(graph.adjacency, num_clusters=6, seed=0)
+        rng = np.random.default_rng(0)
+        # only one labelled node: at most one batch yields
+        batches = list(sampler.epoch(np.array([0]), rng))
+        assert len(batches) == 1
+
+    def test_single_cluster_is_full_graph(self, graph, split):
+        sampler = ClusterSampler(graph.adjacency, num_clusters=1, seed=0)
+        batch = sampler.batch(0, split.train)
+        assert batch.nodes.size == graph.num_nodes
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            ClusterSampler(graph.adjacency, num_clusters=0)
+        with pytest.raises(ValueError):
+            ClusterSampler(CooAdjacency.empty(3), num_clusters=10)
+
+
+class TestClusteredTraining:
+    def test_learns_comparably_to_full_batch(self, graph, split):
+        from repro.graph import gcn_normalize
+
+        cfg = TrainConfig(epochs=60, patience=25)
+        full = GCNBackbone(graph.num_features, (16, 3), seed=1)
+        full_result = train_node_classifier(
+            full, graph.features, gcn_normalize(graph.adjacency),
+            graph.labels, split, cfg,
+        )
+        clustered = GCNBackbone(graph.num_features, (16, 3), seed=1)
+        clustered_result = train_node_classifier_clustered(
+            clustered, graph.features, graph.adjacency, graph.labels, split,
+            num_clusters=3, config=cfg, seed=0,
+        )
+        assert clustered_result.test_accuracy > full_result.test_accuracy - 0.15
+
+    def test_histories_recorded(self, graph, split):
+        model = GCNBackbone(graph.num_features, (8, 3), seed=1)
+        result = train_node_classifier_clustered(
+            model, graph.features, graph.adjacency, graph.labels, split,
+            num_clusters=4, config=TrainConfig(epochs=10, patience=10),
+        )
+        assert len(result.loss_history) == result.epochs_run
+
+    def test_deterministic(self, graph, split):
+        cfg = TrainConfig(epochs=15, patience=15)
+        results = []
+        for _ in range(2):
+            model = GCNBackbone(graph.num_features, (8, 3), seed=1)
+            results.append(
+                train_node_classifier_clustered(
+                    model, graph.features, graph.adjacency, graph.labels,
+                    split, num_clusters=4, config=cfg, seed=3,
+                )
+            )
+        assert results[0].test_accuracy == results[1].test_accuracy

@@ -1,0 +1,114 @@
+"""Learning-rate schedule tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.training import (
+    ConstantLr,
+    CosineDecay,
+    StepDecay,
+    TrainConfig,
+    WarmupWrapper,
+    make_schedule,
+)
+
+
+class TestConstant:
+    def test_flat(self):
+        schedule = ConstantLr(0.01)
+        assert schedule.lr_at(0) == schedule.lr_at(500) == 0.01
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            ConstantLr(0.0)
+
+
+class TestStepDecay:
+    def test_halves_every_step(self):
+        schedule = StepDecay(0.1, step_size=10, gamma=0.5)
+        assert schedule.lr_at(0) == 0.1
+        assert schedule.lr_at(9) == 0.1
+        assert schedule.lr_at(10) == pytest.approx(0.05)
+        assert schedule.lr_at(25) == pytest.approx(0.025)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepDecay(0.1, step_size=0)
+        with pytest.raises(ValueError):
+            StepDecay(0.1, step_size=5, gamma=1.5)
+
+
+class TestCosineDecay:
+    def test_endpoints(self):
+        schedule = CosineDecay(0.1, total_epochs=100, min_lr=0.01)
+        assert schedule.lr_at(0) == pytest.approx(0.1)
+        assert schedule.lr_at(100) == pytest.approx(0.01)
+
+    def test_monotone_decreasing(self):
+        schedule = CosineDecay(0.1, total_epochs=50)
+        rates = [schedule.lr_at(e) for e in range(51)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_clamps_past_horizon(self):
+        schedule = CosineDecay(0.1, total_epochs=10, min_lr=0.02)
+        assert schedule.lr_at(1000) == pytest.approx(0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineDecay(0.1, total_epochs=0)
+        with pytest.raises(ValueError):
+            CosineDecay(0.1, total_epochs=10, min_lr=0.5)
+
+
+class TestWarmup:
+    def test_linear_ramp(self):
+        schedule = WarmupWrapper(ConstantLr(0.1), warmup_epochs=5)
+        assert schedule.lr_at(0) == pytest.approx(0.02)
+        assert schedule.lr_at(4) == pytest.approx(0.1)
+        assert schedule.lr_at(10) == pytest.approx(0.1)
+
+    def test_zero_warmup_passthrough(self):
+        schedule = WarmupWrapper(ConstantLr(0.1), warmup_epochs=0)
+        assert schedule.lr_at(0) == 0.1
+
+
+class TestFactoryAndIntegration:
+    def test_factory_kinds(self):
+        assert isinstance(make_schedule("constant", 0.1, 10), ConstantLr)
+        assert isinstance(make_schedule("step", 0.1, 30), StepDecay)
+        assert isinstance(make_schedule("cosine", 0.1, 30), CosineDecay)
+        assert isinstance(
+            make_schedule("cosine", 0.1, 30, warmup_epochs=3), WarmupWrapper
+        )
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_schedule("exponential", 0.1, 10)
+
+    def test_apply_sets_optimizer_lr(self):
+        p = nn.Parameter(np.zeros(1))
+        optimizer = nn.Adam([p], lr=0.1)
+        schedule = StepDecay(0.1, step_size=1, gamma=0.5)
+        schedule.apply(optimizer, 2)
+        assert optimizer.lr == pytest.approx(0.025)
+
+    def test_train_config_builds_schedule(self):
+        config = TrainConfig(epochs=40, schedule="cosine", warmup_epochs=4)
+        schedule = config.make_schedule()
+        assert schedule.lr_at(0) < schedule.lr_at(3)  # warming up
+
+    def test_scheduled_training_converges(self, tiny_graph, tiny_split):
+        from repro.graph import gcn_normalize
+        from repro.models import GCNBackbone
+        from repro.training import train_node_classifier
+
+        adj = gcn_normalize(tiny_graph.adjacency)
+        model = GCNBackbone(tiny_graph.num_features, (16, 3), seed=0)
+        result = train_node_classifier(
+            model, tiny_graph.features, adj, tiny_graph.labels, tiny_split,
+            TrainConfig(epochs=60, patience=60, schedule="cosine", warmup_epochs=5),
+        )
+        assert result.test_accuracy > 0.6
