@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples report calibration clean
+.PHONY: install test bench bench-serving bench-full examples report calibration clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -18,6 +18,9 @@ bench:
 
 bench-logged:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-serving:
+	$(PYTHON) -m pytest benchmarks/test_perf_serving.py -q
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

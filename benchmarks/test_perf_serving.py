@@ -1,0 +1,165 @@
+"""Serving fast-path microbenchmarks: cached vs uncached query streams.
+
+The serving fast path has three caches — memoised adjacency derivations
+(CSR/degrees/Â), the per-feature-version backbone-embedding cache in
+:class:`VaultServer`, and the enclave's LRU receptive-field plan cache.
+This suite times a 1000-query Zipf workload through the uncached path
+(every cache disabled, the pre-fast-path behaviour) and the cached path
+(cold: first pass fills the caches; warm: second pass over the same
+stream), asserts the cached path answers byte-identically, and writes a
+machine-readable ``BENCH_serving.json`` so later PRs can track the perf
+trajectory.
+
+Run via ``make bench-serving`` or
+``pytest benchmarks/test_perf_serving.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.deploy import SecureInferenceSession, VaultServer, zipf_workload
+from repro.experiments import run_gnnvault
+from repro.tee import EnclaveConfig
+from repro.training import TrainConfig
+
+from .conftest import archive
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+
+NUM_QUERIES = 1000
+ZIPF_ALPHA = 1.2
+BATCH_SIZE = 1  # one query per ECALL: the per-query path the paper times
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """A trained vault plus two identically-provisioned sessions.
+
+    ``fast`` keeps every cache enabled; ``slow`` disables the enclave plan
+    cache and is served through a cache-less VaultServer, reproducing the
+    pre-fast-path per-query cost (full backbone pass + fresh subgraph
+    extraction per ECALL).
+    """
+    run = run_gnnvault(
+        dataset="citeseer",
+        schemes=("series",),
+        train_config=TrainConfig(epochs=60, patience=20),
+        seed=1,
+    )
+    fast = SecureInferenceSession(
+        run.backbone, run.rectifiers["series"], run.substitute,
+        run.graph.adjacency,
+    )
+    slow = SecureInferenceSession(
+        run.backbone, run.rectifiers["series"], run.substitute,
+        run.graph.adjacency,
+        enclave_config=EnclaveConfig(plan_cache_capacity=0),
+    )
+    return run, fast, slow
+
+
+def _timed_serve(server: VaultServer, workload: np.ndarray) -> tuple:
+    start = time.perf_counter()
+    labels = server.serve(workload, batch_size=BATCH_SIZE)
+    return labels, time.perf_counter() - start
+
+
+def test_fast_path_speedup_and_exactness(deployment):
+    run, fast_session, slow_session = deployment
+    workload = zipf_workload(
+        run.graph.num_nodes, NUM_QUERIES, alpha=ZIPF_ALPHA, seed=0
+    )
+
+    # Uncached reference: the pre-fast-path behaviour.
+    slow_server = VaultServer(
+        slow_session, run.graph.features, cache_embeddings=False
+    )
+    slow_labels, slow_seconds = _timed_serve(slow_server, workload)
+
+    # Cached path: cold pass fills the caches, warm pass reuses them.
+    fast_server = VaultServer(fast_session, run.graph.features)
+    cold_labels, cold_seconds = _timed_serve(fast_server, workload)
+    warm_labels, warm_seconds = _timed_serve(fast_server, workload)
+
+    # Exactness: the cached path is an optimisation, not an approximation.
+    np.testing.assert_array_equal(cold_labels, slow_labels)
+    np.testing.assert_array_equal(warm_labels, slow_labels)
+    assert cold_labels.tobytes() == slow_labels.tobytes()
+
+    # Warm-path cache behaviour is observable, not inferred from timing.
+    stats = fast_server.stats
+    assert stats.embedding_cache_misses == 1
+    assert stats.embedding_cache_hits == 2 * NUM_QUERIES - 1
+    plan_stats = fast_session.enclave.plan_cache_stats()
+    assert plan_stats["hits"] > plan_stats["misses"]
+    assert plan_stats["entries"] <= plan_stats["capacity"]
+
+    speedup_warm = slow_seconds / warm_seconds
+    speedup_cold = slow_seconds / cold_seconds
+    text = render_table(
+        ["path", "seconds", "speedup vs uncached"],
+        [
+            ["uncached (pre-fast-path)", round(slow_seconds, 3), 1.0],
+            ["cached, cold", round(cold_seconds, 3), round(speedup_cold, 1)],
+            ["cached, warm", round(warm_seconds, 3), round(speedup_warm, 1)],
+        ],
+        title=(
+            f"Serving fast path: Zipf({ZIPF_ALPHA}) stream of "
+            f"{NUM_QUERIES} queries (batch={BATCH_SIZE})"
+        ),
+    )
+    archive("perf_serving", text)
+
+    BENCH_JSON.write_text(json.dumps({
+        "benchmark": "serving_fast_path",
+        "workload": {
+            "num_queries": NUM_QUERIES,
+            "zipf_alpha": ZIPF_ALPHA,
+            "batch_size": BATCH_SIZE,
+            "dataset": "citeseer",
+            "num_nodes": run.graph.num_nodes,
+        },
+        "seconds": {
+            "uncached": slow_seconds,
+            "cached_cold": cold_seconds,
+            "cached_warm": warm_seconds,
+        },
+        "speedup": {
+            "warm_over_uncached": speedup_warm,
+            "cold_over_uncached": speedup_cold,
+        },
+        "embedding_cache": {
+            "hits": stats.embedding_cache_hits,
+            "misses": stats.embedding_cache_misses,
+        },
+        "plan_cache": plan_stats,
+        "labels_identical": True,
+        "python": platform.python_version(),
+    }, indent=2) + "\n")
+
+    # The acceptance bar: ≥10× at equal outputs on the warm path.
+    assert speedup_warm >= 10.0, (
+        f"warm fast path is only {speedup_warm:.1f}x faster than the "
+        f"uncached path (need >= 10x)"
+    )
+
+
+def test_plan_cache_epc_accounting(deployment):
+    """The plan cache is charged to enclave memory, not free speed."""
+    run, fast_session, _ = deployment
+    server = VaultServer(fast_session, run.graph.features)
+    server.serve(zipf_workload(run.graph.num_nodes, 20, seed=3))
+    report = fast_session.enclave.memory_report()
+    plan_regions = {k: v for k, v in report.items() if k.startswith("plancache/")}
+    assert plan_regions, "expected resident plan-cache allocations"
+    assert sum(plan_regions.values()) == (
+        fast_session.enclave.plan_cache_stats()["resident_bytes"]
+    )

@@ -13,7 +13,7 @@ blobs the enclave unseals internally.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,15 +61,26 @@ class SecureInferenceSession:
 
         self._rectifier_consumed = rectifier.consumed_layers()
         self._cost = self.enclave.config.cost_model
+        # Monotone counter identifying the (graph, feature-shape) version.
+        # Bumped by add_node; serving layers key their backbone-embedding
+        # caches on it so online updates invalidate stale embeddings.
+        self._feature_version = 0
+
+    @property
+    def feature_version(self) -> int:
+        """Current deployment version (bumped by every :meth:`add_node`)."""
+        return self._feature_version
 
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def predict(self, features: np.ndarray) -> Tuple[np.ndarray, InferenceProfile]:
-        """Classify every node; returns (labels, cost profile).
+    def embed(self, features: np.ndarray) -> Tuple[List[np.ndarray], float]:
+        """Run the public backbone once over the substitute graph.
 
-        Only integer labels are returned — logits and intermediate
-        embeddings never exist outside the enclave (paper §IV-E).
+        Returns every layer's embedding plus the simulated backbone
+        latency. This is the untrusted half of an inference — pure
+        pre-computation (paper §IV-C), so serving layers may compute it
+        once per :attr:`feature_version` and reuse it across queries.
         """
         features = np.asarray(features, dtype=np.float64)
         if features.shape[0] != self._num_nodes:
@@ -77,13 +88,21 @@ class SecureInferenceSession:
                 f"features cover {features.shape[0]} nodes, deployment expects "
                 f"{self._num_nodes}"
             )
-
-        # Untrusted world: run the public backbone on the substitute graph.
         embeddings = self.backbone.embeddings(features, self._substitute_norm)
         nnz = self.substitute_adjacency.num_entries + self._num_nodes
         backbone_seconds = model_compute_seconds(
             self.backbone, self._num_nodes, nnz, self._cost, in_enclave=False
         )
+        return embeddings, backbone_seconds
+
+    def predict(self, features: np.ndarray) -> Tuple[np.ndarray, InferenceProfile]:
+        """Classify every node; returns (labels, cost profile).
+
+        Only integer labels are returned — logits and intermediate
+        embeddings never exist outside the enclave (paper §IV-E).
+        """
+        # Untrusted world: run the public backbone on the substitute graph.
+        embeddings, backbone_seconds = self.embed(features)
 
         # One-way transfer of exactly the consumed embeddings.
         channel = OneWayChannel()
@@ -115,17 +134,32 @@ class SecureInferenceSession:
         field over the private graph, so trusted memory and compute scale
         with the neighbourhood size. Output labels align with ``node_ids``.
         """
-        features = np.asarray(features, dtype=np.float64)
-        if features.shape[0] != self._num_nodes:
-            raise ValueError(
-                f"features cover {features.shape[0]} nodes, deployment expects "
-                f"{self._num_nodes}"
-            )
-        embeddings = self.backbone.embeddings(features, self._substitute_norm)
-        nnz = self.substitute_adjacency.num_entries + self._num_nodes
-        backbone_seconds = model_compute_seconds(
-            self.backbone, self._num_nodes, nnz, self._cost, in_enclave=False
+        embeddings, backbone_seconds = self.embed(features)
+        return self.predict_nodes_precomputed(
+            embeddings, node_ids, backbone_seconds=backbone_seconds
         )
+
+    def predict_nodes_precomputed(
+        self,
+        embeddings: Sequence[np.ndarray],
+        node_ids,
+        backbone_seconds: float = 0.0,
+    ) -> Tuple[np.ndarray, InferenceProfile]:
+        """Per-node inference from already-computed backbone embeddings.
+
+        The serving fast path: :class:`~repro.deploy.server.VaultServer`
+        computes the untrusted half once per feature version via
+        :meth:`embed` and answers the whole query stream from it, paying
+        ``backbone_seconds = 0`` on cache hits. Correctness is unchanged —
+        the enclave receives exactly the payload :meth:`predict_nodes`
+        would have pushed.
+        """
+        embeddings = [np.asarray(e, dtype=np.float64) for e in embeddings]
+        if embeddings and embeddings[0].shape[0] != self._num_nodes:
+            raise ValueError(
+                f"embeddings cover {embeddings[0].shape[0]} nodes, deployment "
+                f"expects {self._num_nodes}"
+            )
         channel = OneWayChannel()
         for layer in self._rectifier_consumed:
             channel.push(embeddings[layer], description=f"backbone_layer_{layer}")
@@ -152,6 +186,13 @@ class SecureInferenceSession:
         substitute graph; ``sealed_update`` carries the *private* edges
         into the enclave, where they are unsealed and applied without ever
         existing in untrusted memory.
+
+        Every cached derivation tied to the old graph version is refreshed
+        or invalidated here: the substitute normalisation is rebuilt for
+        the extended adjacency (the extended object lazily re-derives its
+        own Â), the enclave drops its receptive-field plan cache when the
+        private graph grows, and :attr:`feature_version` is bumped so
+        serving-layer embedding caches miss on the next query.
         """
         from ..graph import gcn_normalize as _normalize
         from .updates import extend_adjacency
@@ -163,6 +204,7 @@ class SecureInferenceSession:
         self._substitute_norm = _normalize(self.substitute_adjacency)
         self._num_nodes += 1
         self.enclave.provision_graph_update(sealed_update)
+        self._feature_version += 1
         return new_id
 
     # ------------------------------------------------------------------

@@ -17,7 +17,7 @@ pass. :class:`VaultServer` adds the serving machinery around
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,6 +34,9 @@ class ServerStats:
     total_payload_bytes: int = 0
     peak_enclave_memory_bytes: int = 0
     per_node_counts: Dict[int, int] = field(default_factory=dict)
+    #: backbone-embedding cache behaviour (one event per served batch)
+    embedding_cache_hits: int = 0
+    embedding_cache_misses: int = 0
 
     @property
     def mean_latency_seconds(self) -> float:
@@ -61,19 +64,41 @@ class VaultServer:
         session: SecureInferenceSession,
         features: np.ndarray,
         query_budget: Optional[int] = None,
+        cache_embeddings: bool = True,
     ) -> None:
         self._session = session
         self._features = np.asarray(features, dtype=np.float64)
         if query_budget is not None and query_budget <= 0:
             raise ValueError(f"query_budget must be positive, got {query_budget}")
         self.query_budget = query_budget
+        self.cache_embeddings = cache_embeddings
         self.stats = ServerStats()
-        # Backbone pre-computation: charge it once, then serve from cache.
-        self._warm_profile = None
+        # Backbone pre-computation: computed on the first query of each
+        # feature version, then served from cache until the session's
+        # feature_version moves (add_node). (version, embeddings) pair.
+        self._embedding_cache: Optional[Tuple[int, List[np.ndarray]]] = None
 
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
+    def _embeddings(self) -> Tuple[List[np.ndarray], float]:
+        """Backbone embeddings for the current feature version.
+
+        Returns ``(embeddings, backbone_seconds)`` where the seconds are
+        the simulated backbone latency actually *incurred* by this call:
+        the full cost on a miss, zero on a hit (the untrusted half is pure
+        pre-computation, so a real deployment pays it once per version).
+        """
+        version = self._session.feature_version
+        if self._embedding_cache is not None and self._embedding_cache[0] == version:
+            self.stats.embedding_cache_hits += 1
+            return self._embedding_cache[1], 0.0
+        embeddings, backbone_seconds = self._session.embed(self._features)
+        self.stats.embedding_cache_misses += 1
+        if self.cache_embeddings:
+            self._embedding_cache = (version, embeddings)
+        return embeddings, backbone_seconds
+
     def query(self, node_id: int) -> int:
         """Answer a single node query with its class label."""
         return int(self.query_batch([node_id])[0])
@@ -90,7 +115,10 @@ class VaultServer:
                     f"query budget exhausted ({self.stats.queries_served}/"
                     f"{self.query_budget} used, batch of {len(node_ids)} denied)"
                 )
-        labels, profile = self._session.predict_nodes(self._features, node_ids)
+        embeddings, backbone_seconds = self._embeddings()
+        labels, profile = self._session.predict_nodes_precomputed(
+            embeddings, node_ids, backbone_seconds=backbone_seconds
+        )
         self.stats.queries_served += len(node_ids)
         self.stats.total_seconds += profile.total_seconds
         self.stats.total_payload_bytes += profile.payload_bytes
@@ -112,6 +140,27 @@ class VaultServer:
         for start in range(0, len(workload), batch_size):
             answers.append(self.query_batch(workload[start : start + batch_size]))
         return np.concatenate(answers) if answers else np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Online updates
+    # ------------------------------------------------------------------
+    def add_node(self, features_row, substitute_neighbours, sealed_update) -> int:
+        """Register a new node with the live deployment; returns its id.
+
+        Delegates to :meth:`SecureInferenceSession.add_node` (which bumps
+        the feature version, so the backbone-embedding cache misses on the
+        next query) and appends the node's public feature row so the
+        served feature matrix stays in sync with the grown graph.
+        """
+        features_row = np.asarray(features_row, dtype=np.float64).reshape(1, -1)
+        if features_row.shape[1] != self._features.shape[1]:
+            raise ValueError(
+                f"new node has {features_row.shape[1]} features, deployment "
+                f"expects {self._features.shape[1]}"
+            )
+        new_id = self._session.add_node(substitute_neighbours, sealed_update)
+        self._features = np.vstack([self._features, features_row])
+        return new_id
 
 
 def zipf_workload(

@@ -27,8 +27,12 @@ def gcn_normalize(adjacency, add_self_loops: bool = True) -> sp.csr_matrix:
     """Return ``D̃^{-1/2} (A + I) D̃^{-1/2}`` as CSR.
 
     Isolated nodes (degree 0 after optional self-loops) get zero rows rather
-    than NaNs.
+    than NaNs. For :class:`CooAdjacency` inputs with self-loops (the common
+    deployment case) the result is memoised on the immutable adjacency and
+    shared between callers — treat it as read-only.
     """
+    if isinstance(adjacency, CooAdjacency) and add_self_loops:
+        return adjacency.gcn_normalized()
     adj = _as_scipy(adjacency)
     if add_self_loops:
         adj = adj + sp.identity(adj.shape[0], format="csr")
@@ -41,7 +45,13 @@ def gcn_normalize(adjacency, add_self_loops: bool = True) -> sp.csr_matrix:
 
 
 def row_normalize(adjacency, add_self_loops: bool = True) -> sp.csr_matrix:
-    """Return the row-stochastic ``D̃^{-1} (A + I)`` (mean aggregation)."""
+    """Return the row-stochastic ``D̃^{-1} (A + I)`` (mean aggregation).
+
+    Memoised (read-only) for :class:`CooAdjacency` inputs with self-loops,
+    like :func:`gcn_normalize`.
+    """
+    if isinstance(adjacency, CooAdjacency) and add_self_loops:
+        return adjacency.row_normalized()
     adj = _as_scipy(adjacency)
     if add_self_loops:
         adj = adj + sp.identity(adj.shape[0], format="csr")

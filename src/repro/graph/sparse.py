@@ -5,6 +5,15 @@ The paper stores the private adjacency inside the enclave in **COO format**
 process" (§IV-E). :class:`CooAdjacency` is that object: an immutable,
 memory-accountable edge list with cached degrees, convertible to the CSR
 form the message-passing kernels consume.
+
+Because the dataclass is frozen, every derivation (CSR form, degree
+vector, normalised propagation matrices) is a pure function of the edge
+list and can be memoised once and shared for the object's lifetime with no
+invalidation protocol. The serving fast path leans on this: repeated
+per-query subgraph extraction and normalisation hit the caches instead of
+re-deriving COO→CSR on every call. Cached objects are shared — treat them
+as read-only (``csr()``/``gcn_normalized()``/``row_normalized()``);
+``to_csr()`` keeps its fresh-copy semantics for callers that mutate.
 """
 
 from __future__ import annotations
@@ -59,6 +68,9 @@ class CooAdjacency:
         object.__setattr__(self, "rows", rows)
         object.__setattr__(self, "cols", cols)
         object.__setattr__(self, "values", values)
+        # Lazy derivation cache (CSR, degrees, normalised forms). The
+        # instance is immutable, so entries never need invalidating.
+        object.__setattr__(self, "_derived", {})
 
     # ------------------------------------------------------------------
     # Constructors
@@ -108,14 +120,28 @@ class CooAdjacency:
 
     @property
     def num_edges(self) -> int:
-        """Number of undirected edges (assumes a symmetric matrix)."""
-        return self.num_entries // 2 + int(np.count_nonzero(self.rows == self.cols))
+        """Number of undirected edges (assumes a symmetric matrix).
+
+        A self-loop is stored as a single entry, every other undirected
+        edge as two, so with ``L`` loop entries among ``num_entries``
+        stored entries there are ``(num_entries - L) / 2 + L`` edges.
+        """
+        loops = int(np.count_nonzero(self.rows == self.cols))
+        return (self.num_entries - loops) // 2 + loops
 
     def degrees(self) -> np.ndarray:
-        """Weighted out-degree of every node (the pre-computed degree matrix)."""
-        deg = np.zeros(self.num_nodes)
-        np.add.at(deg, self.rows, self.values)
-        return deg
+        """Weighted out-degree of every node (the pre-computed degree matrix).
+
+        Cached after the first call; the returned array is marked
+        read-only because it is shared between callers.
+        """
+        cached = self._derived.get("degrees")
+        if cached is None:
+            cached = np.zeros(self.num_nodes)
+            np.add.at(cached, self.rows, self.values)
+            cached.setflags(write=False)
+            self._derived["degrees"] = cached
+        return cached
 
     def density(self) -> float:
         """Fraction of possible (directed, non-loop) entries present."""
@@ -124,7 +150,7 @@ class CooAdjacency:
 
     def is_symmetric(self) -> bool:
         """True if the matrix equals its transpose."""
-        mat = self.to_scipy().tocsr()
+        mat = self.csr()
         diff = mat - mat.T
         return diff.nnz == 0 or np.allclose(diff.data, 0.0)
 
@@ -139,8 +165,63 @@ class CooAdjacency:
         )
 
     def to_csr(self) -> sp.csr_matrix:
-        """Return the CSR form used by matmul kernels."""
+        """Return a fresh CSR copy (safe for callers that mutate)."""
         return self.to_scipy().tocsr()
+
+    # ------------------------------------------------------------------
+    # Memoised derivations (read-only, shared)
+    # ------------------------------------------------------------------
+    def csr(self) -> sp.csr_matrix:
+        """The cached CSR form (sorted indices). Treat as read-only.
+
+        This is the matrix the serving fast path's frontier expansion
+        walks; deriving it once per adjacency removes the COO→CSR
+        conversion from every k-hop query.
+        """
+        cached = self._derived.get("csr")
+        if cached is None:
+            cached = self.to_scipy().tocsr()
+            cached.sort_indices()
+            self._derived["csr"] = cached
+        return cached
+
+    def gcn_normalized(self) -> sp.csr_matrix:
+        """Cached ``Â = D̃^{-1/2} (A + I) D̃^{-1/2}`` (read-only CSR).
+
+        Matches :func:`repro.graph.normalize.gcn_normalize` with
+        ``add_self_loops=True`` (zero rows for isolated nodes); that
+        function routes through this cache for ``CooAdjacency`` inputs.
+        """
+        cached = self._derived.get("gcn_norm")
+        if cached is None:
+            adj = self.csr() + sp.identity(self.num_nodes, format="csr")
+            deg = np.asarray(adj.sum(axis=1)).ravel()
+            with np.errstate(divide="ignore"):
+                inv_sqrt = 1.0 / np.sqrt(deg)
+            inv_sqrt[~np.isfinite(inv_sqrt)] = 0.0
+            d_inv_sqrt = sp.diags(inv_sqrt)
+            cached = (d_inv_sqrt @ adj @ d_inv_sqrt).tocsr()
+            self._derived["gcn_norm"] = cached
+        return cached
+
+    def row_normalized(self) -> sp.csr_matrix:
+        """Cached row-stochastic ``D̃^{-1} (A + I)`` (read-only CSR)."""
+        cached = self._derived.get("row_norm")
+        if cached is None:
+            adj = self.csr() + sp.identity(self.num_nodes, format="csr")
+            deg = np.asarray(adj.sum(axis=1)).ravel()
+            with np.errstate(divide="ignore"):
+                inv = 1.0 / deg
+            inv[~np.isfinite(inv)] = 0.0
+            cached = (sp.diags(inv) @ adj).tocsr()
+            self._derived["row_norm"] = cached
+        return cached
+
+    def __getstate__(self) -> dict:
+        """Drop the derivation cache when pickling (sealing, bundles)."""
+        state = dict(self.__dict__)
+        state["_derived"] = {}
+        return state
 
     def to_dense(self) -> np.ndarray:
         """Materialise the dense matrix (only safe for small graphs)."""

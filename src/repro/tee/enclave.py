@@ -15,13 +15,15 @@ substitution rationale.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 
 from ..errors import SecurityViolation
-from ..graph import CooAdjacency, extract_subgraph, gcn_normalize
+from ..graph import CooAdjacency, Subgraph, extract_subgraph, gcn_normalize
 from ..models.rectifier import Rectifier
 from .attestation import Quote, generate_quote
 from .channel import LabelOnlyResult, OneWayChannel
@@ -39,6 +41,28 @@ class EnclaveConfig:
     epc_bytes: int = EPC_BYTES
     hard_limit_bytes: Optional[int] = None
     cost_model: SgxCostModel = DEFAULT_COST_MODEL
+    #: max receptive-field plans kept resident between per-node ECALLs
+    #: (0 disables the cache). Each cached plan is charged against the
+    #: EPC like any other enclave allocation, so the memory simulation
+    #: stays honest about the speed/space trade. 256 plans of a few pages
+    #: each stay well under the 96 MB EPC while covering the hot set of a
+    #: heavy-tailed (Zipf) query stream.
+    plan_cache_capacity: int = 256
+
+
+@dataclass
+class SubgraphPlan:
+    """A cached receptive-field plan for the per-node ECALL fast path.
+
+    Holds the extracted k-hop subgraph and its globally-degree-normalised
+    propagation matrix for one ``(targets, hops)`` key — everything the
+    rectifier needs except the (per-request) embedding rows.
+    """
+
+    sub: Subgraph
+    adj_norm: sp.spmatrix
+    slot: int
+    num_bytes: int
 
 
 @dataclass
@@ -93,6 +117,13 @@ class RectifierEnclave:
         self._adjacency: Optional[CooAdjacency] = None
         self._adj_norm = None
         self._provisioned_weights = False
+        # LRU receptive-field plan cache: (targets, hops) → SubgraphPlan.
+        # Lives inside the enclave, so each entry is charged EPC pages;
+        # invalidated whenever the private graph changes.
+        self._plan_cache: "OrderedDict[Tuple, SubgraphPlan]" = OrderedDict()
+        self._plan_slot = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         # Model parameters are resident for the enclave's lifetime.
         self.memory.allocate(
             "model/parameters", rectifier.num_parameters() * _FLOAT_BYTES
@@ -120,6 +151,7 @@ class RectifierEnclave:
             )
         if self._adjacency is not None:
             self.memory.free("graph/adjacency")
+        self._clear_plan_cache()
         self._adjacency = adjacency
         self._adj_norm = gcn_normalize(adjacency)
         self.memory.allocate("graph/adjacency", adjacency.memory_bytes())
@@ -141,6 +173,7 @@ class RectifierEnclave:
             )
         extended = extend_adjacency(self._adjacency, update.neighbours)
         self.memory.free("graph/adjacency")
+        self._clear_plan_cache()
         self._adjacency = extended
         self._adj_norm = gcn_normalize(extended)
         self.memory.allocate("graph/adjacency", extended.memory_bytes())
@@ -148,6 +181,54 @@ class RectifierEnclave:
     @property
     def ready(self) -> bool:
         return self._provisioned_weights and self._adjacency is not None
+
+    # ------------------------------------------------------------------
+    # Receptive-field plan cache
+    # ------------------------------------------------------------------
+    def _clear_plan_cache(self) -> None:
+        """Drop every cached plan (stale after any private-graph change)."""
+        for plan in self._plan_cache.values():
+            self.memory.free(f"plancache/{plan.slot}")
+        self._plan_cache.clear()
+
+    def _subgraph_plan(self, targets: Sequence[int], hops: int) -> SubgraphPlan:
+        """Cached k-hop extraction + normalisation for a target set.
+
+        Keyed by the sorted unique target ids plus the hop count; hits
+        skip both the frontier expansion and the Â_sub normalisation. New
+        plans are charged to enclave memory as ``plancache/<slot>``
+        regions; beyond :attr:`EnclaveConfig.plan_cache_capacity` the
+        least-recently-used plan is evicted and its pages freed.
+        """
+        key = (tuple(sorted(set(int(t) for t in targets))), int(hops))
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            self._plan_cache.move_to_end(key)
+            self.plan_cache_hits += 1
+            return plan
+        self.plan_cache_misses += 1
+        sub = extract_subgraph(self._adjacency, key[0], hops)
+        adj_norm = sub.normalized_adjacency().tocsr()
+        num_bytes = (
+            sub.adjacency.memory_bytes()
+            + adj_norm.data.nbytes
+            + adj_norm.indices.nbytes
+            + adj_norm.indptr.nbytes
+            + sub.nodes.nbytes
+            + sub.targets_local.nbytes
+            + sub.global_degrees.nbytes
+        )
+        plan = SubgraphPlan(
+            sub=sub, adj_norm=adj_norm, slot=self._plan_slot, num_bytes=num_bytes
+        )
+        self._plan_slot += 1
+        if self.config.plan_cache_capacity > 0:
+            while len(self._plan_cache) >= self.config.plan_cache_capacity:
+                _, evicted = self._plan_cache.popitem(last=False)
+                self.memory.free(f"plancache/{evicted.slot}")
+            self.memory.allocate(f"plancache/{plan.slot}", num_bytes)
+            self._plan_cache[key] = plan
+        return plan
 
     # ------------------------------------------------------------------
     # Inference ECALL
@@ -242,9 +323,10 @@ class RectifierEnclave:
                 f"private graph has {self._adjacency.num_nodes}"
             )
         hops = len(self._rectifier.convs)
-        sub = extract_subgraph(self._adjacency, targets, hops)
+        plan = self._subgraph_plan(targets, hops)
+        sub = plan.sub
         local = [e[sub.nodes] for e in embeddings]
-        adj_local = sub.normalized_adjacency()
+        adj_local = plan.adj_norm
         cost = self.config.cost_model
 
         self.memory.reset_peak()
@@ -323,6 +405,16 @@ class RectifierEnclave:
             seconds += cost.sparse_matmul_time(nnz, conv.out_features, in_enclave=True)
             seconds += cost.elementwise_time(num_nodes * conv.out_features, in_enclave=True)
         return seconds
+
+    def plan_cache_stats(self) -> Dict[str, int]:
+        """Receptive-field plan cache behaviour (for serving telemetry)."""
+        return {
+            "entries": len(self._plan_cache),
+            "capacity": self.config.plan_cache_capacity,
+            "hits": self.plan_cache_hits,
+            "misses": self.plan_cache_misses,
+            "resident_bytes": sum(p.num_bytes for p in self._plan_cache.values()),
+        }
 
     def memory_report(self) -> Dict[str, int]:
         """Bytes per live region (model, graph) for Fig. 6-style reporting."""

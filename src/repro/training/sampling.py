@@ -58,7 +58,7 @@ class ClusterSampler:
         self._clusters: List[np.ndarray] = [
             np.sort(np.flatnonzero(assignment == c)) for c in range(num_clusters)
         ]
-        self._csr = adjacency.to_csr()
+        self._csr = adjacency.csr()  # shared read-only cache; sliced, never mutated
 
     def clusters(self) -> List[np.ndarray]:
         """The node partition (global ids per cluster)."""

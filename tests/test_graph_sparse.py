@@ -88,6 +88,59 @@ class TestDerivedQuantities:
         assert sp.issparse(triangle.to_csr())
         assert triangle.to_csr().format == "csr"
 
+    def test_num_edges_counts_self_loops_once(self):
+        # Regression: with L self-loop entries the old formula returned
+        # E + L + L//2 instead of E + L. Here E = 1 (edge 0-1, stored
+        # twice) and L = 4 (loops at 0, 1, 2, 3).
+        adj = CooAdjacency(
+            4,
+            np.array([0, 1, 1, 2, 0, 3]),
+            np.array([1, 0, 1, 2, 0, 3]),
+        )
+        assert adj.num_edges == 5
+
+    def test_num_edges_two_self_loops(self):
+        adj = CooAdjacency(
+            3,
+            np.array([0, 0, 1, 2, 1, 2]),
+            np.array([0, 1, 0, 2, 2, 1]),
+        )
+        assert adj.num_edges == 4  # (0,1), (1,2) + loops at 0 and 2
+
+class TestMemoisedDerivations:
+    def test_csr_is_cached_and_matches_fresh_copy(self, triangle):
+        first = triangle.csr()
+        assert first is triangle.csr()  # same shared object
+        assert (first != triangle.to_csr()).nnz == 0
+        assert triangle.to_csr() is not triangle.to_csr()  # copies stay fresh
+
+    def test_degrees_cached_and_read_only(self, triangle):
+        deg = triangle.degrees()
+        assert deg is triangle.degrees()
+        with pytest.raises(ValueError):
+            deg[0] = 99.0
+
+    def test_gcn_normalized_matches_uncached_formula(self, triangle):
+        adj = triangle.to_csr() + sp.identity(3, format="csr")
+        inv_sqrt = sp.diags(1.0 / np.sqrt(np.asarray(adj.sum(axis=1)).ravel()))
+        expected = (inv_sqrt @ adj @ inv_sqrt).toarray()
+        np.testing.assert_allclose(triangle.gcn_normalized().toarray(), expected)
+        assert triangle.gcn_normalized() is triangle.gcn_normalized()
+
+    def test_row_normalized_rows_sum_to_one(self, triangle):
+        rows = np.asarray(triangle.row_normalized().sum(axis=1)).ravel()
+        np.testing.assert_allclose(rows, 1.0)
+
+    def test_pickle_drops_derivation_cache(self, triangle):
+        import pickle
+
+        triangle.csr()
+        triangle.degrees()
+        clone = pickle.loads(pickle.dumps(triangle))
+        assert clone._derived == {}
+        np.testing.assert_array_equal(clone.rows, triangle.rows)
+        np.testing.assert_array_equal(clone.degrees(), triangle.degrees())
+
 
 class TestMemoryAccounting:
     def test_coo_memory_formula(self, triangle):

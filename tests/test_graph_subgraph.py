@@ -14,6 +14,7 @@ from repro.graph import (
     k_hop_neighbourhood,
 )
 from repro.models import GCNBackbone
+from repro.tee import EnclaveConfig
 
 
 @pytest.fixture
@@ -122,6 +123,98 @@ class TestExactSubgraphInference:
         assert not np.allclose(local[pos], full[2])
 
 
+def _reference_extract_subgraph(adjacency, targets, hops):
+    """The pre-vectorisation implementation (Python sets/dicts/loops).
+
+    Kept as the executable specification: the vectorised fast path must
+    produce identical output on every field.
+    """
+    targets = np.asarray(list(targets), dtype=np.int64)
+    csr = adjacency.to_csr()
+    frontier = np.unique(targets)
+    visited = set(frontier.tolist())
+    for _ in range(hops):
+        if frontier.size == 0:
+            break
+        neighbours = csr[frontier].indices
+        fresh = [n for n in np.unique(neighbours) if n not in visited]
+        visited.update(fresh)
+        frontier = np.asarray(fresh, dtype=np.int64)
+    nodes = np.asarray(sorted(visited), dtype=np.int64)
+    position = {int(node): i for i, node in enumerate(nodes)}
+    keep = np.isin(adjacency.rows, nodes) & np.isin(adjacency.cols, nodes)
+    rows = np.asarray([position[int(r)] for r in adjacency.rows[keep]], dtype=np.int64)
+    cols = np.asarray([position[int(c)] for c in adjacency.cols[keep]], dtype=np.int64)
+    targets_local = np.asarray(
+        [position[int(t)] for t in np.unique(targets)], dtype=np.int64
+    )
+    deg = np.zeros(adjacency.num_nodes)
+    np.add.at(deg, adjacency.rows, adjacency.values)
+    return (
+        nodes,
+        rows,
+        cols,
+        adjacency.values[keep],
+        targets_local,
+        deg[nodes] + 1.0,
+    )
+
+
+class TestVectorizedExtractionEquivalence:
+    """Property-style: the fast path equals the reference on random graphs."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_reference_on_random_sbm(self, seed):
+        from repro.graph import make_sbm_graph
+
+        rng = np.random.default_rng(seed)
+        graph = make_sbm_graph(
+            num_nodes=int(rng.integers(40, 120)),
+            num_classes=int(rng.integers(2, 5)),
+            num_features=8,
+            avg_degree=float(rng.uniform(2.0, 8.0)),
+            homophily=float(rng.uniform(0.5, 0.95)),
+            seed=seed,
+        )
+        adjacency = graph.adjacency
+        num_targets = int(rng.integers(1, 6))
+        targets = rng.choice(adjacency.num_nodes, size=num_targets, replace=False)
+        hops = int(rng.integers(0, 4))
+
+        sub = extract_subgraph(adjacency, targets, hops)
+        nodes, rows, cols, values, targets_local, degrees = (
+            _reference_extract_subgraph(adjacency, targets, hops)
+        )
+        np.testing.assert_array_equal(sub.nodes, nodes)
+        np.testing.assert_array_equal(sub.adjacency.rows, rows)
+        np.testing.assert_array_equal(sub.adjacency.cols, cols)
+        np.testing.assert_array_equal(sub.adjacency.values, values)
+        np.testing.assert_array_equal(sub.targets_local, targets_local)
+        np.testing.assert_array_equal(sub.global_degrees, degrees)
+        np.testing.assert_array_equal(
+            k_hop_neighbourhood(adjacency, targets, hops), nodes
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_weighted_self_loop_graphs(self, seed):
+        """Loops and non-unit weights survive the vectorised keep/remap."""
+        rng = np.random.default_rng(100 + seed)
+        n = 25
+        u = rng.integers(0, n, size=60)
+        v = rng.integers(0, n, size=60)
+        rows = np.concatenate([u, v, np.arange(n)])
+        cols = np.concatenate([v, u, np.arange(n)])
+        values = np.concatenate([w := rng.random(60), w, np.ones(n)])
+        adjacency = CooAdjacency(n, rows, cols, values)
+        targets = [int(rng.integers(n))]
+        sub = extract_subgraph(adjacency, targets, 2)
+        ref = _reference_extract_subgraph(adjacency, targets, 2)
+        np.testing.assert_array_equal(sub.nodes, ref[0])
+        np.testing.assert_array_equal(sub.adjacency.rows, ref[1])
+        np.testing.assert_array_equal(sub.adjacency.cols, ref[2])
+        np.testing.assert_array_equal(sub.adjacency.values, ref[3])
+
+
 class TestPredictNodes:
     def test_matches_full_predict(self, trained_vault):
         run = trained_vault
@@ -138,11 +231,14 @@ class TestPredictNodes:
 
     def test_enclave_memory_scales_with_neighbourhood(self, trained_vault):
         run = trained_vault
+        # Plan cache disabled: this test compares per-ECALL scratch, and
+        # cached receptive-field plans are deliberately enclave-resident.
         session = SecureInferenceSession(
             run.backbone,
             run.rectifiers["parallel"],
             run.substitute,
             run.graph.adjacency,
+            enclave_config=EnclaveConfig(plan_cache_capacity=0),
         )
         _, full_profile = session.predict(run.graph.features)
         _, node_profile = session.predict_nodes(run.graph.features, [3])

@@ -1,0 +1,228 @@
+"""Serving fast-path tests: caches must be exact, observable, and honest.
+
+Covers the three cache layers (memoised adjacency derivations, the
+VaultServer backbone-embedding cache, the enclave receptive-field plan
+cache), their invalidation on online graph updates, and a lightweight
+perf smoke so a regression that silently disables the fast path fails
+tier-1.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.deploy import (
+    GraphUpdate,
+    SecureInferenceSession,
+    VaultServer,
+    seal_graph_update,
+    zipf_workload,
+)
+from repro.tee import EnclaveConfig
+
+
+@pytest.fixture
+def make_session(trained_vault):
+    def factory(**kwargs):
+        run = trained_vault
+        return SecureInferenceSession(
+            run.backbone,
+            run.rectifiers["parallel"],
+            run.substitute,
+            run.graph.adjacency,
+            **kwargs,
+        )
+
+    return factory
+
+
+class TestEmbeddingCache:
+    def test_cached_labels_match_uncached(self, trained_vault, make_session):
+        run = trained_vault
+        workload = zipf_workload(run.graph.num_nodes, 40, seed=2)
+        cached = VaultServer(make_session(), run.graph.features)
+        uncached = VaultServer(
+            make_session(enclave_config=EnclaveConfig(plan_cache_capacity=0)),
+            run.graph.features,
+            cache_embeddings=False,
+        )
+        np.testing.assert_array_equal(
+            cached.serve(workload, batch_size=4),
+            uncached.serve(workload, batch_size=4),
+        )
+
+    def test_stats_record_hits_and_misses(self, trained_vault, make_session):
+        run = trained_vault
+        server = VaultServer(make_session(), run.graph.features)
+        server.serve([0, 1, 2, 3], batch_size=1)
+        assert server.stats.embedding_cache_misses == 1
+        assert server.stats.embedding_cache_hits == 3
+
+    def test_uncached_server_never_hits(self, trained_vault, make_session):
+        run = trained_vault
+        server = VaultServer(
+            make_session(), run.graph.features, cache_embeddings=False
+        )
+        server.serve([0, 1, 2], batch_size=1)
+        assert server.stats.embedding_cache_hits == 0
+        assert server.stats.embedding_cache_misses == 3
+
+    def test_warm_queries_skip_backbone_cost(self, trained_vault, make_session):
+        run = trained_vault
+        session = make_session()
+        server = VaultServer(session, run.graph.features)
+        server.query(0)  # cold: pays the backbone
+        cold_seconds = server.stats.total_seconds
+        _, direct = session.predict_nodes(run.graph.features, [0])
+        assert direct.backbone_seconds > 0
+        assert cold_seconds == pytest.approx(direct.total_seconds)
+        server.query(0)  # warm: same version, no backbone charge
+        warm_seconds = server.stats.total_seconds - cold_seconds
+        assert warm_seconds == pytest.approx(
+            direct.total_seconds - direct.backbone_seconds
+        )
+
+
+class TestStaleCacheGuard:
+    def _grow(self, run, server):
+        """Add one class-0-like node through the serving layer."""
+        members = np.flatnonzero(run.graph.labels == 0)[:4]
+        update = GraphUpdate(neighbours=tuple(int(m) for m in members))
+        blob = seal_graph_update(update, run.rectifiers["parallel"])
+        row = run.graph.features[members].mean(axis=0)
+        return server.add_node(row, members[:2], blob), np.vstack(
+            [run.graph.features, row]
+        )
+
+    def test_add_node_bumps_feature_version(self, trained_vault, make_session):
+        run = trained_vault
+        session = make_session()
+        server = VaultServer(session, run.graph.features)
+        version = session.feature_version
+        self._grow(run, server)
+        assert session.feature_version == version + 1
+
+    def test_post_update_queries_are_correct(self, trained_vault, make_session):
+        run = trained_vault
+        session = make_session()
+        server = VaultServer(session, run.graph.features)
+        workload = list(range(10))
+        server.serve(workload)  # warm every cache on the old graph version
+        new_id, new_features = self._grow(run, server)
+
+        # The served answers must match a direct (cache-free) inference
+        # over the *grown* deployment — a stale embedding or plan cache
+        # would answer from the old graph.
+        direct, _ = session.predict_nodes(new_features, [new_id, *workload])
+        assert server.query(new_id) == direct[0]
+        np.testing.assert_array_equal(server.serve(workload), direct[1:])
+        assert server.query(new_id) == 0  # class-typical node → class 0
+        # Exactly one re-embed after the update, then cache hits again.
+        assert server.stats.embedding_cache_misses == 2
+
+    def test_mismatched_feature_row_rejected(self, trained_vault, make_session):
+        run = trained_vault
+        server = VaultServer(make_session(), run.graph.features)
+        blob = seal_graph_update(
+            GraphUpdate(neighbours=(0,)), run.rectifiers["parallel"]
+        )
+        with pytest.raises(ValueError):
+            server.add_node(np.ones(3), [0], blob)
+
+
+class TestEnclavePlanCache:
+    def test_hits_on_repeated_targets(self, trained_vault, make_session):
+        run = trained_vault
+        session = make_session()
+        server = VaultServer(session, run.graph.features)
+        server.serve([5, 5, 5, 9, 5], batch_size=1)
+        stats = session.enclave.plan_cache_stats()
+        assert stats["misses"] == 2  # nodes 5 and 9
+        assert stats["hits"] == 3
+
+    def test_plans_are_charged_to_enclave_memory(self, trained_vault, make_session):
+        run = trained_vault
+        session = make_session()
+        VaultServer(session, run.graph.features).serve([1, 2, 3], batch_size=1)
+        report = session.enclave.memory_report()
+        plan_bytes = [v for k, v in report.items() if k.startswith("plancache/")]
+        assert len(plan_bytes) == 3
+        assert all(b > 0 for b in plan_bytes)
+
+    def test_lru_eviction_bounds_memory(self, trained_vault, make_session):
+        run = trained_vault
+        session = make_session(
+            enclave_config=EnclaveConfig(plan_cache_capacity=2)
+        )
+        server = VaultServer(session, run.graph.features)
+        server.serve([0, 1, 2, 3], batch_size=1)
+        stats = session.enclave.plan_cache_stats()
+        assert stats["entries"] == 2
+        report = session.enclave.memory_report()
+        assert sum(k.startswith("plancache/") for k in report) == 2
+        # 0 and 1 were evicted (LRU); 2 and 3 are resident.
+        server.query(3)
+        assert session.enclave.plan_cache_stats()["hits"] == 1
+        server.query(0)
+        assert session.enclave.plan_cache_stats()["misses"] == 5
+
+    def test_graph_update_invalidates_plans(self, trained_vault, make_session):
+        run = trained_vault
+        session = make_session()
+        server = VaultServer(session, run.graph.features)
+        server.serve([0, 1], batch_size=1)
+        assert session.enclave.plan_cache_stats()["entries"] == 2
+        blob = seal_graph_update(
+            GraphUpdate(neighbours=(0, 1)), run.rectifiers["parallel"]
+        )
+        server.add_node(run.graph.features[0], [0], blob)
+        assert session.enclave.plan_cache_stats()["entries"] == 0
+        report = session.enclave.memory_report()
+        assert not any(k.startswith("plancache/") for k in report)
+
+    def test_disabled_cache_stays_empty(self, trained_vault, make_session):
+        run = trained_vault
+        session = make_session(
+            enclave_config=EnclaveConfig(plan_cache_capacity=0)
+        )
+        VaultServer(session, run.graph.features).serve([0, 1, 0], batch_size=1)
+        stats = session.enclave.plan_cache_stats()
+        assert stats["entries"] == 0
+        assert stats["hits"] == 0
+
+
+class TestPerfSmoke:
+    def test_warm_serving_beats_uncached(self, trained_vault, make_session):
+        """Tier-1 guard: the fast path must stay faster than the slow path.
+
+        Wall-clock comparison with a generous margin (strictly faster, not
+        the benchmark's 10x bar) so CI noise cannot flip it while a real
+        regression — e.g. the embedding cache silently missing — still
+        fails.
+        """
+        run = trained_vault
+        workload = zipf_workload(run.graph.num_nodes, 200, alpha=1.3, seed=4)
+
+        uncached = VaultServer(
+            make_session(enclave_config=EnclaveConfig(plan_cache_capacity=0)),
+            run.graph.features,
+            cache_embeddings=False,
+        )
+        start = time.perf_counter()
+        slow_labels = uncached.serve(workload, batch_size=1)
+        slow_seconds = time.perf_counter() - start
+
+        cached = VaultServer(make_session(), run.graph.features)
+        cached.serve(workload, batch_size=1)  # warm-up pass
+        start = time.perf_counter()
+        warm_labels = cached.serve(workload, batch_size=1)
+        warm_seconds = time.perf_counter() - start
+
+        np.testing.assert_array_equal(warm_labels, slow_labels)
+        assert warm_seconds < slow_seconds, (
+            f"warm fast path ({warm_seconds:.3f}s) not faster than uncached "
+            f"path ({slow_seconds:.3f}s) on a 200-query Zipf stream"
+        )
