@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-serving bench-full examples report calibration clean
+.PHONY: install test bench bench-serving bench-check bench-full obs-demo examples report calibration clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,13 @@ bench-logged:
 
 bench-serving:
 	$(PYTHON) -m pytest benchmarks/test_perf_serving.py -q
+
+bench-check: bench-serving
+	$(PYTHON) benchmarks/check_regression.py
+
+obs-demo:
+	$(PYTHON) -m repro.cli metrics --dataset cora --epochs 15 --queries 50
+	$(PYTHON) -m repro.cli trace --dataset cora --epochs 15 --queries 10
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Guard the serving fast path against performance regressions.
+
+Compares a freshly generated ``BENCH_serving.json`` (written by
+``benchmarks/test_perf_serving.py``, i.e. ``make bench-serving``) against
+the committed baseline — by default the copy at git ``HEAD`` — and fails
+if the warm-path speedup over the uncached path has regressed by more
+than the allowed fraction (20% by default, loose enough to absorb
+machine noise between runs while still catching a real fast-path break).
+
+Intended use is ``make bench-check``, which re-runs the serving benchmark
+and then this script. Exit status: 0 on pass, 1 on regression, 2 on
+missing/invalid inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_NAME = "BENCH_serving.json"
+METRIC_PATH = ("speedup", "warm_over_uncached")
+
+
+def load_fresh(path: Path) -> dict:
+    if not path.exists():
+        raise FileNotFoundError(
+            f"{path} not found — run `make bench-serving` first to generate it"
+        )
+    return json.loads(path.read_text())
+
+
+def load_baseline(path: Path | None, ref: str) -> dict:
+    """The committed benchmark: a file if given, else ``git show <ref>``."""
+    if path is not None:
+        return json.loads(path.read_text())
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{BENCH_NAME}"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        raise FileNotFoundError(
+            f"could not read {BENCH_NAME} from git ref {ref!r}: "
+            + proc.stderr.strip()
+        )
+    return json.loads(proc.stdout)
+
+
+def extract(payload: dict, origin: str) -> float:
+    node = payload
+    for key in METRIC_PATH:
+        if not isinstance(node, dict) or key not in node:
+            raise KeyError(
+                f"{origin} is missing {'.'.join(METRIC_PATH)!r}"
+            )
+        node = node[key]
+    return float(node)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh", type=Path, default=REPO_ROOT / BENCH_NAME,
+        help="freshly generated benchmark JSON (default: repo root copy)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline benchmark JSON file (default: read from git)",
+    )
+    parser.add_argument(
+        "--baseline-ref", default="HEAD",
+        help="git ref for the committed baseline (default: HEAD)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.20,
+        help="maximum allowed fractional drop in warm speedup (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        fresh = load_fresh(args.fresh)
+        baseline = load_baseline(args.baseline, args.baseline_ref)
+        fresh_speedup = extract(fresh, str(args.fresh))
+        base_speedup = extract(baseline, args.baseline or args.baseline_ref)
+    except (FileNotFoundError, KeyError, json.JSONDecodeError) as exc:
+        print(f"bench-check: {exc}", file=sys.stderr)
+        return 2
+    if base_speedup <= 0:
+        print(f"bench-check: baseline speedup {base_speedup} is not positive",
+              file=sys.stderr)
+        return 2
+
+    regression = 1.0 - fresh_speedup / base_speedup
+    print(
+        f"warm-path speedup: baseline {base_speedup:.2f}x -> "
+        f"fresh {fresh_speedup:.2f}x "
+        f"({'-' if regression > 0 else '+'}{abs(regression):.1%} "
+        f"{'slower' if regression > 0 else 'faster'}, "
+        f"budget {args.max_regression:.0%})"
+    )
+    overhead = fresh.get("instrumentation", {}).get("overhead_fraction")
+    if overhead is not None:
+        print(f"instrumentation overhead: {overhead:.2%} of warm-path CPU")
+
+    if regression > args.max_regression:
+        print(
+            f"bench-check: FAIL — warm speedup regressed {regression:.1%}, "
+            f"over the {args.max_regression:.0%} budget",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench-check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

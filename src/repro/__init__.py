@@ -20,7 +20,7 @@ paper-vs-measured results.
 """
 
 from . import analysis, attacks, datasets, deploy, experiments, graph, models
-from . import nn, substitute, tee, training
+from . import nn, obs, substitute, tee, training
 from .errors import (
     AttestationError,
     EnclaveMemoryError,
@@ -45,6 +45,7 @@ __all__ = [
     "graph",
     "models",
     "nn",
+    "obs",
     "substitute",
     "tee",
     "training",

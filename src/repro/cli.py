@@ -6,7 +6,9 @@ Subcommands mirror the lifecycle a user of the library walks through:
 * ``repro train``                 — train GNNVault and export a bundle;
 * ``repro predict``               — serve queries from an exported bundle;
 * ``repro attack``                — run the link stealing audit;
-* ``repro experiment``            — regenerate a paper table/figure.
+* ``repro experiment``            — regenerate a paper table/figure;
+* ``repro metrics``               — serve a workload, print Prometheus metrics;
+* ``repro trace``                 — serve a workload, dump JSONL query traces.
 
 Every subcommand prints plain text and returns a process exit code, so the
 CLI is scriptable in CI pipelines.
@@ -123,6 +125,89 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_telemetry_workload(args: argparse.Namespace):
+    """Train a small vault, serve a Zipf workload, return the telemetry hub.
+
+    Shared by ``repro metrics`` and ``repro trace``: the whole pipeline —
+    training epochs, backbone cache, enclave ECALLs — is instrumented, so
+    the export shows the Fig. 6 telemetry story end-to-end.
+    """
+    from .deploy import SecureInferenceSession, VaultServer, zipf_workload
+    from .experiments import run_gnnvault
+    from .obs import Telemetry
+    from .training import TrainConfig
+
+    telemetry = Telemetry(max_traces=max(args.queries, 8))
+    print(
+        f"training GNNVault ({args.scheme}) on {args.dataset} "
+        f"[{args.epochs} epochs]...",
+    )
+    run = run_gnnvault(
+        dataset=args.dataset,
+        schemes=(args.scheme,),
+        seed=args.seed,
+        train_config=TrainConfig(epochs=args.epochs, patience=args.patience),
+        telemetry=telemetry,
+    )
+    session = SecureInferenceSession(
+        run.backbone,
+        run.rectifiers[args.scheme],
+        run.substitute,
+        run.graph.adjacency,
+        telemetry=telemetry,
+    )
+    server = VaultServer(session, run.graph.features)
+    workload = zipf_workload(
+        run.graph.num_nodes, args.queries, alpha=args.alpha, seed=args.seed
+    )
+    print(f"serving {args.queries} Zipf({args.alpha}) queries...")
+    server.serve(workload, batch_size=args.batch_size)
+    return telemetry, server
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    telemetry, server = _run_telemetry_workload(args)
+    text = telemetry.render_prometheus()
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"metrics written to {args.output}")
+    else:
+        print()
+        print(text, end="")
+    summary = server.stats.latency_summary()
+    print(
+        f"# served {server.stats.queries_served} queries: "
+        f"p50 {1e3 * summary['p50']:.3f} ms, "
+        f"p95 {1e3 * summary['p95']:.3f} ms, "
+        f"p99 {1e3 * summary['p99']:.3f} ms (simulated)"
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import write_trace_jsonl
+
+    telemetry, server = _run_telemetry_workload(args)
+    if args.output:
+        path = write_trace_jsonl(telemetry.tracer, args.output)
+        print(f"{len(telemetry.tracer.roots())} traces written to {path}")
+    else:
+        print()
+        print(telemetry.trace_jsonl(), end="")
+    last = telemetry.tracer.last()
+    if last is not None:
+        stages = last.stages()
+        rendered = ", ".join(
+            f"{name} {1e6 * seconds:.1f} µs"
+            for name, seconds in stages.items()
+            if name != "ecall"
+        )
+        print(f"# last query stages: {rendered}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from . import experiments as exp
 
@@ -201,6 +286,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--output", help="output path (default: <dir>/REPORT.md)")
     report.set_defaults(func=_cmd_report)
+
+    def add_workload_options(parser_: argparse.ArgumentParser) -> None:
+        parser_.add_argument("--dataset", default="cora")
+        parser_.add_argument(
+            "--scheme", default="series",
+            choices=("parallel", "series", "cascaded"),
+        )
+        parser_.add_argument("--epochs", type=int, default=20)
+        parser_.add_argument("--patience", type=int, default=10)
+        parser_.add_argument("--queries", type=int, default=100)
+        parser_.add_argument("--batch-size", type=int, default=1)
+        parser_.add_argument("--alpha", type=float, default=1.2,
+                             help="Zipf skew of the query workload")
+        parser_.add_argument("--seed", type=int, default=0)
+        parser_.add_argument("--output", help="write the export to this file")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="serve an instrumented workload and export Prometheus metrics",
+    )
+    add_workload_options(metrics)
+    metrics.set_defaults(func=_cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace",
+        help="serve an instrumented workload and dump JSONL query traces",
+    )
+    add_workload_options(trace)
+    trace.set_defaults(func=_cmd_trace)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"

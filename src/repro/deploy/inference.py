@@ -19,6 +19,7 @@ import numpy as np
 
 from ..graph import CooAdjacency, gcn_normalize
 from ..models.rectifier import Rectifier
+from ..obs import Telemetry
 from ..tee.attestation import verify_quote
 from ..tee.channel import OneWayChannel
 from ..tee.enclave import (
@@ -40,6 +41,7 @@ class SecureInferenceSession:
         substitute_adjacency: CooAdjacency,
         private_adjacency: CooAdjacency,
         enclave_config: Optional[EnclaveConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if substitute_adjacency.num_nodes != private_adjacency.num_nodes:
             raise ValueError(
@@ -65,11 +67,27 @@ class SecureInferenceSession:
         # Bumped by add_node; serving layers key their backbone-embedding
         # caches on it so online updates invalidate stale embeddings.
         self._feature_version = 0
+        self.telemetry: Optional[Telemetry] = None
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
 
     @property
     def feature_version(self) -> int:
         """Current deployment version (bumped by every :meth:`add_node`)."""
         return self._feature_version
+
+    def attach_telemetry(self, telemetry: Optional[Telemetry]) -> None:
+        """Wire a telemetry hub through the session and into the enclave.
+
+        The enclave side never sees the hub itself — only the redaction
+        gate derived from it (``telemetry.enclave_gate()``), which is
+        ``None`` when telemetry is disabled so the ECALL hot path pays a
+        single branch.
+        """
+        self.telemetry = telemetry
+        self.enclave.attach_telemetry(
+            telemetry.enclave_gate() if telemetry is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Serving
@@ -205,6 +223,11 @@ class SecureInferenceSession:
         self._num_nodes += 1
         self.enclave.provision_graph_update(sealed_update)
         self._feature_version += 1
+        if self.telemetry is not None:
+            self.telemetry.registry.counter(
+                "vault_graph_updates_total",
+                help="online add_node updates applied to the deployment",
+            ).inc()
         return new_id
 
     # ------------------------------------------------------------------

@@ -42,11 +42,18 @@ class InferenceProfile:
         return self.total_seconds / baseline_seconds - 1.0
 
     def breakdown(self) -> dict:
-        """Stage → seconds mapping for plotting/reporting."""
+        """Stage → seconds mapping for plotting/reporting.
+
+        The complete Fig. 6 stage set. ``enclave`` here is rectifier
+        *compute* only — EPC paging is broken out under its own
+        ``paging`` key — so the stages are disjoint and sum exactly to
+        :attr:`total_seconds`.
+        """
         return {
             "backbone": self.backbone_seconds,
             "transfer": self.transfer_seconds,
-            "enclave": self.enclave_seconds,
+            "enclave": self.enclave_seconds - self.paging_seconds,
+            "paging": self.paging_seconds,
         }
 
 

@@ -11,49 +11,193 @@ pass. :class:`VaultServer` adds the serving machinery around
 * every answer is label-only, and an audit log records query counts and
   cumulative simulated cost for capacity planning;
 * an optional query budget models rate limiting, the standard mitigation
-  against extraction-by-mass-querying.
+  against extraction-by-mass-querying;
+* every query is traced and metered through :mod:`repro.obs`: a root
+  ``query`` span nests the ``backbone`` stage and the enclave's redacted
+  ``ecall`` subtree, and :class:`ServerStats` is a thin view over the
+  shared metrics registry.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import SecurityViolation
+from ..obs import Telemetry
+from ..obs.metrics import MetricsRegistry, SIZE_BUCKETS_BYTES
+from ..obs.redaction import RedactedSpan
+from ..obs.tracing import COMPACT_DECODERS, Span
 from .inference import SecureInferenceSession
 
 
-@dataclass
 class ServerStats:
-    """Aggregate serving statistics."""
+    """Aggregate serving statistics — a thin view over a metrics registry.
 
-    queries_served: int = 0
-    total_seconds: float = 0.0
-    total_payload_bytes: int = 0
-    peak_enclave_memory_bytes: int = 0
-    per_node_counts: Dict[int, int] = field(default_factory=dict)
-    #: backbone-embedding cache behaviour (one event per served batch)
-    embedding_cache_hits: int = 0
-    embedding_cache_misses: int = 0
+    The public attribute surface is unchanged from the original ad-hoc
+    dataclass (``queries_served``, ``total_seconds``, ...), but every
+    value now lives in a :class:`~repro.obs.metrics.MetricsRegistry`, so
+    the same numbers are exportable as Prometheus series and shared with
+    the rest of the telemetry subsystem.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._queries = self.registry.counter(
+            "vault_queries_total", help="node queries answered"
+        )
+        self._latency = self.registry.histogram(
+            "vault_query_batch_seconds",
+            help="simulated end-to-end seconds per served batch",
+        )
+        self._seconds = self.registry.counter(
+            "vault_serving_seconds_total",
+            help="cumulative simulated serving seconds",
+        )
+        self._payload = self.registry.counter(
+            "vault_payload_bytes_total",
+            help="bytes pushed through the one-way channel",
+        )
+        self._batch_payload = self.registry.histogram(
+            "vault_batch_payload_bytes",
+            help="one-way channel payload per served batch",
+            buckets=SIZE_BUCKETS_BYTES,
+        )
+        self._peak_memory = self.registry.gauge(
+            "vault_peak_enclave_memory_bytes",
+            help="high watermark of enclave memory across all batches",
+        )
+        self._node_queries = self.registry.counter(
+            "vault_node_queries_total",
+            help="queries per (public) node id — capacity-planning signal",
+        )
+        self._embedding_cache = self.registry.counter(
+            "vault_embedding_cache_events_total",
+            help="backbone-embedding cache behaviour (one event per batch)",
+        )
+
+    # ------------------------------------------------------------------
+    # Recording (called by VaultServer)
+    # ------------------------------------------------------------------
+    def record_batch(self, node_ids: Sequence[int], profile) -> None:
+        self._queries.inc(len(node_ids))
+        self._seconds.inc(profile.total_seconds)
+        self._latency.observe(profile.total_seconds)
+        self._payload.inc(profile.payload_bytes)
+        self._batch_payload.observe(profile.payload_bytes)
+        self._peak_memory.set_max(profile.peak_enclave_memory_bytes)
+        for node in node_ids:
+            self._node_queries.inc(node=str(node))
+
+    def record_embedding_cache(self, hit: bool) -> None:
+        self._embedding_cache.inc(result="hit" if hit else "miss")
+
+    # ------------------------------------------------------------------
+    # The original ServerStats read API (now registry-backed)
+    # ------------------------------------------------------------------
+    @property
+    def queries_served(self) -> int:
+        return int(self._queries.value())
+
+    @property
+    def total_seconds(self) -> float:
+        return self._seconds.value()
+
+    @property
+    def total_payload_bytes(self) -> int:
+        return int(self._payload.value())
+
+    @property
+    def peak_enclave_memory_bytes(self) -> int:
+        return int(self._peak_memory.value())
+
+    @property
+    def per_node_counts(self) -> Dict[int, int]:
+        return {
+            int(dict(labels)["node"]): int(value)
+            for labels, value in self._node_queries.series()
+        }
+
+    @property
+    def embedding_cache_hits(self) -> int:
+        return int(self._embedding_cache.value(result="hit"))
+
+    @property
+    def embedding_cache_misses(self) -> int:
+        return int(self._embedding_cache.value(result="miss"))
 
     @property
     def mean_latency_seconds(self) -> float:
-        if self.queries_served == 0:
+        served = self.queries_served
+        if served == 0:
             return 0.0
-        return self.total_seconds / self.queries_served
+        return self.total_seconds / served
+
+    def latency_summary(self) -> Dict[str, float]:
+        """p50/p95/p99 of per-batch simulated latency."""
+        return self._latency.summary()
 
     def hottest_nodes(self, top: int = 5) -> List[int]:
-        """Most frequently queried nodes (capacity-planning signal)."""
+        """Most frequently queried nodes (capacity-planning signal).
+
+        Deterministic: ties on the count break towards the smaller node
+        id, so dashboards and tests see a stable ranking.
+        """
         ranked = sorted(
-            self.per_node_counts.items(), key=lambda kv: kv[1], reverse=True
+            self.per_node_counts.items(), key=lambda kv: (-kv[1], kv[0])
         )
         return [node for node, _ in ranked[:top]]
+
+    def __repr__(self) -> str:
+        return (
+            f"ServerStats(queries={self.queries_served}, "
+            f"seconds={self.total_seconds:.6g}, "
+            f"payload_bytes={self.total_payload_bytes})"
+        )
 
 
 class QueryBudgetExceeded(SecurityViolation):
     """Raised when a client exhausts its query budget (rate limiting)."""
+
+
+def _decode_query_trace(row: tuple) -> Span:
+    """Materialise a compact serving record into its span tree.
+
+    The serving path stores one flat tuple per query instead of ~10 span
+    objects (see :meth:`repro.obs.tracing.Tracer.open_record`). Row
+    layout — written by :meth:`VaultServer.query_batch` with the ECALL
+    segment spliced in by ``EnclaveTelemetryGate.record_ecall``::
+
+        ("query", wall_seconds, batch_size,
+         [ecall_total, transfer, enclave, paging,          # present only
+          payload_bytes, peak_memory_bytes, swapped_pages,]  # with ECALL
+         backbone_seconds, total_seconds_or_None)
+
+    The decoded tree is identical to what per-span recording would have
+    produced: ``query`` over ``backbone`` and a redacted ``ecall``
+    subtree, so trace consumers never see the encoding.
+    """
+    root = Span("query")
+    root._wall_seconds = row[1]
+    root.set_attribute("batch_size", row[2])
+    if row[-1] is not None:
+        root.set_seconds(row[-1])
+    root.add_stage("backbone", row[-2])
+    if len(row) == 12:
+        ecall = RedactedSpan("ecall")
+        ecall.set_seconds(row[3])
+        ecall.set_attribute("payload_bytes", row[7])
+        ecall.set_attribute("peak_memory_bytes", row[8])
+        ecall.set_attribute("swapped_pages", row[9])
+        ecall.add_stage("transfer", row[4])
+        ecall.add_stage("enclave", row[5])
+        ecall.add_stage("paging", row[6])
+        root.children.append(ecall)
+    return root
+
+
+COMPACT_DECODERS["query"] = _decode_query_trace
 
 
 class VaultServer:
@@ -65,6 +209,7 @@ class VaultServer:
         features: np.ndarray,
         query_budget: Optional[int] = None,
         cache_embeddings: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._session = session
         self._features = np.asarray(features, dtype=np.float64)
@@ -72,7 +217,13 @@ class VaultServer:
             raise ValueError(f"query_budget must be positive, got {query_budget}")
         self.query_budget = query_budget
         self.cache_embeddings = cache_embeddings
-        self.stats = ServerStats()
+        # One telemetry hub per deployment: reuse the session's if it has
+        # one (so server spans and enclave spans share a trace tree),
+        # otherwise create and wire one through to the enclave gate.
+        self.telemetry = telemetry or session.telemetry or Telemetry()
+        if session.telemetry is not self.telemetry:
+            session.attach_telemetry(self.telemetry)
+        self.stats = ServerStats(self.telemetry.registry)
         # Backbone pre-computation: computed on the first query of each
         # feature version, then served from cache until the session's
         # feature_version moves (add_node). (version, embeddings) pair.
@@ -91,10 +242,10 @@ class VaultServer:
         """
         version = self._session.feature_version
         if self._embedding_cache is not None and self._embedding_cache[0] == version:
-            self.stats.embedding_cache_hits += 1
+            self.stats.record_embedding_cache(hit=True)
             return self._embedding_cache[1], 0.0
         embeddings, backbone_seconds = self._session.embed(self._features)
-        self.stats.embedding_cache_misses += 1
+        self.stats.record_embedding_cache(hit=False)
         if self.cache_embeddings:
             self._embedding_cache = (version, embeddings)
         return embeddings, backbone_seconds
@@ -115,20 +266,21 @@ class VaultServer:
                     f"query budget exhausted ({self.stats.queries_served}/"
                     f"{self.query_budget} used, batch of {len(node_ids)} denied)"
                 )
-        embeddings, backbone_seconds = self._embeddings()
-        labels, profile = self._session.predict_nodes_precomputed(
-            embeddings, node_ids, backbone_seconds=backbone_seconds
-        )
-        self.stats.queries_served += len(node_ids)
-        self.stats.total_seconds += profile.total_seconds
-        self.stats.total_payload_bytes += profile.payload_bytes
-        self.stats.peak_enclave_memory_bytes = max(
-            self.stats.peak_enclave_memory_bytes, profile.peak_enclave_memory_bytes
-        )
-        for node in node_ids:
-            self.stats.per_node_counts[node] = (
-                self.stats.per_node_counts.get(node, 0) + 1
+        tracer = self.telemetry.tracer
+        record = tracer.open_record("query", len(node_ids))
+        backbone_seconds = 0.0
+        profile = None
+        try:
+            embeddings, backbone_seconds = self._embeddings()
+            labels, profile = self._session.predict_nodes_precomputed(
+                embeddings, node_ids, backbone_seconds=backbone_seconds
             )
+        finally:
+            tracer.close_record(
+                record, backbone_seconds,
+                None if profile is None else profile.total_seconds,
+            )
+        self.stats.record_batch(node_ids, profile)
         return labels
 
     def serve(self, workload: Sequence[int], batch_size: int = 1) -> np.ndarray:

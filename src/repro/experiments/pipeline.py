@@ -141,11 +141,14 @@ def run_gnnvault(
     cosine_density_match: bool = True,
     train_original: bool = True,
     graph: Optional[Graph] = None,
+    telemetry=None,
 ) -> GnnVaultRun:
     """Train one GNNVault instance end-to-end (see module docstring).
 
     Parameters mirror the paper's experimental knobs; ``graph`` overrides
-    dataset loading for callers that bring their own data.
+    dataset loading for callers that bring their own data. ``telemetry``
+    (a :class:`repro.obs.Telemetry`) threads per-epoch training metrics
+    through every phase.
     """
     if graph is None:
         graph = load_dataset(dataset, scale=scale, seed=seed)
@@ -174,7 +177,8 @@ def run_gnnvault(
     p_org = 0.0
     if train_original:
         result_org = train_node_classifier(
-            original, graph.features, real_norm, graph.labels, split, cfg
+            original, graph.features, real_norm, graph.labels, split, cfg,
+            telemetry=telemetry,
         )
         p_org = result_org.test_accuracy
 
@@ -192,7 +196,8 @@ def run_gnnvault(
     else:
         raise ValueError(f"unknown backbone kind {backbone_kind!r}; use gcn/mlp")
     result_bb = train_node_classifier(
-        backbone, graph.features, backbone_adj, graph.labels, split, cfg
+        backbone, graph.features, backbone_adj, graph.labels, split, cfg,
+        telemetry=telemetry,
     )
 
     run = GnnVaultRun(
@@ -218,6 +223,7 @@ def run_gnnvault(
             graph.labels,
             split,
             cfg,
+            telemetry=telemetry,
         )
         run.rectifiers[scheme] = rectifier
         run.p_rec[scheme] = result_rec.test_accuracy

@@ -1,0 +1,101 @@
+"""Unified observability: metrics registry, span tracer, trust-aware export.
+
+The paper's whole systems story (Fig. 6 latency breakdown, the enclave
+memory table) is telemetry; this package makes it first-class and safe:
+
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms;
+* :mod:`repro.obs.tracing` — nested spans carrying the simulated
+  per-stage seconds of one secure inference;
+* :mod:`repro.obs.redaction` — the enclave telemetry gate: spans and
+  metrics originating inside the TEE are aggregate-only *by type*;
+* :mod:`repro.obs.exporters` — Prometheus text exposition and JSONL
+  trace dumps.
+
+:class:`Telemetry` bundles one registry + tracer pair and is the object
+the serving stack passes around::
+
+    from repro.obs import Telemetry
+    telemetry = Telemetry()
+    server = VaultServer(session, features, telemetry=telemetry)
+    server.serve(workload)
+    print(telemetry.render_prometheus())
+
+The package is dependency-free (stdlib only) so the enclave simulation
+can import it without widening its trusted computing base.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .exporters import (
+    parse_prometheus,
+    render_prometheus,
+    spans_to_jsonl,
+    write_trace_jsonl,
+)
+from .metrics import (
+    LATENCY_BUCKETS_SECONDS,
+    SIZE_BUCKETS_BYTES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .redaction import (
+    EnclaveTelemetryGate,
+    RedactedSpan,
+    TelemetryLeak,
+)
+from .tracing import NULL_SPAN, NullSpan, Span, Tracer
+
+
+class Telemetry:
+    """One registry + tracer pair wired through a serving deployment.
+
+    ``enabled=False`` yields the uninstrumented baseline: the tracer
+    hands out no-op spans and no enclave gate is created, so the hot
+    path pays only a branch. The metrics registry stays live either way
+    — it also backs :class:`~repro.deploy.server.ServerStats`, whose
+    counters (query budget enforcement included) must always be correct.
+    """
+
+    def __init__(self, enabled: bool = True, max_traces: int = 256) -> None:
+        self.enabled = enabled
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(enabled=enabled, max_traces=max_traces)
+
+    def enclave_gate(self) -> Optional[EnclaveTelemetryGate]:
+        """The redacted handle enclave code gets (None when disabled)."""
+        if not self.enabled:
+            return None
+        return EnclaveTelemetryGate(self)
+
+    # -- convenience exports -------------------------------------------
+    def render_prometheus(self) -> str:
+        return render_prometheus(self.registry)
+
+    def trace_jsonl(self) -> str:
+        return spans_to_jsonl(self.tracer)
+
+
+__all__ = [
+    "Counter",
+    "EnclaveTelemetryGate",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_SECONDS",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NullSpan",
+    "RedactedSpan",
+    "SIZE_BUCKETS_BYTES",
+    "Span",
+    "Telemetry",
+    "TelemetryLeak",
+    "Tracer",
+    "parse_prometheus",
+    "render_prometheus",
+    "spans_to_jsonl",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,117 @@
+"""Telemetry exporters: Prometheus text exposition and JSONL traces.
+
+Two wire formats, both dependency-free:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP``/``# TYPE`` headers, ``name{labels} value`` samples,
+  ``_bucket``/``_sum``/``_count`` triples for histograms), so a scrape
+  endpoint or a file drop plugs straight into standard dashboards;
+* :func:`spans_to_jsonl` / :func:`write_trace_jsonl` — one JSON object
+  per root span, children nested, suitable for ``jq`` pipelines and for
+  reconstructing the Fig. 6 per-stage breakdown offline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import Span, Tracer
+
+
+def _format_value(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _format_labels(labels, extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every registered metric in Prometheus text format."""
+    lines: List[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for labels, child in metric.series():
+                cumulative = 0
+                for index, bound in enumerate(metric.buckets):
+                    cumulative += child.bucket_counts[index]
+                    le = _format_labels(labels, f'le="{repr(float(bound))}"')
+                    lines.append(f"{metric.name}_bucket{le} {cumulative}")
+                cumulative += child.bucket_counts[-1]
+                le = _format_labels(labels, 'le="+Inf"')
+                lines.append(f"{metric.name}_bucket{le} {cumulative}")
+                suffix = _format_labels(labels)
+                lines.append(
+                    f"{metric.name}_sum{suffix} {_format_value(child.sum)}"
+                )
+                lines.append(f"{metric.name}_count{suffix} {child.count}")
+        elif isinstance(metric, (Counter, Gauge)):
+            for labels, value in metric.series():
+                lines.append(
+                    f"{metric.name}{_format_labels(labels)} "
+                    f"{_format_value(value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _roots(source: Union[Tracer, Iterable[Span]]) -> List[Span]:
+    if isinstance(source, Tracer):
+        return source.roots()
+    return list(source)
+
+
+def spans_to_jsonl(source: Union[Tracer, Iterable[Span]]) -> str:
+    """One compact JSON object per root span, newline-delimited."""
+    return "".join(
+        json.dumps(span.to_dict(), separators=(",", ":")) + "\n"
+        for span in _roots(source)
+    )
+
+
+def write_trace_jsonl(source: Union[Tracer, Iterable[Span]],
+                      path: Union[str, Path]) -> Path:
+    """Dump the collected traces to a ``.jsonl`` file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(spans_to_jsonl(source))
+    return path
+
+
+def parse_prometheus(text: str) -> dict:
+    """Minimal parser for the exposition format (used by tests/CLI).
+
+    Returns ``{sample name: {label string: value}}`` where the label
+    string is the raw ``{...}`` chunk (empty for unlabelled samples).
+    Raises ``ValueError`` on malformed lines, making it double as a
+    format validator.
+    """
+    samples: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_and_labels, _, raw_value = line.rpartition(" ")
+        if not name_and_labels:
+            raise ValueError(f"malformed sample line: {line!r}")
+        value = float(raw_value)  # ValueError on garbage
+        if "{" in name_and_labels:
+            name, _, rest = name_and_labels.partition("{")
+            if not rest.endswith("}"):
+                raise ValueError(f"unterminated label set: {line!r}")
+            labels = "{" + rest
+        else:
+            name, labels = name_and_labels, ""
+        samples.setdefault(name, {})[labels] = value
+    return samples

@@ -1,0 +1,297 @@
+"""Dependency-free metrics registry: counters, gauges, histograms.
+
+The registry is the single store every telemetry producer in the repo
+writes to — :class:`~repro.deploy.server.ServerStats` is a thin view over
+it, the enclave writes through the redaction gate, training loops record
+per-epoch series. Three metric kinds cover the paper's systems evaluation:
+
+* :class:`Counter` — monotone totals (queries served, bytes transferred);
+* :class:`Gauge` — last-value or high-watermark readings (peak EPC bytes);
+* :class:`Histogram` — fixed-bucket latency/size distributions with
+  cumulative-bucket percentile estimates (p50/p95/p99), matching the
+  Prometheus histogram model so the text exporter is a direct rendering.
+
+All three support Prometheus-style labels (``counter.inc(result="hit")``);
+a metric without labels is stored under the empty label set.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: default buckets for latency histograms (seconds) — spans the simulated
+#: SGX regime: µs-scale ECALL transitions up to multi-second full passes.
+LATENCY_BUCKETS_SECONDS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: default buckets for payload-size histograms (bytes): 256 B → 128 MB.
+SIZE_BUCKETS_BYTES: Tuple[float, ...] = tuple(
+    float(256 * 4 ** k) for k in range(10)
+)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelSet:
+    if not labels:
+        return ()
+    for key in labels:
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base class: a named family of labelled time series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+
+    def series(self) -> Iterable[Tuple[LabelSet, float]]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelSet, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def inc_at(self, key: LabelSet, amount: float = 1.0) -> None:
+        """Increment an already-canonicalised series key (hot-path helper)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def series(self) -> Iterable[Tuple[LabelSet, float]]:
+        return self._values.items()
+
+
+class Gauge(Metric):
+    """A last-value reading, with a high-watermark helper."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelSet, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def set_max(self, value: float, **labels: str) -> None:
+        """Keep the maximum of the current and offered value (peaks)."""
+        key = _label_key(labels)
+        current = self._values.get(key)
+        if current is None or value > current:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def series(self) -> Iterable[Tuple[LabelSet, float]]:
+        return self._values.items()
+
+
+class _HistogramChild:
+    """Bucket counts + sum/count for one label set."""
+
+    __slots__ = ("bucket_counts", "sum", "count", "_buckets")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self._buckets = buckets
+        self.bucket_counts = [0] * (len(buckets) + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self._buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class Histogram(Metric):
+    """Fixed-bucket distribution (Prometheus cumulative-bucket model)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = LATENCY_BUCKETS_SECONDS,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name} buckets must strictly increase")
+        self.buckets = bounds
+        self._children: Dict[LabelSet, _HistogramChild] = {}
+
+    def _child(self, labels: Dict[str, str]) -> _HistogramChild:
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = _HistogramChild(self.buckets)
+        return child
+
+    def bind(self, **labels: str) -> _HistogramChild:
+        """The series for one label set, for repeated hot-path observes."""
+        return self._child(labels)
+
+    def observe(self, value: float, **labels: str) -> None:
+        self._child(labels).observe(value)
+
+    def count(self, **labels: str) -> int:
+        key = _label_key(labels)
+        child = self._children.get(key)
+        return child.count if child is not None else 0
+
+    def total(self, **labels: str) -> float:
+        key = _label_key(labels)
+        child = self._children.get(key)
+        return child.sum if child is not None else 0.0
+
+    def percentile(self, p: float, **labels: str) -> float:
+        """Estimate the ``p``-quantile (``p`` in [0, 1]) from the buckets.
+
+        Uses the Prometheus convention: linear interpolation inside the
+        bucket that crosses the target rank, with the last finite bucket
+        bound as the ceiling for observations in the +Inf bucket.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"percentile must be in [0, 1], got {p}")
+        child = self._children.get(_label_key(labels))
+        if child is None or child.count == 0:
+            return math.nan
+        rank = p * child.count
+        cumulative = 0
+        lower = 0.0
+        for index, bucket_count in enumerate(child.bucket_counts):
+            upper = (
+                self.buckets[index]
+                if index < len(self.buckets)
+                else self.buckets[-1]
+            )
+            if cumulative + bucket_count >= rank:
+                if bucket_count == 0 or index >= len(self.buckets):
+                    return upper
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative += bucket_count
+            lower = upper
+        return self.buckets[-1]
+
+    def summary(self, **labels: str) -> Dict[str, float]:
+        """The p50/p95/p99 digest the serving dashboards plot."""
+        return {
+            "count": float(self.count(**labels)),
+            "sum": self.total(**labels),
+            "p50": self.percentile(0.50, **labels),
+            "p95": self.percentile(0.95, **labels),
+            "p99": self.percentile(0.99, **labels),
+        }
+
+    def series(self) -> Iterable[Tuple[LabelSet, _HistogramChild]]:
+        return self._children.items()
+
+
+class MetricsRegistry:
+    """Create-or-fetch store for every metric family in one process."""
+
+    def __init__(self) -> None:
+        self._metrics: "OrderedDict[str, Metric]" = OrderedDict()
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"requested {cls.kind}"
+                )
+            return metric
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = LATENCY_BUCKETS_SECONDS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def metrics(self) -> List[Metric]:
+        return list(self._metrics.values())
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-dict dump (for JSON reporting and tests)."""
+        out: Dict[str, Dict] = {}
+        for metric in self._metrics.values():
+            if isinstance(metric, Histogram):
+                out[metric.name] = {
+                    "kind": metric.kind,
+                    "series": {
+                        _format_labels(labels): {
+                            "count": child.count, "sum": child.sum
+                        }
+                        for labels, child in metric.series()
+                    },
+                }
+            else:
+                out[metric.name] = {
+                    "kind": metric.kind,
+                    "series": {
+                        _format_labels(labels): value
+                        for labels, value in metric.series()
+                    },
+                }
+        return out
+
+
+def _format_labels(labels: LabelSet) -> str:
+    return ",".join(f"{k}={v}" for k, v in labels)

@@ -1,0 +1,376 @@
+"""The enclave telemetry gate: redaction at the trust boundary.
+
+GNNVault's threat model makes telemetry itself an exfiltration channel:
+an enclave that exports "which nodes did this query touch" hands the
+untrusted world exactly the receptive-field information the one-way
+channel exists to hide (LinkTeller-style edge recovery needs nothing
+more). So enclave-originated telemetry is *redacted by construction*:
+
+* enclave code never holds the raw tracer or registry — only an
+  :class:`EnclaveTelemetryGate`;
+* every span the gate opens is a :class:`RedactedSpan`, and every span
+  opened *inside* a redacted span is forced redacted too
+  (:meth:`RedactedSpan.child_span_class`), so nested helpers cannot
+  launder payloads through an unredacted child;
+* :class:`RedactedSpan` admits only scalar aggregate attributes —
+  counts, bytes, seconds, pages — under vocabulary-checked keys; node
+  ids, edge lists, arrays, and embedding payloads raise
+  :class:`TelemetryLeak` (a :class:`~repro.errors.SecurityViolation`);
+* gate metrics are forced into the ``enclave_`` namespace with
+  aggregate-suffixed names and enum-only label values, so the Prometheus
+  exposition of enclave metrics can only ever contain totals.
+
+The redaction is a *type-level* property: there is no configuration flag
+that widens what a ``RedactedSpan`` accepts.
+"""
+
+from __future__ import annotations
+
+import numbers
+import re
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..errors import SecurityViolation
+from .metrics import SIZE_BUCKETS_BYTES, Counter, Gauge, Histogram, _label_key
+from .tracing import NULL_SPAN, NullSpan, Span
+
+#: words that may never appear in an enclave-side telemetry key or name —
+#: they denote per-entity payloads rather than aggregates.
+FORBIDDEN_WORDS = frozenset({
+    "node", "nodes", "id", "ids", "edge", "edges", "neighbour",
+    "neighbours", "neighbor", "neighbors", "embedding", "embeddings",
+    "feature", "features", "target", "targets", "row", "rows",
+    "label", "labels", "logit", "logits", "adjacency", "graph",
+})
+
+#: attribute keys must end in one of these aggregate units...
+AGGREGATE_SUFFIXES = (
+    "_seconds", "_bytes", "_count", "_pages", "_hits", "_misses",
+    "_entries", "_ratio", "_total",
+)
+
+#: ...or be one of these exact keys.
+ALLOWED_KEYS = frozenset({"error"})
+
+#: gate metric names must end in an aggregate unit too.
+METRIC_SUFFIXES = ("_total", "_seconds", "_bytes", "_pages", "_count")
+
+#: enum-ish label values only: lowercase words, no digits (so no ids).
+_LABEL_VALUE_RE = re.compile(r"^[a-z][a-z_]*$")
+
+ENCLAVE_METRIC_PREFIX = "enclave_"
+
+
+class TelemetryLeak(SecurityViolation):
+    """Enclave telemetry attempted to carry non-aggregate (private) data."""
+
+
+def _words(key: str) -> Tuple[str, ...]:
+    return tuple(key.lower().split("_"))
+
+
+#: memoised *approved* keys — entries are only ever added after the full
+#: check passes, so the cache can loosen nothing, it only skips re-checking
+#: the same literal on the hot serving path.
+_APPROVED_SPAN_NAMES: set = set()
+_APPROVED_ATTR_KEYS: set = set()
+
+_SCALAR_TYPES = (float, int, bool)
+_new_span = object.__new__
+
+
+def check_aggregate_key(key: str, *, suffixes=AGGREGATE_SUFFIXES,
+                        allowed=ALLOWED_KEYS) -> None:
+    """Reject keys naming per-entity payloads or non-aggregate units."""
+    if not isinstance(key, str) or not key:
+        raise TelemetryLeak(f"enclave telemetry key must be a string, got {key!r}")
+    for word in _words(key):
+        if word in FORBIDDEN_WORDS:
+            raise TelemetryLeak(
+                f"enclave telemetry key {key!r} names private data ({word!r})"
+            )
+    if key in allowed:
+        return
+    if not key.endswith(suffixes):
+        raise TelemetryLeak(
+            f"enclave telemetry key {key!r} is not an aggregate "
+            f"(must end with one of {suffixes})"
+        )
+
+
+def check_scalar(key: str, value: Any) -> None:
+    """Only scalar numbers (and bools) cross the boundary — no payloads."""
+    kind = type(value)
+    if kind is float or kind is int or kind is bool:  # hot-path exact types
+        return
+    if isinstance(value, (bool, numbers.Integral, numbers.Real)):
+        # numpy scalars satisfy numbers.*; arrays do not.
+        if getattr(value, "shape", ()) not in ((), None):
+            raise TelemetryLeak(
+                f"enclave telemetry value for {key!r} is an array, not a scalar"
+            )
+        return
+    if key in ALLOWED_KEYS and isinstance(value, str):
+        return
+    raise TelemetryLeak(
+        f"enclave telemetry value for {key!r} has type "
+        f"{type(value).__name__}; only scalar aggregates may leave the enclave"
+    )
+
+
+class RedactedSpan(Span):
+    """A span that structurally cannot carry private per-entity data."""
+
+    __slots__ = ()
+
+    def __init__(self, name: str, tracer=None, origin: str = "enclave") -> None:
+        if name not in _APPROVED_SPAN_NAMES:
+            check_aggregate_key(name, suffixes=("",))  # names: vocabulary only
+            _APPROVED_SPAN_NAMES.add(name)
+        super().__init__(name, tracer=tracer, origin="enclave")
+
+    @classmethod
+    def child_span_class(cls, requested: type) -> type:
+        # Everything nested inside enclave telemetry stays redacted.
+        return cls
+
+    def validate_attribute(self, key: str, value: Any) -> None:
+        if key not in _APPROVED_ATTR_KEYS:
+            check_aggregate_key(key)
+            _APPROVED_ATTR_KEYS.add(key)
+        check_scalar(key, value)
+
+    def set_attribute(self, key: str, value: Any) -> "RedactedSpan":
+        self.validate_attribute(key, value)
+        if self._attributes is None:
+            self._attributes = {}
+        self._attributes[key] = value
+        return self
+
+
+class EnclaveTelemetryGate:
+    """The only telemetry handle enclave code is given.
+
+    Wraps a :class:`~repro.obs.Telemetry` hub but exposes no way to emit
+    raw values: spans come out redacted, metric names are forced into the
+    ``enclave_`` namespace with validated aggregate names, and label
+    values must be enum-like words (``result="hit"``), never numbers.
+    """
+
+    def __init__(self, telemetry) -> None:
+        self._tracer = telemetry.tracer
+        self._registry = telemetry.registry
+        # name → validated metric object; validation runs once per name.
+        self._validated: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+        # label sets that already passed _check_labels (approved only).
+        self._approved_labels: set = set()
+        # (name, labels) → (counter, canonical series key): the counters
+        # the enclave bumps every ECALL, resolved and validated once.
+        self._bound_counters: Dict[tuple, tuple] = {}
+        # name → bound histogram series (the no-label hot-path observes).
+        self._bound_series: Dict[str, object] = {}
+        # stage → pre-resolved ECALL metric bundle (record_ecall_metrics).
+        self._ecall_bound: Dict[str, tuple] = {}
+
+    # -- spans ----------------------------------------------------------
+    def span(self, name: str) -> Union[RedactedSpan, NullSpan]:
+        return self._tracer.span(name, span_class=RedactedSpan, origin="enclave")
+
+    def record_ecall(self, stage: str, total_seconds: float,
+                     transfer_seconds: float, enclave_seconds: float,
+                     paging_seconds: float, payload_bytes: float,
+                     peak_memory_bytes: float, swapped_pages: float) -> None:
+        """A whole ECALL's telemetry in one boundary crossing.
+
+        The hot-path alternative to opening :meth:`span` and calling
+        :meth:`inc`/:meth:`observe_seconds`/... one at a time: every
+        duration comes from the analytic cost model (nothing to
+        wall-clock), so the per-ECALL cost collapses to a single call
+        that emits the redacted span subtree (``ecall`` over ``transfer``
+        / ``enclave`` / ``paging``) and updates a *closed* metric schema
+        — ECALL count by kind, latency and payload histograms, and the
+        peak-memory high watermark.
+
+        Redaction is not relaxed: every span name, attribute key, and
+        label is validated once at bind time through the same checks the
+        generic path runs per call, values are scalar-checked on every
+        call, and the spans are :class:`RedactedSpan` instances (the
+        constructor bypass only skips re-running the already-passed name
+        check).
+        """
+        bound = self._ecall_bound.get(stage)
+        if bound is None:
+            bound = self._bind_ecall(stage)
+        for value in (total_seconds, transfer_seconds, enclave_seconds,
+                      paging_seconds, payload_bytes, peak_memory_bytes,
+                      swapped_pages):
+            if type(value) not in _SCALAR_TYPES:
+                check_scalar("ecall_aggregate", value)
+        # The bundle holds the series' backing stores; these updates are
+        # exactly Counter.inc_at / Histogram.observe / Gauge.set_max,
+        # minus the per-call dispatch.
+        counter_values, counter_key, observe_latency, observe_payload, \
+            gauge_values = bound
+        counter_values[counter_key] = counter_values.get(counter_key, 0.0) + 1.0
+        observe_latency(float(total_seconds))
+        observe_payload(float(payload_bytes))
+        peak = float(peak_memory_bytes)
+        current = gauge_values.get(())
+        if current is None or peak > current:
+            gauge_values[()] = peak
+        tracer = self._tracer
+        if not tracer.enabled:
+            return
+        record = tracer._record
+        if record is not None and len(record) == 3:
+            # a compact query record is open (tag, start, batch_size):
+            # contribute the ECALL segment in place — one list extend
+            # instead of five span objects. The serving decoder
+            # (``repro.deploy.server``) materialises these seven fields
+            # back into the identical redacted subtree on read.
+            record.extend((total_seconds, transfer_seconds, enclave_seconds,
+                           paging_seconds, payload_bytes, peak_memory_bytes,
+                           swapped_pages))
+            return
+        children = []
+        for name, stage_seconds in (("transfer", transfer_seconds),
+                                    ("enclave", enclave_seconds),
+                                    ("paging", paging_seconds)):
+            child = _new_span(RedactedSpan)
+            child.name = name
+            child.origin = "enclave"
+            child._attributes = None
+            child._children = None
+            child._tracer = None
+            child._start = 0.0
+            child._wall_seconds = 0.0
+            child._seconds = float(stage_seconds)
+            children.append(child)
+        span = _new_span(RedactedSpan)
+        span.name = "ecall"
+        span.origin = "enclave"
+        span._attributes = {
+            "payload_bytes": payload_bytes,
+            "peak_memory_bytes": peak_memory_bytes,
+            "swapped_pages": swapped_pages,
+        }
+        span._children = children
+        span._tracer = None
+        span._start = 0.0
+        span._wall_seconds = 0.0
+        span._seconds = float(total_seconds)
+        stack = tracer._stack
+        if stack:
+            parent = stack[-1]
+            if parent._children is None:
+                parent._children = []
+            parent._children.append(span)
+        else:
+            tracer.traces.append(span)
+
+    def _bind_ecall(self, stage: str) -> tuple:
+        """Resolve and validate the per-stage ECALL bundle (once)."""
+        labels = {"stage": stage}
+        self._check_labels(labels)
+        counter = self._metric(
+            Counter, "enclave_ecalls_total", help="ECALLs by kind"
+        )
+        latency_series = self._metric(
+            Histogram, "enclave_ecall_seconds",
+            help="simulated seconds per ECALL",
+        ).bind()
+        payload_series = self._metric(
+            Histogram, "enclave_ecall_payload_bytes",
+            help="one-way channel payload per ECALL",
+            buckets=SIZE_BUCKETS_BYTES,
+        ).bind()
+        gauge = self._metric(
+            Gauge, "enclave_peak_memory_bytes",
+            help="high watermark of enclave memory",
+        )
+        # Pre-approve the fixed span vocabulary through the same checks
+        # the per-call path runs, so redaction still vets every literal.
+        for name in ("ecall", "transfer", "enclave", "paging"):
+            if name not in _APPROVED_SPAN_NAMES:
+                check_aggregate_key(name, suffixes=("",))
+                _APPROVED_SPAN_NAMES.add(name)
+        for key in ("payload_bytes", "peak_memory_bytes", "swapped_pages"):
+            if key not in _APPROVED_ATTR_KEYS:
+                check_aggregate_key(key)
+                _APPROVED_ATTR_KEYS.add(key)
+        bound = (counter._values, _label_key(labels), latency_series.observe,
+                 payload_series.observe, gauge._values)
+        self._ecall_bound[stage] = bound
+        return bound
+
+    # -- metrics --------------------------------------------------------
+    def _metric(self, kind, name: str, **kwargs):
+        metric = self._validated.get(name)
+        if metric is None:
+            if not name.startswith(ENCLAVE_METRIC_PREFIX):
+                raise TelemetryLeak(
+                    f"enclave metric {name!r} must live in the "
+                    f"{ENCLAVE_METRIC_PREFIX!r} namespace"
+                )
+            check_aggregate_key(name, suffixes=METRIC_SUFFIXES, allowed=frozenset())
+            factory = {
+                Counter: self._registry.counter,
+                Gauge: self._registry.gauge,
+                Histogram: self._registry.histogram,
+            }[kind]
+            metric = factory(name, **kwargs)
+            if not isinstance(metric, kind):
+                raise TelemetryLeak(
+                    f"enclave metric {name!r} already registered as {metric.kind}"
+                )
+            self._validated[name] = metric
+        return metric
+
+    def _check_labels(self, labels: Dict[str, str]) -> None:
+        if not labels:
+            return
+        key_tuple = tuple(labels.items())
+        if key_tuple in self._approved_labels:
+            return
+        for key, value in labels.items():
+            check_aggregate_key(key, suffixes=("",), allowed=frozenset({"result", "stage", "scheme"}))
+            if not isinstance(value, str) or not _LABEL_VALUE_RE.match(value):
+                raise TelemetryLeak(
+                    f"enclave metric label {key}={value!r} is not an "
+                    f"enum-like word (ids and numbers are redacted)"
+                )
+        self._approved_labels.add(key_tuple)
+
+    def inc(self, name: str, amount: float = 1.0, help: str = "",
+            **labels: str) -> None:
+        check_scalar(name, amount)
+        key = (name, tuple(labels.items()))
+        bound = self._bound_counters.get(key)
+        if bound is None:
+            self._check_labels(labels)
+            metric = self._metric(Counter, name, help=help)
+            bound = (metric, _label_key(labels))
+            self._bound_counters[key] = bound
+        bound[0].inc_at(bound[1], amount)
+
+    def observe_seconds(self, name: str, value: float, help: str = "") -> None:
+        check_scalar(name, value)
+        series = self._bound_series.get(name)
+        if series is None:
+            series = self._metric(Histogram, name, help=help).bind()
+            self._bound_series[name] = series
+        series.observe(float(value))
+
+    def observe_bytes(self, name: str, value: float, help: str = "") -> None:
+        check_scalar(name, value)
+        series = self._bound_series.get(name)
+        if series is None:
+            series = self._metric(
+                Histogram, name, help=help, buckets=SIZE_BUCKETS_BYTES
+            ).bind()
+            self._bound_series[name] = series
+        series.observe(float(value))
+
+    def gauge_max(self, name: str, value: float, help: str = "") -> None:
+        check_scalar(name, value)
+        self._metric(Gauge, name, help=help).set_max(float(value))

@@ -1,0 +1,311 @@
+"""Nested tracing spans for the secure-inference pipeline.
+
+One traced query produces a span tree mirroring the paper's Fig. 6 stage
+breakdown::
+
+    query
+    ├── backbone            (untrusted pre-computation; 0 s on cache hits)
+    └── ecall               (enclave-originated, redacted by type)
+        ├── transfer        (one-way channel marshalling)
+        ├── enclave         (rectifier compute inside the TEE)
+        └── paging          (EPC eviction cost)
+
+Spans carry *simulated* stage seconds (set explicitly via
+:meth:`Span.set_seconds`, reproducing the analytic SGX cost model) as well
+as wall-clock timing, so a trace reconstructs both the paper's accounting
+and the real Python cost. Nesting is tracked by a per-tracer stack — the
+repo is single-threaded per server, matching the enclave's one-ECALL-at-a-
+time execution model.
+
+Spans opened while an enclave-originated (redacted) span is active are
+forced to the parent's span class: enclave code cannot launder private
+payloads through an unredacted child span (see
+:mod:`repro.obs.redaction`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+
+class Span:
+    """One timed stage; a context manager that nests under the tracer."""
+
+    __slots__ = (
+        "name", "origin", "_attributes", "_children",
+        "_tracer", "_start", "_wall_seconds", "_seconds",
+    )
+
+    def __init__(self, name: str, tracer: "Optional[Tracer]" = None,
+                 origin: str = "untrusted") -> None:
+        self.name = name
+        self.origin = origin
+        # attribute/children containers are allocated lazily: most spans
+        # on the hot serving path carry neither, and the allocation churn
+        # is measurable cache pressure at µs-scale query latencies.
+        self._attributes: Optional[Dict[str, Any]] = None
+        self._children: Optional[List[Span]] = None
+        self._tracer = tracer
+        self._start = 0.0
+        self._wall_seconds = 0.0
+        self._seconds: Optional[float] = None
+
+    @property
+    def attributes(self) -> Dict[str, Any]:
+        if self._attributes is None:
+            self._attributes = {}
+        return self._attributes
+
+    @property
+    def children(self) -> "List[Span]":
+        if self._children is None:
+            self._children = []
+        return self._children
+
+    # -- redaction hook -------------------------------------------------
+    @classmethod
+    def child_span_class(cls, requested: type) -> type:
+        """Span class forced onto children opened inside this span.
+
+        The base span is permissive (children keep their requested
+        class); redacted spans override this so that *everything* nested
+        inside enclave-originated telemetry stays redacted.
+        """
+        return requested
+
+    def validate_attribute(self, key: str, value: Any) -> None:
+        """Checking entry point for redacting subclasses.
+
+        The base span accepts everything, so its ``set_attribute`` skips
+        the hook call; :class:`~repro.obs.redaction.RedactedSpan`
+        overrides ``set_attribute`` to validate first.
+        """
+
+    # -- recording ------------------------------------------------------
+    def set_attribute(self, key: str, value: Any) -> "Span":
+        if self._attributes is None:
+            self._attributes = {}
+        self._attributes[key] = value
+        return self
+
+    def set_seconds(self, seconds: float) -> "Span":
+        """Record the stage's *simulated* duration (analytic cost model)."""
+        self._seconds = float(seconds)
+        return self
+
+    def add_stage(self, name: str, seconds: float) -> "Span":
+        """Attach a pre-timed child stage without context-manager cost.
+
+        For stages whose duration comes from the analytic cost model
+        (not wall clock) there is nothing to measure, so this skips the
+        enter/exit machinery. The child keeps this span's class — a
+        redacted parent produces redacted children.
+        """
+        child = type(self)(name)
+        child.origin = self.origin
+        child._seconds = float(seconds)
+        if self._children is None:
+            self._children = []
+        self._children.append(child)
+        return child
+
+    @property
+    def seconds(self) -> float:
+        """Simulated seconds if set, else measured wall-clock seconds."""
+        return self._seconds if self._seconds is not None else self._wall_seconds
+
+    @property
+    def wall_seconds(self) -> float:
+        return self._wall_seconds
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "Span":
+        if self._tracer is not None:
+            self._tracer._push(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._wall_seconds = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        if self._tracer is not None:
+            self._tracer._pop(self)
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "origin": self.origin,
+            "seconds": self.seconds,
+            "wall_seconds": self._wall_seconds,
+        }
+        if self._attributes:
+            out["attributes"] = dict(self._attributes)
+        if self._children:
+            out["children"] = [child.to_dict() for child in self._children]
+        return out
+
+    def find(self, name: str) -> "Optional[Span]":
+        """Depth-first lookup of a descendant stage by name."""
+        for child in self._children or ():
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def stages(self) -> Dict[str, float]:
+        """Flatten the subtree into ``{stage name: seconds}``.
+
+        Duplicate stage names accumulate, so a batch trace still sums to
+        the profile totals.
+        """
+        out: Dict[str, float] = {}
+
+        def visit(span: "Span") -> None:
+            for child in span._children or ():
+                out[child.name] = out.get(child.name, 0.0) + child.seconds
+                visit(child)
+
+        visit(self)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, origin={self.origin!r}, "
+            f"seconds={self.seconds:.6g}, children={len(self._children or ())})"
+        )
+
+
+class NullSpan:
+    """No-op span returned by a disabled tracer (zero-cost fast path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: Any) -> "NullSpan":
+        return self
+
+    def set_seconds(self, seconds: float) -> "NullSpan":
+        return self
+
+    def add_stage(self, name: str, seconds: float) -> "NullSpan":
+        return self
+
+
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Factory and collector for nested spans.
+
+    Finished root spans land in :attr:`traces`, a bounded deque: tracing a
+    million-query stream keeps only the most recent ``max_traces`` trees,
+    so always-on tracing cannot grow without bound.
+    """
+
+    def __init__(self, enabled: bool = True, max_traces: int = 256) -> None:
+        if max_traces < 1:
+            raise ValueError(f"max_traces must be >= 1, got {max_traces}")
+        self.enabled = enabled
+        # entries are Span trees or compact-record tuples; roots()/last()
+        # materialise the latter so consumers only ever see spans.
+        self.traces: Deque[Any] = deque(maxlen=max_traces)
+        self._stack: List[Span] = []
+        self._record: Optional[list] = None
+
+    def span(self, name: str, span_class: type = Span,
+             origin: str = "untrusted"):
+        """Open a span nested under the currently active one (if any)."""
+        if not self.enabled:
+            return NULL_SPAN
+        if self._stack:
+            parent = self._stack[-1]
+            span_class = parent.child_span_class(span_class)
+            if origin == "untrusted":
+                origin = parent.origin if parent.origin == "enclave" else origin
+        return span_class(name, tracer=self, origin=origin)
+
+    def open_record(self, tag: str, *fields: Any) -> Optional[list]:
+        """Start a *compact record* — the hot serving path's trace form.
+
+        A span tree costs ~10 heap objects per query (spans, attribute
+        dicts, child lists), which at µs-scale query latencies is
+        measurable allocator and garbage-collector pressure. For traces
+        with a *fixed shape*, the producer can instead accumulate one
+        flat row: ``[tag, start, *fields]``, extended in place by
+        collaborators (see ``EnclaveTelemetryGate.record_ecall``) and
+        sealed by :meth:`close_record` into a tuple of atomic scalars —
+        which CPython's collector untracks entirely. :meth:`roots` /
+        :meth:`last` materialise rows back into identical span trees via
+        the decoder registered for ``tag`` in :data:`COMPACT_DECODERS`,
+        so consumers never see the encoding.
+        """
+        if not self.enabled:
+            return None
+        record = [tag, time.perf_counter()]
+        record.extend(fields)
+        self._record = record
+        return record
+
+    def close_record(self, record: Optional[list], *fields: Any) -> None:
+        """Seal a compact record: fix the wall clock, store the row."""
+        if record is None:
+            return
+        record[1] = time.perf_counter() - record[1]
+        record.extend(fields)
+        self._record = None
+        self.traces.append(tuple(record))
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # -- internals driven by Span.__enter__/__exit__ --------------------
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()  # defensive: drop spans abandoned by errors
+        if self._stack:
+            self._stack.pop()
+        if self._stack:
+            parent = self._stack[-1]
+            if parent._children is None:
+                parent._children = []
+            parent._children.append(span)
+        else:
+            self.traces.append(span)
+
+    # -- access ---------------------------------------------------------
+    def roots(self) -> List[Span]:
+        return [_materialize(entry) for entry in self.traces]
+
+    def last(self) -> Optional[Span]:
+        return _materialize(self.traces[-1]) if self.traces else None
+
+    def clear(self) -> None:
+        self.traces.clear()
+        self._stack.clear()
+        self._record = None
+
+
+#: compact-record tag → decoder producing the equivalent span tree. The
+#: module that *writes* a record shape registers its decoder here, so
+#: encode and decode can never drift apart.
+COMPACT_DECODERS: Dict[str, Any] = {}
+
+
+def _materialize(entry: Any) -> Span:
+    if type(entry) is tuple:
+        return COMPACT_DECODERS[entry[0]](entry)
+    return entry

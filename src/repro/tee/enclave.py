@@ -25,6 +25,7 @@ import scipy.sparse as sp
 from ..errors import SecurityViolation
 from ..graph import CooAdjacency, Subgraph, extract_subgraph, gcn_normalize
 from ..models.rectifier import Rectifier
+from ..obs.redaction import EnclaveTelemetryGate
 from .attestation import Quote, generate_quote
 from .channel import LabelOnlyResult, OneWayChannel
 from .memory import EPC_BYTES, EnclaveMemoryModel
@@ -105,10 +106,19 @@ def rectifier_measurement(rectifier: Rectifier) -> str:
 class RectifierEnclave:
     """Trusted compartment running a GNN rectifier over the private graph."""
 
-    def __init__(self, rectifier: Rectifier, config: Optional[EnclaveConfig] = None) -> None:
+    def __init__(
+        self,
+        rectifier: Rectifier,
+        config: Optional[EnclaveConfig] = None,
+        telemetry: Optional[EnclaveTelemetryGate] = None,
+    ) -> None:
         self._rectifier = rectifier
         self._rectifier.eval()
         self.config = config or EnclaveConfig()
+        # Telemetry leaves the enclave only through the redaction gate:
+        # enclave code never holds a raw tracer/registry handle, so spans
+        # and metrics are aggregate-only by type (see repro.obs.redaction).
+        self._telemetry = telemetry
         self.memory = EnclaveMemoryModel(
             epc_bytes=self.config.epc_bytes,
             hard_limit_bytes=self.config.hard_limit_bytes,
@@ -182,14 +192,37 @@ class RectifierEnclave:
     def ready(self) -> bool:
         return self._provisioned_weights and self._adjacency is not None
 
+    def attach_telemetry(self, gate: Optional[EnclaveTelemetryGate]) -> None:
+        """Install (or remove) the redacted telemetry gate.
+
+        Only an :class:`~repro.obs.redaction.EnclaveTelemetryGate` is
+        accepted — handing the enclave a raw tracer or registry would
+        bypass the trust-boundary redaction.
+        """
+        if gate is not None and not isinstance(gate, EnclaveTelemetryGate):
+            raise SecurityViolation(
+                f"enclave telemetry must go through an EnclaveTelemetryGate, "
+                f"got {type(gate).__name__}"
+            )
+        self._telemetry = gate
+
     # ------------------------------------------------------------------
     # Receptive-field plan cache
     # ------------------------------------------------------------------
     def _clear_plan_cache(self) -> None:
-        """Drop every cached plan (stale after any private-graph change)."""
+        """Drop every cached plan (stale after any private-graph change).
+
+        Hit/miss counters reset alongside the entries: they describe the
+        cache's behaviour *for the current private graph*, and carrying
+        them across a graph change would make ``plan_cache_stats()``
+        internally inconsistent (hits against plans that no longer
+        exist). Lifetime totals live in the metrics registry instead.
+        """
         for plan in self._plan_cache.values():
             self.memory.free(f"plancache/{plan.slot}")
         self._plan_cache.clear()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     def _subgraph_plan(self, targets: Sequence[int], hops: int) -> SubgraphPlan:
         """Cached k-hop extraction + normalisation for a target set.
@@ -200,13 +233,18 @@ class RectifierEnclave:
         regions; beyond :attr:`EnclaveConfig.plan_cache_capacity` the
         least-recently-used plan is evicted and its pages freed.
         """
+        gate = self._telemetry
         key = (tuple(sorted(set(int(t) for t in targets))), int(hops))
         plan = self._plan_cache.get(key)
         if plan is not None:
             self._plan_cache.move_to_end(key)
             self.plan_cache_hits += 1
+            if gate is not None:
+                gate.inc("enclave_plan_cache_events_total", result="hit")
             return plan
         self.plan_cache_misses += 1
+        if gate is not None:
+            gate.inc("enclave_plan_cache_events_total", result="miss")
         sub = extract_subgraph(self._adjacency, key[0], hops)
         adj_norm = sub.normalized_adjacency().tocsr()
         num_bytes = (
@@ -291,6 +329,7 @@ class RectifierEnclave:
 
         # Scratch buffers are freed when the ECALL returns.
         self.memory.free_all("ecall/")
+        self._record_ecall_telemetry("full", report)
         return report
 
     def ecall_infer_nodes(
@@ -371,11 +410,31 @@ class RectifierEnclave:
         )
         channel.publish(LabelOnlyResult(labels=ordered))
         self.memory.free_all("ecall/")
+        self._record_ecall_telemetry("per_node", report)
         return report
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _record_ecall_telemetry(self, kind: str, report: EcallReport) -> None:
+        """Emit the ECALL's span tree and metrics through the gate.
+
+        The stage spans carry the analytic cost model's seconds
+        (``set_seconds``), so one traced query reproduces the Fig. 6
+        breakdown exactly: ``transfer`` / ``enclave`` (compute) /
+        ``paging`` sum to the report's total. Only aggregates cross the
+        boundary — the gate's types reject anything per-node.
+        """
+        gate = self._telemetry
+        if gate is None:
+            return
+        gate.record_ecall(
+            kind, report.total_seconds, report.transfer_seconds,
+            report.compute_seconds, report.paging_seconds,
+            report.payload_bytes, report.peak_memory_bytes,
+            report.swapped_pages,
+        )
+
     def _expand_inputs(self, embeddings: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Map channel payloads onto the backbone-embedding slots.
 

@@ -12,6 +12,7 @@ Two entry points mirror GNNVault's two training phases (paper Fig. 2):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -21,7 +22,52 @@ import scipy.sparse as sp
 from .. import nn
 from ..datasets import Split
 from ..models.rectifier import Rectifier
+from ..obs import Telemetry
 from .metrics import accuracy
+
+
+class _EpochTelemetry:
+    """Per-epoch loss/accuracy/duration metrics for one training phase."""
+
+    def __init__(self, telemetry: Optional[Telemetry], phase: str) -> None:
+        self._telemetry = telemetry
+        self._phase = phase
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._epochs = registry.counter(
+                "training_epochs_total", help="optimiser epochs run"
+            )
+            self._duration = registry.histogram(
+                "training_epoch_seconds", help="wall-clock seconds per epoch"
+            )
+            self._loss = registry.gauge(
+                "training_loss", help="last epoch's training loss"
+            )
+            self._val = registry.gauge(
+                "training_val_accuracy", help="last epoch's validation accuracy"
+            )
+
+    def epoch(self, loss: float, val_accuracy: float, seconds: float) -> None:
+        if self._telemetry is None:
+            return
+        self._epochs.inc(phase=self._phase)
+        self._duration.observe(seconds, phase=self._phase)
+        self._loss.set(loss, phase=self._phase)
+        self._val.set(val_accuracy, phase=self._phase)
+
+    def finish(self, result: "TrainResult") -> None:
+        if self._telemetry is None:
+            return
+        registry = self._telemetry.registry
+        registry.counter(
+            "training_runs_total", help="completed training runs"
+        ).inc(phase=self._phase)
+        registry.gauge(
+            "training_best_val_accuracy", help="best validation accuracy"
+        ).set(result.best_val_accuracy, phase=self._phase)
+        registry.gauge(
+            "training_test_accuracy", help="test accuracy of the restored model"
+        ).set(result.test_accuracy, phase=self._phase)
 
 
 @dataclass(frozen=True)
@@ -79,16 +125,20 @@ def train_node_classifier(
     labels: np.ndarray,
     split: Split,
     config: Optional[TrainConfig] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> TrainResult:
     """Fit ``model`` (backbone interface) for node classification.
 
     ``model`` must expose ``forward(x, adj) -> logits`` over trainable
     parameters; the adjacency is whichever graph the phase calls for
     (substitute for backbones, real for the original reference model).
-    Restores the best-validation weights before returning.
+    Restores the best-validation weights before returning. When
+    ``telemetry`` is given, per-epoch loss/accuracy/duration land in its
+    metrics registry under ``phase="classifier"``.
     """
     config = config or TrainConfig()
     labels = np.asarray(labels)
+    epoch_telemetry = _EpochTelemetry(telemetry, phase="classifier")
     optimizer = nn.Adam(
         model.parameters(), lr=config.lr, weight_decay=config.weight_decay
     )
@@ -101,6 +151,7 @@ def train_node_classifier(
     epochs_run = 0
 
     for epoch in range(config.epochs):
+        epoch_start = time.perf_counter()
         epochs_run = epoch + 1
         schedule.apply(optimizer, epoch)
         model.train()
@@ -115,6 +166,9 @@ def train_node_classifier(
         eval_logits = model(nn.Tensor(features), adj_norm).data
         val_acc = _evaluate(eval_logits, labels, split.val)
         vals.append(val_acc)
+        epoch_telemetry.epoch(
+            loss.item(), val_acc, time.perf_counter() - epoch_start
+        )
         if config.log_every and epoch % config.log_every == 0:
             print(f"epoch {epoch:4d} loss {loss.item():.4f} val {val_acc:.4f}")
         if val_acc > best_val:
@@ -130,7 +184,9 @@ def train_node_classifier(
     model.eval()
     final_logits = model(nn.Tensor(features), adj_norm).data
     test_acc = _evaluate(final_logits, labels, split.test)
-    return TrainResult(best_val, test_acc, epochs_run, losses, vals)
+    result = TrainResult(best_val, test_acc, epochs_run, losses, vals)
+    epoch_telemetry.finish(result)
+    return result
 
 
 def train_rectifier(
@@ -142,15 +198,18 @@ def train_rectifier(
     labels: np.ndarray,
     split: Split,
     config: Optional[TrainConfig] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> TrainResult:
     """Fit a rectifier with the backbone frozen (paper §IV-D).
 
     The backbone's inference-mode embeddings are computed once and reused
     every epoch — valid because the backbone is frozen and the rectifier
-    detaches its inputs (one-way data flow).
+    detaches its inputs (one-way data flow). Per-epoch metrics land under
+    ``phase="rectifier"`` when ``telemetry`` is given.
     """
     config = config or TrainConfig()
     labels = np.asarray(labels)
+    epoch_telemetry = _EpochTelemetry(telemetry, phase="rectifier")
     backbone.freeze()
     backbone_embeddings = backbone.embeddings(features, backbone_adj_norm)
     inputs = [nn.Tensor(e) for e in backbone_embeddings]
@@ -167,6 +226,7 @@ def train_rectifier(
     epochs_run = 0
 
     for epoch in range(config.epochs):
+        epoch_start = time.perf_counter()
         epochs_run = epoch + 1
         schedule.apply(optimizer, epoch)
         rectifier.train()
@@ -181,6 +241,9 @@ def train_rectifier(
         eval_logits = rectifier(inputs, real_adj_norm).data
         val_acc = _evaluate(eval_logits, labels, split.val)
         vals.append(val_acc)
+        epoch_telemetry.epoch(
+            loss.item(), val_acc, time.perf_counter() - epoch_start
+        )
         if config.log_every and epoch % config.log_every == 0:
             print(f"epoch {epoch:4d} loss {loss.item():.4f} val {val_acc:.4f}")
         if val_acc > best_val:
@@ -196,4 +259,6 @@ def train_rectifier(
     rectifier.eval()
     final_logits = rectifier(inputs, real_adj_norm).data
     test_acc = _evaluate(final_logits, labels, split.test)
-    return TrainResult(best_val, test_acc, epochs_run, losses, vals)
+    result = TrainResult(best_val, test_acc, epochs_run, losses, vals)
+    epoch_telemetry.finish(result)
+    return result

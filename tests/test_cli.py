@@ -72,6 +72,54 @@ class TestCommands:
         assert (results / "REPORT.md").exists()
         assert "report written" in capsys.readouterr().out
 
+    def test_metrics_prints_prometheus(self, capsys):
+        code = main(
+            [
+                "metrics", "--epochs", "5", "--patience", "5",
+                "--queries", "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE vault_queries_total counter" in out
+        assert "vault_queries_total 10" in out
+        assert "enclave_ecalls_total" in out
+        assert "p50" in out and "p99" in out
+
+    def test_metrics_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "metrics", "--epochs", "5", "--patience", "5",
+                "--queries", "8", "--output", str(target),
+            ]
+        )
+        assert code == 0
+        from repro.obs import parse_prometheus
+
+        parsed = parse_prometheus(target.read_text())
+        assert parsed["vault_queries_total"][""] == 8
+        assert f"written to {target}" in capsys.readouterr().out
+
+    def test_trace_dumps_jsonl(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "trace", "--epochs", "5", "--patience", "5",
+                "--queries", "6", "--output", str(target),
+            ]
+        )
+        assert code == 0
+        lines = target.read_text().strip().splitlines()
+        assert len(lines) == 6
+        root = json.loads(lines[-1])
+        assert root["name"] == "query"
+        child_names = {c["name"] for c in root["children"]}
+        assert {"backbone", "ecall"} <= child_names
+        assert "last query stages" in capsys.readouterr().out
+
     def test_predict_specific_nodes(self, tmp_path, capsys):
         bundle_dir = tmp_path / "bundle"
         main(

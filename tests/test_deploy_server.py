@@ -70,6 +70,18 @@ class TestVaultServer:
         vault_server.query(8)
         assert vault_server.stats.hottest_nodes(top=1) == [7]
 
+    def test_hottest_nodes_tie_break_is_deterministic(self):
+        from repro.deploy.profiler import InferenceProfile
+        from repro.deploy.server import ServerStats
+
+        stats = ServerStats()
+        profile = InferenceProfile(0.0, 0.0, 0.0, 0.0, 0, 0)
+        # insertion order deliberately adversarial: ties must rank by id
+        stats.record_batch([9, 3, 5], profile)
+        stats.record_batch([3], profile)
+        assert stats.hottest_nodes(top=3) == [3, 5, 9]
+        assert stats.hottest_nodes(top=10) == [3, 5, 9]
+
     def test_query_budget_enforced(self, trained_vault):
         run = trained_vault
         session = SecureInferenceSession(

@@ -1,0 +1,171 @@
+"""End-to-end observability: traced queries reproduce the Fig. 6 breakdown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.deploy import SecureInferenceSession, VaultServer
+from repro.obs import Telemetry, parse_prometheus
+from repro.training import TrainConfig
+
+from tests.conftest import TINY_PRESET
+
+SCHEME = "series"
+
+
+@pytest.fixture
+def deployment(trained_vault, session_graph):
+    telemetry = Telemetry()
+    session = SecureInferenceSession(
+        trained_vault.backbone,
+        trained_vault.rectifiers[SCHEME],
+        trained_vault.substitute,
+        session_graph.adjacency,
+        telemetry=telemetry,
+    )
+    server = VaultServer(session, session_graph.features)
+    return telemetry, server
+
+
+@pytest.fixture
+def reference_session(trained_vault, session_graph):
+    """Uninstrumented twin deployment — the ground-truth profile source."""
+    return SecureInferenceSession(
+        trained_vault.backbone,
+        trained_vault.rectifiers[SCHEME],
+        trained_vault.substitute,
+        session_graph.adjacency,
+    )
+
+
+class TestTracedQueryReproducesBreakdown:
+    def test_span_tree_shape(self, deployment):
+        telemetry, server = deployment
+        server.query(5)
+        root = telemetry.tracer.last()
+        assert root.name == "query"
+        assert root.attributes["batch_size"] == 1
+        child_names = [c.name for c in root.children]
+        assert child_names == ["backbone", "ecall"]
+        ecall = root.find("ecall")
+        assert ecall.origin == "enclave"
+        assert [c.name for c in ecall.children] == [
+            "transfer", "enclave", "paging"
+        ]
+        assert all(c.origin == "enclave" for c in ecall.children)
+
+    def test_stages_match_inference_profile(
+        self, deployment, reference_session, session_graph
+    ):
+        """Acceptance: one traced query == InferenceProfile.breakdown()."""
+        telemetry, server = deployment
+        server.query(5)  # cold: pays the full backbone pre-computation
+        stages = telemetry.tracer.last().stages()
+
+        _, profile = reference_session.predict_nodes(
+            session_graph.features, [5]
+        )
+        breakdown = profile.breakdown()
+        assert set(breakdown) <= set(stages)
+        for stage, seconds in breakdown.items():
+            assert stages[stage] == pytest.approx(seconds), stage
+        # the ecall aggregate ties the enclave subtree together
+        assert stages["ecall"] == pytest.approx(
+            breakdown["transfer"] + breakdown["enclave"] + breakdown["paging"]
+        )
+        assert telemetry.tracer.last().seconds == pytest.approx(
+            profile.total_seconds
+        )
+
+    def test_warm_query_has_zero_backbone_stage(self, deployment):
+        telemetry, server = deployment
+        server.query(3)  # cold
+        server.query(3)  # warm: embeddings served from cache
+        warm = telemetry.tracer.last()
+        assert warm.stages()["backbone"] == 0.0
+        assert warm.stages()["enclave"] > 0.0
+
+    def test_every_query_appends_a_trace(self, deployment):
+        telemetry, server = deployment
+        server.serve([1, 2, 3, 4], batch_size=2)
+        roots = telemetry.tracer.roots()
+        assert [r.name for r in roots] == ["query", "query"]
+        assert all(r.attributes["batch_size"] == 2 for r in roots)
+
+
+class TestMetricsExport:
+    def test_prometheus_parses_with_histogram_triples(self, deployment):
+        telemetry, server = deployment
+        server.serve([0, 1, 2, 1, 0], batch_size=1)
+        parsed = parse_prometheus(telemetry.render_prometheus())
+        assert parsed["vault_queries_total"][""] == 5
+        assert parsed["vault_query_batch_seconds_count"][""] == 5
+        assert parsed["vault_query_batch_seconds_sum"][""] == pytest.approx(
+            server.stats.total_seconds
+        )
+        buckets = parsed["vault_query_batch_seconds_bucket"]
+        assert buckets['{le="+Inf"}'] == 5
+        # enclave-side series crossed the gate under the forced namespace
+        assert parsed["enclave_ecalls_total"]['{stage="per_node"}'] == 5
+        assert parsed["enclave_ecall_seconds_count"][""] == 5
+
+    def test_server_stats_is_a_view_over_the_registry(self, deployment):
+        telemetry, server = deployment
+        server.serve([7, 7, 8], batch_size=1)
+        stats = server.stats
+        registry = telemetry.registry
+        assert stats.registry is registry
+        assert registry.get("vault_queries_total").value() == 3
+        assert stats.queries_served == 3
+        assert stats.per_node_counts == {7: 2, 8: 1}
+        assert stats.hottest_nodes(1) == [7]
+        assert stats.embedding_cache_misses == 1
+        assert stats.embedding_cache_hits == 2
+        summary = stats.latency_summary()
+        assert summary["count"] == 3
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_disabled_telemetry_keeps_stats_but_skips_traces(
+        self, trained_vault, session_graph
+    ):
+        telemetry = Telemetry(enabled=False)
+        session = SecureInferenceSession(
+            trained_vault.backbone,
+            trained_vault.rectifiers[SCHEME],
+            trained_vault.substitute,
+            session_graph.adjacency,
+            telemetry=telemetry,
+        )
+        server = VaultServer(session, session_graph.features)
+        server.serve([0, 1, 2], batch_size=1)
+        assert telemetry.tracer.roots() == []
+        assert server.stats.queries_served == 3  # budget accounting intact
+        parsed = parse_prometheus(telemetry.render_prometheus())
+        assert not any(name.startswith("enclave_") for name in parsed)
+
+
+class TestTrainingTelemetry:
+    def test_run_gnnvault_meters_both_phases(self, tiny_graph):
+        from repro.experiments import run_gnnvault
+
+        telemetry = Telemetry()
+        run_gnnvault(
+            graph=tiny_graph,
+            schemes=(SCHEME,),
+            preset=TINY_PRESET,
+            seed=0,
+            train_config=TrainConfig(epochs=3, patience=3),
+            telemetry=telemetry,
+        )
+        registry = telemetry.registry
+        epochs = registry.get("training_epochs_total")
+        # two classifier runs (original reference + backbone) + one rectifier
+        assert epochs.value(phase="classifier") == 6
+        assert epochs.value(phase="rectifier") == 3
+        runs = registry.get("training_runs_total")
+        assert runs.value(phase="classifier") == 2
+        assert runs.value(phase="rectifier") == 1
+        assert registry.get("training_epoch_seconds").count(phase="rectifier") == 3
+        assert 0.0 <= registry.get(
+            "training_best_val_accuracy"
+        ).value(phase="rectifier") <= 1.0

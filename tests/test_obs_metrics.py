@@ -1,0 +1,163 @@
+"""Metrics registry unit tests: counters, gauges, histograms, exposition."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+    render_prometheus,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("requests_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labelled_series_are_independent(self):
+        counter = Counter("events_total")
+        counter.inc(result="hit")
+        counter.inc(result="hit")
+        counter.inc(result="miss")
+        assert counter.value(result="hit") == 2
+        assert counter.value(result="miss") == 1
+        assert counter.value() == 0
+
+    def test_label_order_is_canonical(self):
+        counter = Counter("c_total")
+        counter.inc(a="1", b="2")
+        assert counter.value(b="2", a="1") == 1
+
+    def test_decrease_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c_total").inc(-1)
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad name")
+        with pytest.raises(ValueError):
+            Counter("ok_total").inc(**{"bad-label": "x"})
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = Gauge("depth")
+        gauge.set(4)
+        gauge.inc(2)
+        assert gauge.value() == 6
+
+    def test_set_max_keeps_watermark(self):
+        gauge = Gauge("peak_bytes")
+        gauge.set_max(100)
+        gauge.set_max(40)
+        assert gauge.value() == 100
+        gauge.set_max(250)
+        assert gauge.value() == 250
+
+
+class TestHistogram:
+    def test_count_sum_and_buckets(self):
+        hist = Histogram("latency_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count() == 4
+        assert hist.total() == pytest.approx(55.55)
+
+    def test_percentiles_monotone(self):
+        hist = Histogram("latency_seconds")
+        for i in range(100):
+            hist.observe(0.001 * (i + 1))  # 1..100 ms
+        p50 = hist.percentile(0.50)
+        p95 = hist.percentile(0.95)
+        p99 = hist.percentile(0.99)
+        assert p50 <= p95 <= p99
+        assert 0.025 < p50 < 0.1
+        assert p99 <= hist.buckets[-1]
+
+    def test_summary_keys(self):
+        hist = Histogram("h_seconds")
+        hist.observe(0.01)
+        summary = hist.summary()
+        assert set(summary) == {"count", "sum", "p50", "p95", "p99"}
+        assert summary["count"] == 1
+
+    def test_empty_percentile_is_nan(self):
+        assert math.isnan(Histogram("h_seconds").percentile(0.5))
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h_seconds").percentile(1.5)
+
+
+class TestRegistry:
+    def test_create_or_fetch_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("served_total").inc(3)
+        registry.histogram("lat_seconds").observe(0.2)
+        snap = registry.snapshot()
+        assert snap["served_total"]["series"][""] == 3
+        assert snap["lat_seconds"]["series"][""]["count"] == 1
+
+
+class TestPrometheusExposition:
+    @pytest.fixture
+    def registry(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total", help="queries").inc(7, result="ok")
+        registry.gauge("peak_bytes").set(1024)
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        return registry
+
+    def test_round_trips_through_parser(self, registry):
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed["queries_total"]['{result="ok"}'] == 7
+        assert parsed["peak_bytes"][""] == 1024
+
+    def test_histogram_triples(self, registry):
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed["lat_seconds_count"][""] == 3
+        assert parsed["lat_seconds_sum"][""] == pytest.approx(5.55)
+        buckets = parsed["lat_seconds_bucket"]
+        assert buckets['{le="0.1"}'] == 1
+        assert buckets['{le="1.0"}'] == 2
+        assert buckets['{le="+Inf"}'] == 3
+
+    def test_help_and_type_lines(self, registry):
+        text = render_prometheus(registry)
+        assert "# HELP queries_total queries" in text
+        assert "# TYPE queries_total counter" in text
+        assert "# TYPE lat_seconds histogram" in text
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("not a metric line at all {")

@@ -1,0 +1,213 @@
+"""Span tracer and trust-boundary redaction unit tests."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    NullSpan,
+    RedactedSpan,
+    Telemetry,
+    TelemetryLeak,
+    Tracer,
+    spans_to_jsonl,
+    write_trace_jsonl,
+)
+
+
+class TestSpanNesting:
+    def test_children_nest_under_parent(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            with tracer.span("backbone"):
+                pass
+            with tracer.span("ecall"):
+                with tracer.span("transfer"):
+                    pass
+        root = tracer.last()
+        assert root.name == "query"
+        assert [c.name for c in root.children] == ["backbone", "ecall"]
+        assert root.children[1].children[0].name == "transfer"
+
+    def test_explicit_seconds_override_wall_clock(self):
+        tracer = Tracer()
+        with tracer.span("stage") as span:
+            span.set_seconds(1.5)
+        assert tracer.last().seconds == 1.5
+        assert tracer.last().wall_seconds < 1.0
+
+    def test_wall_clock_default(self):
+        tracer = Tracer()
+        with tracer.span("stage"):
+            pass
+        assert tracer.last().seconds >= 0.0
+
+    def test_stages_flatten_and_accumulate(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            for _ in range(2):
+                with tracer.span("ecall") as span:
+                    span.set_seconds(0.25)
+        assert tracer.last().stages() == {"ecall": 0.5}
+
+    def test_find_descendant(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        assert tracer.last().find("c").name == "c"
+        assert tracer.last().find("missing") is None
+
+    def test_error_annotated(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.last().attributes["error"] == "RuntimeError"
+
+    def test_bounded_trace_buffer(self):
+        tracer = Tracer(max_traces=3)
+        for index in range(10):
+            with tracer.span(f"q{index}"):
+                pass
+        assert [s.name for s in tracer.roots()] == ["q7", "q8", "q9"]
+
+    def test_disabled_tracer_hands_out_null_spans(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("query")
+        assert isinstance(span, NullSpan)
+        with span as active:
+            active.set_attribute("k", 1).set_seconds(2.0)
+        assert tracer.roots() == []
+
+
+class TestSerialisation:
+    def test_jsonl_one_line_per_root(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("query") as span:
+                span.set_attribute("batch_size", 1)
+        lines = spans_to_jsonl(tracer).strip().splitlines()
+        assert len(lines) == 3
+        decoded = json.loads(lines[0])
+        assert decoded["name"] == "query"
+        assert decoded["attributes"] == {"batch_size": 1}
+
+    def test_write_trace_jsonl(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("query"):
+            with tracer.span("ecall") as span:
+                span.set_seconds(0.1)
+        path = write_trace_jsonl(tracer, tmp_path / "traces" / "t.jsonl")
+        decoded = json.loads(path.read_text().strip())
+        assert decoded["children"][0]["seconds"] == 0.1
+
+
+class TestRedactedSpan:
+    def test_accepts_scalar_aggregates(self):
+        span = RedactedSpan("ecall")
+        span.set_attribute("payload_bytes", 1024)
+        span.set_attribute("swapped_pages", np.int64(3))
+        span.set_attribute("cache_hit_ratio", 0.75)
+        assert span.attributes["payload_bytes"] == 1024
+
+    @pytest.mark.parametrize("key", [
+        "node_ids", "edge_count", "target_bytes", "neighbour_count",
+        "embedding_bytes", "row_count", "label_count", "graph_bytes",
+    ])
+    def test_rejects_private_vocabulary(self, key):
+        with pytest.raises(TelemetryLeak):
+            RedactedSpan("ecall").set_attribute(key, 1)
+
+    def test_rejects_non_aggregate_keys(self):
+        with pytest.raises(TelemetryLeak):
+            RedactedSpan("ecall").set_attribute("payload", 1)
+
+    @pytest.mark.parametrize("value", [
+        [1, 2, 3],
+        (4, 5),
+        {"a": 1},
+        "0,1,2",
+        np.arange(4),
+        np.random.default_rng(0).random((2, 2)),
+    ])
+    def test_rejects_payload_values(self, value):
+        with pytest.raises(TelemetryLeak):
+            RedactedSpan("ecall").set_attribute("payload_bytes", value)
+
+    def test_rejects_private_span_names(self):
+        with pytest.raises(TelemetryLeak):
+            RedactedSpan("node_visit")
+
+    def test_children_of_redacted_span_are_redacted(self):
+        tracer = Tracer()
+        with tracer.span("ecall", span_class=RedactedSpan, origin="enclave"):
+            # an "innocent" plain span requested inside the enclave...
+            with tracer.span("helper") as child:
+                # ...is forced to the redacted type: no laundering.
+                assert isinstance(child, RedactedSpan)
+                assert child.origin == "enclave"
+                with pytest.raises(TelemetryLeak):
+                    child.set_attribute("touched_nodes", [1, 2])
+
+
+class TestEnclaveTelemetryGate:
+    @pytest.fixture
+    def telemetry(self):
+        return Telemetry()
+
+    def test_spans_are_redacted_and_enclave_origin(self, telemetry):
+        gate = telemetry.enclave_gate()
+        with gate.span("ecall") as span:
+            assert isinstance(span, RedactedSpan)
+        assert telemetry.tracer.last().origin == "enclave"
+
+    def test_metrics_forced_into_enclave_namespace(self, telemetry):
+        gate = telemetry.enclave_gate()
+        with pytest.raises(TelemetryLeak):
+            gate.inc("queries_total")
+        gate.inc("enclave_ecalls_total")
+        assert telemetry.registry.get("enclave_ecalls_total").value() == 1
+
+    def test_metric_names_must_be_aggregates(self, telemetry):
+        gate = telemetry.enclave_gate()
+        with pytest.raises(TelemetryLeak):
+            gate.inc("enclave_node_total")  # private vocabulary
+        with pytest.raises(TelemetryLeak):
+            gate.inc("enclave_stuff")  # no aggregate suffix
+
+    def test_label_values_must_be_enum_words(self, telemetry):
+        gate = telemetry.enclave_gate()
+        gate.inc("enclave_events_total", result="hit")
+        with pytest.raises(TelemetryLeak):
+            gate.inc("enclave_events_total", result="17")  # an id in disguise
+        with pytest.raises(TelemetryLeak):
+            gate.inc("enclave_events_total", node="x")  # private label key
+
+    def test_observe_and_gauge_paths(self, telemetry):
+        gate = telemetry.enclave_gate()
+        gate.observe_seconds("enclave_ecall_seconds", 0.01)
+        gate.observe_bytes("enclave_payload_hist_bytes", 4096)
+        gate.gauge_max("enclave_peak_bytes", 100)
+        gate.gauge_max("enclave_peak_bytes", 50)
+        assert telemetry.registry.get("enclave_peak_bytes").value() == 100
+        assert telemetry.registry.get("enclave_ecall_seconds").count() == 1
+
+    def test_disabled_telemetry_has_no_gate(self):
+        assert Telemetry(enabled=False).enclave_gate() is None
+
+    def test_enclave_rejects_raw_telemetry_objects(self, telemetry):
+        from repro.errors import SecurityViolation
+        from repro.models import make_rectifier
+        from repro.tee import RectifierEnclave
+
+        rectifier = make_rectifier("series", (8, 4, 2), (8, 4, 2), seed=0)
+        enclave = RectifierEnclave(rectifier)
+        with pytest.raises(SecurityViolation):
+            enclave.attach_telemetry(telemetry)  # hub, not a gate
+        enclave.attach_telemetry(telemetry.enclave_gate())
+        enclave.attach_telemetry(None)

@@ -120,6 +120,106 @@ class TestOneWayFlow:
         assert all(d.startswith("layer") for d in descriptions)
 
 
+class TestTelemetryRedaction:
+    """Enclave-originated telemetry is aggregate-only: no node ids, no
+    edges, no embedding payloads may cross the boundary via the exporters."""
+
+    @pytest.fixture
+    def served(self, trained_vault):
+        from repro.deploy import VaultServer, zipf_workload
+        from repro.obs import Telemetry
+
+        run = trained_vault
+        telemetry = Telemetry(max_traces=64)
+        session = SecureInferenceSession(
+            backbone=run.backbone,
+            rectifier=run.rectifiers["parallel"],
+            substitute_adjacency=run.substitute,
+            private_adjacency=run.graph.adjacency,
+            telemetry=telemetry,
+        )
+        server = VaultServer(session, run.graph.features)
+        workload = zipf_workload(run.graph.num_nodes, 25, alpha=1.3, seed=5)
+        server.serve(workload, batch_size=1)
+        return telemetry, run
+
+    @staticmethod
+    def _enclave_spans(span):
+        if span.origin == "enclave":
+            yield span
+        for child in span.children:
+            yield from TestTelemetryRedaction._enclave_spans(child)
+
+    def test_enclave_spans_carry_only_scalar_aggregates(self, served):
+        import numbers
+
+        from repro.obs.redaction import FORBIDDEN_WORDS
+
+        telemetry, _ = served
+        spans = [
+            s for root in telemetry.tracer.roots()
+            for s in self._enclave_spans(root)
+        ]
+        assert spans, "workload produced no enclave-originated spans"
+        for span in spans:
+            for key, value in span.attributes.items():
+                assert not set(key.split("_")) & FORBIDDEN_WORDS, key
+                assert isinstance(value, numbers.Number), (key, value)
+
+    def test_trace_export_contains_no_embedding_payloads(self, served):
+        import json
+
+        telemetry, run = served
+        enclave_dump = json.dumps([
+            span.to_dict()
+            for root in telemetry.tracer.roots()
+            for span in self._enclave_spans(root)
+        ])
+        # exact reprs of private embedding entries must never appear
+        sample = run.backbone_embeddings()[0].ravel()[:50]
+        for value in sample:
+            if abs(value) > 1e-9:
+                assert repr(float(value)) not in enclave_dump
+
+    def test_prometheus_enclave_series_have_no_id_labels(self, served):
+        import re
+
+        from repro.obs import parse_prometheus
+
+        telemetry, _ = served
+        parsed = parse_prometheus(telemetry.render_prometheus())
+        enclave_names = [n for n in parsed if n.startswith("enclave_")]
+        assert enclave_names, "workload produced no enclave metrics"
+        for name in enclave_names:
+            for label_chunk in parsed[name]:
+                # histogram bucket bounds (le=...) are structural, not data
+                chunk = re.sub(r'le="[^"]*"', "", label_chunk)
+                # enum words only: a digit in a label value is an id leak
+                assert not re.search(r"\d", chunk), (name, label_chunk)
+        # contrast: the *untrusted* side legitimately tracks per-node
+        # counts (it sees the queries anyway) — redaction is per-origin
+        assert any(
+            '{node="' in chunk for chunk in parsed["vault_node_queries_total"]
+        )
+
+    def test_gate_blocks_smuggling_attempts(self, served):
+        from repro.obs import TelemetryLeak
+
+        telemetry, run = served
+        gate = telemetry.enclave_gate()
+        with pytest.raises(TelemetryLeak):
+            gate.inc("enclave_node_ids_total")
+        with pytest.raises(TelemetryLeak):
+            gate.inc("enclave_ecalls_total", target=str(5))
+        with gate.span("ecall") as span:
+            with pytest.raises(TelemetryLeak):
+                span.set_attribute("touched_rows", [1, 2, 3])
+            with pytest.raises(TelemetryLeak):
+                span.set_attribute(
+                    "payload_bytes", run.graph.features[:2]
+                )
+
+
 class TestLabelOnlyRationale:
     def test_logits_leak_more_than_labels(self, trained_vault):
         """Why the paper keeps logits inside: attacking rectifier logits

@@ -205,6 +205,85 @@ class TestInference:
         assert result.labels.dtype.kind == "i"
 
 
+class TestPlanCacheInvariants:
+    """plan_cache_stats()/memory_report() must stay consistent across updates."""
+
+    @pytest.fixture
+    def hot_enclave(self, world):
+        graph, embeddings, rectifier = world
+        enclave = provision(rectifier, graph)
+        for _ in range(2):
+            for target in (0, 1, 0):
+                channel = OneWayChannel()
+                for e in embeddings:
+                    channel.push(e)
+                enclave.ecall_infer_nodes(channel, [target])
+        return graph, embeddings, rectifier, enclave
+
+    def test_stats_consistent_with_memory_report(self, hot_enclave):
+        _, _, _, enclave = hot_enclave
+        stats = enclave.plan_cache_stats()
+        # two distinct targets, each revisited: 2 misses, 4 hits
+        assert stats["entries"] == 2
+        assert stats["misses"] == 2
+        assert stats["hits"] == 4
+        assert stats["resident_bytes"] > 0
+        plan_regions = {
+            name: num_bytes
+            for name, num_bytes in enclave.memory_report().items()
+            if name.startswith("plancache/")
+        }
+        assert len(plan_regions) == stats["entries"]
+        assert sum(plan_regions.values()) == stats["resident_bytes"]
+
+    def test_graph_update_clears_cache_and_frees_pages(self, hot_enclave):
+        from repro.deploy import GraphUpdate, seal_graph_update
+
+        graph, _, rectifier, enclave = hot_enclave
+        enclave.provision_graph_update(
+            seal_graph_update(GraphUpdate(neighbours=(0, 1)), rectifier)
+        )
+        stats = enclave.plan_cache_stats()
+        assert stats["entries"] == 0
+        assert stats["resident_bytes"] == 0
+        # counters reset together with the entries: the stats always
+        # describe the *current* private graph, never a stale mixture
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+        report = enclave.memory_report()
+        assert not any(name.startswith("plancache/") for name in report)
+        # the grown adjacency's memory charge was re-booked
+        assert report["graph/adjacency"] > graph.adjacency.memory_bytes()
+
+    def test_cache_rebuilds_after_update(self, hot_enclave):
+        from repro.deploy import GraphUpdate, seal_graph_update
+
+        graph, embeddings, rectifier, enclave = hot_enclave
+        enclave.provision_graph_update(
+            seal_graph_update(GraphUpdate(neighbours=(0,)), rectifier)
+        )
+        grown = [np.vstack([e, np.zeros((1, e.shape[1]))]) for e in embeddings]
+        for _ in range(2):
+            channel = OneWayChannel()
+            for e in grown:
+                channel.push(e)
+            enclave.ecall_infer_nodes(channel, [graph.num_nodes])
+        stats = enclave.plan_cache_stats()
+        assert stats["entries"] == 1
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+
+    def test_reprovision_graph_also_clears(self, hot_enclave):
+        graph, _, rectifier, enclave = hot_enclave
+        enclave.provision_graph(seal_private_graph(graph.adjacency, rectifier))
+        stats = enclave.plan_cache_stats()
+        assert stats["entries"] == 0
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        assert not any(
+            name.startswith("plancache/") for name in enclave.memory_report()
+        )
+
+
 class TestMeasurementIdentity:
     def test_same_architecture_same_measurement(self):
         a = make_rectifier("parallel", (16, 8, 3), (16, 8, 3), seed=1)
