@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-serving bench-check bench-full obs-demo examples report calibration clean
+.PHONY: install test bench bench-serving bench-check bench-full obs-demo dashboard health examples report calibration clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -28,6 +28,18 @@ bench-check: bench-serving
 obs-demo:
 	$(PYTHON) -m repro.cli metrics --dataset cora --epochs 15 --queries 50
 	$(PYTHON) -m repro.cli trace --dataset cora --epochs 15 --queries 10
+	$(PYTHON) -m repro.cli dashboard --dataset cora --epochs 15 --queries 200 \
+		--probe --output benchmarks/results/dashboard.html
+
+# Static HTML operator dashboard (with the link-stealing probe replayed so
+# the security panel lights up) written into benchmarks/results/.
+dashboard:
+	$(PYTHON) -m repro.cli dashboard --dataset cora --epochs 15 --queries 500 \
+		--probe --output benchmarks/results/dashboard.html
+
+# SLO verdict for a demo workload; exit 0 healthy / 1 violated / 2 no data.
+health:
+	$(PYTHON) -m repro.cli health --dataset cora --epochs 15 --queries 500
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

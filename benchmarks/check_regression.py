@@ -9,8 +9,11 @@ than the allowed fraction (20% by default, loose enough to absorb
 machine noise between runs while still catching a real fast-path break).
 
 Intended use is ``make bench-check``, which re-runs the serving benchmark
-and then this script. Exit status: 0 on pass, 1 on regression, 2 on
-missing/invalid inputs.
+and then this script. ``--smoke`` instead validates the *committed*
+benchmark file structurally (required metrics present, budgets honoured)
+without running anything or needing a git baseline — cheap enough for CI.
+Exit status: 0 on pass, 1 on regression/violation, 2 on missing/invalid
+inputs.
 """
 
 from __future__ import annotations
@@ -61,6 +64,50 @@ def extract(payload: dict, origin: str) -> float:
     return float(node)
 
 
+#: (path, budget) pairs enforced by --smoke: metric must exist, be a finite
+#: number, and (when a budget is set) sit inside it.
+SMOKE_CHECKS = (
+    (("speedup", "warm_over_uncached"), ("min", 10.0)),
+    (("speedup", "cold_over_uncached"), ("min", 1.0)),
+    (("seconds", "uncached"), ("min", 0.0)),
+    (("instrumentation", "overhead_fraction"), ("max", 0.05)),
+    (("health_overhead", "overhead_fraction"), ("max", 0.02)),
+)
+
+
+def smoke(fresh_path: Path) -> int:
+    """Validate the benchmark file's structure and recorded budgets."""
+    try:
+        payload = load_fresh(fresh_path)
+    except (FileNotFoundError, json.JSONDecodeError) as exc:
+        print(f"bench-check: {exc}", file=sys.stderr)
+        return 2
+    failures = 0
+    for path, (kind, bound) in SMOKE_CHECKS:
+        dotted = ".".join(path)
+        node = payload
+        try:
+            for key in path:
+                node = node[key]
+            value = float(node)
+        except (KeyError, TypeError, ValueError):
+            print(f"bench-check: SMOKE FAIL — {dotted} missing or not a number",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        ok = value >= bound if kind == "min" else value <= bound
+        verdict = "ok" if ok else "OVER BUDGET"
+        print(f"  {dotted} = {value:.4g} ({kind} {bound:g}: {verdict})")
+        if not ok:
+            failures += 1
+    if failures:
+        print(f"bench-check: SMOKE FAIL — {failures} check(s) failed",
+              file=sys.stderr)
+        return 1
+    print("bench-check: smoke OK")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -79,7 +126,14 @@ def main(argv: list[str] | None = None) -> int:
         "--max-regression", type=float, default=0.20,
         help="maximum allowed fractional drop in warm speedup (default 0.20)",
     )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="structurally validate the benchmark file (no baseline needed)",
+    )
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        return smoke(args.fresh)
 
     try:
         fresh = load_fresh(args.fresh)
@@ -105,6 +159,9 @@ def main(argv: list[str] | None = None) -> int:
     overhead = fresh.get("instrumentation", {}).get("overhead_fraction")
     if overhead is not None:
         print(f"instrumentation overhead: {overhead:.2%} of warm-path CPU")
+    health = fresh.get("health_overhead", {}).get("overhead_fraction")
+    if health is not None:
+        print(f"health/audit layer overhead: {health:.2%} of warm-path CPU")
 
     if regression > args.max_regression:
         print(

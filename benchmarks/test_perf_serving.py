@@ -152,6 +152,65 @@ def test_fast_path_speedup_and_exactness(deployment):
     )
 
 
+def _paired_overhead(
+    baseline, candidate, workload: np.ndarray,
+    chunk_size: int = 50, repetitions: int = 10,
+) -> tuple:
+    """Relative warm-path CPU overhead of ``candidate`` over ``baseline``.
+
+    Each arm is anything with a ``serve(chunk, batch_size=...)`` method
+    over pre-warmed state. The workload is served in small
+    chunks (CPU time, not wall, so scheduler preemption doesn't count),
+    each chunk timed back-to-back on both arms with the order flipped
+    every chunk. The estimate is the **median over all per-chunk-pair
+    relative deltas** (~``chunks × repetitions`` paired samples): on a
+    noisy shared machine each back-to-back pair spans a few tens of
+    milliseconds, so drift cancels within the pair and the median over
+    hundreds of pairs resolves sub-percent effects that rep-level sums
+    cannot (the null — two identical servers — measures ~0.1%).
+
+    The cyclic GC is paused during the timed region (and restored after):
+    gen-0 collections trigger on *process-wide* allocation counts, so
+    whichever arm happens to cross the threshold gets a whole
+    collection — almost entirely the other arm's garbage — billed to its
+    window, which turns a deterministic comparison into a coin flip.
+
+    Returns ``(overhead_fraction, baseline_cpu_seconds, candidate_cpu_seconds)``.
+    """
+    import gc
+
+    chunks = [
+        workload[start : start + chunk_size]
+        for start in range(0, len(workload), chunk_size)
+    ]
+    arms = ((0, baseline), (1, candidate))
+    deltas = []
+    totals = {0: 0.0, 1: 0.0}
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for rep in range(repetitions):
+            for index, chunk in enumerate(chunks):
+                ordered = arms if (index + rep) % 2 == 0 else arms[::-1]
+                seconds = {}
+                for key, server in ordered:
+                    start = time.process_time()
+                    server.serve(chunk, batch_size=BATCH_SIZE)
+                    seconds[key] = time.process_time() - start
+                totals[0] += seconds[0]
+                totals[1] += seconds[1]
+                if seconds[0] > 0.0:
+                    deltas.append(seconds[1] / seconds[0] - 1.0)
+            gc.collect()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    deltas.sort()
+    overhead = deltas[len(deltas) // 2]
+    return overhead, totals[0] / repetitions, totals[1] / repetitions
+
+
 def test_instrumentation_overhead_under_five_percent(deployment):
     """Observability must be close to free on the warm serving path.
 
@@ -160,15 +219,9 @@ def test_instrumentation_overhead_under_five_percent(deployment):
     and one with ``Telemetry(enabled=False)``, the uninstrumented
     baseline. The metrics registry backing ServerStats is live in *both*
     (query accounting must always be correct); only tracing and the
-    enclave gate differ.
-
-    Estimator: the warm workload is served in small alternating chunks
-    (CPU time, not wall, so scheduler preemption doesn't count), with
-    the arm order flipped every chunk, and the per-repetition overhead
-    is the ratio of summed chunk times. The reported figure is the
-    median over repetitions — on a noisy shared machine this paired
-    design bounds the spread to a couple of percent, where whole-pass
-    minimums swing by tens of percent.
+    enclave gate differ. The health/audit layer is disabled on both arms
+    — it has its own, tighter budget in
+    :func:`test_health_layer_overhead_under_two_percent`.
     """
     from repro.obs import Telemetry
 
@@ -179,7 +232,7 @@ def test_instrumentation_overhead_under_five_percent(deployment):
             run.backbone, run.rectifiers["series"], run.substitute,
             run.graph.adjacency, telemetry=Telemetry(enabled=enabled),
         )
-        return VaultServer(session, run.graph.features)
+        return VaultServer(session, run.graph.features, enable_health=False)
 
     workload = zipf_workload(
         run.graph.num_nodes, NUM_QUERIES, alpha=ZIPF_ALPHA, seed=0
@@ -189,28 +242,9 @@ def test_instrumentation_overhead_under_five_percent(deployment):
     for server in (instrumented, baseline):  # fill every cache
         server.serve(workload, batch_size=BATCH_SIZE)
 
-    chunk_size = 50
-    chunks = [
-        workload[start : start + chunk_size]
-        for start in range(0, len(workload), chunk_size)
-    ]
-    arms = ((False, baseline), (True, instrumented))
-    repetitions = []
-    for rep in range(10):
-        seconds = {True: 0.0, False: 0.0}
-        for index, chunk in enumerate(chunks):
-            ordered = arms if (index + rep) % 2 == 0 else arms[::-1]
-            for enabled, server in ordered:
-                start = time.process_time()
-                server.serve(chunk, batch_size=BATCH_SIZE)
-                seconds[enabled] += time.process_time() - start
-        repetitions.append(
-            {"instrumented": seconds[True], "baseline": seconds[False]}
-        )
-    ratios = sorted(
-        rep["instrumented"] / rep["baseline"] - 1.0 for rep in repetitions
+    overhead, baseline_cpu, instrumented_cpu = _paired_overhead(
+        baseline, instrumented, workload
     )
-    overhead = ratios[len(ratios) // 2]
 
     assert instrumented.telemetry.tracer.last() is not None
     assert baseline.telemetry.tracer.last() is None
@@ -219,18 +253,90 @@ def test_instrumentation_overhead_under_five_percent(deployment):
     if BENCH_JSON.exists():
         payload = json.loads(BENCH_JSON.read_text())
         payload["instrumentation"] = {
-            "warm_cpu_seconds_instrumented": min(
-                rep["instrumented"] for rep in repetitions
-            ),
-            "warm_cpu_seconds_baseline": min(
-                rep["baseline"] for rep in repetitions
-            ),
+            "warm_cpu_seconds_instrumented": instrumented_cpu,
+            "warm_cpu_seconds_baseline": baseline_cpu,
             "overhead_fraction": overhead,
         }
         BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
     assert overhead < 0.05, (
         f"telemetry costs {100 * overhead:.1f}% on the warm path (budget 5%)"
+    )
+
+
+class _HealthToggle:
+    """Serve through one shared server with the health layer flipped.
+
+    Using a *single* server for both arms — instead of two separately
+    built ones — removes the per-instance memory-layout luck that makes
+    two "identical" servers differ systematically by up to ~1% in CPU
+    time. Flipping two attributes per 50-query chunk is the entire cost
+    of the trick.
+    """
+
+    def __init__(self, server: VaultServer, health, monitor) -> None:
+        self._server = server
+        self._health = health
+        self._monitor = monitor
+
+    def serve(self, chunk, batch_size):
+        server = self._server
+        server.health = self._health
+        server.monitor = self._monitor
+        return server.serve(chunk, batch_size=batch_size)
+
+
+def test_health_layer_overhead_under_two_percent(deployment):
+    """The health/audit layer must cost ≤ 2% on the warm serving path.
+
+    Telemetry (tracing, metrics, audit log) is live throughout, so this
+    isolates exactly what PR 4 added on the hot path: the buffered SLO /
+    anomaly / query-pattern accounting and its periodic drains. Both arms
+    serve through the *same* warmed server; the baseline arm detaches the
+    health monitor and pattern monitor, the candidate arm reattaches
+    them. Same paired chunked CPU-time estimator as the instrumentation
+    test.
+    """
+    from repro.obs import Telemetry
+
+    run, _, _ = deployment
+
+    session = SecureInferenceSession(
+        run.backbone, run.rectifiers["series"], run.substitute,
+        run.graph.adjacency, telemetry=Telemetry(),
+    )
+    server = VaultServer(session, run.graph.features)
+    health, monitor = server.health, server.monitor
+    assert health is not None and monitor is not None
+
+    workload = zipf_workload(
+        run.graph.num_nodes, NUM_QUERIES, alpha=ZIPF_ALPHA, seed=0
+    )
+    server.serve(workload, batch_size=BATCH_SIZE)  # fill every cache
+
+    overhead, without_cpu, with_cpu = _paired_overhead(
+        _HealthToggle(server, None, None),
+        _HealthToggle(server, health, monitor),
+        workload,
+    )
+    server.health, server.monitor = health, monitor
+
+    # The layer actually ran: SLOs observed every batch, verdict healthy.
+    assert health.batches_observed > NUM_QUERIES
+    assert server.health_report().exit_code == 0
+
+    if BENCH_JSON.exists():
+        payload = json.loads(BENCH_JSON.read_text())
+        payload["health_overhead"] = {
+            "warm_cpu_seconds_with_health": with_cpu,
+            "warm_cpu_seconds_without_health": without_cpu,
+            "overhead_fraction": overhead,
+        }
+        BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert overhead < 0.02, (
+        f"health/audit layer costs {100 * overhead:.1f}% on the warm path "
+        f"(budget 2%)"
     )
 
 

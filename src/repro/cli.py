@@ -7,8 +7,12 @@ Subcommands mirror the lifecycle a user of the library walks through:
 * ``repro predict``               — serve queries from an exported bundle;
 * ``repro attack``                — run the link stealing audit;
 * ``repro experiment``            — regenerate a paper table/figure;
-* ``repro metrics``               — serve a workload, print Prometheus metrics;
-* ``repro trace``                 — serve a workload, dump JSONL query traces.
+* ``repro metrics``               — serve a workload, export metrics (prom/jsonl);
+* ``repro trace``                 — serve a workload, dump query traces (jsonl/prom);
+* ``repro health``                — serve a workload, evaluate SLOs; exit code
+  reflects the verdict (0 healthy, 1 violated, 2 no data) for CI/liveness probes;
+* ``repro dashboard``             — serve a workload, render the static HTML
+  operator dashboard.
 
 Every subcommand prints plain text and returns a process exit code, so the
 CLI is scriptable in CI pipelines.
@@ -162,20 +166,64 @@ def _run_telemetry_workload(args: argparse.Namespace):
     )
     print(f"serving {args.queries} Zipf({args.alpha}) queries...")
     server.serve(workload, batch_size=args.batch_size)
+    if getattr(args, "probe", False):
+        _replay_probe(server, run, seed=args.seed)
     return telemetry, server
 
 
-def _cmd_metrics(args: argparse.Namespace) -> int:
-    telemetry, server = _run_telemetry_workload(args)
-    text = telemetry.render_prometheus()
-    if args.output:
+def _replay_probe(server, run, seed: int = 0, num_pairs: int = 8,
+                  rounds: int = 16) -> None:
+    """Replay a link-stealing-shaped probe against a live server.
+
+    Candidate pairs come from the attack module's own sampler (the exact
+    pairs the offline evaluation queries); each is then probed repeatedly
+    — the way an attacker comparing posteriors averages out noise — under
+    a distinct client id. This is the demo workload behind ``repro health
+    --probe`` and the dashboard's security panel: the pair-probing
+    detector fires on the repeated-adjacent-pair lift it produces.
+    """
+    from .attacks.link_stealing import sample_pairs
+
+    left, right, _ = sample_pairs(
+        run.graph.adjacency, num_pairs=num_pairs, seed=seed
+    )
+    print(
+        f"replaying link-stealing probe "
+        f"({len(left)} candidate pairs x {rounds} rounds)..."
+    )
+    for _ in range(rounds):
+        for u, v in zip(left, right):
+            server.query_batch([int(u), int(v)], client="probe")
+    server.flush_health()
+    if server.monitor is not None:
+        server.monitor.evaluate("probe")
+
+
+def _emit(text: str, output, what: str) -> None:
+    if output:
         from pathlib import Path
 
-        Path(args.output).write_text(text)
-        print(f"metrics written to {args.output}")
+        path = Path(output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"{what} written to {path}")
     else:
         print()
         print(text, end="")
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs import render_metrics_jsonl
+
+    telemetry, server = _run_telemetry_workload(args)
+    if not list(telemetry.registry.metrics()):
+        print("error: no metrics collected (empty registry)", file=sys.stderr)
+        return 1
+    if args.format == "jsonl":
+        text = render_metrics_jsonl(telemetry.registry)
+    else:
+        text = telemetry.render_prometheus()
+    _emit(text, args.output, f"metrics ({args.format})")
     summary = server.stats.latency_summary()
     print(
         f"# served {server.stats.queries_served} queries: "
@@ -187,15 +235,18 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from .obs import write_trace_jsonl
+    from .obs import render_prometheus, spans_to_jsonl, traces_to_registry
 
     telemetry, server = _run_telemetry_workload(args)
-    if args.output:
-        path = write_trace_jsonl(telemetry.tracer, args.output)
-        print(f"{len(telemetry.tracer.roots())} traces written to {path}")
+    roots = telemetry.tracer.roots()
+    if not roots:
+        print("error: no traces collected", file=sys.stderr)
+        return 1
+    if args.format == "prom":
+        text = render_prometheus(traces_to_registry(roots))
     else:
-        print()
-        print(telemetry.trace_jsonl(), end="")
+        text = spans_to_jsonl(roots)
+    _emit(text, args.output, f"{len(roots)} traces ({args.format})")
     last = telemetry.tracer.last()
     if last is not None:
         stages = last.stages()
@@ -205,6 +256,45 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             if name != "ecall"
         )
         print(f"# last query stages: {rendered}")
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from .obs import render_health_report
+
+    telemetry, server = _run_telemetry_workload(args)
+    if server.health is None:
+        print("error: health monitoring unavailable", file=sys.stderr)
+        return 2
+    report = server.health_report()
+    print()
+    print(render_health_report(report))
+    if args.audit_output:
+        from pathlib import Path
+
+        path = Path(args.audit_output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(telemetry.audit_jsonl())
+        print(f"audit log written to {path}")
+    return report.exit_code
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from .obs import write_dashboard
+
+    telemetry, server = _run_telemetry_workload(args)
+    output = args.output or "benchmarks/results/dashboard.html"
+    path = write_dashboard(
+        output, telemetry, health=server.health, monitor=server.monitor
+    )
+    print(f"dashboard written to {path}")
+    if server.health is not None:
+        report = server.health_report()
+        verdict = "healthy" if report.healthy else "UNHEALTHY"
+        print(
+            f"# {verdict}: {len(report.slo_violations)} SLO violation(s), "
+            f"{len(report.security_alerts)} security alert(s)"
+        )
     return 0
 
 
@@ -304,17 +394,50 @@ def build_parser() -> argparse.ArgumentParser:
 
     metrics = sub.add_parser(
         "metrics",
-        help="serve an instrumented workload and export Prometheus metrics",
+        help="serve an instrumented workload and export metrics",
     )
     add_workload_options(metrics)
+    metrics.add_argument(
+        "--format", default="prom", choices=("prom", "jsonl"),
+        help="Prometheus exposition or lossless JSONL dump",
+    )
     metrics.set_defaults(func=_cmd_metrics)
 
     trace = sub.add_parser(
         "trace",
-        help="serve an instrumented workload and dump JSONL query traces",
+        help="serve an instrumented workload and dump query traces",
     )
     add_workload_options(trace)
+    trace.add_argument(
+        "--format", default="jsonl", choices=("prom", "jsonl"),
+        help="per-span JSONL or aggregated Prometheus exposition",
+    )
     trace.set_defaults(func=_cmd_trace)
+
+    health = sub.add_parser(
+        "health",
+        help="serve a workload and evaluate SLOs (exit 0 healthy / 1 violated / 2 no data)",
+    )
+    add_workload_options(health)
+    health.add_argument(
+        "--probe", action="store_true",
+        help="also replay a link-stealing probe to exercise the query monitor",
+    )
+    health.add_argument(
+        "--audit-output", help="also write the audit log as JSONL to this file"
+    )
+    health.set_defaults(func=_cmd_health)
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="serve a workload and render the static HTML operator dashboard",
+    )
+    add_workload_options(dashboard)
+    dashboard.add_argument(
+        "--probe", action="store_true",
+        help="also replay a link-stealing probe so the security panel lights up",
+    )
+    dashboard.set_defaults(func=_cmd_dashboard)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"

@@ -55,9 +55,19 @@ class SecureInferenceSession:
         self._num_nodes = substitute_adjacency.num_nodes
 
         # --- vendor-side provisioning ceremony ---------------------------
+        # Telemetry is wired up *before* the ceremony so the attestation
+        # and provisioning steps land in the audit trail: the enclave side
+        # only ever holds the redaction gate, and the vendor-side quote
+        # verification records its outcome as an untrusted event.
         self.enclave = RectifierEnclave(rectifier, enclave_config)
+        self.telemetry: Optional[Telemetry] = None
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
         quote = self.enclave.attest(challenge="gnnvault-provision")
-        verify_quote(quote, self.enclave.measurement, "gnnvault-provision")
+        verify_quote(
+            quote, self.enclave.measurement, "gnnvault-provision",
+            audit=telemetry.audit if telemetry is not None else None,
+        )
         self.enclave.provision_weights(seal_rectifier_weights(rectifier))
         self.enclave.provision_graph(seal_private_graph(private_adjacency, rectifier))
 
@@ -67,9 +77,6 @@ class SecureInferenceSession:
         # Bumped by add_node; serving layers key their backbone-embedding
         # caches on it so online updates invalidate stale embeddings.
         self._feature_version = 0
-        self.telemetry: Optional[Telemetry] = None
-        if telemetry is not None:
-            self.attach_telemetry(telemetry)
 
     @property
     def feature_version(self) -> int:
@@ -228,6 +235,11 @@ class SecureInferenceSession:
                 "vault_graph_updates_total",
                 help="online add_node updates applied to the deployment",
             ).inc()
+            # Host-side view of the update (the enclave's own application
+            # is audited separately, through the gate, as origin=enclave).
+            self.telemetry.audit.append(
+                "graph_update", version=self._feature_version
+            )
         return new_id
 
     # ------------------------------------------------------------------

@@ -26,7 +26,9 @@ import numpy as np
 
 from ..errors import SecurityViolation
 from ..obs import Telemetry
+from ..obs.health import HealthMonitor
 from ..obs.metrics import MetricsRegistry, SIZE_BUCKETS_BYTES
+from ..obs.patterns import QueryPatternMonitor
 from ..obs.redaction import RedactedSpan
 from ..obs.tracing import COMPACT_DECODERS, Span
 from .inference import SecureInferenceSession
@@ -210,6 +212,9 @@ class VaultServer:
         query_budget: Optional[int] = None,
         cache_embeddings: bool = True,
         telemetry: Optional[Telemetry] = None,
+        health: Optional[HealthMonitor] = None,
+        monitor: Optional[QueryPatternMonitor] = None,
+        enable_health: bool = True,
     ) -> None:
         self._session = session
         self._features = np.asarray(features, dtype=np.float64)
@@ -224,6 +229,39 @@ class VaultServer:
         if session.telemetry is not self.telemetry:
             session.attach_telemetry(self.telemetry)
         self.stats = ServerStats(self.telemetry.registry)
+        # Health & audit layer: SLO tracking plus the link-stealing query
+        # monitor. Defaults on with telemetry; ``enable_health=False``
+        # gives the bare serving path (the overhead benchmark's baseline).
+        if health is not None:
+            self.health = health
+        elif enable_health and self.telemetry.enabled:
+            self.health = HealthMonitor(telemetry=self.telemetry)
+        else:
+            self.health = None
+        if self.health is not None:
+            # The cache SLO reads ServerStats' counters at flush time, so
+            # serving pays nothing per query for it.
+            stats = self.stats
+            self.health.attach_cache_probe(
+                lambda: (stats.embedding_cache_hits, stats.embedding_cache_misses)
+            )
+        # Health/monitor observations are buffered per batch and replayed
+        # in order every ``_health_drain_at`` batches (and at the end of
+        # every ``serve`` / before any report). The replay preserves exact
+        # per-batch semantics — the simulated clock advances batch by
+        # batch — while the hot path pays one list append instead of
+        # walking the SLO and pattern structures per query, which keeps
+        # their cache footprint off the serving path.
+        self._health_pending: List[Tuple[List[int], str, Any]] = []
+        self._health_drain_at = 64
+        if monitor is not None:
+            self.monitor = monitor
+        elif self.health is not None:
+            self.monitor = QueryPatternMonitor(
+                self._features.shape[0], self.health.alerts
+            )
+        else:
+            self.monitor = None
         # Backbone pre-computation: computed on the first query of each
         # feature version, then served from cache until the session's
         # feature_version moves (add_node). (version, embeddings) pair.
@@ -241,27 +279,55 @@ class VaultServer:
         pre-computation, so a real deployment pays it once per version).
         """
         version = self._session.feature_version
-        if self._embedding_cache is not None and self._embedding_cache[0] == version:
+        cached = self._embedding_cache
+        if cached is not None and cached[0] == version:
             self.stats.record_embedding_cache(hit=True)
-            return self._embedding_cache[1], 0.0
+            return cached[1], 0.0
+        if cached is not None:
+            # A populated cache missing means the deployment version moved
+            # underneath it — an invalidation, not a cold start.
+            self.telemetry.audit.append(
+                "cache_invalidation",
+                time=self.health.now if self.health is not None else 0.0,
+                stale_version=cached[0], version=version,
+            )
         embeddings, backbone_seconds = self._session.embed(self._features)
         self.stats.record_embedding_cache(hit=False)
         if self.cache_embeddings:
             self._embedding_cache = (version, embeddings)
         return embeddings, backbone_seconds
 
-    def query(self, node_id: int) -> int:
+    def query(self, node_id: int, client: str = "default") -> int:
         """Answer a single node query with its class label."""
-        return int(self.query_batch([node_id])[0])
+        return int(self.query_batch([node_id], client=client)[0])
 
-    def query_batch(self, node_ids: Sequence[int]) -> np.ndarray:
-        """Answer a batch of node queries (one ECALL for the batch)."""
+    def query_batch(
+        self, node_ids: Sequence[int], client: str = "default"
+    ) -> np.ndarray:
+        """Answer a batch of node queries (one ECALL for the batch).
+
+        ``client`` identifies the requester for per-client query-pattern
+        monitoring and the audit trail; it never reaches the enclave.
+        """
         node_ids = [int(n) for n in node_ids]
         if not node_ids:
             raise ValueError("empty query batch")
         if self.query_budget is not None:
             remaining = self.query_budget - self.stats.queries_served
             if len(node_ids) > remaining:
+                now = self.health.now if self.health is not None else 0.0
+                if self.health is not None:
+                    self.health.alerts.fire(
+                        f"budget/{client}", "security", "critical",
+                        f"client {client} exhausted the query budget "
+                        f"({self.query_budget} queries)",
+                        now=now,
+                    )
+                else:
+                    self.telemetry.audit.append(
+                        "security_alert", time=now, client=client,
+                        reason="query_budget_exhausted",
+                    )
                 raise QueryBudgetExceeded(
                     f"query budget exhausted ({self.stats.queries_served}/"
                     f"{self.query_budget} used, batch of {len(node_ids)} denied)"
@@ -281,17 +347,65 @@ class VaultServer:
                 None if profile is None else profile.total_seconds,
             )
         self.stats.record_batch(node_ids, profile)
+        health = self.health
+        if health is not None or self.monitor is not None:
+            pending = self._health_pending
+            pending.append((node_ids, client, profile))
+            if len(pending) >= self._health_drain_at:
+                self.flush_health()
+        self.telemetry.audit.append(
+            "query_served", time=0.0 if health is None else health.now,
+            client=client, batch_count=len(node_ids),
+        )
         return labels
 
-    def serve(self, workload: Sequence[int], batch_size: int = 1) -> np.ndarray:
+    def flush_health(self) -> None:
+        """Replay buffered observations into the health & monitor layer.
+
+        Runs automatically every ``_health_drain_at`` batches, at the end
+        of :meth:`serve`, and before :meth:`health_report`; call it
+        directly before reading ``self.health`` / ``self.monitor`` state
+        after a raw :meth:`query_batch` loop. The replay walks batches in
+        arrival order, so the health layer's simulated clock and every
+        detector see exactly the sequence they would have seen inline.
+        """
+        pending = self._health_pending
+        if not pending:
+            return
+        health, monitor = self.health, self.monitor
+        observe_batch = None if health is None else health.observe_batch
+        observe_client = None if monitor is None else monitor.observe
+        now = 0.0 if health is None else health.now
+        for node_ids, client, profile in pending:
+            if observe_batch is not None:
+                observe_batch(len(node_ids), profile)
+                now = health.now
+            if observe_client is not None:
+                observe_client(client, node_ids, now)
+        pending.clear()
+
+    def serve(
+        self,
+        workload: Sequence[int],
+        batch_size: int = 1,
+        client: str = "default",
+    ) -> np.ndarray:
         """Serve a whole query workload; returns all labels in order."""
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         answers: List[np.ndarray] = []
         workload = list(workload)
         for start in range(0, len(workload), batch_size):
-            answers.append(self.query_batch(workload[start : start + batch_size]))
+            answers.append(
+                self.query_batch(workload[start : start + batch_size], client=client)
+            )
+        self.flush_health()
         return np.concatenate(answers) if answers else np.empty(0, dtype=np.int64)
+
+    def health_report(self):
+        """The current :class:`~repro.obs.health.HealthReport` (or None)."""
+        self.flush_health()
+        return self.health.report() if self.health is not None else None
 
     # ------------------------------------------------------------------
     # Online updates
@@ -310,8 +424,11 @@ class VaultServer:
                 f"new node has {features_row.shape[1]} features, deployment "
                 f"expects {self._features.shape[1]}"
             )
+        self.flush_health()
         new_id = self._session.add_node(substitute_neighbours, sealed_update)
         self._features = np.vstack([self._features, features_row])
+        if self.monitor is not None:
+            self.monitor.grow_graph(self._features.shape[0])
         return new_id
 
 

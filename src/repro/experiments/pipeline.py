@@ -199,6 +199,14 @@ def run_gnnvault(
         backbone, graph.features, backbone_adj, graph.labels, split, cfg,
         telemetry=telemetry,
     )
+    if telemetry is not None:
+        # Model provenance for the audit trail: one event per artefact the
+        # pipeline produces, so a serving deployment can answer "which
+        # training run is this model from" without a side channel.
+        telemetry.audit.append(
+            "model_update", stage="backbone", kind_name=backbone_kind,
+            accuracy=float(result_bb.test_accuracy),
+        )
 
     run = GnnVaultRun(
         graph=graph,
@@ -227,4 +235,9 @@ def run_gnnvault(
         )
         run.rectifiers[scheme] = rectifier
         run.p_rec[scheme] = result_rec.test_accuracy
+        if telemetry is not None:
+            telemetry.audit.append(
+                "model_update", stage="rectifier", scheme=scheme,
+                accuracy=float(result_rec.test_accuracy),
+            )
     return run

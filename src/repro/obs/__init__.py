@@ -9,7 +9,15 @@ memory table) is telemetry; this package makes it first-class and safe:
 * :mod:`repro.obs.redaction` — the enclave telemetry gate: spans and
   metrics originating inside the TEE are aggregate-only *by type*;
 * :mod:`repro.obs.exporters` — Prometheus text exposition and JSONL
-  trace dumps.
+  trace/metric dumps;
+* :mod:`repro.obs.audit` — append-only JSONL audit event stream, with
+  enclave-originated events admitted only through the telemetry gate;
+* :mod:`repro.obs.health` — declarative SLOs over O(1) rolling windows,
+  multi-window burn-rate alerting, EWMA anomaly detection;
+* :mod:`repro.obs.patterns` — runtime detection of link-stealing-shaped
+  query workloads;
+* :mod:`repro.obs.dashboard` — self-contained static HTML operator
+  dashboard (inline SVG, no external assets).
 
 :class:`Telemetry` bundles one registry + tracer pair and is the object
 the serving stack passes around::
@@ -28,11 +36,29 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .audit import AuditEvent, AuditLog, parse_audit_jsonl
+from .dashboard import render_dashboard, write_dashboard
 from .exporters import (
+    parse_metrics_jsonl,
     parse_prometheus,
+    parse_prometheus_samples,
+    render_metrics_jsonl,
     render_prometheus,
     spans_to_jsonl,
+    traces_to_registry,
     write_trace_jsonl,
+)
+from .health import (
+    Alert,
+    AlertManager,
+    EwmaDetector,
+    HealthMonitor,
+    HealthReport,
+    ServingSloConfig,
+    Slo,
+    SloEngine,
+    default_serving_slos,
+    render_health_report,
 )
 from .metrics import (
     LATENCY_BUCKETS_SECONDS,
@@ -47,6 +73,7 @@ from .redaction import (
     RedactedSpan,
     TelemetryLeak,
 )
+from .patterns import QueryPatternMonitor
 from .tracing import NULL_SPAN, NullSpan, Span, Tracer
 
 
@@ -64,6 +91,10 @@ class Telemetry:
         self.enabled = enabled
         self.registry = MetricsRegistry()
         self.tracer = Tracer(enabled=enabled, max_traces=max_traces)
+        # The audit log stays live even when tracing is disabled: like the
+        # registry it backs operator-facing state (alert history, update
+        # provenance) that must not silently vanish with instrumentation.
+        self.audit = AuditLog()
 
     def enclave_gate(self) -> Optional[EnclaveTelemetryGate]:
         """The redacted handle enclave code gets (None when disabled)."""
@@ -78,24 +109,47 @@ class Telemetry:
     def trace_jsonl(self) -> str:
         return spans_to_jsonl(self.tracer)
 
+    def audit_jsonl(self) -> str:
+        return self.audit.to_jsonl()
+
 
 __all__ = [
+    "Alert",
+    "AlertManager",
+    "AuditEvent",
+    "AuditLog",
     "Counter",
     "EnclaveTelemetryGate",
+    "EwmaDetector",
     "Gauge",
+    "HealthMonitor",
+    "HealthReport",
     "Histogram",
     "LATENCY_BUCKETS_SECONDS",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullSpan",
+    "QueryPatternMonitor",
     "RedactedSpan",
     "SIZE_BUCKETS_BYTES",
+    "ServingSloConfig",
+    "Slo",
+    "SloEngine",
     "Span",
     "Telemetry",
     "TelemetryLeak",
     "Tracer",
+    "default_serving_slos",
+    "parse_audit_jsonl",
+    "parse_metrics_jsonl",
     "parse_prometheus",
+    "parse_prometheus_samples",
+    "render_dashboard",
+    "render_health_report",
+    "render_metrics_jsonl",
     "render_prometheus",
     "spans_to_jsonl",
+    "traces_to_registry",
+    "write_dashboard",
     "write_trace_jsonl",
 ]

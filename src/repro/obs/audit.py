@@ -1,0 +1,238 @@
+"""Structured audit log: an append-only JSONL event stream.
+
+Operators of a vault deployment need a tamper-evident narrative of *what
+happened* — which queries were served, when caches were invalidated, when
+the model or private graph changed, which alerts fired, and how
+attestation went — separate from the numeric time series the metrics
+registry holds. :class:`AuditLog` is that narrative: a bounded,
+append-only sequence of typed events with monotonically increasing
+sequence numbers, exportable as JSONL (one event per line).
+
+Trust-boundary rule: the log spans both worlds, but the two origins are
+not symmetric.
+
+* ``untrusted`` events are appended directly via :meth:`AuditLog.append`
+  and may carry free-form string fields (the untrusted world sees its own
+  queries anyway).
+* ``enclave`` events may **only** enter through
+  :meth:`repro.obs.redaction.EnclaveTelemetryGate.audit`, which validates
+  the event kind against a closed vocabulary and every field against the
+  same aggregate-key/scalar-value schema enclave metrics obey. Calling
+  :meth:`AuditLog.append` with ``origin="enclave"`` raises
+  :class:`~repro.errors.SecurityViolation` — the gate is the only door.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..errors import SecurityViolation
+
+#: event kinds the untrusted world may record.
+UNTRUSTED_AUDIT_KINDS = frozenset({
+    "query_served",
+    "cache_invalidation",
+    "model_update",
+    "graph_update",
+    "alert_fired",
+    "alert_resolved",
+    "attestation",
+    "security_alert",
+    "slo_evaluation",
+})
+
+#: event kinds the enclave may emit (through the telemetry gate only).
+ENCLAVE_AUDIT_KINDS = frozenset({
+    "attestation",
+    "provision",
+    "graph_update",
+    "cache_invalidation",
+})
+
+_SCALAR_TYPES = (bool, int, float)
+
+
+class AuditEvent:
+    """One immutable audit record.
+
+    Stored internally as a flat tuple (the serving hot path appends one
+    event per batch, so construction must stay allocation-light); this
+    class is the read-side view.
+    """
+
+    __slots__ = ("seq", "time", "kind", "origin", "fields")
+
+    def __init__(self, seq: int, time: float, kind: str, origin: str,
+                 fields: Tuple[Tuple[str, Any], ...]) -> None:
+        self.seq = seq
+        self.time = time
+        self.kind = kind
+        self.origin = origin
+        self.fields = fields
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "seq": self.seq,
+            "time": self.time,
+            "kind": self.kind,
+            "origin": self.origin,
+        }
+        for key, value in self.fields:
+            out[key] = value
+        return out
+
+    def __getitem__(self, key: str) -> Any:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+    def __repr__(self) -> str:
+        return (
+            f"AuditEvent(seq={self.seq}, kind={self.kind!r}, "
+            f"origin={self.origin!r}, time={self.time:.6g})"
+        )
+
+
+_RESERVED_FIELD_KEYS = frozenset({"seq", "time", "kind", "origin"})
+
+
+class AuditLog:
+    """Bounded append-only event stream (oldest events drop first).
+
+    The bound makes always-on auditing safe under heavy traffic: a
+    million-query stream keeps the most recent ``capacity`` events, and
+    :attr:`dropped` records how many scrolled off, so consumers can tell
+    a short log from a truncated one.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[tuple] = deque(maxlen=capacity)
+        self._seq = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, kind: str, time: float = 0.0, **fields: Any) -> int:
+        """Record one untrusted-world event; returns its sequence number.
+
+        Field values must be JSON scalars (numbers, bools, strings).
+        Enclave-originated events must come through the telemetry gate —
+        ``origin`` is not a parameter here by design.
+        """
+        if kind not in UNTRUSTED_AUDIT_KINDS:
+            if kind in ENCLAVE_AUDIT_KINDS:
+                raise SecurityViolation(
+                    f"audit kind {kind!r} is enclave-originated and must be "
+                    f"appended through the EnclaveTelemetryGate"
+                )
+            raise ValueError(
+                f"unknown audit event kind {kind!r}; "
+                f"allowed: {sorted(UNTRUSTED_AUDIT_KINDS)}"
+            )
+        for key, value in fields.items():
+            if key in _RESERVED_FIELD_KEYS:
+                raise ValueError(f"audit field {key!r} shadows an envelope key")
+            if not isinstance(value, (str, *_SCALAR_TYPES)):
+                raise ValueError(
+                    f"audit field {key}={value!r} is not a JSON scalar"
+                )
+        return self._append(kind, "untrusted", time, tuple(fields.items()))
+
+    def _append(self, kind: str, origin: str, time: float,
+                fields: Tuple[Tuple[str, Any], ...]) -> int:
+        seq = self._seq
+        self._seq += 1
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append((seq, float(time), kind, origin, fields))
+        return seq
+
+    def _append_enclave(self, kind: str, time: float,
+                        fields: Tuple[Tuple[str, Any], ...]) -> int:
+        """Gate-only entry point (see :mod:`repro.obs.redaction`).
+
+        Callers other than :class:`EnclaveTelemetryGate` must not use
+        this: it performs no validation because the gate already has.
+        """
+        return self._append(kind, "enclave", time, fields)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[AuditEvent]:
+        return (AuditEvent(*row) for row in self._events)
+
+    def events(self, kind: Optional[str] = None,
+               origin: Optional[str] = None) -> List[AuditEvent]:
+        """Materialise (a filtered view of) the retained events."""
+        return [
+            event for event in self
+            if (kind is None or event.kind == kind)
+            and (origin is None or event.origin == origin)
+        ]
+
+    def tail(self, n: int = 20) -> List[AuditEvent]:
+        """The most recent ``n`` events, oldest first."""
+        if n <= 0:
+            return []
+        rows = list(self._events)[-n:]
+        return [AuditEvent(*row) for row in rows]
+
+    @property
+    def total_appended(self) -> int:
+        """Lifetime event count (retained + dropped)."""
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # JSONL
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One compact JSON object per retained event, newline-delimited."""
+        return "".join(
+            json.dumps(event.to_dict(), separators=(",", ":")) + "\n"
+            for event in self
+        )
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl())
+        return path
+
+
+def parse_audit_jsonl(text: str) -> List[AuditEvent]:
+    """Parse a JSONL audit dump back into :class:`AuditEvent` objects."""
+    events: List[AuditEvent] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        raw = json.loads(line)
+        fields = tuple(
+            (key, value) for key, value in raw.items()
+            if key not in _RESERVED_FIELD_KEYS
+        )
+        events.append(AuditEvent(
+            seq=int(raw["seq"]), time=float(raw["time"]),
+            kind=raw["kind"], origin=raw["origin"], fields=fields,
+        ))
+    return events
+
+

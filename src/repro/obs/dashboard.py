@@ -1,0 +1,505 @@
+"""Static HTML operator dashboard — no external dependencies.
+
+``repro dashboard`` renders one self-contained HTML file from a live
+:class:`~repro.obs.Telemetry` hub plus (optionally) a
+:class:`~repro.obs.health.HealthMonitor` and a
+:class:`~repro.obs.patterns.QueryPatternMonitor`. Everything is inline:
+sparklines and histograms are hand-emitted SVG, styling is a small CSS
+block with light/dark variants, and there is no JavaScript — the file can
+be opened from disk, attached to an incident ticket, or archived next to
+a benchmark run.
+
+Charts follow the repo's dataviz conventions: one hue per chart (blue for
+time series, orange reserved for a second series), status colours only
+for state and always paired with a text label, text in ink tokens rather
+than series colours, thin 2px marks, recessive axes.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .metrics import Histogram
+
+#: status severity → (colour CSS var, icon glyph). Colour never carries
+#: the state alone: every use renders ``icon + label`` text next to it.
+_STATUS = {
+    "good": ("--status-good", "●"),       # ●
+    "info": ("--status-good", "●"),
+    "warning": ("--status-warning", "▲"),  # ▲
+    "critical": ("--status-critical", "✕"),  # ✕
+}
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --page: #f9f9f7; --surface: #fcfcfb;
+  --ink: #0b0b0b; --ink-2: #52514e; --ink-muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834;
+  --status-good: #0ca30c; --status-warning: #fab219;
+  --status-serious: #ec835a; --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) {
+    color-scheme: dark;
+    --page: #0d0d0d; --surface: #1a1a19;
+    --ink: #ffffff; --ink-2: #c3c2b7; --ink-muted: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--page); color: var(--ink);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+.sub { color: var(--ink-2); margin: 0 0 20px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin-bottom: 20px; }
+.tile {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 150px;
+}
+.tile .label { color: var(--ink-2); font-size: 12px; }
+.tile .value { font-size: 26px; font-weight: 600; }
+.tile .detail { color: var(--ink-muted); font-size: 12px; }
+.grid { display: grid; grid-template-columns: repeat(auto-fit, minmax(340px, 1fr)); gap: 16px; }
+.panel {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px;
+}
+.panel h2 { font-size: 14px; margin: 0 0 2px; }
+.panel .note { color: var(--ink-2); font-size: 12px; margin: 0 0 10px; }
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th {
+  text-align: left; color: var(--ink-2); font-weight: 500;
+  border-bottom: 1px solid var(--axis); padding: 4px 8px 4px 0;
+}
+td { padding: 4px 8px 4px 0; border-bottom: 1px solid var(--grid); }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.status { white-space: nowrap; }
+.empty { color: var(--ink-muted); font-size: 13px; }
+svg text { fill: var(--ink-muted); font-size: 10px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif; }
+footer { margin-top: 20px; color: var(--ink-muted); font-size: 12px; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: float, digits: int = 3) -> str:
+    if value != value:  # NaN
+        return "–"
+    return f"{value:.{digits}g}"
+
+
+def _status_html(severity: str, label: Optional[str] = None) -> str:
+    var, icon = _STATUS.get(severity, _STATUS["critical"])
+    text = label if label is not None else severity
+    return (
+        f'<span class="status"><span style="color:var({var})">{icon}</span> '
+        f"{_esc(text)}</span>"
+    )
+
+
+# ----------------------------------------------------------------------
+# Inline SVG marks
+# ----------------------------------------------------------------------
+def sparkline_svg(values: Sequence[float], width: int = 300,
+                  height: int = 48, color: str = "var(--series-1)") -> str:
+    """A single-series 2px sparkline with a hairline baseline.
+
+    One series per chart (so no legend); the axis is recessive — just a
+    baseline and the min/max printed in muted ink.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return '<p class="empty">no samples yet</p>'
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    pad = 4
+    inner_w, inner_h = width - 2 * pad, height - 2 * pad
+    step = inner_w / max(1, len(values) - 1)
+    points = " ".join(
+        f"{pad + i * step:.1f},{pad + inner_h * (1.0 - (v - lo) / span):.1f}"
+        for i, v in enumerate(values)
+    )
+    baseline_y = height - pad
+    return (
+        f'<svg viewBox="0 0 {width} {height + 14}" width="100%" '
+        f'role="img" aria-label="sparkline">'
+        f'<line x1="{pad}" y1="{baseline_y}" x2="{width - pad}" '
+        f'y2="{baseline_y}" stroke="var(--axis)" stroke-width="1"/>'
+        f'<polyline points="{points}" fill="none" stroke="{color}" '
+        f'stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>'
+        f'<text x="{pad}" y="{height + 11}">min {_fmt(lo)}</text>'
+        f'<text x="{width - pad}" y="{height + 11}" '
+        f'text-anchor="end">max {_fmt(hi)}</text>'
+        f"</svg>"
+    )
+
+
+def histogram_svg(bounds: Sequence[float], counts: Sequence[int],
+                  width: int = 300, height: int = 72,
+                  color: str = "var(--series-1)",
+                  unit: str = "s") -> str:
+    """Thin rounded bars over histogram buckets, trimmed to the busy range.
+
+    ``counts`` are per-bucket (non-cumulative) and one longer than
+    ``bounds`` (the +Inf bucket).
+    """
+    counts = [int(c) for c in counts]
+    if sum(counts) == 0:
+        return '<p class="empty">no samples yet</p>'
+    first = next(i for i, c in enumerate(counts) if c)
+    last = max(i for i, c in enumerate(counts) if c)
+    lo = max(0, first - 1)
+    hi = min(len(counts) - 1, last + 1)
+    window = counts[lo:hi + 1]
+    peak = max(window)
+    pad = 4
+    label_h = 14
+    inner_w, inner_h = width - 2 * pad, height - 2 * pad
+    slot = inner_w / len(window)
+    bar_w = max(2.0, slot - 2.0)  # 2px surface gap between bars
+    bars = []
+    for i, count in enumerate(window):
+        if count == 0:
+            continue
+        bar_h = max(2.0, inner_h * count / peak)
+        x = pad + i * slot + (slot - bar_w) / 2
+        y = pad + inner_h - bar_h
+        bars.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+            f'height="{bar_h:.1f}" rx="2" fill="{color}"/>'
+        )
+    left_bound = bounds[lo - 1] if lo > 0 else 0.0
+    right_bound = bounds[hi] if hi < len(bounds) else float("inf")
+    right_text = "+Inf" if right_bound == float("inf") else (
+        f"{_fmt(right_bound)}{unit}"
+    )
+    baseline_y = height - pad
+    return (
+        f'<svg viewBox="0 0 {width} {height + label_h}" width="100%" '
+        f'role="img" aria-label="histogram">'
+        f'<line x1="{pad}" y1="{baseline_y}" x2="{width - pad}" '
+        f'y2="{baseline_y}" stroke="var(--axis)" stroke-width="1"/>'
+        f'{"".join(bars)}'
+        f'<text x="{pad}" y="{height + label_h - 3}">'
+        f"≥{_fmt(left_bound)}{unit}</text>"
+        f'<text x="{width - pad}" y="{height + label_h - 3}" '
+        f'text-anchor="end">&lt;{_esc(right_text)}</text>'
+        f"</svg>"
+    )
+
+
+# ----------------------------------------------------------------------
+# Panels
+# ----------------------------------------------------------------------
+def _tile(label: str, value: str, detail: str = "") -> str:
+    detail_html = f'<div class="detail">{detail}</div>' if detail else ""
+    return (
+        f'<div class="tile"><div class="label">{_esc(label)}</div>'
+        f'<div class="value">{value}</div>{detail_html}</div>'
+    )
+
+
+def _panel(title: str, note: str, body: str) -> str:
+    return (
+        f'<section class="panel"><h2>{_esc(title)}</h2>'
+        f'<p class="note">{_esc(note)}</p>{body}</section>'
+    )
+
+
+def _latency_panel(registry, health) -> str:
+    parts = []
+    if health is not None:
+        means = [
+            value_sum / total
+            for total, _bad, value_sum in health.latency_series()
+            if total > 0
+        ]
+        if means:
+            parts.append(
+                '<p class="note">per-bucket mean batch latency (s), '
+                "fast window</p>"
+            )
+            parts.append(sparkline_svg(means))
+    metric = registry.get("vault_query_batch_seconds")
+    if isinstance(metric, Histogram):
+        for labels, child in metric.series():
+            if labels == ():
+                parts.append(
+                    '<p class="note">batch latency distribution '
+                    "(simulated seconds)</p>"
+                )
+                parts.append(histogram_svg(metric.buckets, child.bucket_counts))
+                summary = metric.summary()
+                parts.append(
+                    f'<p class="note">p50 {_fmt(summary["p50"])}s · '
+                    f'p95 {_fmt(summary["p95"])}s · '
+                    f'p99 {_fmt(summary["p99"])}s over '
+                    f'{int(summary["count"])} batches</p>'
+                )
+                break
+    body = "".join(parts) or '<p class="empty">no latency samples yet</p>'
+    return _panel("Latency", "warm serving path, simulated time", body)
+
+
+def _cache_panel(registry) -> str:
+    counter = registry.get("vault_embedding_cache_events_total")
+    hits = misses = 0
+    if counter is not None:
+        hits = int(counter.value(result="hit"))
+        misses = int(counter.value(result="miss"))
+    total = hits + misses
+    if total == 0:
+        body = '<p class="empty">no cache activity yet</p>'
+    else:
+        rate = hits / total
+        body = (
+            f'<table><tr><th>event</th><th class="num">count</th></tr>'
+            f'<tr><td>hit</td><td class="num">{hits}</td></tr>'
+            f'<tr><td>miss</td><td class="num">{misses}</td></tr></table>'
+            f'<p class="note">hit rate {100 * rate:.1f}% '
+            f"(misses are one-per-feature-version backbone recomputes)</p>"
+        )
+    return _panel("Embedding cache", "backbone pre-computation reuse", body)
+
+
+def _paging_panel(registry, health) -> str:
+    parts = []
+    if health is not None and "paging_ratio" in health.engine.slos:
+        sums = [
+            value_sum
+            for total, _bad, value_sum in
+            health.engine.window("paging_ratio").series()
+            if total > 0
+        ]
+        if sums:
+            parts.append(
+                '<p class="note">paging seconds per window bucket</p>'
+            )
+            parts.append(sparkline_svg(sums, color="var(--series-2)"))
+    gauge = registry.get("vault_peak_enclave_memory_bytes")
+    if gauge is not None and gauge.value() > 0:
+        parts.append(
+            f'<p class="note">peak enclave memory '
+            f"{gauge.value() / 1024 / 1024:.2f} MiB</p>"
+        )
+    body = "".join(parts) or '<p class="empty">no paging data yet</p>'
+    return _panel("Enclave paging", "EPC pressure on the trusted side", body)
+
+
+def _slo_panel(report) -> str:
+    if report is None or not report.statuses:
+        return _panel("SLOs", "declarative objectives",
+                      '<p class="empty">no health monitor attached</p>')
+    rows = []
+    for status in report.statuses:
+        state = (
+            _status_html("critical", "violated") if status.violated
+            else _status_html("good", "ok")
+        )
+        rows.append(
+            f"<tr><td>{_esc(status.slo.name)}</td>"
+            f'<td class="num">{status.slo.objective:.3f}</td>'
+            f'<td class="num">{status.good_fraction:.3f}</td>'
+            f'<td class="num">{status.burn_fast:.2f}</td>'
+            f'<td class="num">{status.burn_slow:.2f}</td>'
+            f"<td>{state}</td></tr>"
+        )
+    body = (
+        '<table><tr><th>objective</th><th class="num">target</th>'
+        '<th class="num">good</th><th class="num">burn 5m</th>'
+        '<th class="num">burn 1h</th><th>status</th></tr>'
+        f'{"".join(rows)}</table>'
+    )
+    return _panel("SLOs", "multi-window burn rate (simulated 5m/1h)", body)
+
+
+def _alerts_panel(report) -> str:
+    if report is None:
+        return _panel("Alerts", "fired by the health layer",
+                      '<p class="empty">no health monitor attached</p>')
+    if not report.active_alerts and not report.resolved_alerts:
+        body = f'<p>{_status_html("good", "no alerts — all quiet")}</p>'
+    else:
+        rows = []
+        for alert in report.active_alerts:
+            rows.append(
+                f"<tr><td>{_status_html(alert.severity)}</td>"
+                f"<td>{_esc(alert.kind)}</td><td>{_esc(alert.key)}</td>"
+                f'<td class="num">{alert.count}</td>'
+                f"<td>{_esc(alert.message)}</td></tr>"
+            )
+        active = (
+            '<table><tr><th>severity</th><th>kind</th><th>key</th>'
+            '<th class="num">fired</th><th>message</th></tr>'
+            f'{"".join(rows)}</table>'
+            if rows else f'<p>{_status_html("good", "none active")}</p>'
+        )
+        body = (
+            f"{active}<p class=\"note\">{len(report.resolved_alerts)} "
+            f"resolved this run</p>"
+        )
+    return _panel("Alerts", "deduplicated; resolved alerts retire to history",
+                  body)
+
+
+def _security_panel(monitor) -> str:
+    if monitor is None:
+        return _panel("Query patterns", "link-stealing detector",
+                      '<p class="empty">no pattern monitor attached</p>')
+    summary = monitor.summary()
+    flagged = summary["flagged"]
+    if flagged:
+        rows = "".join(
+            f"<tr><td>{_status_html('critical', 'flagged')}</td>"
+            f"<td>{_esc(client)}</td><td>{_esc(', '.join(detectors))}</td></tr>"
+            for client, detectors in sorted(flagged.items())
+        )
+        body = (
+            '<table><tr><th>status</th><th>client</th>'
+            f"<th>detectors</th></tr>{rows}</table>"
+        )
+    else:
+        body = (
+            f'<p>{_status_html("good", "no link-stealing-shaped workloads")}'
+            f"</p>"
+        )
+    body += (
+        f'<p class="note">{summary["clients"]} clients tracked · '
+        f'{summary["evaluations"]} window evaluations</p>'
+    )
+    return _panel(
+        "Query patterns",
+        "pair probing · fan-out sweeps · entropy collapse",
+        body,
+    )
+
+
+def _audit_panel(audit, tail: int = 12) -> str:
+    if audit is None or len(audit) == 0:
+        return _panel("Audit trail", "append-only event stream",
+                      '<p class="empty">no audit events yet</p>')
+    rows = []
+    for event in audit.tail(tail):
+        rows.append(
+            f'<tr><td class="num">{event.seq}</td>'
+            f'<td class="num">{_fmt(event.time)}</td>'
+            f"<td>{_esc(event.kind)}</td><td>{_esc(event.origin)}</td></tr>"
+        )
+    note = (
+        f"{audit.total_appended} events total"
+        + (f" · {audit.dropped} scrolled off" if audit.dropped else "")
+    )
+    body = (
+        '<table><tr><th class="num">seq</th><th class="num">time</th>'
+        f'<th>kind</th><th>origin</th></tr>{"".join(rows)}</table>'
+        f'<p class="note">{_esc(note)}</p>'
+    )
+    return _panel("Audit trail", "most recent events, oldest first", body)
+
+
+# ----------------------------------------------------------------------
+# Page assembly
+# ----------------------------------------------------------------------
+def render_dashboard(
+    telemetry,
+    health=None,
+    monitor=None,
+    title: str = "GNNVault serving health",
+) -> str:
+    """Render the full dashboard page as a self-contained HTML string."""
+    registry = telemetry.registry
+    audit = getattr(telemetry, "audit", None)
+    report = health.report() if health is not None else None
+
+    queries = 0
+    counter = registry.get("vault_queries_total")
+    if counter is not None:
+        queries = int(counter.value())
+    p95 = float("nan")
+    latency = registry.get("vault_query_batch_seconds")
+    if isinstance(latency, Histogram) and latency.count() > 0:
+        p95 = latency.percentile(0.95)
+    cache = registry.get("vault_embedding_cache_events_total")
+    hit_rate_text = "–"
+    if cache is not None:
+        hits = cache.value(result="hit")
+        total = hits + cache.value(result="miss")
+        if total > 0:
+            hit_rate_text = f"{100 * hits / total:.1f}%"
+
+    if report is None:
+        verdict = _status_html("warning", "no health monitor")
+    elif report.batches_observed == 0:
+        verdict = _status_html("warning", "no data")
+    elif report.healthy:
+        verdict = _status_html("good", "healthy")
+    else:
+        verdict = _status_html("critical", "unhealthy")
+
+    tiles = [
+        _tile("verdict", verdict),
+        _tile("queries served", f"{queries:,}"),
+        _tile("p95 batch latency",
+              f"{_fmt(p95 * 1e3)} ms" if p95 == p95 else "–",
+              "simulated"),
+        _tile("cache hit rate", hit_rate_text),
+    ]
+    if report is not None:
+        tiles.append(_tile(
+            "active alerts", str(len(report.active_alerts)),
+            f"{len(report.resolved_alerts)} resolved",
+        ))
+        tiles.append(_tile(
+            "simulated time", f"{_fmt(report.now)} s",
+            f"{report.batches_observed} batches",
+        ))
+
+    panels = [
+        _latency_panel(registry, health),
+        _cache_panel(registry),
+        _paging_panel(registry, health),
+        _slo_panel(report),
+        _alerts_panel(report),
+        _security_panel(monitor),
+        _audit_panel(audit),
+    ]
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        "<body>\n"
+        f"<h1>{_esc(title)}</h1>\n"
+        '<p class="sub">static snapshot · simulated time · '
+        "label-only query surface</p>\n"
+        f'<div class="tiles">{"".join(tiles)}</div>\n'
+        f'<div class="grid">{"".join(panels)}</div>\n'
+        "<footer>generated by <code>repro dashboard</code> — "
+        "self-contained, no external assets</footer>\n"
+        "</body></html>\n"
+    )
+
+
+def write_dashboard(
+    path: Union[str, Path],
+    telemetry,
+    health=None,
+    monitor=None,
+    title: str = "GNNVault serving health",
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_dashboard(telemetry, health, monitor, title))
+    return path

@@ -1,21 +1,26 @@
-"""Telemetry exporters: Prometheus text exposition and JSONL traces.
+"""Telemetry exporters: Prometheus text exposition and JSONL dumps.
 
-Two wire formats, both dependency-free:
+Wire formats, all dependency-free:
 
 * :func:`render_prometheus` — the Prometheus text exposition format
   (``# HELP``/``# TYPE`` headers, ``name{labels} value`` samples,
   ``_bucket``/``_sum``/``_count`` triples for histograms), so a scrape
   endpoint or a file drop plugs straight into standard dashboards;
+* :func:`render_metrics_jsonl` / :func:`parse_metrics_jsonl` — one JSON
+  object per metric family, lossless (bucket counts included), so a
+  registry round-trips through a file;
 * :func:`spans_to_jsonl` / :func:`write_trace_jsonl` — one JSON object
   per root span, children nested, suitable for ``jq`` pipelines and for
-  reconstructing the Fig. 6 per-stage breakdown offline.
+  reconstructing the Fig. 6 per-stage breakdown offline;
+* :func:`traces_to_registry` — aggregate collected traces into per-stage
+  metrics, giving ``repro trace --format prom`` its exposition view.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Dict, Iterable, List, Tuple, Union
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .tracing import Span, Tracer
@@ -28,8 +33,33 @@ def _format_value(value: float) -> str:
     return repr(as_float)
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
 def _format_labels(labels, extra: str = "") -> str:
-    parts = [f'{key}="{value}"' for key, value in labels]
+    parts = [f'{key}="{_escape_label_value(value)}"' for key, value in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -87,6 +117,146 @@ def write_trace_jsonl(source: Union[Tracer, Iterable[Span]],
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(spans_to_jsonl(source))
     return path
+
+
+def render_metrics_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per metric family — a lossless registry dump.
+
+    Unlike the Prometheus exposition (which flattens histograms into
+    cumulative ``_bucket`` samples), this format keeps per-bucket counts
+    and the bucket bounds, so :func:`parse_metrics_jsonl` reconstructs an
+    identical registry.
+    """
+    lines: List[str] = []
+    for metric in registry.metrics():
+        entry: Dict = {
+            "name": metric.name, "kind": metric.kind, "help": metric.help,
+        }
+        if isinstance(metric, Histogram):
+            entry["buckets"] = list(metric.buckets)
+            entry["series"] = [
+                {
+                    "labels": dict(labels),
+                    "counts": list(child.bucket_counts),
+                    "sum": child.sum,
+                    "count": child.count,
+                }
+                for labels, child in metric.series()
+            ]
+        else:
+            entry["series"] = [
+                {"labels": dict(labels), "value": value}
+                for labels, value in metric.series()
+            ]
+        lines.append(json.dumps(entry, separators=(",", ":")))
+    return "".join(line + "\n" for line in lines)
+
+
+def parse_metrics_jsonl(text: str) -> MetricsRegistry:
+    """Rebuild a :class:`MetricsRegistry` from a JSONL metrics dump."""
+    registry = MetricsRegistry()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        kind = entry["kind"]
+        if kind == "counter":
+            metric = registry.counter(entry["name"], help=entry.get("help", ""))
+            for series in entry["series"]:
+                metric.inc(series["value"], **series["labels"])
+        elif kind == "gauge":
+            metric = registry.gauge(entry["name"], help=entry.get("help", ""))
+            for series in entry["series"]:
+                metric.set(series["value"], **series["labels"])
+        elif kind == "histogram":
+            metric = registry.histogram(
+                entry["name"], help=entry.get("help", ""),
+                buckets=entry["buckets"],
+            )
+            for series in entry["series"]:
+                child = metric.bind(**series["labels"])
+                child.bucket_counts = [int(c) for c in series["counts"]]
+                child.sum = float(series["sum"])
+                child.count = int(series["count"])
+        else:
+            raise ValueError(f"unknown metric kind {kind!r}")
+    return registry
+
+
+def traces_to_registry(source: Union[Tracer, Iterable[Span]]) -> MetricsRegistry:
+    """Aggregate collected traces into per-stage metrics.
+
+    Gives ``repro trace --format prom`` a Prometheus view: one latency
+    histogram per ``(root, stage)`` pair plus a span counter — the Fig. 6
+    per-stage breakdown as scrapeable series.
+    """
+    registry = MetricsRegistry()
+    spans = registry.counter("trace_spans_total", help="root spans collected")
+    stage_seconds = registry.histogram(
+        "trace_stage_seconds",
+        help="simulated seconds per trace stage (root spans and their stages)",
+    )
+    for root in _roots(source):
+        spans.inc(span=root.name)
+        stage_seconds.observe(root.seconds, span=root.name, stage="total")
+        for name, seconds in root.stages().items():
+            stage_seconds.observe(seconds, span=root.name, stage=name)
+    return registry
+
+
+def parse_prometheus_samples(
+    text: str,
+) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Full-fidelity exposition parser: label sets decoded and unescaped.
+
+    Complements :func:`parse_prometheus` (which returns raw label chunks
+    for cheap substring assertions): the round-trip tests need structured
+    labels to compare against the originating registry.
+    """
+    samples: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_and_labels, _, raw_value = line.rpartition(" ")
+        if not name_and_labels:
+            raise ValueError(f"malformed sample line: {line!r}")
+        value = float(raw_value)
+        labels: List[Tuple[str, str]] = []
+        if "{" in name_and_labels:
+            name, _, rest = name_and_labels.partition("{")
+            if not rest.endswith("}"):
+                raise ValueError(f"unterminated label set: {line!r}")
+            body = rest[:-1]
+            i = 0
+            while i < len(body):
+                eq = body.index("=", i)
+                key = body[i:eq]
+                if body[eq + 1] != '"':
+                    raise ValueError(f"unquoted label value: {line!r}")
+                j = eq + 2
+                raw = []
+                while j < len(body):
+                    ch = body[j]
+                    if ch == "\\":
+                        raw.append(body[j:j + 2])
+                        j += 2
+                        continue
+                    if ch == '"':
+                        break
+                    raw.append(ch)
+                    j += 1
+                else:
+                    raise ValueError(f"unterminated label value: {line!r}")
+                labels.append((key, _unescape_label_value("".join(raw))))
+                i = j + 1
+                if i < len(body) and body[i] == ",":
+                    i += 1
+        else:
+            name = name_and_labels
+        samples.setdefault(name, {})[tuple(sorted(labels))] = value
+    return samples
 
 
 def parse_prometheus(text: str) -> dict:

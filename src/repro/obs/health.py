@@ -1,0 +1,686 @@
+"""Health layer: declarative SLOs, rolling windows, burn-rate alerting.
+
+PR 2 built the raw telemetry substrate (registry, tracer, redaction gate);
+this module turns those series into *decisions*. The design follows the
+standard SRE shape, adapted to the repo's simulated-time serving model:
+
+* every objective is an **event-ratio SLO** ("≥ 95 % of batches under the
+  latency threshold", "≥ 50 % embedding-cache hits", "≤ 1 % of batches
+  paging-bound"): each observation is good or bad, and the error budget
+  is ``1 − objective``;
+* observations land in :class:`RollingWindow` rings — a fixed number of
+  time buckets over **simulated** seconds, so memory is O(buckets) no
+  matter how many million queries stream through;
+* alerting is **multi-window burn rate**: an SLO pages only when *both*
+  a fast window (default 5 simulated minutes) and a slow window (default
+  1 simulated hour) burn error budget faster than ``burn_threshold`` —
+  the fast window gives low detection latency, the slow window stops a
+  transient blip from paging (Google SRE workbook, ch. 5);
+* :class:`EwmaDetector` adds rolling anomaly detection — an
+  exponentially weighted mean/variance tracker that flags sustained
+  z-score excursions of batch latency without storing history;
+* :class:`AlertManager` fires, deduplicates, and resolves typed alerts,
+  mirroring every transition into the audit log.
+
+:class:`HealthMonitor` bundles the pieces and is the object a
+:class:`~repro.deploy.server.VaultServer` drives; :meth:`HealthMonitor.report`
+produces the machine-readable verdict behind ``repro health``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: alert severities, in increasing order of operator urgency. Only
+#: ``critical`` alerts (SLO burns, security detections) fail health checks;
+#: ``warning`` (anomalies) is advisory.
+SEVERITIES = ("info", "warning", "critical")
+
+
+class RollingWindow:
+    """O(1)-memory ring of per-bucket (total, bad, value-sum) counts.
+
+    The window covers ``window_seconds`` of *simulated* time split into
+    ``num_buckets`` equal buckets. Observations older than the window
+    scroll off as the clock advances; nothing is stored per event, so an
+    always-on SLO over a million-query stream costs a few hundred bytes.
+    """
+
+    __slots__ = ("window_seconds", "bucket_seconds", "num_buckets",
+                 "_total", "_bad", "_sum", "_head")
+
+    def __init__(self, window_seconds: float, num_buckets: int = 30) -> None:
+        if window_seconds <= 0:
+            raise ValueError(f"window must be positive, got {window_seconds}")
+        if num_buckets < 1:
+            raise ValueError(f"need >= 1 bucket, got {num_buckets}")
+        self.window_seconds = float(window_seconds)
+        self.num_buckets = int(num_buckets)
+        self.bucket_seconds = self.window_seconds / self.num_buckets
+        self._total = [0.0] * self.num_buckets
+        self._bad = [0.0] * self.num_buckets
+        self._sum = [0.0] * self.num_buckets
+        self._head = 0  # absolute index of the newest bucket
+
+    def _advance(self, now: float) -> int:
+        index = int(now / self.bucket_seconds)
+        if index > self._head:
+            steps = min(index - self._head, self.num_buckets)
+            for offset in range(1, steps + 1):
+                slot = (self._head + offset) % self.num_buckets
+                self._total[slot] = 0.0
+                self._bad[slot] = 0.0
+                self._sum[slot] = 0.0
+            self._head = index
+        return self._head % self.num_buckets
+
+    def observe(self, now: float, good: bool, value: float = 0.0) -> None:
+        slot = self._advance(now)
+        self._total[slot] += 1.0
+        if not good:
+            self._bad[slot] += 1.0
+        self._sum[slot] += value
+
+    def observe_bulk(self, now: float, total: float, bad: float,
+                     value_sum: float = 0.0) -> None:
+        """Credit pre-aggregated events to the bucket at ``now``.
+
+        The serving hot path batches observations between evaluations and
+        lands them here in one call; with buckets seconds wide and batches
+        milliseconds apart the aggregate falls in the same bucket the
+        individual events would have.
+        """
+        slot = self._advance(now)
+        self._total[slot] += total
+        self._bad[slot] += bad
+        self._sum[slot] += value_sum
+
+    def totals(self, now: Optional[float] = None) -> Tuple[float, float]:
+        """``(total, bad)`` event counts currently inside the window."""
+        if now is not None:
+            self._advance(now)
+        return sum(self._total), sum(self._bad)
+
+    def bad_fraction(self, now: Optional[float] = None) -> float:
+        total, bad = self.totals(now)
+        return bad / total if total > 0 else 0.0
+
+    def series(self) -> List[Tuple[float, float, float]]:
+        """Per-bucket ``(total, bad, value_sum)``, oldest → newest.
+
+        This ring *is* the dashboard's time series: sparklines render the
+        per-bucket means without any separate history buffer.
+        """
+        out = []
+        for offset in range(self.num_buckets - 1, -1, -1):
+            slot = (self._head - offset) % self.num_buckets
+            out.append((self._total[slot], self._bad[slot], self._sum[slot]))
+        return out
+
+
+class EwmaDetector:
+    """Rolling anomaly detector: EWMA mean/variance + sustained z-score.
+
+    ``observe`` returns ``True`` while the stream is anomalous: a value is
+    an outlier when it sits more than ``zscore`` standard deviations above
+    the exponentially weighted mean, and the detector only *trips* after
+    ``sustain`` consecutive outliers (one slow query is noise; a run of
+    them is a regression). Statistics update only on non-outlier values so
+    an incident cannot normalise itself away.
+    """
+
+    __slots__ = ("alpha", "zscore", "warmup", "sustain",
+                 "mean", "variance", "count", "streak", "trips")
+
+    def __init__(self, alpha: float = 0.05, zscore: float = 6.0,
+                 warmup: int = 32, sustain: int = 8) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.zscore = zscore
+        self.warmup = warmup
+        self.sustain = sustain
+        self.mean = 0.0
+        self.variance = 0.0
+        self.count = 0
+        self.streak = 0
+        self.trips = 0
+
+    def observe(self, value: float) -> bool:
+        value = float(value)
+        delta = value - self.mean
+        if self.count >= self.warmup:
+            # (delta/sigma > z) == (delta > 0 and delta^2 > z^2 * var):
+            # same test, no sqrt on the hot path.
+            if (
+                delta > 0.0
+                and self.variance > 0.0
+                and delta * delta > self.zscore * self.zscore * self.variance
+            ):
+                self.streak += 1
+                if self.streak == self.sustain:
+                    self.trips += 1
+                return self.streak >= self.sustain
+        self.streak = 0
+        self.mean += self.alpha * delta
+        self.variance = (1.0 - self.alpha) * (
+            self.variance + self.alpha * delta * delta
+        )
+        self.count += 1
+        return False
+
+
+@dataclass
+class Alert:
+    """One deduplicated alert instance (open until resolved)."""
+
+    key: str          # dedup identity, e.g. "slo/warm_latency"
+    kind: str         # "slo_burn" | "anomaly" | "security"
+    severity: str     # see SEVERITIES
+    message: str
+    fired_at: float
+    last_seen: float
+    count: int = 1    # how many times the condition re-fired while open
+    resolved_at: Optional[float] = None
+
+    @property
+    def active(self) -> bool:
+        return self.resolved_at is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key, "kind": self.kind, "severity": self.severity,
+            "message": self.message, "fired_at": self.fired_at,
+            "last_seen": self.last_seen, "count": self.count,
+            "resolved_at": self.resolved_at,
+        }
+
+
+class AlertManager:
+    """Fire, deduplicate, and resolve typed alerts.
+
+    Re-firing an open alert bumps its ``count``/``last_seen`` instead of
+    creating a duplicate; resolving moves it to the bounded history. Every
+    transition is mirrored into the audit log (``alert_fired`` /
+    ``alert_resolved`` / ``security_alert`` events) when one is attached.
+    """
+
+    def __init__(self, audit=None, history_limit: int = 256) -> None:
+        self._audit = audit
+        self._active: Dict[str, Alert] = {}
+        self._history: List[Alert] = []
+        self._history_limit = history_limit
+
+    def fire(self, key: str, kind: str, severity: str, message: str,
+             now: float = 0.0) -> Alert:
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}")
+        alert = self._active.get(key)
+        if alert is not None:
+            alert.count += 1
+            alert.last_seen = now
+            alert.message = message
+            return alert
+        alert = Alert(key=key, kind=kind, severity=severity, message=message,
+                      fired_at=now, last_seen=now)
+        self._active[key] = alert
+        if self._audit is not None:
+            audit_kind = "security_alert" if kind == "security" else "alert_fired"
+            self._audit.append(
+                audit_kind, time=now, alert_key=key, alert_kind=kind,
+                severity=severity, message=message,
+            )
+        return alert
+
+    def resolve(self, key: str, now: float = 0.0) -> Optional[Alert]:
+        alert = self._active.pop(key, None)
+        if alert is None:
+            return None
+        alert.resolved_at = now
+        self._history.append(alert)
+        del self._history[:-self._history_limit]
+        if self._audit is not None:
+            self._audit.append(
+                "alert_resolved", time=now, alert_key=key,
+                alert_kind=alert.kind, severity=alert.severity,
+            )
+        return alert
+
+    def active(self, kind: Optional[str] = None,
+               severity: Optional[str] = None) -> List[Alert]:
+        return [
+            a for a in self._active.values()
+            if (kind is None or a.kind == kind)
+            and (severity is None or a.severity == severity)
+        ]
+
+    def history(self) -> List[Alert]:
+        return list(self._history)
+
+    def is_active(self, key: str) -> bool:
+        return key in self._active
+
+
+@dataclass(frozen=True)
+class Slo:
+    """One declarative objective over a good/bad event stream."""
+
+    name: str
+    description: str
+    objective: float              # target good fraction, e.g. 0.95
+    fast_window: float = 300.0    # simulated seconds (5 min)
+    slow_window: float = 3600.0   # simulated seconds (1 h)
+    burn_threshold: float = 4.0   # page when both windows burn this fast
+    min_events: int = 16          # don't page on a near-empty window
+    severity: str = "critical"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"SLO {self.name}: objective must be in (0, 1), "
+                f"got {self.objective}"
+            )
+        if self.fast_window >= self.slow_window:
+            raise ValueError(
+                f"SLO {self.name}: fast window must be shorter than slow"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+
+@dataclass
+class SloStatus:
+    """One SLO's evaluation at a point in simulated time."""
+
+    slo: Slo
+    good_fraction: float
+    burn_fast: float
+    burn_slow: float
+    events_fast: float
+    events_slow: float
+    violated: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.slo.name,
+            "objective": self.slo.objective,
+            "good_fraction": self.good_fraction,
+            "burn_fast": self.burn_fast,
+            "burn_slow": self.burn_slow,
+            "events_fast": self.events_fast,
+            "events_slow": self.events_slow,
+            "violated": self.violated,
+        }
+
+
+class SloEngine:
+    """Evaluate declarative SLOs over paired fast/slow rolling windows."""
+
+    def __init__(self, slos: Sequence[Slo], alerts: AlertManager,
+                 num_buckets: int = 30) -> None:
+        names = [slo.name for slo in slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names in {names}")
+        self.slos: Dict[str, Slo] = {slo.name: slo for slo in slos}
+        self.alerts = alerts
+        self._windows: Dict[str, Tuple[RollingWindow, RollingWindow]] = {
+            slo.name: (
+                RollingWindow(slo.fast_window, num_buckets),
+                RollingWindow(slo.slow_window, num_buckets),
+            )
+            for slo in slos
+        }
+
+    def observe(self, name: str, good: bool, now: float,
+                value: float = 0.0) -> None:
+        fast, slow = self._windows[name]
+        fast.observe(now, good, value)
+        slow.observe(now, good, value)
+
+    def window(self, name: str, fast: bool = True) -> RollingWindow:
+        pair = self._windows[name]
+        return pair[0] if fast else pair[1]
+
+    def evaluate(self, now: float) -> List[SloStatus]:
+        """Burn-rate check for every SLO; fires/resolves alerts."""
+        statuses: List[SloStatus] = []
+        for name, slo in self.slos.items():
+            fast, slow = self._windows[name]
+            fast_total, fast_bad = fast.totals(now)
+            slow_total, slow_bad = slow.totals(now)
+            fast_fraction = fast_bad / fast_total if fast_total else 0.0
+            slow_fraction = slow_bad / slow_total if slow_total else 0.0
+            burn_fast = fast_fraction / slo.error_budget
+            burn_slow = slow_fraction / slo.error_budget
+            violated = (
+                fast_total >= slo.min_events
+                and burn_fast >= slo.burn_threshold
+                and burn_slow >= slo.burn_threshold
+            )
+            key = f"slo/{name}"
+            if violated:
+                self.alerts.fire(
+                    key, "slo_burn", slo.severity,
+                    f"SLO {name} burning at {burn_fast:.1f}x budget "
+                    f"(fast) / {burn_slow:.1f}x (slow); "
+                    f"good fraction {1.0 - slow_fraction:.3f} "
+                    f"vs objective {slo.objective}",
+                    now=now,
+                )
+            elif self.alerts.is_active(key):
+                self.alerts.resolve(key, now=now)
+            statuses.append(SloStatus(
+                slo=slo,
+                good_fraction=1.0 - slow_fraction,
+                burn_fast=burn_fast,
+                burn_slow=burn_slow,
+                events_fast=fast_total,
+                events_slow=slow_total,
+                violated=violated,
+            ))
+        return statuses
+
+
+@dataclass(frozen=True)
+class ServingSloConfig:
+    """Thresholds for the default serving SLOs (simulated units)."""
+
+    latency_threshold_seconds: float = 0.050
+    latency_objective: float = 0.95
+    cache_hit_objective: float = 0.50
+    paging_fraction: float = 0.25   # batch is paging-bound above this share
+    paging_objective: float = 0.99
+    fast_window: float = 300.0
+    slow_window: float = 3600.0
+    burn_threshold: float = 4.0
+    min_events: int = 16
+
+
+def default_serving_slos(config: ServingSloConfig) -> List[Slo]:
+    """The three objectives every vault deployment starts with."""
+    common = dict(
+        fast_window=config.fast_window,
+        slow_window=config.slow_window,
+        burn_threshold=config.burn_threshold,
+        min_events=config.min_events,
+    )
+    return [
+        Slo(
+            name="warm_latency",
+            description=(
+                f"batches under {1e3 * config.latency_threshold_seconds:g} ms "
+                f"simulated end-to-end"
+            ),
+            objective=config.latency_objective,
+            **common,
+        ),
+        Slo(
+            name="cache_hit_rate",
+            description="backbone-embedding cache hit floor",
+            objective=config.cache_hit_objective,
+            **common,
+        ),
+        Slo(
+            name="paging_ratio",
+            description=(
+                f"batches spending < {100 * config.paging_fraction:g}% of "
+                f"their time in EPC paging"
+            ),
+            objective=config.paging_objective,
+            **common,
+        ),
+    ]
+
+
+@dataclass
+class HealthReport:
+    """The machine-readable verdict behind ``repro health``."""
+
+    now: float
+    statuses: List[SloStatus]
+    active_alerts: List[Alert]
+    resolved_alerts: List[Alert]
+    anomaly_trips: int
+    batches_observed: int
+
+    @property
+    def slo_violations(self) -> List[SloStatus]:
+        return [s for s in self.statuses if s.violated]
+
+    @property
+    def security_alerts(self) -> List[Alert]:
+        return [a for a in self.active_alerts if a.kind == "security"]
+
+    @property
+    def healthy(self) -> bool:
+        return not self.slo_violations and not any(
+            a.severity == "critical" for a in self.active_alerts
+        )
+
+    @property
+    def exit_code(self) -> int:
+        """0 healthy, 1 SLO violated or critical alert, 2 no data."""
+        if self.batches_observed == 0:
+            return 2
+        return 0 if self.healthy else 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "now": self.now,
+            "healthy": self.healthy,
+            "exit_code": self.exit_code,
+            "batches_observed": self.batches_observed,
+            "anomaly_trips": self.anomaly_trips,
+            "slos": [s.to_dict() for s in self.statuses],
+            "active_alerts": [a.to_dict() for a in self.active_alerts],
+            "resolved_alerts": [a.to_dict() for a in self.resolved_alerts],
+        }
+
+
+# indices into HealthMonitor._acc (see its __init__)
+_ACC_LAT_TOTAL, _ACC_LAT_BAD, _ACC_LAT_SUM = 0, 1, 2
+_ACC_PAG_TOTAL, _ACC_PAG_BAD, _ACC_PAG_SUM = 3, 4, 5
+_ACC_CACHE_TOTAL, _ACC_CACHE_BAD = 6, 7
+
+
+class HealthMonitor:
+    """Drive the SLO engine + anomaly detector from the serving path.
+
+    One per deployment; :class:`~repro.deploy.server.VaultServer` calls
+    :meth:`observe_batch` / :meth:`observe_cache` on the hot path. Each
+    call is a handful of float adds into flat accumulators; the rolling
+    windows are updated in bulk and the engine's burn-rate evaluation
+    runs every ``eval_interval`` batches, so the health layer's per-query
+    cost stays a small fraction of the serving path.
+
+    Time is **simulated**: the clock advances by each batch's simulated
+    ``total_seconds``, matching the units the SLO windows are declared in.
+    """
+
+    __slots__ = (
+        "config", "alerts", "engine", "anomaly", "eval_interval", "now",
+        "batches_observed", "_since_eval", "_last_statuses", "_has_latency",
+        "_has_cache", "_has_paging", "_lat_threshold", "_pag_fraction",
+        "_anomaly_observe", "_acc", "_cache_probe", "_cache_probe_seen",
+    )
+
+    def __init__(
+        self,
+        telemetry=None,
+        config: Optional[ServingSloConfig] = None,
+        slos: Optional[Sequence[Slo]] = None,
+        eval_interval: int = 64,
+        anomaly: Optional[EwmaDetector] = None,
+    ) -> None:
+        self.config = config or ServingSloConfig()
+        audit = telemetry.audit if telemetry is not None else None
+        self.alerts = AlertManager(audit=audit)
+        self.engine = SloEngine(
+            list(slos) if slos is not None else default_serving_slos(self.config),
+            self.alerts,
+        )
+        self.anomaly = anomaly or EwmaDetector()
+        self.eval_interval = max(1, int(eval_interval))
+        self.now = 0.0
+        self.batches_observed = 0
+        self._since_eval = 0
+        self._last_statuses: List[SloStatus] = []
+        # resolved handles for the hot path
+        self._has_latency = "warm_latency" in self.engine.slos
+        self._has_cache = "cache_hit_rate" in self.engine.slos
+        self._has_paging = "paging_ratio" in self.engine.slos
+        self._lat_threshold = self.config.latency_threshold_seconds
+        self._pag_fraction = self.config.paging_fraction
+        self._anomaly_observe = self.anomaly.observe
+        # Hot-path accumulators: per-batch observations are a handful of
+        # float adds here and land in the rolling windows in one
+        # ``observe_bulk`` per SLO at each evaluation (every
+        # ``eval_interval`` batches, milliseconds of simulated time —
+        # inside one window bucket, so the aggregate is exact). One flat
+        # list, indexed by the ``_ACC_*`` constants, keeps the per-batch
+        # work to C-level list ops instead of instance-dict writes.
+        self._acc = [0.0] * 8
+        self._cache_probe = None
+        self._cache_probe_seen = (0.0, 0.0)
+
+    # ------------------------------------------------------------------
+    # Hot-path observations (called by VaultServer)
+    # ------------------------------------------------------------------
+    def observe_batch(self, num_queries: int, profile) -> None:
+        """Account one served batch; advances the simulated clock."""
+        total = profile.total_seconds
+        self.now += total
+        acc = self._acc
+        acc[_ACC_LAT_TOTAL] += 1.0
+        if total > self._lat_threshold:
+            acc[_ACC_LAT_BAD] += 1.0
+        acc[_ACC_LAT_SUM] += total
+        paging = profile.paging_seconds
+        acc[_ACC_PAG_TOTAL] += 1.0
+        if paging > total * self._pag_fraction:
+            acc[_ACC_PAG_BAD] += 1.0
+        acc[_ACC_PAG_SUM] += paging
+        if self._anomaly_observe(total):
+            self.alerts.fire(
+                "anomaly/latency", "anomaly", "warning",
+                f"batch latency {1e3 * total:.3f} ms is a sustained "
+                f"outlier (EWMA mean {1e3 * self.anomaly.mean:.3f} ms)",
+                now=self.now,
+            )
+        self.batches_observed += 1
+        self._since_eval += 1
+        if self._since_eval >= self.eval_interval:
+            self.evaluate()
+
+    def observe_cache(self, hit: bool) -> None:
+        acc = self._acc
+        acc[_ACC_CACHE_TOTAL] += 1.0
+        if not hit:
+            acc[_ACC_CACHE_BAD] += 1.0
+
+    def attach_cache_probe(self, probe) -> None:
+        """Feed the cache SLO from cumulative counters instead of calls.
+
+        ``probe()`` must return cumulative ``(hits, misses)``. The monitor
+        reads it at each flush and accounts the delta, so a caller that
+        already counts cache events (:class:`ServerStats`) pays nothing
+        per query for the cache-hit SLO.
+        """
+        self._cache_probe = probe
+        self._cache_probe_seen = tuple(float(x) for x in probe())
+
+    def _flush(self) -> None:
+        """Land the accumulated observations in the rolling windows."""
+        engine = self.engine
+        now = self.now
+        acc = self._acc
+        if self._cache_probe is not None:
+            hits, misses = self._cache_probe()
+            seen_hits, seen_misses = self._cache_probe_seen
+            self._cache_probe_seen = (float(hits), float(misses))
+            acc[_ACC_CACHE_TOTAL] += (hits - seen_hits) + (misses - seen_misses)
+            acc[_ACC_CACHE_BAD] += misses - seen_misses
+        if acc[_ACC_LAT_TOTAL] and self._has_latency:
+            fast, slow = engine._windows["warm_latency"]
+            fast.observe_bulk(now, acc[_ACC_LAT_TOTAL], acc[_ACC_LAT_BAD],
+                              acc[_ACC_LAT_SUM])
+            slow.observe_bulk(now, acc[_ACC_LAT_TOTAL], acc[_ACC_LAT_BAD],
+                              acc[_ACC_LAT_SUM])
+        if acc[_ACC_PAG_TOTAL] and self._has_paging:
+            fast, slow = engine._windows["paging_ratio"]
+            fast.observe_bulk(now, acc[_ACC_PAG_TOTAL], acc[_ACC_PAG_BAD],
+                              acc[_ACC_PAG_SUM])
+            slow.observe_bulk(now, acc[_ACC_PAG_TOTAL], acc[_ACC_PAG_BAD],
+                              acc[_ACC_PAG_SUM])
+        if acc[_ACC_CACHE_TOTAL] and self._has_cache:
+            fast, slow = engine._windows["cache_hit_rate"]
+            fast.observe_bulk(now, acc[_ACC_CACHE_TOTAL], acc[_ACC_CACHE_BAD])
+            slow.observe_bulk(now, acc[_ACC_CACHE_TOTAL], acc[_ACC_CACHE_BAD])
+        self._acc = [0.0] * 8
+
+    # ------------------------------------------------------------------
+    # Evaluation / reporting
+    # ------------------------------------------------------------------
+    def evaluate(self) -> List[SloStatus]:
+        self._flush()
+        self._since_eval = 0
+        self._last_statuses = self.engine.evaluate(self.now)
+        return self._last_statuses
+
+    def report(self) -> HealthReport:
+        statuses = self.evaluate()
+        return HealthReport(
+            now=self.now,
+            statuses=statuses,
+            active_alerts=self.alerts.active(),
+            resolved_alerts=self.alerts.history(),
+            anomaly_trips=self.anomaly.trips,
+            batches_observed=self.batches_observed,
+        )
+
+    def latency_series(self) -> List[Tuple[float, float, float]]:
+        """Fast-window latency ring for dashboards (empty if no SLO)."""
+        if not self._has_latency:
+            return []
+        self._flush()
+        return self.engine.window("warm_latency").series()
+
+
+def render_health_report(report: HealthReport) -> str:
+    """Plain-text rendering of a :class:`HealthReport` (CLI output)."""
+    lines = []
+    if report.batches_observed == 0:
+        verdict = "NO DATA"
+    else:
+        verdict = "HEALTHY" if report.healthy else "UNHEALTHY"
+    lines.append(
+        f"health: {verdict} after {report.batches_observed} batches "
+        f"({report.now:.6g} simulated seconds)"
+    )
+    lines.append(
+        f"{'slo':<16} {'objective':>9} {'good':>7} {'burn fast':>9} "
+        f"{'burn slow':>9} {'status':>8}"
+    )
+    for status in report.statuses:
+        lines.append(
+            f"{status.slo.name:<16} {status.slo.objective:>9.3f} "
+            f"{status.good_fraction:>7.3f} {status.burn_fast:>9.2f} "
+            f"{status.burn_slow:>9.2f} "
+            f"{'VIOLATED' if status.violated else 'ok':>8}"
+        )
+    if report.active_alerts:
+        lines.append("active alerts:")
+        for alert in report.active_alerts:
+            lines.append(
+                f"  [{alert.severity}] {alert.kind} {alert.key}: "
+                f"{alert.message} (x{alert.count})"
+            )
+    else:
+        lines.append("active alerts: none")
+    if report.anomaly_trips:
+        lines.append(f"latency anomaly episodes: {report.anomaly_trips}")
+    return "\n".join(lines)

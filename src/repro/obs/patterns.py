@@ -1,0 +1,277 @@
+"""Runtime detection of link-stealing-shaped query workloads.
+
+The paper's security evaluation replays link-stealing attacks (He et al.,
+"Stealing Links from Graph Neural Networks") *offline*; this module turns
+that evaluation into a runtime detector. The untrusted host can watch every
+query that arrives (threat_model.md — the host sees the full request
+stream), so the serving layer is exactly the right place to notice when a
+client's workload has the *shape* of an attack, even though label-only
+outputs already blunt the attack itself.
+
+Three detectors, one per attack shape, all computed per client over a
+bounded sliding window of recent query node ids:
+
+``pair_probing``
+    Repeated probing of the same node pair. LSA-style attackers query a
+    candidate pair ``(u, v)`` back-to-back — often many times, to average
+    out noise — and compare the outputs. Raw adjacency counts cannot
+    carry this alone: Zipf traffic makes its two hottest nodes adjacent
+    constantly by chance. The detector therefore fires on the *lift* of
+    the most-repeated adjacent unordered pair — observed repeats divided
+    by the count expected if the client's own node frequencies were drawn
+    independently — which hovers near 1.0 for organic traffic and is
+    ≥ 2x for any deliberate alternation.
+
+``fanout_sweep``
+    High-fan-out neighbourhood sweep. An attacker building a posterior
+    matrix for all-pairs inference touches a large fraction of the node
+    space with near-uniform frequency — the opposite of organic traffic,
+    which is Zipf-skewed toward hot nodes. Fires on high node coverage
+    *and* high normalised query entropy.
+
+``entropy_collapse``
+    Per-client query-entropy collapse: a client hammering a tiny target
+    set (normalised entropy below a floor *and* only a handful of
+    distinct nodes) long after warm-up. The distinct-node cap keeps
+    heavily skewed — but broad — organic Zipf traffic out: low entropy
+    alone is not suspicious, low entropy over half a dozen nodes is.
+
+Evaluation is amortised: the window is rescanned only every
+``eval_interval`` queries per client, so the serving hot path pays O(1)
+per query. Detections are surfaced as ``security``-kind alerts through
+the shared :class:`~repro.obs.health.AlertManager`, which mirrors them
+into the audit log; alert messages carry client ids and aggregate scores
+only — never node ids.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, deque
+from typing import Any, Deque, Dict, Iterable, List, Optional
+
+from .health import AlertManager
+
+#: detector names, also used in alert keys (``pattern/<detector>/<client>``).
+DETECTORS = ("pair_probing", "fanout_sweep", "entropy_collapse")
+
+
+class _ClientWindow:
+    """Bounded per-client history of recently queried node ids."""
+
+    __slots__ = ("nodes", "total", "since_eval", "flags")
+
+    def __init__(self, window: int) -> None:
+        self.nodes: Deque[int] = deque(maxlen=window)
+        self.total = 0
+        self.since_eval = 0
+        self.flags: Dict[str, bool] = {}
+
+
+def normalised_entropy(counts: Iterable[int], num_nodes: int) -> float:
+    """Shannon entropy of a query distribution, normalised to [0, 1].
+
+    Normalisation is against ``log(num_nodes)`` — the entropy of a uniform
+    sweep over the whole graph — so the value is comparable across graph
+    sizes: ~1.0 means "touches everything evenly", ~0.0 means "hammers one
+    node".
+    """
+    if num_nodes <= 1:
+        return 0.0
+    total = 0
+    acc = 0.0
+    for count in counts:
+        total += count
+        acc += count * math.log(count)
+    if total == 0:
+        return 0.0
+    entropy = math.log(total) - acc / total
+    return entropy / math.log(num_nodes)
+
+
+class QueryPatternMonitor:
+    """Flag link-stealing-shaped per-client workloads as security alerts.
+
+    Parameters are deliberately conservative: every detector requires
+    ``min_queries`` observations before it may fire, so cold clients and
+    short bursts cannot trip it, and each detector's threshold sits well
+    outside the envelope of Zipf-shaped organic traffic.
+    """
+
+    __slots__ = (
+        "num_nodes", "alerts", "window", "eval_interval", "min_queries",
+        "pair_repeat_threshold", "pair_lift_threshold", "sweep_coverage",
+        "sweep_entropy", "collapse_entropy", "collapse_max_nodes",
+        "max_clients", "_clients", "evaluations",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        alerts: AlertManager,
+        window: int = 512,
+        eval_interval: int = 128,
+        min_queries: int = 64,
+        pair_repeat_threshold: int = 12,
+        pair_lift_threshold: float = 2.0,
+        sweep_coverage: float = 0.5,
+        sweep_entropy: float = 0.85,
+        collapse_entropy: float = 0.35,
+        collapse_max_nodes: int = 8,
+        max_clients: int = 1024,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.num_nodes = int(num_nodes)
+        self.alerts = alerts
+        self.window = int(window)
+        self.eval_interval = max(1, int(eval_interval))
+        self.min_queries = int(min_queries)
+        self.pair_repeat_threshold = int(pair_repeat_threshold)
+        self.pair_lift_threshold = float(pair_lift_threshold)
+        self.sweep_coverage = float(sweep_coverage)
+        self.sweep_entropy = float(sweep_entropy)
+        self.collapse_entropy = float(collapse_entropy)
+        self.collapse_max_nodes = int(collapse_max_nodes)
+        self.max_clients = int(max_clients)
+        self._clients: Dict[str, _ClientWindow] = {}
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+    def observe(self, client: str, nodes: Iterable[int],
+                now: float = 0.0) -> None:
+        """Account a batch of queried node ids for one client."""
+        state = self._clients.get(client)
+        if state is None:
+            if len(self._clients) >= self.max_clients:
+                # Bounded client table: evict the quietest client so a
+                # client-id churn flood cannot exhaust memory.
+                quietest = min(self._clients, key=lambda c: self._clients[c].total)
+                self._clients.pop(quietest)
+            state = _ClientWindow(self.window)
+            self._clients[client] = state
+        if type(nodes) is not list:
+            nodes = [int(n) for n in nodes]
+        state.nodes.extend(nodes)
+        count = len(nodes)
+        state.total += count
+        state.since_eval += count
+        if state.since_eval >= self.eval_interval:
+            self.evaluate(client, now=now)
+
+    def grow_graph(self, num_nodes: int) -> None:
+        """Track graph growth so coverage/entropy stay correctly scaled."""
+        self.num_nodes = max(self.num_nodes, int(num_nodes))
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def client_stats(self, client: str) -> Dict[str, Any]:
+        """Detector scores for one client's current window."""
+        state = self._clients.get(client)
+        if state is None or not state.nodes:
+            return {
+                "queries": 0, "distinct_nodes": 0, "coverage": 0.0,
+                "entropy": 0.0, "top_pair_repeats": 0, "top_pair_lift": 0.0,
+            }
+        nodes = list(state.nodes)
+        node_counts = Counter(nodes)
+        # Counter consumes the generator in C, and unordered pairs are
+        # packed into single ints (u * stride + v) instead of tuples, which
+        # keeps the rescan an order of magnitude under the serving cost it
+        # is auditing.
+        stride = self.num_nodes
+        pair_counts = Counter(
+            left * stride + right if left < right else right * stride + left
+            for left, right in zip(nodes, nodes[1:])
+            if left != right
+        )
+        top_pair = 0
+        top_lift = 0.0
+        if pair_counts:
+            key, top_pair = pair_counts.most_common(1)[0]
+            u, v = divmod(key, stride)
+            # Expected adjacency count for (u, v) if this client's own node
+            # frequencies were drawn independently: (n-1) bigram slots, two
+            # orderings. Organic traffic sits at lift ~1 by construction.
+            n = len(nodes)
+            expected = (n - 1) * 2.0 * (node_counts[u] / n) * (node_counts[v] / n)
+            top_lift = top_pair / expected if expected > 0 else float("inf")
+        return {
+            "queries": len(nodes),
+            "distinct_nodes": len(node_counts),
+            "coverage": len(node_counts) / self.num_nodes,
+            "entropy": normalised_entropy(node_counts.values(), self.num_nodes),
+            "top_pair_repeats": top_pair,
+            "top_pair_lift": top_lift,
+        }
+
+    def evaluate(self, client: str, now: float = 0.0) -> Dict[str, bool]:
+        """Run all detectors for one client; fire/resolve security alerts."""
+        state = self._clients.get(client)
+        if state is None:
+            return {name: False for name in DETECTORS}
+        state.since_eval = 0
+        self.evaluations += 1
+        stats = self.client_stats(client)
+        warmed = stats["queries"] >= self.min_queries
+        flags = {
+            "pair_probing": (
+                warmed
+                and stats["top_pair_repeats"] >= self.pair_repeat_threshold
+                and stats["top_pair_lift"] >= self.pair_lift_threshold
+            ),
+            "fanout_sweep": (
+                warmed
+                and stats["coverage"] >= self.sweep_coverage
+                and stats["entropy"] >= self.sweep_entropy
+            ),
+            "entropy_collapse": (
+                warmed
+                and stats["entropy"] <= self.collapse_entropy
+                and stats["distinct_nodes"] <= self.collapse_max_nodes
+            ),
+        }
+        for name, flagged in flags.items():
+            key = f"pattern/{name}/{client}"
+            if flagged:
+                self.alerts.fire(
+                    key, "security", "critical",
+                    f"client {client}: {name} signature over last "
+                    f"{stats['queries']} queries (coverage "
+                    f"{stats['coverage']:.2f}, entropy {stats['entropy']:.2f}, "
+                    f"top pair repeats {stats['top_pair_repeats']})",
+                    now=now,
+                )
+            elif self.alerts.is_active(key):
+                self.alerts.resolve(key, now=now)
+        state.flags = flags
+        return flags
+
+    def evaluate_all(self, now: float = 0.0) -> Dict[str, Dict[str, bool]]:
+        return {client: self.evaluate(client, now=now)
+                for client in list(self._clients)}
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def clients(self) -> List[str]:
+        return list(self._clients)
+
+    def flagged_clients(self) -> Dict[str, List[str]]:
+        """``{client: [detector, ...]}`` for clients with live flags."""
+        out: Dict[str, List[str]] = {}
+        for client, state in self._clients.items():
+            fired = [name for name, flag in state.flags.items() if flag]
+            if fired:
+                out[client] = fired
+        return out
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "clients": len(self._clients),
+            "evaluations": self.evaluations,
+            "flagged": self.flagged_clients(),
+        }

@@ -31,6 +31,7 @@ import re
 from typing import Any, Dict, Optional, Tuple, Union
 
 from ..errors import SecurityViolation
+from .audit import ENCLAVE_AUDIT_KINDS
 from .metrics import SIZE_BUCKETS_BYTES, Counter, Gauge, Histogram, _label_key
 from .tracing import NULL_SPAN, NullSpan, Span
 
@@ -59,6 +60,10 @@ METRIC_SUFFIXES = ("_total", "_seconds", "_bytes", "_pages", "_count")
 _LABEL_VALUE_RE = re.compile(r"^[a-z][a-z_]*$")
 
 ENCLAVE_METRIC_PREFIX = "enclave_"
+
+#: audit-event field keys that may carry enum-like string values
+#: (``result="ok"``); everything else must be an aggregate scalar.
+AUDIT_ENUM_KEYS = frozenset({"result", "stage", "scheme"})
 
 
 class TelemetryLeak(SecurityViolation):
@@ -160,6 +165,7 @@ class EnclaveTelemetryGate:
     def __init__(self, telemetry) -> None:
         self._tracer = telemetry.tracer
         self._registry = telemetry.registry
+        self._audit = getattr(telemetry, "audit", None)
         # name → validated metric object; validation runs once per name.
         self._validated: Dict[str, Union[Counter, Gauge, Histogram]] = {}
         # label sets that already passed _check_labels (approved only).
@@ -374,3 +380,38 @@ class EnclaveTelemetryGate:
     def gauge_max(self, name: str, value: float, help: str = "") -> None:
         check_scalar(name, value)
         self._metric(Gauge, name, help=help).set_max(float(value))
+
+    # -- audit events ---------------------------------------------------
+    def audit(self, kind: str, time: float = 0.0,
+              **fields: Any) -> Optional[int]:
+        """Append an enclave-originated audit event, redacted by schema.
+
+        This is the *only* door through which ``origin="enclave"`` events
+        reach the :class:`~repro.obs.audit.AuditLog` (its own ``append``
+        refuses them): the kind must belong to the closed
+        ``ENCLAVE_AUDIT_KINDS`` vocabulary, every field key passes the
+        same aggregate-key check enclave span attributes do, and values
+        are scalar aggregates — except enum-like words under the small
+        ``AUDIT_ENUM_KEYS`` set (``result="ok"``). Node ids, edge lists,
+        measurements, and free-form strings raise :class:`TelemetryLeak`.
+        """
+        if self._audit is None:
+            return None
+        if kind not in ENCLAVE_AUDIT_KINDS:
+            raise TelemetryLeak(
+                f"audit kind {kind!r} may not originate inside the enclave; "
+                f"allowed: {sorted(ENCLAVE_AUDIT_KINDS)}"
+            )
+        validated = []
+        for key, value in fields.items():
+            check_aggregate_key(key, allowed=AUDIT_ENUM_KEYS)
+            if isinstance(value, str):
+                if key not in AUDIT_ENUM_KEYS or not _LABEL_VALUE_RE.match(value):
+                    raise TelemetryLeak(
+                        f"enclave audit field {key}={value!r} is not an "
+                        f"enum-like word (payloads are redacted)"
+                    )
+            else:
+                check_scalar(key, value)
+            validated.append((key, value))
+        return self._audit._append_enclave(kind, float(time), tuple(validated))

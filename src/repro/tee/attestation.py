@@ -35,16 +35,38 @@ def generate_quote(measurement: str, user_data: str = "") -> Quote:
     return Quote(measurement, user_data, signature)
 
 
-def verify_quote(quote: Quote, expected_measurement: str, expected_user_data: str = "") -> None:
-    """Verify a quote (vendor side); raises :class:`AttestationError` on failure."""
+def verify_quote(
+    quote: Quote,
+    expected_measurement: str,
+    expected_user_data: str = "",
+    audit=None,
+) -> None:
+    """Verify a quote (vendor side); raises :class:`AttestationError` on failure.
+
+    When an :class:`~repro.obs.audit.AuditLog` is passed, the verification
+    outcome is recorded as an ``attestation`` event — including failures,
+    which are exactly what an operator reviewing a compromise needs to see.
+    """
     body = json.dumps({"m": quote.measurement, "u": quote.user_data}, sort_keys=True)
     expected_sig = hmac.new(_DEVICE_ATTESTATION_KEY, body.encode(), hashlib.sha256).digest()
+    failure = None
     if not hmac.compare_digest(expected_sig, quote.signature):
+        failure = "invalid_signature"
+    elif quote.measurement != expected_measurement:
+        failure = "measurement_mismatch"
+    elif quote.user_data != expected_user_data:
+        failure = "challenge_mismatch"
+    if audit is not None:
+        audit.append(
+            "attestation", verified=failure is None,
+            result=failure or "ok",
+        )
+    if failure == "invalid_signature":
         raise AttestationError("quote signature is invalid")
-    if quote.measurement != expected_measurement:
+    if failure == "measurement_mismatch":
         raise AttestationError(
             f"enclave measurement mismatch: quote says {quote.measurement!r}, "
             f"expected {expected_measurement!r}"
         )
-    if quote.user_data != expected_user_data:
+    if failure == "challenge_mismatch":
         raise AttestationError("quote user data does not match the challenge")

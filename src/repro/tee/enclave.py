@@ -144,6 +144,8 @@ class RectifierEnclave:
     # ------------------------------------------------------------------
     def attest(self, challenge: str = "") -> Quote:
         """Produce an attestation quote for the vendor to verify."""
+        if self._telemetry is not None:
+            self._telemetry.audit("attestation", result="ok")
         return generate_quote(self.measurement, challenge)
 
     def provision_weights(self, blob: SealedBlob) -> None:
@@ -151,6 +153,8 @@ class RectifierEnclave:
         state = unseal(blob, self.measurement)
         self._rectifier.load_state_dict(state)
         self._provisioned_weights = True
+        if self._telemetry is not None:
+            self._telemetry.audit("provision", stage="weights", result="ok")
 
     def provision_graph(self, blob: SealedBlob) -> None:
         """Unseal and install the private adjacency (COO + degree cache)."""
@@ -165,6 +169,8 @@ class RectifierEnclave:
         self._adjacency = adjacency
         self._adj_norm = gcn_normalize(adjacency)
         self.memory.allocate("graph/adjacency", adjacency.memory_bytes())
+        if self._telemetry is not None:
+            self._telemetry.audit("provision", stage="private", result="ok")
 
     def provision_graph_update(self, blob: SealedBlob) -> None:
         """Unseal and apply a private-graph delta (new node + edges).
@@ -187,6 +193,8 @@ class RectifierEnclave:
         self._adjacency = extended
         self._adj_norm = gcn_normalize(extended)
         self.memory.allocate("graph/adjacency", extended.memory_bytes())
+        if self._telemetry is not None:
+            self._telemetry.audit("graph_update", result="ok")
 
     @property
     def ready(self) -> bool:
@@ -218,6 +226,10 @@ class RectifierEnclave:
         internally inconsistent (hits against plans that no longer
         exist). Lifetime totals live in the metrics registry instead.
         """
+        if self._plan_cache and self._telemetry is not None:
+            self._telemetry.audit(
+                "cache_invalidation", invalidated_entries=len(self._plan_cache)
+            )
         for plan in self._plan_cache.values():
             self.memory.free(f"plancache/{plan.slot}")
         self._plan_cache.clear()

@@ -139,3 +139,73 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "node 0:" in out and "node 5:" in out
+
+
+class TestObservabilityCommands:
+    WORKLOAD = ["--epochs", "5", "--patience", "5", "--queries", "40"]
+
+    def test_metrics_jsonl_format(self, tmp_path, capsys):
+        target = tmp_path / "metrics.jsonl"
+        code = main(
+            ["metrics", *self.WORKLOAD, "--format", "jsonl",
+             "--output", str(target)]
+        )
+        assert code == 0
+        from repro.obs import parse_metrics_jsonl
+
+        rebuilt = parse_metrics_jsonl(target.read_text())
+        assert rebuilt.get("vault_queries_total").value() == 40
+        assert "metrics (jsonl) written" in capsys.readouterr().out
+
+    def test_trace_prom_format(self, capsys):
+        code = main(["trace", *self.WORKLOAD, "--format", "prom"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE trace_spans_total counter" in out
+        assert 'trace_spans_total{span="query"} 40' in out
+
+    def test_format_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics", "--format", "xml"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--format", "xml"])
+
+    def test_health_healthy_exits_zero(self, capsys):
+        code = main(["health", *self.WORKLOAD])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HEALTHY" in out
+        assert "warm_latency" in out and "paging_ratio" in out
+
+    def test_health_probe_exits_one_with_security_alert(self, tmp_path, capsys):
+        audit_path = tmp_path / "audit.jsonl"
+        code = main(
+            ["health", *self.WORKLOAD, "--probe",
+             "--audit-output", str(audit_path)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "UNHEALTHY" in out
+        assert "pair_probing" in out
+        from repro.obs import parse_audit_jsonl
+
+        events = parse_audit_jsonl(audit_path.read_text())
+        assert any(e.kind == "security_alert" for e in events)
+        assert any(e.origin == "enclave" for e in events)
+
+    def test_health_no_data_exits_two(self, capsys):
+        code = main(["health", "--epochs", "5", "--patience", "5",
+                     "--queries", "0"])
+        assert code == 2
+        assert "NO DATA" in capsys.readouterr().out
+
+    def test_dashboard_writes_self_contained_html(self, tmp_path, capsys):
+        target = tmp_path / "dash.html"
+        code = main(["dashboard", *self.WORKLOAD, "--output", str(target)])
+        assert code == 0
+        html = target.read_text()
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        for marker in ("http://", "https://", "<script src", "<link"):
+            assert marker not in html
+        assert f"written to {target}" in capsys.readouterr().out

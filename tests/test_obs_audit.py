@@ -1,0 +1,124 @@
+"""Audit log: append-only stream, origin rules, JSONL round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SecurityViolation
+from repro.obs import AuditLog, Telemetry, parse_audit_jsonl
+from repro.obs.audit import ENCLAVE_AUDIT_KINDS, UNTRUSTED_AUDIT_KINDS
+
+
+class TestAppend:
+    def test_sequence_numbers_are_monotonic(self):
+        log = AuditLog()
+        seqs = [log.append("query_served", time=float(i)) for i in range(5)]
+        assert seqs == [0, 1, 2, 3, 4]
+        assert [event.seq for event in log] == seqs
+
+    def test_fields_are_preserved(self):
+        log = AuditLog()
+        log.append("model_update", time=1.5, stage="backbone", accuracy=0.8)
+        event = log.events(kind="model_update")[0]
+        assert event["stage"] == "backbone"
+        assert event["accuracy"] == 0.8
+        assert event.get("missing", "d") == "d"
+        with pytest.raises(KeyError):
+            event["missing"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown audit event kind"):
+            AuditLog().append("made_up_kind")
+
+    def test_enclave_kind_rejected_at_the_public_door(self):
+        with pytest.raises(SecurityViolation, match="EnclaveTelemetryGate"):
+            AuditLog().append("provision")
+
+    def test_reserved_field_keys_rejected(self):
+        log = AuditLog()
+        # "kind"/"time" bind to append()'s own parameters; "seq"/"origin"
+        # would silently shadow the envelope, so they must be refused.
+        for key in ("seq", "origin"):
+            with pytest.raises(ValueError, match="envelope"):
+                log.append("query_served", **{key: 1})
+
+    def test_non_scalar_fields_rejected(self):
+        with pytest.raises(ValueError, match="JSON scalar"):
+            AuditLog().append("query_served", payload=[1, 2, 3])
+
+    def test_untrusted_and_enclave_vocabularies_overlap_sanely(self):
+        # attestation / graph_update / cache_invalidation legitimately have
+        # both a host-side and an enclave-side view.
+        assert "provision" not in UNTRUSTED_AUDIT_KINDS
+        assert "query_served" not in ENCLAVE_AUDIT_KINDS
+
+
+class TestBounding:
+    def test_capacity_drops_oldest(self):
+        log = AuditLog(capacity=3)
+        for i in range(5):
+            log.append("query_served", batch_count=i)
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert log.total_appended == 5
+        assert [event["batch_count"] for event in log] == [2, 3, 4]
+        # sequence numbers keep counting across drops
+        assert [event.seq for event in log] == [2, 3, 4]
+
+    def test_tail(self):
+        log = AuditLog()
+        for i in range(10):
+            log.append("query_served", batch_count=i)
+        assert [e["batch_count"] for e in log.tail(3)] == [7, 8, 9]
+        assert log.tail(0) == []
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            AuditLog(capacity=0)
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        log = AuditLog()
+        log.append("query_served", time=0.25, client="default", batch_count=2)
+        log.append("alert_fired", time=1.0, alert_key="slo/x", severity="critical")
+        parsed = parse_audit_jsonl(log.to_jsonl())
+        assert [e.kind for e in parsed] == ["query_served", "alert_fired"]
+        assert parsed[0]["client"] == "default"
+        assert parsed[0].time == 0.25
+        assert parsed[1]["alert_key"] == "slo/x"
+
+    def test_each_line_is_valid_json_with_envelope(self):
+        log = AuditLog()
+        log.append("graph_update", version=3)
+        line = log.to_jsonl().strip()
+        raw = json.loads(line)
+        assert set(raw) >= {"seq", "time", "kind", "origin"}
+        assert raw["origin"] == "untrusted"
+
+    def test_write_creates_parents(self, tmp_path):
+        log = AuditLog()
+        log.append("query_served")
+        path = log.write(tmp_path / "deep" / "audit.jsonl")
+        assert path.exists()
+        assert parse_audit_jsonl(path.read_text())[0].kind == "query_served"
+
+    def test_parse_skips_blank_lines(self):
+        log = AuditLog()
+        log.append("query_served")
+        text = "\n" + log.to_jsonl() + "\n\n"
+        assert len(parse_audit_jsonl(text)) == 1
+
+
+class TestTelemetryIntegration:
+    def test_telemetry_hub_carries_a_live_audit_log(self):
+        telemetry = Telemetry()
+        telemetry.audit.append("query_served", batch_count=1)
+        assert "query_served" in telemetry.audit_jsonl()
+
+    def test_audit_log_stays_live_when_tracing_disabled(self):
+        telemetry = Telemetry(enabled=False)
+        telemetry.audit.append("security_alert", alert_key="k")
+        assert len(telemetry.audit) == 1

@@ -1,0 +1,132 @@
+"""Operator dashboard: self-contained HTML with inline SVG, no external assets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import HealthMonitor, QueryPatternMonitor, Telemetry
+from repro.obs.dashboard import (
+    histogram_svg,
+    render_dashboard,
+    sparkline_svg,
+    write_dashboard,
+)
+
+
+class _Profile:
+    def __init__(self, total_seconds: float, paging_seconds: float = 0.0):
+        self.total_seconds = total_seconds
+        self.paging_seconds = paging_seconds
+
+
+@pytest.fixture
+def populated():
+    """A telemetry hub + health monitor with a representative workload."""
+    telemetry = Telemetry()
+    registry = telemetry.registry
+    registry.counter("vault_queries_total", help="queries").inc(120)
+    cache = registry.counter("vault_embedding_cache_events_total", help="cache")
+    cache.inc(90, result="hit")
+    cache.inc(30, result="miss")
+    hist = registry.histogram("vault_query_batch_seconds", help="latency")
+    for value in (0.001, 0.002, 0.004, 0.008, 0.002):
+        hist.observe(value)
+    registry.gauge("vault_peak_enclave_memory_bytes", help="peak").set(2 << 20)
+    health = HealthMonitor(telemetry=telemetry)
+    for _ in range(64):
+        health.observe_batch(1, _Profile(0.002, paging_seconds=0.0001))
+        health.observe_cache(True)
+    monitor = QueryPatternMonitor(200, health.alerts)
+    telemetry.audit.append("query_served", time=0.1, client="c", batch_count=1)
+    return telemetry, health, monitor
+
+
+class TestSvgPrimitives:
+    def test_sparkline_is_valid_svg(self):
+        svg = sparkline_svg([1.0, 2.0, 3.0, 2.0])
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "polyline" in svg
+        assert 'stroke-width="2"' in svg  # 2px line spec
+
+    def test_sparkline_handles_flat_and_empty(self):
+        assert "polyline" in sparkline_svg([5.0, 5.0, 5.0])
+        assert 'class="empty"' in sparkline_svg([])
+
+    def test_histogram_trims_to_busy_range(self):
+        bounds = [0.001, 0.01, 0.1, 1.0, 10.0]
+        counts = [0, 5, 3, 0, 0, 0]
+        svg = histogram_svg(bounds, counts)
+        assert svg.count("<rect") >= 2
+        assert svg.startswith("<svg")
+
+    def test_histogram_handles_all_zero(self):
+        assert 'class="empty"' in histogram_svg([0.1, 1.0], [0, 0, 0])
+
+
+class TestRenderDashboard:
+    def test_contains_all_panels(self, populated):
+        telemetry, health, monitor = populated
+        html = render_dashboard(telemetry, health=health, monitor=monitor)
+        for panel in ("Latency", "Embedding cache", "Enclave paging",
+                      "SLO", "Alerts", "Query patterns", "Audit trail"):
+            assert panel in html, f"missing panel {panel}"
+
+    def test_is_self_contained(self, populated):
+        telemetry, health, monitor = populated
+        html = render_dashboard(telemetry, health=health, monitor=monitor)
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        # no external fetches of any kind
+        for marker in ("http://", "https://", "<script src", "<link"):
+            assert marker not in html, f"external reference: {marker}"
+        assert "<svg" in html and "<style>" in html
+
+    def test_dark_mode_palette_is_embedded(self, populated):
+        telemetry, health, monitor = populated
+        html = render_dashboard(telemetry, health=health, monitor=monitor)
+        assert "prefers-color-scheme: dark" in html
+
+    def test_status_never_color_alone(self, populated):
+        telemetry, health, monitor = populated
+        health.alerts.fire("slo/x", "slo_burn", "critical", "m", now=1.0)
+        html = render_dashboard(telemetry, health=health, monitor=monitor)
+        # status glyphs accompany the color-coded severity labels
+        assert "●" in html or "✕" in html or "▲" in html
+        assert "critical" in html
+
+    def test_renders_without_health_or_monitor(self):
+        telemetry = Telemetry()
+        telemetry.registry.counter("vault_queries_total", help="q").inc()
+        html = render_dashboard(telemetry)
+        assert "<!DOCTYPE html>" in html
+
+    def test_security_panel_lists_flagged_clients(self, populated):
+        telemetry, health, monitor = populated
+        for _ in range(40):
+            monitor.observe("prober", [3, 7])
+        monitor.evaluate("prober")
+        html = render_dashboard(telemetry, health=health, monitor=monitor)
+        assert "prober" in html
+        assert "pair_probing" in html
+
+    def test_audit_tail_is_rendered(self, populated):
+        telemetry, health, monitor = populated
+        html = render_dashboard(telemetry, health=health, monitor=monitor)
+        assert "query_served" in html
+
+    def test_html_escapes_hostile_strings(self, populated):
+        telemetry, health, monitor = populated
+        health.alerts.fire(
+            "slo/x", "slo_burn", "critical", "<script>alert(1)</script>", now=1.0
+        )
+        html = render_dashboard(telemetry, health=health, monitor=monitor)
+        assert "<script>alert(1)" not in html
+        assert "&lt;script&gt;" in html
+
+
+class TestWriteDashboard:
+    def test_writes_file_and_creates_parents(self, populated, tmp_path):
+        telemetry, health, monitor = populated
+        target = tmp_path / "deep" / "dash.html"
+        path = write_dashboard(target, telemetry, health=health, monitor=monitor)
+        assert path == target and path.exists()
+        assert "<!DOCTYPE html>" in path.read_text()

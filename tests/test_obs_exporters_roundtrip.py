@@ -1,0 +1,157 @@
+"""Exporter round-trips: Prometheus exposition and JSONL, escaping included."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    parse_metrics_jsonl,
+    parse_prometheus,
+    parse_prometheus_samples,
+    render_metrics_jsonl,
+    render_prometheus,
+    traces_to_registry,
+)
+from repro.obs.exporters import _escape_label_value, _unescape_label_value
+
+
+def populate() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("requests_total", help="requests").inc(7, route="query")
+    registry.counter("requests_total").inc(3, route="update")
+    registry.gauge("memory_bytes", help="rss").set(4096.0)
+    hist = registry.histogram(
+        "latency_seconds", help="latency", buckets=(0.01, 0.1, 1.0)
+    )
+    for value in (0.005, 0.05, 0.5, 5.0):
+        hist.observe(value, stage="serve")
+    return registry
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize("raw", [
+        'plain',
+        'with "quotes"',
+        'back\\slash',
+        'new\nline',
+        'mix "q" \\ and \n end',
+        '',
+    ])
+    def test_escape_unescape_round_trip(self, raw):
+        assert _unescape_label_value(_escape_label_value(raw)) == raw
+
+    def test_escaped_values_survive_the_exposition_format(self):
+        registry = MetricsRegistry()
+        hostile = 'evil "label"\nwith\\escapes'
+        registry.counter("c_total", help="h").inc(2, tag=hostile)
+        text = render_prometheus(registry)
+        # the raw newline must not split the sample line
+        sample_lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert len(sample_lines) == 1
+        samples = parse_prometheus_samples(text)
+        assert samples["c_total"][(("tag", hostile),)] == 2.0
+
+    def test_structured_parser_matches_raw_parser_values(self):
+        registry = populate()
+        text = render_prometheus(registry)
+        raw = parse_prometheus(text)
+        structured = parse_prometheus_samples(text)
+        for name, series in structured.items():
+            assert sorted(series.values()) == sorted(raw[name].values())
+
+    def test_structured_parser_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_samples('m{unterminated="x 1')
+        with pytest.raises(ValueError):
+            parse_prometheus_samples("lonely_name_no_value")
+
+
+class TestPrometheusRoundTrip:
+    def test_counter_and_gauge_values(self):
+        registry = populate()
+        samples = parse_prometheus_samples(render_prometheus(registry))
+        assert samples["requests_total"][(("route", "query"),)] == 7.0
+        assert samples["requests_total"][(("route", "update"),)] == 3.0
+        assert samples["memory_bytes"][()] == 4096.0
+
+    def test_histogram_buckets_are_cumulative_and_complete(self):
+        registry = populate()
+        samples = parse_prometheus_samples(render_prometheus(registry))
+        buckets = {
+            dict(key)["le"]: value
+            for key, value in samples["latency_seconds_bucket"].items()
+        }
+        assert buckets["0.01"] == 1.0
+        assert buckets["0.1"] == 2.0
+        assert buckets["1.0"] == 3.0
+        assert buckets["+Inf"] == 4.0
+        assert samples["latency_seconds_count"][(("stage", "serve"),)] == 4.0
+        assert samples["latency_seconds_sum"][(("stage", "serve"),)] == \
+            pytest.approx(5.555)
+
+
+class TestJsonlRoundTrip:
+    def test_registry_round_trips_losslessly(self):
+        original = populate()
+        rebuilt = parse_metrics_jsonl(render_metrics_jsonl(original))
+        assert render_prometheus(rebuilt) == render_prometheus(original)
+        # and the JSONL itself is stable across the round trip
+        assert render_metrics_jsonl(rebuilt) == render_metrics_jsonl(original)
+
+    def test_histogram_internals_survive(self):
+        original = populate()
+        rebuilt = parse_metrics_jsonl(render_metrics_jsonl(original))
+        metric = rebuilt.get("latency_seconds")
+        (labels, child), = metric.series()
+        assert dict(labels) == {"stage": "serve"}
+        assert child.bucket_counts == [1, 1, 1, 1]
+        assert child.count == 4
+
+    def test_hostile_label_values_round_trip(self):
+        registry = MetricsRegistry()
+        hostile = 'a "b"\nc\\d'
+        registry.counter("c_total", help="h").inc(1, tag=hostile)
+        rebuilt = parse_metrics_jsonl(render_metrics_jsonl(registry))
+        (labels, value), = rebuilt.get("c_total").series()
+        assert dict(labels) == {"tag": hostile}
+        assert value == 1.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric kind"):
+            parse_metrics_jsonl('{"name":"x","kind":"summary","series":[]}')
+
+    def test_blank_lines_skipped(self):
+        text = "\n" + render_metrics_jsonl(populate()) + "\n"
+        rebuilt = parse_metrics_jsonl(text)
+        assert rebuilt.get("requests_total") is not None
+
+
+class TestTracesToRegistry:
+    def test_aggregates_spans_into_stage_histograms(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("query"):
+                with tracer.span("backbone"):
+                    pass
+                with tracer.span("ecall"):
+                    pass
+        registry = traces_to_registry(tracer)
+        samples = parse_prometheus_samples(render_prometheus(registry))
+        assert samples["trace_spans_total"][(("span", "query"),)] == 3.0
+        counts = samples["trace_stage_seconds_count"]
+        assert counts[(("span", "query"), ("stage", "total"))] == 3.0
+        assert counts[(("span", "query"), ("stage", "backbone"))] == 3.0
+
+    def test_accepts_span_list(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            pass
+        registry = traces_to_registry(tracer.roots())
+        assert registry.get("trace_spans_total") is not None
+
+    def test_empty_tracer_yields_empty_families(self):
+        registry = traces_to_registry(Tracer())
+        samples = parse_prometheus_samples(render_prometheus(registry))
+        assert samples.get("trace_spans_total") is None

@@ -1,0 +1,286 @@
+"""Health layer: rolling windows, burn-rate SLOs, anomaly detection, alerts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    Alert,
+    AlertManager,
+    AuditLog,
+    EwmaDetector,
+    HealthMonitor,
+    ServingSloConfig,
+    Slo,
+    SloEngine,
+    Telemetry,
+    default_serving_slos,
+)
+from repro.obs.health import RollingWindow, render_health_report
+
+
+class _Profile:
+    """Minimal stand-in for InferenceProfile on the health hot path."""
+
+    def __init__(self, total_seconds: float, paging_seconds: float = 0.0):
+        self.total_seconds = total_seconds
+        self.paging_seconds = paging_seconds
+
+
+class TestRollingWindow:
+    def test_counts_inside_window(self):
+        window = RollingWindow(60.0, num_buckets=6)
+        for t in range(10):
+            window.observe(float(t), good=t % 2 == 0)
+        total, bad = window.totals()
+        assert total == 10 and bad == 5
+
+    def test_old_events_scroll_off(self):
+        window = RollingWindow(60.0, num_buckets=6)
+        window.observe(1.0, good=False)
+        window.observe(120.0, good=True)  # two windows later
+        total, bad = window.totals()
+        assert total == 1 and bad == 0
+
+    def test_memory_is_bounded(self):
+        window = RollingWindow(30.0, num_buckets=10)
+        for i in range(100_000):
+            window.observe(i * 1e-3, good=True)
+        assert len(window._total) == 10
+        total, _ = window.totals()
+        assert total <= 100_000
+
+    def test_bad_fraction(self):
+        window = RollingWindow(10.0)
+        for i in range(8):
+            window.observe(0.1 * i, good=i < 6)
+        assert window.bad_fraction() == pytest.approx(0.25)
+
+    def test_series_is_oldest_to_newest(self):
+        window = RollingWindow(10.0, num_buckets=5)
+        window.observe(1.0, good=True, value=1.0)
+        window.observe(9.0, good=True, value=9.0)
+        series = window.series()
+        assert len(series) == 5
+        sums = [s for _, _, s in series]
+        assert sums.index(1.0) < sums.index(9.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RollingWindow(0.0)
+        with pytest.raises(ValueError):
+            RollingWindow(10.0, num_buckets=0)
+
+
+class TestEwmaDetector:
+    def test_quiet_stream_never_trips(self):
+        detector = EwmaDetector()
+        assert not any(detector.observe(1.0 + 0.01 * (i % 3)) for i in range(500))
+        assert detector.trips == 0
+
+    def test_single_spike_is_noise(self):
+        detector = EwmaDetector(warmup=10, sustain=8)
+        for i in range(50):
+            detector.observe(1.0 + 0.01 * (i % 5))
+        assert detector.observe(100.0) is False  # one outlier: streak, no trip
+        assert detector.trips == 0
+
+    def test_sustained_excursion_trips_once(self):
+        detector = EwmaDetector(warmup=10, sustain=5)
+        for i in range(50):
+            detector.observe(1.0 + 0.01 * (i % 5))
+        results = [detector.observe(100.0) for _ in range(10)]
+        assert results[:4] == [False] * 4
+        assert all(results[4:])
+        assert detector.trips == 1
+
+    def test_outliers_do_not_poison_statistics(self):
+        detector = EwmaDetector(warmup=10, sustain=3)
+        for i in range(50):
+            detector.observe(1.0)
+        baseline_mean = detector.mean
+        for _ in range(20):
+            detector.observe(500.0)
+        assert detector.mean == baseline_mean  # stats froze during incident
+
+
+class TestAlertManager:
+    def test_fire_dedupes_and_counts(self):
+        alerts = AlertManager()
+        first = alerts.fire("k", "slo_burn", "critical", "m1", now=1.0)
+        second = alerts.fire("k", "slo_burn", "critical", "m2", now=2.0)
+        assert first is second
+        assert second.count == 2 and second.last_seen == 2.0
+        assert len(alerts.active()) == 1
+
+    def test_resolve_moves_to_history(self):
+        alerts = AlertManager()
+        alerts.fire("k", "anomaly", "warning", "m", now=1.0)
+        resolved = alerts.resolve("k", now=5.0)
+        assert resolved.resolved_at == 5.0 and not resolved.active
+        assert alerts.active() == []
+        assert [a.key for a in alerts.history()] == ["k"]
+
+    def test_resolve_unknown_key_is_noop(self):
+        assert AlertManager().resolve("missing") is None
+
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            AlertManager().fire("k", "slo_burn", "fatal", "m")
+
+    def test_transitions_mirror_into_audit_log(self):
+        audit = AuditLog()
+        alerts = AlertManager(audit=audit)
+        alerts.fire("slo/x", "slo_burn", "critical", "m", now=1.0)
+        alerts.fire("pattern/p/c", "security", "critical", "m", now=2.0)
+        alerts.resolve("slo/x", now=3.0)
+        kinds = [event.kind for event in audit]
+        assert kinds == ["alert_fired", "security_alert", "alert_resolved"]
+        assert audit.events(kind="security_alert")[0]["alert_key"] == "pattern/p/c"
+
+    def test_filters_by_kind_and_severity(self):
+        alerts = AlertManager()
+        alerts.fire("a", "slo_burn", "critical", "m")
+        alerts.fire("b", "anomaly", "warning", "m")
+        assert [a.key for a in alerts.active(kind="anomaly")] == ["b"]
+        assert [a.key for a in alerts.active(severity="critical")] == ["a"]
+
+
+class TestSloEngine:
+    def _engine(self, **overrides):
+        slo = Slo(
+            name="latency", description="d", objective=0.9,
+            fast_window=10.0, slow_window=100.0, burn_threshold=2.0,
+            min_events=4, **overrides,
+        )
+        alerts = AlertManager()
+        return SloEngine([slo], alerts), alerts
+
+    def test_healthy_stream_never_fires(self):
+        engine, alerts = self._engine()
+        for i in range(50):
+            engine.observe("latency", good=True, now=0.1 * i)
+        statuses = engine.evaluate(now=5.0)
+        assert not statuses[0].violated and alerts.active() == []
+
+    def test_fires_only_when_both_windows_burn(self):
+        engine, alerts = self._engine()
+        # Slow window accumulates lots of good history first...
+        for i in range(200):
+            engine.observe("latency", good=True, now=0.4 * i)
+        # ...then a short burst of failures: the fast window burns hot but
+        # the slow window's budget is still intact — no page.
+        now = 81.0
+        for i in range(8):
+            engine.observe("latency", good=False, now=now + 0.1 * i)
+        status = engine.evaluate(now=now + 1.0)[0]
+        assert status.burn_fast > status.burn_slow
+        assert not status.violated
+
+    def test_sustained_burn_pages_and_resolves(self):
+        engine, alerts = self._engine()
+        for i in range(100):
+            engine.observe("latency", good=False, now=0.1 * i)
+        status = engine.evaluate(now=10.0)[0]
+        assert status.violated
+        assert alerts.is_active("slo/latency")
+        # Recovery: the bad events scroll out of both windows.
+        for i in range(400):
+            engine.observe("latency", good=True, now=20.0 + 0.3 * i)
+        status = engine.evaluate(now=140.0)[0]
+        assert not status.violated
+        assert not alerts.is_active("slo/latency")
+        assert [a.key for a in alerts.history()] == ["slo/latency"]
+
+    def test_min_events_suppresses_empty_window_pages(self):
+        engine, alerts = self._engine()
+        engine.observe("latency", good=False, now=0.1)
+        status = engine.evaluate(now=0.2)[0]
+        assert not status.violated  # one bad event < min_events
+
+    def test_rejects_duplicate_names(self):
+        slo = Slo(name="x", description="d", objective=0.5)
+        with pytest.raises(ValueError):
+            SloEngine([slo, slo], AlertManager())
+
+    def test_slo_validation(self):
+        with pytest.raises(ValueError):
+            Slo(name="x", description="d", objective=1.5)
+        with pytest.raises(ValueError):
+            Slo(name="x", description="d", objective=0.9,
+                fast_window=100.0, slow_window=10.0)
+
+
+class TestHealthMonitor:
+    def test_healthy_workload_reports_exit_zero(self):
+        monitor = HealthMonitor(telemetry=Telemetry())
+        for _ in range(100):
+            monitor.observe_batch(1, _Profile(0.001))
+            monitor.observe_cache(True)
+        report = monitor.report()
+        assert report.healthy and report.exit_code == 0
+        assert report.batches_observed == 100
+        assert "HEALTHY" in render_health_report(report)
+
+    def test_no_data_reports_exit_two(self):
+        report = HealthMonitor().report()
+        assert report.exit_code == 2
+        assert "NO DATA" in render_health_report(report)
+
+    def test_slow_paging_workload_violates_and_exits_one(self):
+        telemetry = Telemetry()
+        monitor = HealthMonitor(telemetry=telemetry)
+        for _ in range(200):
+            monitor.observe_batch(1, _Profile(0.4, paging_seconds=0.3))
+        report = monitor.report()
+        violated = {s.slo.name for s in report.slo_violations}
+        assert {"warm_latency", "paging_ratio"} <= violated
+        assert report.exit_code == 1
+        assert telemetry.audit.events(kind="alert_fired")
+        assert "VIOLATED" in render_health_report(report)
+
+    def test_simulated_clock_advances_by_profile_time(self):
+        monitor = HealthMonitor()
+        monitor.observe_batch(1, _Profile(1.5))
+        monitor.observe_batch(1, _Profile(0.5))
+        assert monitor.now == pytest.approx(2.0)
+
+    def test_cache_miss_floor(self):
+        monitor = HealthMonitor(
+            telemetry=Telemetry(),
+            config=ServingSloConfig(cache_hit_objective=0.90),
+        )
+        for _ in range(100):
+            monitor.observe_batch(1, _Profile(0.001))
+            monitor.observe_cache(False)
+        report = monitor.report()
+        assert "cache_hit_rate" in {s.slo.name for s in report.slo_violations}
+
+    def test_latency_series_feeds_dashboard(self):
+        monitor = HealthMonitor()
+        for _ in range(10):
+            monitor.observe_batch(1, _Profile(0.002))
+        series = monitor.latency_series()
+        assert series and any(total > 0 for total, _, _ in series)
+
+    def test_default_slos_cover_the_three_objectives(self):
+        names = {slo.name for slo in default_serving_slos(ServingSloConfig())}
+        assert names == {"warm_latency", "cache_hit_rate", "paging_ratio"}
+
+    def test_report_to_dict_is_json_shaped(self):
+        import json
+
+        monitor = HealthMonitor()
+        monitor.observe_batch(1, _Profile(0.001))
+        payload = monitor.report().to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["exit_code"] == 0
+
+
+class TestAlertDataclass:
+    def test_to_dict_round_trips_fields(self):
+        alert = Alert(key="k", kind="anomaly", severity="warning",
+                      message="m", fired_at=1.0, last_seen=2.0)
+        data = alert.to_dict()
+        assert data["key"] == "k" and data["resolved_at"] is None
+        assert alert.active

@@ -1,0 +1,209 @@
+"""Query-pattern monitor: link-stealing-shaped workloads fire, organic traffic doesn't."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.link_stealing import sample_pairs
+from repro.deploy import SecureInferenceSession, VaultServer, zipf_workload
+from repro.obs import AlertManager, QueryPatternMonitor, Telemetry
+from repro.obs.patterns import DETECTORS, normalised_entropy
+
+NUM_NODES = 500
+
+
+def make_monitor(**overrides):
+    alerts = AlertManager()
+    monitor = QueryPatternMonitor(NUM_NODES, alerts, **overrides)
+    return monitor, alerts
+
+
+class TestNormalisedEntropy:
+    def test_uniform_sweep_is_high(self):
+        assert normalised_entropy([1] * NUM_NODES, NUM_NODES) == pytest.approx(1.0)
+
+    def test_single_node_is_zero(self):
+        assert normalised_entropy([100], NUM_NODES) == pytest.approx(0.0)
+
+    def test_empty_and_degenerate(self):
+        assert normalised_entropy([], NUM_NODES) == 0.0
+        assert normalised_entropy([5], 1) == 0.0
+
+
+class TestDetectors:
+    def test_benign_zipf_traffic_stays_clean(self):
+        monitor, alerts = make_monitor()
+        rng = np.random.default_rng(0)
+        ranks = np.arange(1, NUM_NODES + 1, dtype=np.float64)
+        for alpha in (1.1, 1.5, 2.0):
+            weights = ranks ** -alpha
+            weights /= weights.sum()
+            nodes = rng.choice(NUM_NODES, size=600, p=weights)
+            client = f"benign_{alpha}"
+            for node in nodes:
+                monitor.observe(client, [int(node)])
+            monitor.evaluate(client)
+        assert monitor.flagged_clients() == {}
+        assert alerts.active() == []
+
+    def test_pair_probing_fires_on_repeated_pairs(self):
+        monitor, alerts = make_monitor()
+        pairs = [(i, i + 100) for i in range(8)]
+        for _ in range(16):
+            for u, v in pairs:
+                monitor.observe("prober", [u, v])
+        flags = monitor.evaluate("prober")
+        assert flags["pair_probing"]
+        assert alerts.is_active("pattern/pair_probing/prober")
+        stats = monitor.client_stats("prober")
+        assert stats["top_pair_repeats"] >= monitor.pair_repeat_threshold
+        assert stats["top_pair_lift"] >= monitor.pair_lift_threshold
+
+    def test_fanout_sweep_fires_on_uniform_coverage(self):
+        monitor, alerts = make_monitor(window=400)
+        for node in range(NUM_NODES):  # window keeps the last 400 = 80% coverage
+            monitor.observe("sweeper", [node])
+        flags = monitor.evaluate("sweeper")
+        assert flags["fanout_sweep"]
+        assert alerts.is_active("pattern/fanout_sweep/sweeper")
+
+    def test_entropy_collapse_fires_on_tiny_target_set(self):
+        monitor, alerts = make_monitor()
+        for i in range(200):
+            monitor.observe("collapser", [i % 3])
+        flags = monitor.evaluate("collapser")
+        assert flags["entropy_collapse"]
+        assert alerts.is_active("pattern/entropy_collapse/collapser")
+
+    def test_skewed_but_broad_traffic_is_not_a_collapse(self):
+        # Low entropy alone must not fire: heavy-tailed organic traffic over
+        # dozens of nodes is normal; collapse needs a handful of targets.
+        monitor, _ = make_monitor()
+        rng = np.random.default_rng(1)
+        ranks = np.arange(1, NUM_NODES + 1, dtype=np.float64)
+        weights = ranks ** -2.5
+        weights /= weights.sum()
+        for node in rng.choice(NUM_NODES, size=600, p=weights):
+            monitor.observe("skewed", [int(node)])
+        flags = monitor.evaluate("skewed")
+        assert not flags["entropy_collapse"]
+
+    def test_cold_client_cannot_trip(self):
+        monitor, alerts = make_monitor()
+        for _ in range(10):  # below min_queries
+            monitor.observe("cold", [1, 2])
+        flags = monitor.evaluate("cold")
+        assert not any(flags.values())
+        assert alerts.active() == []
+
+    def test_alert_resolves_when_behaviour_normalises(self):
+        monitor, alerts = make_monitor(window=256)
+        for _ in range(40):
+            monitor.observe("c", [1, 2])
+        assert monitor.evaluate("c")["pair_probing"]
+        rng = np.random.default_rng(2)
+        for node in rng.integers(0, NUM_NODES, size=300):
+            monitor.observe("c", [int(node)])
+        flags = monitor.evaluate("c")
+        assert not flags["pair_probing"]
+        assert not alerts.is_active("pattern/pair_probing/c")
+        assert "pattern/pair_probing/c" in [a.key for a in alerts.history()]
+
+
+class TestBookkeeping:
+    def test_evaluation_is_amortised(self):
+        monitor, _ = make_monitor(eval_interval=64)
+        for _ in range(127):
+            monitor.observe("c", [1])
+        assert monitor.evaluations == 1  # once at query 64, not per query
+
+    def test_client_table_is_bounded(self):
+        monitor, _ = make_monitor(max_clients=4)
+        for i in range(10):
+            monitor.observe(f"client_{i}", [1] * (i + 1))
+        assert len(monitor.clients()) == 4
+        # the quietest clients were evicted; the chattiest survive
+        assert "client_9" in monitor.clients()
+
+    def test_grow_graph_rescales_coverage(self):
+        monitor, _ = make_monitor()
+        monitor.observe("c", range(100))
+        before = monitor.client_stats("c")["coverage"]
+        monitor.grow_graph(NUM_NODES * 2)
+        after = monitor.client_stats("c")["coverage"]
+        assert after == pytest.approx(before / 2)
+
+    def test_summary_shape(self):
+        monitor, _ = make_monitor()
+        monitor.observe("c", [1])
+        summary = monitor.summary()
+        assert set(summary) == {"clients", "evaluations", "flagged"}
+
+    def test_stats_for_unknown_client_are_zero(self):
+        monitor, _ = make_monitor()
+        stats = monitor.client_stats("ghost")
+        assert stats["queries"] == 0 and stats["coverage"] == 0.0
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ValueError):
+            QueryPatternMonitor(0, AlertManager())
+
+    def test_detector_names_are_stable(self):
+        assert DETECTORS == ("pair_probing", "fanout_sweep", "entropy_collapse")
+
+
+class TestAgainstLiveServer:
+    """Acceptance: the monitor flags a scripted link-stealing probe issued
+    against a real VaultServer while a benign mixed workload stays clean."""
+
+    @pytest.fixture
+    def server(self, trained_vault, session_graph):
+        telemetry = Telemetry()
+        session = SecureInferenceSession(
+            trained_vault.backbone,
+            trained_vault.rectifiers["series"],
+            trained_vault.substitute,
+            session_graph.adjacency,
+            telemetry=telemetry,
+        )
+        return VaultServer(session, session_graph.features)
+
+    def test_scripted_probe_is_flagged(self, server, session_graph):
+        # Benign tenant: Zipf-shaped organic traffic.
+        benign = zipf_workload(session_graph.num_nodes, 80, alpha=1.3, seed=5)
+        for node in benign:
+            server.query(int(node), client="tenant_a")
+        # Attacker: the attack module's own candidate pairs, probed
+        # repeatedly the way a posterior-comparison attack does.
+        left, right, _ = sample_pairs(session_graph.adjacency, num_pairs=8, seed=5)
+        for _ in range(16):
+            for u, v in zip(left, right):
+                server.query_batch([int(u), int(v)], client="probe")
+        # query_batch buffers observations; flush before reading the monitor.
+        server.flush_health()
+        server.monitor.evaluate_all()
+        flagged = server.monitor.flagged_clients()
+        assert "probe" in flagged
+        assert "pair_probing" in flagged["probe"]
+        assert "tenant_a" not in flagged
+        report = server.health_report()
+        assert report.security_alerts
+        assert report.exit_code == 1
+        # and the detection is in the audit trail
+        events = server.telemetry.audit.events(kind="security_alert")
+        assert any("probe" in e.get("alert_key", "") for e in events)
+
+    def test_benign_mixed_workload_stays_alert_free(self, server, session_graph):
+        for seed, client in ((1, "web"), (2, "batch"), (3, "mobile")):
+            workload = zipf_workload(
+                session_graph.num_nodes, 90, alpha=1.1 + 0.2 * seed, seed=seed
+            )
+            for node in workload:
+                server.query(int(node), client=client)
+        server.flush_health()
+        server.monitor.evaluate_all()
+        assert server.monitor.flagged_clients() == {}
+        report = server.health_report()
+        assert report.security_alerts == []
+        assert report.exit_code == 0

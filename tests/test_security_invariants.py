@@ -235,3 +235,134 @@ class TestLabelOnlyRationale:
         logit_attack = link_stealing_attack(logits, run.graph.adjacency, seed=0)
         label_attack = link_stealing_attack(one_hot, run.graph.adjacency, seed=0)
         assert logit_attack.mean_auc() >= label_attack.mean_auc() - 0.02
+
+
+class TestAuditTrustBoundary:
+    """The audit log spans both worlds, but enclave events have exactly one
+    door: the telemetry gate, which schema-checks every kind and field."""
+
+    @pytest.fixture
+    def deployment(self, trained_vault):
+        from repro.obs import Telemetry
+
+        run = trained_vault
+        telemetry = Telemetry()
+        session = SecureInferenceSession(
+            backbone=run.backbone,
+            rectifier=run.rectifiers["parallel"],
+            substitute_adjacency=run.substitute,
+            private_adjacency=run.graph.adjacency,
+            telemetry=telemetry,
+        )
+        return telemetry, session
+
+    def test_provisioning_ceremony_is_audited_with_enclave_origin(
+        self, deployment
+    ):
+        telemetry, _ = deployment
+        enclave_events = telemetry.audit.events(origin="enclave")
+        kinds = [event.kind for event in enclave_events]
+        assert "attestation" in kinds
+        assert kinds.count("provision") == 2  # weights + private graph
+        stages = {e.get("stage") for e in enclave_events if e.kind == "provision"}
+        assert stages == {"weights", "private"}
+
+    def test_untrusted_append_refuses_enclave_kinds(self, deployment):
+        telemetry, _ = deployment
+        with pytest.raises(SecurityViolation, match="EnclaveTelemetryGate"):
+            telemetry.audit.append("provision", stage="weights")
+
+    def test_gate_refuses_untrusted_only_kinds(self, deployment):
+        from repro.obs import TelemetryLeak
+
+        telemetry, _ = deployment
+        gate = telemetry.enclave_gate()
+        # the enclave must not be able to forge host-side narrative events
+        for kind in ("query_served", "model_update", "security_alert"):
+            with pytest.raises(TelemetryLeak):
+                gate.audit(kind)
+
+    def test_gate_blocks_audit_field_smuggling(self, deployment):
+        from repro.obs import TelemetryLeak
+
+        telemetry, _ = deployment
+        gate = telemetry.enclave_gate()
+        # per-entity keys are vocabulary-rejected
+        with pytest.raises(TelemetryLeak):
+            gate.audit("graph_update", node_count=3)
+        with pytest.raises(TelemetryLeak):
+            gate.audit("graph_update", touched_edges=7)
+        # free-form strings cannot ride on enum keys
+        with pytest.raises(TelemetryLeak):
+            gate.audit("attestation", result="node 17 and 21 linked")
+        # non-enum keys cannot carry strings at all
+        with pytest.raises(TelemetryLeak):
+            gate.audit("cache_invalidation", invalidated_entries="payload")
+        # arrays are not scalars
+        with pytest.raises(TelemetryLeak):
+            gate.audit("graph_update", applied_count=np.arange(4))
+
+    def test_every_enclave_event_satisfies_the_gate_schema(self, trained_vault):
+        """End-to-end: serve traffic + apply an online update, then check
+        every enclave-origin audit event against the redaction schema."""
+        from repro.deploy import VaultServer, seal_graph_update, zipf_workload
+        from repro.deploy.updates import GraphUpdate
+        from repro.obs import Telemetry
+        from repro.obs.redaction import (
+            AUDIT_ENUM_KEYS,
+            _LABEL_VALUE_RE,
+            check_aggregate_key,
+            check_scalar,
+        )
+        from repro.obs.audit import ENCLAVE_AUDIT_KINDS
+
+        run = trained_vault
+        telemetry = Telemetry()
+        session = SecureInferenceSession(
+            backbone=run.backbone,
+            rectifier=run.rectifiers["parallel"],
+            substitute_adjacency=run.substitute,
+            private_adjacency=run.graph.adjacency,
+            telemetry=telemetry,
+        )
+        server = VaultServer(session, run.graph.features)
+        server.serve(zipf_workload(run.graph.num_nodes, 20, seed=1))
+        new_id = run.graph.num_nodes
+        update = GraphUpdate(neighbours=(0, 1))
+        server.add_node(
+            run.graph.features[:1],
+            substitute_neighbours=(2, 3),
+            sealed_update=seal_graph_update(update, run.rectifiers["parallel"]),
+        )
+        assert session.feature_version == 1
+        server.query(new_id)
+
+        enclave_events = telemetry.audit.events(origin="enclave")
+        assert enclave_events, "deployment produced no enclave audit events"
+        kinds = {event.kind for event in enclave_events}
+        assert "graph_update" in kinds  # the online update crossed the gate
+        for event in enclave_events:
+            assert event.kind in ENCLAVE_AUDIT_KINDS
+            for key, value in event.fields:
+                check_aggregate_key(key, allowed=AUDIT_ENUM_KEYS)
+                if isinstance(value, str):
+                    assert key in AUDIT_ENUM_KEYS
+                    assert _LABEL_VALUE_RE.match(value), (key, value)
+                else:
+                    check_scalar(key, value)
+
+    def test_attestation_failures_are_audited(self, trained_vault):
+        from repro.obs import AuditLog
+        from repro.tee.attestation import AttestationError, verify_quote
+        from repro.tee.enclave import RectifierEnclave
+
+        run = trained_vault
+        enclave = RectifierEnclave(run.rectifiers["parallel"])
+        quote = enclave.attest(challenge="c")
+        audit = AuditLog()
+        with pytest.raises(AttestationError):
+            verify_quote(quote, "wrong-measurement", "c", audit=audit)
+        event = audit.events(kind="attestation")[0]
+        assert event.origin == "untrusted"
+        assert event["result"] == "measurement_mismatch"
+        assert event["verified"] is False
