@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-serving bench-check bench-full obs-demo dashboard health examples report calibration clean
+.PHONY: install test bench bench-serving bench-throughput bench-check bench-full obs-demo dashboard health examples report calibration clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,11 @@ bench-logged:
 
 bench-serving:
 	$(PYTHON) -m pytest benchmarks/test_perf_serving.py -q
+
+# Just the concurrent-client micro-batch scheduler benchmark (refreshes
+# the `throughput` section of BENCH_serving.json).
+bench-throughput:
+	$(PYTHON) -m pytest benchmarks/test_perf_serving.py -q -k throughput
 
 bench-check: bench-serving
 	$(PYTHON) benchmarks/check_regression.py

@@ -64,14 +64,19 @@ def extract(payload: dict, origin: str) -> float:
     return float(node)
 
 
-#: (path, budget) pairs enforced by --smoke: metric must exist, be a finite
-#: number, and (when a budget is set) sit inside it.
+#: (path, budget) pairs enforced by --smoke: metric must exist and sit
+#: inside its budget. Kinds: ``min``/``max`` bound a finite number;
+#: ``true`` requires a literal boolean ``true`` (labels_identical is a
+#: correctness bit, not a measurement — 0.99 of identical is failed).
 SMOKE_CHECKS = (
     (("speedup", "warm_over_uncached"), ("min", 10.0)),
     (("speedup", "cold_over_uncached"), ("min", 1.0)),
     (("seconds", "uncached"), ("min", 0.0)),
     (("instrumentation", "overhead_fraction"), ("max", 0.05)),
     (("health_overhead", "overhead_fraction"), ("max", 0.02)),
+    (("throughput", "speedup"), ("min", 2.0)),
+    (("throughput", "ecalls_per_query"), ("max", 1.0)),
+    (("throughput", "labels_identical"), ("true", None)),
 )
 
 
@@ -89,9 +94,22 @@ def smoke(fresh_path: Path) -> int:
         try:
             for key in path:
                 node = node[key]
+        except (KeyError, TypeError):
+            print(f"bench-check: SMOKE FAIL — {dotted} missing",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        if kind == "true":
+            ok = node is True
+            verdict = "ok" if ok else "NOT TRUE"
+            print(f"  {dotted} = {json.dumps(node)} (must be true: {verdict})")
+            if not ok:
+                failures += 1
+            continue
+        try:
             value = float(node)
-        except (KeyError, TypeError, ValueError):
-            print(f"bench-check: SMOKE FAIL — {dotted} missing or not a number",
+        except (TypeError, ValueError):
+            print(f"bench-check: SMOKE FAIL — {dotted} is not a number",
                   file=sys.stderr)
             failures += 1
             continue

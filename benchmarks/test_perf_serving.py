@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import platform
+import threading
 import time
 from pathlib import Path
 
@@ -25,7 +26,13 @@ import numpy as np
 import pytest
 
 from repro.analysis import render_table
-from repro.deploy import SecureInferenceSession, VaultServer, zipf_workload
+from repro.deploy import (
+    BatchPolicy,
+    MicroBatchScheduler,
+    SecureInferenceSession,
+    VaultServer,
+    zipf_workload,
+)
 from repro.experiments import run_gnnvault
 from repro.tee import EnclaveConfig
 from repro.training import TrainConfig
@@ -337,6 +344,189 @@ def test_health_layer_overhead_under_two_percent(deployment):
     assert overhead < 0.02, (
         f"health/audit layer costs {100 * overhead:.1f}% on the warm path "
         f"(budget 2%)"
+    )
+
+
+NUM_CLIENTS = 16
+THROUGHPUT_QUERIES = 960  # divisible by NUM_CLIENTS: equal shards
+SCHED_BATCH = 16
+
+
+def test_concurrent_throughput_and_amortised_ecalls(deployment):
+    """Pipelined micro-batch serving vs the sequential per-query loop.
+
+    16 client threads issue single-node queries through a
+    :class:`MicroBatchScheduler` (one amortised ECALL per micro-batch,
+    stage-U/stage-E double buffering); the baseline serves the identical
+    workload sequentially at ``batch_size=1``. Both arms are warm — the
+    point is steady-state throughput, not cache fill. Acceptance: ≥2×
+    QPS, *bit-identical* labels, and fewer than one ECALL per query.
+    """
+    run, _, _ = deployment
+    workload = zipf_workload(
+        run.graph.num_nodes, THROUGHPUT_QUERIES, alpha=ZIPF_ALPHA,
+        rng=np.random.default_rng(7),
+    )
+
+    def build() -> VaultServer:
+        session = SecureInferenceSession(
+            run.backbone, run.rectifiers["series"], run.substitute,
+            run.graph.adjacency,
+        )
+        return VaultServer(session, run.graph.features)
+
+    def run_concurrent(scheduler, stream: np.ndarray, dtype) -> tuple:
+        """Drive ``stream`` through 16 client threads; labels by stride.
+
+        Queries interleave round-robin across the clients so arrival
+        order matches the sequential stream's statistics; each client's
+        answers go back into its stride, so the reassembled label vector
+        is position-for-position comparable to the sequential one.
+        """
+        labels = np.empty(len(stream), dtype=dtype)
+        barrier = threading.Barrier(NUM_CLIENTS + 1)
+        failures: list = []
+
+        def client(index: int) -> None:
+            shard = stream[index::NUM_CLIENTS]
+            barrier.wait()
+            try:
+                answers = [
+                    scheduler.query(int(node), client=f"client_{index}")
+                    for node in shard
+                ]
+            except Exception as exc:  # surface in the main thread
+                failures.append(exc)
+                return
+            labels[index::NUM_CLIENTS] = answers
+
+        threads = [
+            threading.Thread(target=client, args=(index,))
+            for index in range(NUM_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        assert not failures, failures
+        return labels, elapsed
+
+    # Sequential baseline: one ECALL per query, warm caches. Best of two
+    # timed passes per arm — a single pass on a shared machine can eat a
+    # scheduler hiccup that dwarfs the effect under test.
+    seq_server = build()
+    seq_server.serve(workload, batch_size=BATCH_SIZE)  # warm
+    sequential_seconds = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        seq_labels = seq_server.serve(workload, batch_size=BATCH_SIZE)
+        sequential_seconds = min(
+            sequential_seconds, time.perf_counter() - start
+        )
+    sequential_qps = len(workload) / sequential_seconds
+
+    pipe_server = build()
+    pipe_server.serve(workload, batch_size=BATCH_SIZE)  # warm
+    enclave = pipe_server._session.enclave
+    policy = BatchPolicy(max_batch_size=SCHED_BATCH, max_wait_ms=2.0)
+    pipelined_seconds = float("inf")
+    labels_identical = True
+    with MicroBatchScheduler(pipe_server, policy) as scheduler:
+        ecalls_before = enclave.ecall_transitions
+        queries_before = scheduler.stats.queries
+        for _ in range(2):
+            pipe_labels, elapsed = run_concurrent(
+                scheduler, workload, seq_labels.dtype
+            )
+            pipelined_seconds = min(pipelined_seconds, elapsed)
+            labels_identical = labels_identical and (
+                seq_labels.tobytes() == pipe_labels.tobytes()
+            )
+        ecalls = enclave.ecall_transitions - ecalls_before
+        queries = scheduler.stats.queries - queries_before
+        snap = scheduler.stats.snapshot()
+
+    pipelined_qps = len(workload) / pipelined_seconds
+    speedup = pipelined_qps / sequential_qps
+    ecalls_per_query = ecalls / queries
+
+    text = render_table(
+        ["path", "QPS", "ECALLs/query"],
+        [
+            ["sequential (batch=1)", round(sequential_qps, 1), 1.0],
+            [
+                f"pipelined ({NUM_CLIENTS} clients, batch<={SCHED_BATCH})",
+                round(pipelined_qps, 1),
+                round(ecalls_per_query, 4),
+            ],
+        ],
+        title=(
+            f"Concurrent serving throughput: Zipf({ZIPF_ALPHA}) stream of "
+            f"{len(workload)} queries ({speedup:.1f}x)"
+        ),
+    )
+    archive("perf_throughput", text)
+
+    # Double-buffering demo: with max_batch_size (8) *below* the client
+    # count, two batches are in flight at once, so the collector stages
+    # batch i+1 while the enclave executes batch i and the overlap
+    # fraction becomes visible. (The max-QPS arm above saturates at
+    # batch == clients: every client blocks on the one in-flight batch,
+    # so the pipeline ping-pongs and its overlap is honestly ~0.)
+    demo_server = build()
+    demo_server.serve(workload, batch_size=BATCH_SIZE)  # warm
+    overlap_workload = workload[:480]
+    demo_policy = BatchPolicy(max_batch_size=8, max_wait_ms=2.0)
+    with MicroBatchScheduler(demo_server, demo_policy) as scheduler:
+        demo_labels, demo_seconds = run_concurrent(
+            scheduler, overlap_workload, seq_labels.dtype
+        )
+        demo_snap = scheduler.stats.snapshot()
+    assert demo_labels.tobytes() == seq_labels[:480].tobytes()
+
+    payload = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {
+        "benchmark": "serving_fast_path",
+    }
+    payload["throughput"] = {
+        "num_clients": NUM_CLIENTS,
+        "max_batch_size": SCHED_BATCH,
+        "num_queries": len(workload),
+        "sequential_qps": sequential_qps,
+        "pipelined_qps": pipelined_qps,
+        "speedup": speedup,
+        "mean_batch_size": snap["mean_batch_size"],
+        "batch_size_histogram": snap["batch_size_histogram"],
+        "dedup_fraction": snap["dedup_fraction"],
+        "pipeline_overlap_fraction": snap["pipeline_overlap_fraction"],
+        "ecalls_per_query": ecalls_per_query,
+        "labels_identical": labels_identical,
+        "overlap_demo": {
+            "max_batch_size": 8,
+            "num_queries": len(overlap_workload),
+            "qps": len(overlap_workload) / demo_seconds,
+            "pipeline_overlap_fraction":
+                demo_snap["pipeline_overlap_fraction"],
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert labels_identical, "pipelined labels diverged from sequential"
+    assert ecalls == snap["batches"], (
+        "enclave transition count must equal the number of micro-batches"
+    )
+    assert ecalls_per_query < 1.0, (
+        f"{ecalls_per_query:.2f} ECALLs per query — batching is not amortising"
+    )
+    assert speedup >= 2.0, (
+        f"pipelined serving is only {speedup:.2f}x the sequential QPS "
+        f"(need >= 2x at {NUM_CLIENTS} clients)"
+    )
+    assert demo_snap["pipeline_overlap_fraction"] > 0.1, (
+        "no stage-U/stage-E overlap observed with batch < clients — "
+        "the double buffer is not pipelining"
     )
 
 

@@ -3,17 +3,31 @@
 from .inference import SecureInferenceSession
 from .partition import DeploymentPlan, EnclaveBudget, enclave_budget, plan_deployment
 from .profiler import InferenceProfile, model_compute_seconds
+from .scheduler import (
+    BatchPolicy,
+    MicroBatchScheduler,
+    PipelineStats,
+    SchedulerOverloaded,
+    ShardedBackboneWorkers,
+    StripedLocks,
+)
 from .server import QueryBudgetExceeded, ServerStats, VaultServer, zipf_workload
 from .updates import GraphUpdate, extend_adjacency, seal_graph_update
 
 __all__ = [
+    "BatchPolicy",
     "DeploymentPlan",
     "EnclaveBudget",
     "GraphUpdate",
     "InferenceProfile",
+    "MicroBatchScheduler",
+    "PipelineStats",
     "QueryBudgetExceeded",
+    "SchedulerOverloaded",
     "SecureInferenceSession",
     "ServerStats",
+    "ShardedBackboneWorkers",
+    "StripedLocks",
     "VaultServer",
     "enclave_budget",
     "extend_adjacency",

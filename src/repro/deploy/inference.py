@@ -99,13 +99,21 @@ class SecureInferenceSession:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def embed(self, features: np.ndarray) -> Tuple[List[np.ndarray], float]:
+    def embed(
+        self, features: np.ndarray, workers=None
+    ) -> Tuple[List[np.ndarray], float]:
         """Run the public backbone once over the substitute graph.
 
         Returns every layer's embedding plus the simulated backbone
         latency. This is the untrusted half of an inference — pure
         pre-computation (paper §IV-C), so serving layers may compute it
         once per :attr:`feature_version` and reuse it across queries.
+
+        ``workers`` may be a
+        :class:`~repro.deploy.scheduler.ShardedBackboneWorkers` pool; the
+        dense projection and sparse propagation are then row-sharded
+        across its threads (bit-identical output, untrusted world only —
+        the enclave never parallelises).
         """
         features = np.asarray(features, dtype=np.float64)
         if features.shape[0] != self._num_nodes:
@@ -113,7 +121,12 @@ class SecureInferenceSession:
                 f"features cover {features.shape[0]} nodes, deployment expects "
                 f"{self._num_nodes}"
             )
-        embeddings = self.backbone.embeddings(features, self._substitute_norm)
+        if workers is not None:
+            embeddings = workers.embeddings(
+                self.backbone, features, self._substitute_norm
+            )
+        else:
+            embeddings = self.backbone.embeddings(features, self._substitute_norm)
         nnz = self.substitute_adjacency.num_entries + self._num_nodes
         backbone_seconds = model_compute_seconds(
             self.backbone, self._num_nodes, nnz, self._cost, in_enclave=False
@@ -189,6 +202,44 @@ class SecureInferenceSession:
         for layer in self._rectifier_consumed:
             channel.push(embeddings[layer], description=f"backbone_layer_{layer}")
         report = self.enclave.ecall_infer_nodes(channel, list(node_ids))
+        labels = channel.collect().labels
+        profile = InferenceProfile(
+            backbone_seconds=backbone_seconds,
+            transfer_seconds=report.transfer_seconds,
+            enclave_seconds=report.enclave_seconds,
+            paging_seconds=report.paging_seconds,
+            payload_bytes=report.payload_bytes,
+            peak_enclave_memory_bytes=report.peak_memory_bytes,
+        )
+        return labels, profile
+
+    def predict_microbatch_precomputed(
+        self,
+        embeddings: Sequence[np.ndarray],
+        requests: Sequence[Sequence[int]],
+        backbone_seconds: float = 0.0,
+    ) -> Tuple[np.ndarray, InferenceProfile]:
+        """Answer a micro-batch of queries with a single amortised ECALL.
+
+        The consumed backbone embeddings are staged as one coalesced
+        payload block (:meth:`OneWayChannel.push_coalesced`) and the
+        enclave answers every request in one world transition
+        (:meth:`RectifierEnclave.ecall_infer_microbatch`). Returns the
+        concatenated labels in request order — callers split by request
+        lengths — plus the per-batch cost profile.
+        """
+        embeddings = [np.asarray(e, dtype=np.float64) for e in embeddings]
+        if embeddings and embeddings[0].shape[0] != self._num_nodes:
+            raise ValueError(
+                f"embeddings cover {embeddings[0].shape[0]} nodes, deployment "
+                f"expects {self._num_nodes}"
+            )
+        channel = OneWayChannel()
+        channel.push_coalesced(
+            [embeddings[layer] for layer in self._rectifier_consumed],
+            description="backbone_microbatch",
+        )
+        report = self.enclave.ecall_infer_microbatch(channel, requests)
         labels = channel.collect().labels
         profile = InferenceProfile(
             backbone_seconds=backbone_seconds,

@@ -20,7 +20,8 @@ pass. :class:`VaultServer` adds the serving machinery around
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -251,9 +252,13 @@ class VaultServer:
         # per-batch semantics — the simulated clock advances batch by
         # batch — while the hot path pays one list append instead of
         # walking the SLO and pattern structures per query, which keeps
-        # their cache footprint off the serving path.
-        self._health_pending: List[Tuple[List[int], str, Any]] = []
+        # their cache footprint off the serving path. Each entry is one
+        # served batch: ``(((node_ids, client), ...), profile)`` — a
+        # micro-batch carries several (node_ids, client) groups but one
+        # profile, since the enclave executed it as one ECALL.
+        self._health_pending: List[Tuple[Tuple[Tuple[Sequence[int], str], ...], Any]] = []
         self._health_drain_at = 64
+        self._health_lock = threading.Lock()
         if monitor is not None:
             self.monitor = monitor
         elif self.health is not None:
@@ -265,37 +270,60 @@ class VaultServer:
         # Backbone pre-computation: computed on the first query of each
         # feature version, then served from cache until the session's
         # feature_version moves (add_node). (version, embeddings) pair.
+        # The lock makes refills safe under the scheduler's worker
+        # threads; the fast path (hit) stays lock-free — the pair is
+        # swapped atomically and versions only move under the fence.
         self._embedding_cache: Optional[Tuple[int, List[np.ndarray]]] = None
+        self._embed_lock = threading.Lock()
+        # At most one MicroBatchScheduler may pump this server at a time;
+        # add_node fences through it so no in-flight batch straddles a
+        # graph-version change.
+        self._scheduler = None
 
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def _embeddings(self) -> Tuple[List[np.ndarray], float]:
+    def _embeddings(self, workers=None) -> Tuple[List[np.ndarray], float]:
         """Backbone embeddings for the current feature version.
 
         Returns ``(embeddings, backbone_seconds)`` where the seconds are
         the simulated backbone latency actually *incurred* by this call:
         the full cost on a miss, zero on a hit (the untrusted half is pure
         pre-computation, so a real deployment pays it once per version).
+
+        ``workers`` (a :class:`~repro.deploy.scheduler.ShardedBackboneWorkers`)
+        row-shards the backbone pass on a miss; the result is bit-identical
+        to the single-threaded pass. Refills are serialised so concurrent
+        scheduler threads never run the full-graph pass twice per version.
         """
         version = self._session.feature_version
         cached = self._embedding_cache
         if cached is not None and cached[0] == version:
             self.stats.record_embedding_cache(hit=True)
             return cached[1], 0.0
-        if cached is not None:
-            # A populated cache missing means the deployment version moved
-            # underneath it — an invalidation, not a cold start.
-            self.telemetry.audit.append(
-                "cache_invalidation",
-                time=self.health.now if self.health is not None else 0.0,
-                stale_version=cached[0], version=version,
+        with self._embed_lock:
+            # Double-checked: another thread may have refilled while we
+            # waited for the lock.
+            version = self._session.feature_version
+            cached = self._embedding_cache
+            if cached is not None and cached[0] == version:
+                self.stats.record_embedding_cache(hit=True)
+                return cached[1], 0.0
+            if cached is not None:
+                # A populated cache missing means the deployment version
+                # moved underneath it — an invalidation, not a cold start.
+                self.telemetry.audit.append(
+                    "cache_invalidation",
+                    time=self.health.now if self.health is not None else 0.0,
+                    stale_version=cached[0], version=version,
+                )
+            embeddings, backbone_seconds = self._session.embed(
+                self._features, workers=workers
             )
-        embeddings, backbone_seconds = self._session.embed(self._features)
-        self.stats.record_embedding_cache(hit=False)
-        if self.cache_embeddings:
-            self._embedding_cache = (version, embeddings)
-        return embeddings, backbone_seconds
+            self.stats.record_embedding_cache(hit=False)
+            if self.cache_embeddings:
+                self._embedding_cache = (version, embeddings)
+            return embeddings, backbone_seconds
 
     def query(self, node_id: int, client: str = "default") -> int:
         """Answer a single node query with its class label."""
@@ -315,23 +343,7 @@ class VaultServer:
         if self.query_budget is not None:
             remaining = self.query_budget - self.stats.queries_served
             if len(node_ids) > remaining:
-                now = self.health.now if self.health is not None else 0.0
-                if self.health is not None:
-                    self.health.alerts.fire(
-                        f"budget/{client}", "security", "critical",
-                        f"client {client} exhausted the query budget "
-                        f"({self.query_budget} queries)",
-                        now=now,
-                    )
-                else:
-                    self.telemetry.audit.append(
-                        "security_alert", time=now, client=client,
-                        reason="query_budget_exhausted",
-                    )
-                raise QueryBudgetExceeded(
-                    f"query budget exhausted ({self.stats.queries_served}/"
-                    f"{self.query_budget} used, batch of {len(node_ids)} denied)"
-                )
+                self._budget_exhausted(client, len(node_ids))
         tracer = self.telemetry.tracer
         record = tracer.open_record("query", len(node_ids))
         backbone_seconds = 0.0
@@ -349,15 +361,70 @@ class VaultServer:
         self.stats.record_batch(node_ids, profile)
         health = self.health
         if health is not None or self.monitor is not None:
-            pending = self._health_pending
-            pending.append((node_ids, client, profile))
-            if len(pending) >= self._health_drain_at:
+            with self._health_lock:
+                pending = self._health_pending
+                pending.append((((node_ids, client),), profile))
+                drain = len(pending) >= self._health_drain_at
+            if drain:
                 self.flush_health()
         self.telemetry.audit.append(
             "query_served", time=0.0 if health is None else health.now,
             client=client, batch_count=len(node_ids),
         )
         return labels
+
+    def _budget_exhausted(self, client: str, batch_len: int) -> None:
+        """Alert, audit, and refuse: a client ran its query budget dry."""
+        now = self.health.now if self.health is not None else 0.0
+        if self.health is not None:
+            self.health.alerts.fire(
+                f"budget/{client}", "security", "critical",
+                f"client {client} exhausted the query budget "
+                f"({self.query_budget} queries)",
+                now=now,
+            )
+        else:
+            self.telemetry.audit.append(
+                "security_alert", time=now, client=client,
+                reason="query_budget_exhausted",
+            )
+        raise QueryBudgetExceeded(
+            f"query budget exhausted ({self.stats.queries_served}/"
+            f"{self.query_budget} used, batch of {batch_len} denied)"
+        )
+
+    def _complete_microbatch(
+        self,
+        node_lists: Sequence[Sequence[int]],
+        clients: Sequence[str],
+        profile,
+    ) -> None:
+        """Account one scheduler micro-batch: one ECALL, many requests.
+
+        Mirrors the tail of :meth:`query_batch` — stats, buffered health
+        observations, audit — but charges the (single) batch profile once
+        while keeping per-client attribution for the pattern monitor and
+        the audit trail. Called from the scheduler's enclave worker
+        thread; every touched structure is locked or append-only.
+        """
+        flat = [int(n) for ids in node_lists for n in ids]
+        self.stats.record_batch(flat, profile)
+        health = self.health
+        if health is not None or self.monitor is not None:
+            with self._health_lock:
+                pending = self._health_pending
+                pending.append((tuple(zip(node_lists, clients)), profile))
+                drain = len(pending) >= self._health_drain_at
+            if drain:
+                self.flush_health()
+        now = 0.0 if health is None else health.now
+        per_client: Dict[str, int] = {}
+        for ids, client in zip(node_lists, clients):
+            per_client[client] = per_client.get(client, 0) + len(ids)
+        for client, count in per_client.items():
+            self.telemetry.audit.append(
+                "query_served", time=now, client=client, batch_count=count,
+            )
 
     def flush_health(self) -> None:
         """Replay buffered observations into the health & monitor layer.
@@ -369,28 +436,54 @@ class VaultServer:
         arrival order, so the health layer's simulated clock and every
         detector see exactly the sequence they would have seen inline.
         """
-        pending = self._health_pending
-        if not pending:
-            return
-        health, monitor = self.health, self.monitor
-        observe_batch = None if health is None else health.observe_batch
-        observe_client = None if monitor is None else monitor.observe
-        now = 0.0 if health is None else health.now
-        for node_ids, client, profile in pending:
-            if observe_batch is not None:
-                observe_batch(len(node_ids), profile)
-                now = health.now
-            if observe_client is not None:
-                observe_client(client, node_ids, now)
-        pending.clear()
+        # The whole replay runs under the lock: the health layer itself is
+        # not thread-safe, and two concurrent flushes must not interleave
+        # batches out of arrival order. Appends contend only for the rare
+        # drain, not per query.
+        with self._health_lock:
+            pending = self._health_pending
+            if not pending:
+                return
+            health, monitor = self.health, self.monitor
+            observe_batch = None if health is None else health.observe_batch
+            observe_client = None if monitor is None else monitor.observe
+            now = 0.0 if health is None else health.now
+            for entries, profile in pending:
+                if observe_batch is not None:
+                    observe_batch(sum(len(ids) for ids, _ in entries), profile)
+                    now = health.now
+                if observe_client is not None:
+                    for node_ids, client in entries:
+                        observe_client(client, list(node_ids), now)
+            pending.clear()
 
     def serve(
         self,
         workload: Sequence[int],
         batch_size: int = 1,
         client: str = "default",
+        scheduler=None,
     ) -> np.ndarray:
-        """Serve a whole query workload; returns all labels in order."""
+        """Serve a whole query workload; returns all labels in order.
+
+        ``scheduler`` switches the deployment to the pipelined micro-batch
+        path: pass a :class:`~repro.deploy.scheduler.BatchPolicy` to run
+        the workload through a transient
+        :class:`~repro.deploy.scheduler.MicroBatchScheduler`, or an
+        already-running scheduler instance to share one across calls. The
+        labels are identical to the sequential path either way — batching
+        changes the schedule, never the answers.
+        """
+        if scheduler is not None:
+            from .scheduler import BatchPolicy, MicroBatchScheduler
+
+            if isinstance(scheduler, BatchPolicy):
+                with MicroBatchScheduler(self, policy=scheduler) as active:
+                    return active.serve(workload, client=client)
+            if isinstance(scheduler, MicroBatchScheduler) and not scheduler.running:
+                with scheduler as active:
+                    return active.serve(workload, client=client)
+            return scheduler.serve(workload, client=client)
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         answers: List[np.ndarray] = []
@@ -417,6 +510,12 @@ class VaultServer:
         the feature version, so the backbone-embedding cache misses on the
         next query) and appends the node's public feature row so the
         served feature matrix stays in sync with the grown graph.
+
+        With a scheduler attached the update runs inside its
+        :meth:`~repro.deploy.scheduler.MicroBatchScheduler.paused` fence:
+        batch formation stops and in-flight batches drain before the graph
+        version moves, so no micro-batch ever pairs stale embeddings with
+        the grown private graph.
         """
         features_row = np.asarray(features_row, dtype=np.float64).reshape(1, -1)
         if features_row.shape[1] != self._features.shape[1]:
@@ -424,6 +523,19 @@ class VaultServer:
                 f"new node has {features_row.shape[1]} features, deployment "
                 f"expects {self._features.shape[1]}"
             )
+        scheduler = self._scheduler
+        if scheduler is not None:
+            with scheduler.paused():
+                return self._apply_add_node(
+                    features_row, substitute_neighbours, sealed_update
+                )
+        return self._apply_add_node(
+            features_row, substitute_neighbours, sealed_update
+        )
+
+    def _apply_add_node(
+        self, features_row, substitute_neighbours, sealed_update
+    ) -> int:
         self.flush_health()
         new_id = self._session.add_node(substitute_neighbours, sealed_update)
         self._features = np.vstack([self._features, features_row])
@@ -431,18 +543,36 @@ class VaultServer:
             self.monitor.grow_graph(self._features.shape[0])
         return new_id
 
+    # ------------------------------------------------------------------
+    # Scheduler wiring
+    # ------------------------------------------------------------------
+    def _attach_scheduler(self, scheduler) -> None:
+        if self._scheduler is not None:
+            raise RuntimeError("a scheduler is already attached to this server")
+        self._scheduler = scheduler
+
+    def _detach_scheduler(self, scheduler) -> None:
+        if self._scheduler is scheduler:
+            self._scheduler = None
+
 
 def zipf_workload(
     num_nodes: int,
     num_queries: int,
     alpha: float = 1.1,
     seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
 ) -> np.ndarray:
     """A Zipf-distributed node-query stream.
 
     Real recommendation traffic is heavy-tailed: a few popular items
     receive most lookups. ``alpha`` controls the skew (higher = more
     concentrated); node popularity ranks are shuffled by ``seed``.
+
+    Reproducibility: pass an explicit ``rng`` to draw from a generator
+    you control (e.g. one shared across a benchmark run so successive
+    workloads differ deterministically); otherwise a fresh generator is
+    seeded from ``seed``, so equal arguments always give equal streams.
     """
     if num_nodes <= 0:
         raise ValueError(f"num_nodes must be positive, got {num_nodes}")
@@ -450,7 +580,8 @@ def zipf_workload(
         raise ValueError(f"num_queries must be >= 0, got {num_queries}")
     if alpha <= 1.0:
         raise ValueError(f"alpha must be > 1 for a proper Zipf law, got {alpha}")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     ranks = rng.zipf(alpha, size=num_queries)
     ranks = np.minimum(ranks, num_nodes) - 1  # clamp into [0, num_nodes)
     permutation = rng.permutation(num_nodes)

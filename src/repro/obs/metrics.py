@@ -20,6 +20,7 @@ from __future__ import annotations
 import bisect
 import math
 import re
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -52,7 +53,15 @@ def _label_key(labels: Dict[str, str]) -> LabelSet:
 
 
 class Metric:
-    """Base class: a named family of labelled time series."""
+    """Base class: a named family of labelled time series.
+
+    Every mutation acquires the metric's own lock: the pipelined serving
+    path updates counters and histograms from scheduler worker threads,
+    and an unlocked read-modify-write (``d[k] = d.get(k) + v``) under
+    contention silently drops increments, corrupting the p95 summaries
+    the SLO engine alerts on. Uncontended ``threading.Lock`` costs tens
+    of nanoseconds, well inside the telemetry overhead budget.
+    """
 
     kind = "untyped"
 
@@ -61,6 +70,7 @@ class Metric:
             raise ValueError(f"invalid metric name {name!r}")
         self.name = name
         self.help = help
+        self._lock = threading.Lock()
 
     def series(self) -> Iterable[Tuple[LabelSet, float]]:  # pragma: no cover
         raise NotImplementedError
@@ -79,13 +89,15 @@ class Counter(Metric):
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease ({amount})")
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def inc_at(self, key: LabelSet, amount: float = 1.0) -> None:
         """Increment an already-canonicalised series key (hot-path helper)."""
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease ({amount})")
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: str) -> float:
         return self._values.get(_label_key(labels), 0.0)
@@ -104,18 +116,21 @@ class Gauge(Metric):
         self._values: Dict[LabelSet, float] = {}
 
     def set(self, value: float, **labels: str) -> None:
-        self._values[_label_key(labels)] = float(value)
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
 
     def set_max(self, value: float, **labels: str) -> None:
         """Keep the maximum of the current and offered value (peaks)."""
         key = _label_key(labels)
-        current = self._values.get(key)
-        if current is None or value > current:
-            self._values[key] = float(value)
+        with self._lock:
+            current = self._values.get(key)
+            if current is None or value > current:
+                self._values[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: str) -> float:
         return self._values.get(_label_key(labels), 0.0)
@@ -127,18 +142,21 @@ class Gauge(Metric):
 class _HistogramChild:
     """Bucket counts + sum/count for one label set."""
 
-    __slots__ = ("bucket_counts", "sum", "count", "_buckets")
+    __slots__ = ("bucket_counts", "sum", "count", "_buckets", "_lock")
 
     def __init__(self, buckets: Tuple[float, ...]) -> None:
         self._buckets = buckets
         self.bucket_counts = [0] * (len(buckets) + 1)  # +1 for +Inf
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect.bisect_left(self._buckets, value)] += 1
-        self.sum += value
-        self.count += 1
+        index = bisect.bisect_left(self._buckets, value)
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.sum += value
+            self.count += 1
 
 
 class Histogram(Metric):
@@ -165,7 +183,10 @@ class Histogram(Metric):
         key = _label_key(labels)
         child = self._children.get(key)
         if child is None:
-            child = self._children[key] = _HistogramChild(self.buckets)
+            with self._lock:  # two threads racing the first observe
+                child = self._children.get(key)
+                if child is None:
+                    child = self._children[key] = _HistogramChild(self.buckets)
         return child
 
     def bind(self, **labels: str) -> _HistogramChild:
@@ -230,23 +251,30 @@ class Histogram(Metric):
 
 
 class MetricsRegistry:
-    """Create-or-fetch store for every metric family in one process."""
+    """Create-or-fetch store for every metric family in one process.
+
+    Thread-safe: family creation is serialised by a registry lock and
+    every mutation locks its own metric, so scheduler worker threads and
+    the serving thread can record concurrently without losing updates.
+    """
 
     def __init__(self) -> None:
         self._metrics: "OrderedDict[str, Metric]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
-        metric = self._metrics.get(name)
-        if metric is not None:
-            if not isinstance(metric, cls):
-                raise ValueError(
-                    f"metric {name!r} already registered as {metric.kind}, "
-                    f"requested {cls.kind}"
-                )
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is not None:
+                if not isinstance(metric, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {metric.kind}, "
+                        f"requested {cls.kind}"
+                    )
+                return metric
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
             return metric
-        metric = cls(name, help, **kwargs)
-        self._metrics[name] = metric
-        return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help)

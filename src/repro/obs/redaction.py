@@ -212,18 +212,17 @@ class EnclaveTelemetryGate:
                       swapped_pages):
             if type(value) not in _SCALAR_TYPES:
                 check_scalar("ecall_aggregate", value)
-        # The bundle holds the series' backing stores; these updates are
-        # exactly Counter.inc_at / Histogram.observe / Gauge.set_max,
-        # minus the per-call dispatch.
-        counter_values, counter_key, observe_latency, observe_payload, \
-            gauge_values = bound
-        counter_values[counter_key] = counter_values.get(counter_key, 0.0) + 1.0
+        # The bundle holds pre-resolved bound methods — Counter.inc_at /
+        # Histogram.observe / Gauge.set_max — so the per-call work is the
+        # locked update itself, with no name/label re-validation. The
+        # locks matter here: the pipelined scheduler issues ECALLs from a
+        # worker thread while the serving thread updates its own series.
+        counter_inc_at, counter_key, observe_latency, observe_payload, \
+            gauge_set_max = bound
+        counter_inc_at(counter_key)
         observe_latency(float(total_seconds))
         observe_payload(float(payload_bytes))
-        peak = float(peak_memory_bytes)
-        current = gauge_values.get(())
-        if current is None or peak > current:
-            gauge_values[()] = peak
+        gauge_set_max(float(peak_memory_bytes))
         tracer = self._tracer
         if not tracer.enabled:
             return
@@ -304,8 +303,8 @@ class EnclaveTelemetryGate:
             if key not in _APPROVED_ATTR_KEYS:
                 check_aggregate_key(key)
                 _APPROVED_ATTR_KEYS.add(key)
-        bound = (counter._values, _label_key(labels), latency_series.observe,
-                 payload_series.observe, gauge._values)
+        bound = (counter.inc_at, _label_key(labels), latency_series.observe,
+                 payload_series.observe, gauge.set_max)
         self._ecall_bound[stage] = bound
         return bound
 

@@ -12,7 +12,7 @@ any attempt to export floating-point payloads raises
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List
+from typing import Any, List, Sequence
 
 import numpy as np
 
@@ -69,6 +69,26 @@ class OneWayChannel:
         """
         num_bytes = payload_num_bytes(payload)
         self._inbox.append(payload)
+        self.transfer_log.append(TransferRecord(description, num_bytes))
+        return num_bytes
+
+    def push_coalesced(
+        self, payloads: Sequence[Any], description: str = "coalesced"
+    ) -> int:
+        """Stage several payloads as *one* inbound transfer (micro-batching).
+
+        The amortised-ECALL serving path ships all consumed backbone
+        embeddings for a whole micro-batch in a single boundary crossing,
+        so the per-transition world-switch cost is paid once per batch
+        instead of once per query. The block is one inbox entry and one
+        transfer record; the adversary's view is unchanged — every byte is
+        still logged, just under a single coalesced record.
+        """
+        block = tuple(payloads)
+        if not block:
+            raise ValueError("cannot coalesce an empty payload block")
+        num_bytes = payload_num_bytes(block)
+        self._inbox.append(block)
         self.transfer_log.append(TransferRecord(description, num_bytes))
         return num_bytes
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import threading
 
 import pytest
 
@@ -161,3 +162,76 @@ class TestPrometheusExposition:
     def test_parser_rejects_garbage(self):
         with pytest.raises(ValueError):
             parse_prometheus("not a metric line at all {")
+
+
+class TestThreadSafety:
+    """Scheduler worker threads record concurrently; no update may drop."""
+
+    def test_counter_increments_are_not_lost(self):
+        counter = Counter("vault_ts_counter")
+        key = counter._values  # noqa: F841 — force first-series creation race
+        threads, per_thread = 8, 2000
+
+        def worker():
+            for _ in range(per_thread):
+                counter.inc()
+                counter.inc(2.0, result="hit")
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert counter.value() == threads * per_thread
+        assert counter.value(result="hit") == 2.0 * threads * per_thread
+
+    def test_histogram_observations_are_not_lost(self):
+        histogram = Histogram("vault_ts_hist", buckets=(1.0, 2.0, 4.0))
+        threads, per_thread = 8, 1000
+
+        def worker(value):
+            for _ in range(per_thread):
+                histogram.observe(value, path="warm")
+
+        pool = [
+            threading.Thread(target=worker, args=(float(i % 4),))
+            for i in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert histogram.count(path="warm") == threads * per_thread
+        # integer-valued observations sum exactly in float64
+        expected_sum = per_thread * sum(float(i % 4) for i in range(threads))
+        assert histogram.total(path="warm") == expected_sum
+
+    def test_gauge_watermark_under_contention(self):
+        gauge = Gauge("vault_ts_gauge")
+
+        def worker(offset):
+            for value in range(1000):
+                gauge.set_max(float(value + offset))
+
+        pool = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert gauge.value() == 999.0 + 5
+
+    def test_registry_create_race_yields_one_family(self):
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            seen.append(registry.counter("vault_ts_race"))
+
+        pool = [threading.Thread(target=worker) for _ in range(8)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert len({id(metric) for metric in seen}) == 1
