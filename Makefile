@@ -28,7 +28,7 @@ bench-throughput:
 	$(PYTHON) -m pytest benchmarks/test_perf_serving.py -q -k throughput
 
 bench-check: bench-serving
-	$(PYTHON) benchmarks/check_regression.py
+	$(PYTHON) benchmarks/check_regression.py --trend
 
 obs-demo:
 	$(PYTHON) -m repro.cli metrics --dataset cora --epochs 15 --queries 50

@@ -12,6 +12,15 @@ Intended use is ``make bench-check``, which re-runs the serving benchmark
 and then this script. ``--smoke`` instead validates the *committed*
 benchmark file structurally (required metrics present, budgets honoured)
 without running anything or needing a git baseline — cheap enough for CI.
+
+``--trend`` additionally gates on the bench *history*
+(``benchmarks/results/history.jsonl``, appended by every serving bench
+run): the newest warm-speedup record is compared against the median of a
+rolling window of prior runs, so a slow drift across several commits is
+caught even when every single-step comparison stays inside its budget.
+With fewer than ``--trend-min-runs`` records the trend gate reports
+"not enough history" and passes — a fresh clone must not fail CI.
+
 Exit status: 0 on pass, 1 on regression/violation, 2 on missing/invalid
 inputs.
 """
@@ -77,6 +86,8 @@ SMOKE_CHECKS = (
     (("throughput", "speedup"), ("min", 2.0)),
     (("throughput", "ecalls_per_query"), ("max", 1.0)),
     (("throughput", "labels_identical"), ("true", None)),
+    (("profiling", "overhead_fraction"), ("max", 0.02)),
+    (("profiling", "timeline_coverage"), ("min", 0.95)),
 )
 
 
@@ -126,6 +137,65 @@ def smoke(fresh_path: Path) -> int:
     return 0
 
 
+def trend(history_path: Path, window: int, min_runs: int,
+          max_drift: float, benchmark: str = "serving_fast_path",
+          metric: str = "warm_over_uncached") -> int:
+    """Gate on rolling-window drift over the bench history.
+
+    The newest record's metric is compared against the median of the
+    ``window`` prior records: a fractional drop beyond ``max_drift``
+    fails. The median makes the reference robust to one noisy run in the
+    window — exactly the failure mode single-baseline comparison has.
+    """
+    # the sibling history module; resolvable even when this file is
+    # imported from outside benchmarks/ (e.g. by the test suite)
+    bench_dir = str(Path(__file__).resolve().parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    from history import metric_series, read_history
+
+    records = read_history(history_path, benchmark=benchmark)
+    series = metric_series(records, metric)
+    if len(series) < min_runs:
+        print(
+            f"bench-check: trend — only {len(series)} run(s) of "
+            f"{benchmark}.{metric} in {history_path.name} "
+            f"(need {min_runs}); trend not yet established, passing"
+        )
+        return 0
+    newest = series[-1]
+    reference = sorted(series[-(window + 1):-1])
+    median = (
+        reference[len(reference) // 2]
+        if len(reference) % 2
+        else 0.5 * (reference[len(reference) // 2 - 1]
+                    + reference[len(reference) // 2])
+    )
+    if median <= 0:
+        print(
+            f"bench-check: trend — rolling median of {metric} is "
+            f"{median}; history is unusable",
+            file=sys.stderr,
+        )
+        return 2
+    drift = 1.0 - newest / median
+    print(
+        f"trend: {benchmark}.{metric} newest {newest:.2f} vs rolling "
+        f"median {median:.2f} over {len(reference)} prior run(s) "
+        f"({'-' if drift > 0 else '+'}{abs(drift):.1%} "
+        f"{'slower' if drift > 0 else 'faster'}, budget {max_drift:.0%})"
+    )
+    if drift > max_drift:
+        print(
+            f"bench-check: TREND FAIL — {metric} drifted {drift:.1%} "
+            f"below the rolling median, over the {max_drift:.0%} budget",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench-check: trend OK")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -148,10 +218,34 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke", action="store_true",
         help="structurally validate the benchmark file (no baseline needed)",
     )
+    parser.add_argument(
+        "--trend", action="store_true",
+        help="also gate on rolling-window drift over the bench history",
+    )
+    parser.add_argument(
+        "--history", type=Path,
+        default=Path(__file__).parent / "results" / "history.jsonl",
+        help="bench history JSONL (default: benchmarks/results/history.jsonl)",
+    )
+    parser.add_argument(
+        "--trend-window", type=int, default=8,
+        help="rolling window of prior runs for the trend median (default 8)",
+    )
+    parser.add_argument(
+        "--trend-min-runs", type=int, default=3,
+        help="minimum history depth before the trend gate engages (default 3)",
+    )
     args = parser.parse_args(argv)
 
+    trend_code = 0
+    if args.trend:
+        trend_code = trend(
+            args.history, args.trend_window, args.trend_min_runs,
+            args.max_regression,
+        )
+
     if args.smoke:
-        return smoke(args.fresh)
+        return max(smoke(args.fresh), trend_code)
 
     try:
         fresh = load_fresh(args.fresh)
@@ -189,7 +283,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 1
     print("bench-check: OK")
-    return 0
+    return trend_code
 
 
 if __name__ == "__main__":

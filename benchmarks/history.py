@@ -1,0 +1,103 @@
+"""Bench-history store: append-only JSONL of benchmark results.
+
+Every run of ``benchmarks/test_perf_serving.py`` appends one record per
+benchmark arm to ``benchmarks/results/history.jsonl`` — timestamped and
+git-sha tagged — so the repository accumulates a performance trajectory
+instead of a single committed snapshot. ``check_regression.py --trend``
+gates on rolling-window drift over this file; a couple of seed records
+are committed so the trend gate has context from the first CI run.
+
+Records are one JSON object per line::
+
+    {"timestamp": "2026-08-08T12:00:00+00:00", "git_sha": "80270fb",
+     "benchmark": "serving_fast_path", "metrics": {"warm_over_uncached": 16.2}}
+
+The reader is tolerant: corrupt or alien lines are skipped (the file is
+append-only across branches and machines, so it must never become a
+single point of failure for the bench suite).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULTS_DIR = Path(__file__).parent / "results"
+HISTORY_PATH = RESULTS_DIR / "history.jsonl"
+
+
+def git_sha(short: bool = True) -> str:
+    """The current commit sha, or ``"unknown"`` outside a git checkout."""
+    cmd = ["git", "rev-parse", "--short" if short else "--verify", "HEAD"]
+    try:
+        proc = subprocess.run(
+            cmd, cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def append_history(
+    benchmark: str,
+    metrics: Dict[str, object],
+    path: Optional[Path] = None,
+) -> Dict[str, object]:
+    """Append one benchmark record; returns the record written."""
+    path = HISTORY_PATH if path is None else Path(path)
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_sha": git_sha(),
+        "benchmark": benchmark,
+        "metrics": dict(metrics),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def read_history(
+    path: Optional[Path] = None,
+    benchmark: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """All (valid) records in append order, optionally filtered by arm."""
+    path = HISTORY_PATH if path is None else Path(path)
+    if not path.exists():
+        return []
+    records: List[Dict[str, object]] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(record, dict) or "metrics" not in record:
+            continue
+        if benchmark is not None and record.get("benchmark") != benchmark:
+            continue
+        records.append(record)
+    return records
+
+
+def metric_series(
+    records: List[Dict[str, object]], metric: str
+) -> List[float]:
+    """One metric's values across records, skipping records without it."""
+    series: List[float] = []
+    for record in records:
+        metrics = record.get("metrics")
+        if isinstance(metrics, dict) and metric in metrics:
+            try:
+                series.append(float(metrics[metric]))
+            except (TypeError, ValueError):
+                continue
+    return series

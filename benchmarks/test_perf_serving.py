@@ -38,6 +38,7 @@ from repro.tee import EnclaveConfig
 from repro.training import TrainConfig
 
 from .conftest import archive
+from .history import append_history
 
 BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
 
@@ -151,6 +152,13 @@ def test_fast_path_speedup_and_exactness(deployment):
         "labels_identical": True,
         "python": platform.python_version(),
     }, indent=2) + "\n")
+
+    append_history("serving_fast_path", {
+        "warm_over_uncached": speedup_warm,
+        "cold_over_uncached": speedup_cold,
+        "uncached_seconds": slow_seconds,
+        "warm_seconds": warm_seconds,
+    })
 
     # The acceptance bar: ≥10× at equal outputs on the warm path.
     assert speedup_warm >= 10.0, (
@@ -513,6 +521,14 @@ def test_concurrent_throughput_and_amortised_ecalls(deployment):
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
+    append_history("serving_throughput", {
+        "speedup": speedup,
+        "pipelined_qps": pipelined_qps,
+        "sequential_qps": sequential_qps,
+        "ecalls_per_query": ecalls_per_query,
+        "pipeline_overlap_fraction": snap["pipeline_overlap_fraction"],
+    })
+
     assert labels_identical, "pipelined labels diverged from sequential"
     assert ecalls == snap["batches"], (
         "enclave transition count must equal the number of micro-batches"
@@ -527,6 +543,123 @@ def test_concurrent_throughput_and_amortised_ecalls(deployment):
     assert demo_snap["pipeline_overlap_fraction"] > 0.1, (
         "no stage-U/stage-E overlap observed with batch < clients — "
         "the double buffer is not pipelining"
+    )
+
+
+class _ProfilerToggle:
+    """Serve through one shared server with the profiler flipped.
+
+    Same single-server trick as :class:`_HealthToggle`: both arms share
+    one warmed ``VaultServer`` so per-instance memory-layout luck cancels
+    and the paired estimator sees only the profiler's marginal cost —
+    the extra ``perf_counter`` reads, the ECALL-counter delta, and one
+    :class:`BatchTimeline` allocation per batch.
+    """
+
+    def __init__(self, server: VaultServer, profiler) -> None:
+        self._server = server
+        self._profiler = profiler
+
+    def serve(self, chunk, batch_size):
+        server = self._server
+        server.profiler = self._profiler
+        return server.serve(chunk, batch_size=batch_size)
+
+
+PROFILE_CLIENTS = 8
+PROFILE_QUERIES = 240
+
+
+def test_profiling_overhead_and_timeline_coverage(deployment):
+    """The continuous profiler must be ≤2% overhead and ≥95% coverage.
+
+    Two claims, one test. Coverage: a pipelined run with a
+    :class:`PipelineProfiler` attached reconstructs per-batch timelines
+    whose six segments must tile ≥95% of each batch's wall time (they
+    tile it *exactly* by construction — the assertion guards the
+    boundary-timestamp scheme against future drift). Every per-batch
+    cost record must also pass the enclave telemetry gate's closed
+    schema. Overhead: the sequential warm path is paired-timed with the
+    profiler attached vs detached through one shared server.
+    """
+    from repro.obs import PipelineProfiler, validate_cost_record
+
+    run, _, _ = deployment
+
+    session = SecureInferenceSession(
+        run.backbone, run.rectifiers["series"], run.substitute,
+        run.graph.adjacency,
+    )
+    server = VaultServer(session, run.graph.features)
+    workload = zipf_workload(
+        run.graph.num_nodes, NUM_QUERIES, alpha=ZIPF_ALPHA, seed=0
+    )
+    server.serve(workload, batch_size=BATCH_SIZE)  # fill every cache
+
+    # -- Coverage: pipelined run with the profiler attached. ------------
+    profiler = PipelineProfiler()
+    pipeline_workload = workload[:PROFILE_QUERIES]
+    policy = BatchPolicy(max_batch_size=8, max_wait_ms=2.0)
+    with MicroBatchScheduler(server, policy, profiler=profiler) as sched:
+        barrier = threading.Barrier(PROFILE_CLIENTS + 1)
+
+        def client(index: int) -> None:
+            barrier.wait()
+            for node in pipeline_workload[index::PROFILE_CLIENTS]:
+                sched.query(int(node), client=f"client_{index}")
+
+        threads = [
+            threading.Thread(target=client, args=(index,))
+            for index in range(PROFILE_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        for thread in threads:
+            thread.join()
+
+    timelines = profiler.timelines()
+    assert timelines, "profiler recorded no batches from the pipelined run"
+    report = profiler.report()
+    assert report.queries == PROFILE_QUERIES
+    coverage = min(t.coverage() for t in timelines)
+    for timeline in timelines:
+        validate_cost_record(timeline.cost)  # raises TelemetryLeak if dirty
+        assert timeline.profile is not None
+
+    # -- Overhead: paired warm sequential serving, profiler on vs off. --
+    profiler.clear()
+    overhead, without_cpu, with_cpu = _paired_overhead(
+        _ProfilerToggle(server, None),
+        _ProfilerToggle(server, profiler),
+        workload,
+    )
+    server.profiler = None
+    assert len(profiler) > 0, "the profiled arm never recorded a timeline"
+
+    if BENCH_JSON.exists():
+        payload = json.loads(BENCH_JSON.read_text())
+        payload["profiling"] = {
+            "overhead_fraction": overhead,
+            "timeline_coverage": coverage,
+            "batches": report.batches,
+            "ecalls_per_query": report.ecalls_per_query,
+            "warm_cpu_seconds_with_profiler": with_cpu,
+            "warm_cpu_seconds_without_profiler": without_cpu,
+        }
+        BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    append_history("profiling", {
+        "overhead_fraction": overhead,
+        "timeline_coverage": coverage,
+    })
+
+    assert coverage >= 0.95, (
+        f"timeline segments account for only {coverage:.1%} of batch wall "
+        f"time (need >= 95%)"
+    )
+    assert overhead < 0.02, (
+        f"profiler costs {100 * overhead:.1f}% on the warm path (budget 2%)"
     )
 
 

@@ -129,14 +129,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_telemetry_workload(args: argparse.Namespace):
-    """Train a small vault, serve a Zipf workload, return the telemetry hub.
+def _build_deployment(args: argparse.Namespace):
+    """Train a small vault and stand up an instrumented server.
 
-    Shared by ``repro metrics`` and ``repro trace``: the whole pipeline —
-    training epochs, backbone cache, enclave ECALLs — is instrumented, so
-    the export shows the Fig. 6 telemetry story end-to-end.
+    Returns ``(telemetry, server, run)``; the workload commands layer
+    their own serving strategy (sequential loop, scheduler replay) on
+    top of the same trained deployment.
     """
-    from .deploy import SecureInferenceSession, VaultServer, zipf_workload
+    from .deploy import SecureInferenceSession, VaultServer
     from .experiments import run_gnnvault
     from .obs import Telemetry
     from .training import TrainConfig
@@ -161,6 +161,19 @@ def _run_telemetry_workload(args: argparse.Namespace):
         telemetry=telemetry,
     )
     server = VaultServer(session, run.graph.features)
+    return telemetry, server, run
+
+
+def _run_telemetry_workload(args: argparse.Namespace):
+    """Train a small vault, serve a Zipf workload, return the telemetry hub.
+
+    Shared by ``repro metrics`` and ``repro trace``: the whole pipeline —
+    training epochs, backbone cache, enclave ECALLs — is instrumented, so
+    the export shows the Fig. 6 telemetry story end-to-end.
+    """
+    from .deploy import zipf_workload
+
+    telemetry, server, run = _build_deployment(args)
     workload = zipf_workload(
         run.graph.num_nodes, args.queries, alpha=args.alpha, seed=args.seed
     )
@@ -295,6 +308,67 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
             f"# {verdict}: {len(report.slo_violations)} SLO violation(s), "
             f"{len(report.security_alerts)} security alert(s)"
         )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Replay a workload through the pipelined scheduler under the
+    continuous profiler and emit timeline + flamegraph artifacts."""
+    import threading
+    from pathlib import Path
+
+    from .deploy import BatchPolicy, MicroBatchScheduler, zipf_workload
+    from .obs import (
+        PipelineProfiler, spans_to_folded, timelines_to_folded,
+        timelines_to_json,
+    )
+
+    telemetry, server, run = _build_deployment(args)
+    workload = zipf_workload(
+        run.graph.num_nodes, args.queries, alpha=args.alpha, seed=args.seed
+    )
+    profiler = PipelineProfiler()
+    policy = BatchPolicy(
+        max_batch_size=args.max_batch, max_wait_ms=args.max_wait_ms
+    )
+    clients = max(1, args.clients)
+    print(
+        f"replaying {args.queries} Zipf({args.alpha}) queries through the "
+        f"pipeline ({clients} clients, max batch {policy.max_batch_size})..."
+    )
+    with MicroBatchScheduler(server, policy, profiler=profiler) as scheduler:
+        def drive(index: int) -> None:
+            for node in workload[index::clients]:
+                scheduler.query(int(node), client=f"client_{index}")
+
+        threads = [
+            threading.Thread(target=drive, args=(i,)) for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    server.flush_health()
+    timelines = profiler.timelines()
+    if not timelines:
+        print("error: no batches profiled", file=sys.stderr)
+        return 1
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    timeline_path = out_dir / "timeline.json"
+    timeline_path.write_text(timelines_to_json(timelines) + "\n")
+    folded_path = out_dir / "flame.folded"
+    folded_path.write_text(timelines_to_folded(timelines))
+    artifacts = [timeline_path, folded_path]
+    roots = telemetry.tracer.roots()
+    if roots:
+        spans_path = out_dir / "spans.folded"
+        spans_path.write_text(spans_to_folded(roots))
+        artifacts.append(spans_path)
+    print()
+    print(profiler.report().render(timelines), end="")
+    for path in artifacts:
+        print(f"profile artifact written to {path}")
     return 0
 
 
@@ -438,6 +512,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="also replay a link-stealing probe so the security panel lights up",
     )
     dashboard.set_defaults(func=_cmd_dashboard)
+
+    profile = sub.add_parser(
+        "profile",
+        help="replay a workload through the pipeline under the continuous "
+             "profiler; emit timeline JSON + folded flamegraph stacks",
+    )
+    add_workload_options(profile)
+    profile.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent client threads driving the scheduler",
+    )
+    profile.add_argument(
+        "--max-batch", type=int, default=8,
+        help="scheduler max_batch_size (amortisation factor)",
+    )
+    profile.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="scheduler coalescing window",
+    )
+    profile.add_argument(
+        "--output-dir", default="benchmarks/results/profile",
+        help="directory for timeline.json / flame.folded / spans.folded",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"

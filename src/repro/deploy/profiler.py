@@ -41,6 +41,14 @@ class InferenceProfile:
             raise ValueError(f"baseline must be positive, got {baseline_seconds}")
         return self.total_seconds / baseline_seconds - 1.0
 
+    def estimated_pages(self, cost: SgxCostModel) -> int:
+        """EPC pages swapped, recovered from paging time via the cost
+        model's per-page swap latency (the inverse of how the enclave
+        charged them)."""
+        if cost.page_swap_latency_s <= 0:
+            return 0
+        return int(round(self.paging_seconds / cost.page_swap_latency_s))
+
     def breakdown(self) -> dict:
         """Stage → seconds mapping for plotting/reporting.
 

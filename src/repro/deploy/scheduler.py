@@ -193,7 +193,7 @@ class ShardedBackboneWorkers:
 class _PendingQuery:
     """One admitted request: target ids, owner, and a completion event."""
 
-    __slots__ = ("node_ids", "client", "labels", "error", "_done")
+    __slots__ = ("node_ids", "client", "labels", "error", "_done", "queued_at")
 
     def __init__(self, node_ids: Tuple[int, ...], client: str) -> None:
         self.node_ids = node_ids
@@ -201,6 +201,7 @@ class _PendingQuery:
         self.labels: Optional[np.ndarray] = None
         self.error: Optional[BaseException] = None
         self._done = threading.Event()
+        self.queued_at = time.perf_counter()
 
     def _resolve(self, labels: np.ndarray) -> None:
         self.labels = labels
@@ -221,18 +222,29 @@ class _PendingQuery:
 
 
 class _StagedBatch:
-    """Stage-U output waiting in the double buffer for the enclave."""
+    """Stage-U output waiting in the double buffer for the enclave.
+
+    Carries the batch's boundary timestamps (``perf_counter``) across
+    the thread handoff so the profiling layer can reconstruct the full
+    pipeline timeline on the enclave-worker side.
+    """
 
     __slots__ = ("requests", "embeddings", "backbone_seconds",
-                 "staged_seconds", "overlapped")
+                 "staged_seconds", "overlapped", "queued_at",
+                 "collect_start", "stage_start", "stage_end")
 
     def __init__(self, requests, embeddings, backbone_seconds,
-                 staged_seconds, overlapped) -> None:
+                 staged_seconds, overlapped, queued_at=0.0,
+                 collect_start=0.0, stage_start=0.0, stage_end=0.0) -> None:
         self.requests = requests
         self.embeddings = embeddings
         self.backbone_seconds = backbone_seconds
         self.staged_seconds = staged_seconds
         self.overlapped = overlapped
+        self.queued_at = queued_at
+        self.collect_start = collect_start
+        self.stage_start = stage_start
+        self.stage_end = stage_end
 
 
 class PipelineStats:
@@ -252,6 +264,13 @@ class PipelineStats:
     def record_batch(self, num_queries: int, targets_requested: int,
                      targets_unique: int, staged_seconds: float,
                      enclave_seconds: float, overlapped_seconds: float) -> None:
+        # A batch may legitimately report zero staged overlap, and racy
+        # unlocked reads of the busy ledger can even produce a slightly
+        # negative delta; clamp into [0, staged] so the aggregate
+        # overlap fraction stays a fraction.
+        overlapped_seconds = min(
+            max(0.0, staged_seconds), max(0.0, overlapped_seconds)
+        )
         with self._lock:
             self.batches += 1
             self.queries += num_queries
@@ -281,10 +300,20 @@ class PipelineStats:
 
     @property
     def overlap_fraction(self) -> float:
-        """Share of stage-U wall time hidden behind a busy enclave."""
-        if self.stage_untrusted_seconds == 0.0:
+        """Share of stage-U wall time hidden behind a busy enclave.
+
+        Guarded for the zero-staged-overlap edge case: a batch can
+        complete with no measurable staging time at all (embedding-cache
+        hit returning in under clock resolution), in which case the
+        fraction is 0, not a division error — and the result is clamped
+        to [0, 1] so accounting jitter can never report >100 % overlap.
+        """
+        if self.stage_untrusted_seconds <= 0.0:
             return 0.0
-        return self.overlapped_untrusted_seconds / self.stage_untrusted_seconds
+        return min(
+            1.0,
+            self.overlapped_untrusted_seconds / self.stage_untrusted_seconds,
+        )
 
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
@@ -304,6 +333,19 @@ class PipelineStats:
                 "stage_enclave_seconds": self.stage_enclave_seconds,
                 "pipeline_overlap_fraction": self.overlap_fraction,
             }
+
+    def publish_gauges(self, registry, prefix: str = "pipeline_") -> None:
+        """Expose :meth:`snapshot` scalars as gauges in a metrics registry.
+
+        The histogram entry is skipped (it is not a scalar); everything
+        else becomes ``pipeline_*`` gauges so dashboards and Prometheus
+        scrapes see the pipeline without touching scheduler internals.
+        """
+        for key, value in self.snapshot().items():
+            if not isinstance(value, (int, float)):
+                continue
+            name = key if key.startswith(prefix) else f"{prefix}{key}"
+            registry.gauge(name).set(float(value))
 
 
 class MicroBatchScheduler:
@@ -325,11 +367,17 @@ class MicroBatchScheduler:
     """
 
     def __init__(self, server, policy: Optional[BatchPolicy] = None,
-                 backbone_workers: Optional[ShardedBackboneWorkers] = None) -> None:
+                 backbone_workers: Optional[ShardedBackboneWorkers] = None,
+                 profiler=None) -> None:
         self._server = server
         self.policy = policy if policy is not None else BatchPolicy()
         self.backbone_workers = backbone_workers
         self.stats = PipelineStats()
+        #: optional :class:`~repro.obs.profiling.PipelineProfiler`; when
+        #: attached, every batch records a full boundary-timestamp
+        #: timeline (one dataclass + one deque append per batch).
+        self.profiler = profiler
+        self._batch_seq = 0
         self._queue: Deque[_PendingQuery] = deque()
         self._cv = threading.Condition()  # guards queue/paused/inflight/running
         self._handoff: "queue.Queue[Optional[_StagedBatch]]" = queue.Queue(maxsize=1)
@@ -379,7 +427,12 @@ class MicroBatchScheduler:
             self._cv.notify_all()
         self._collector.join()
         self._enclave_worker.join()
+        self.publish_stats()
         self._server._detach_scheduler(self)
+
+    def publish_stats(self) -> None:
+        """Publish :class:`PipelineStats` as ``pipeline_*`` gauges."""
+        self.stats.publish_gauges(self._server.telemetry.registry)
 
     def __enter__(self) -> "MicroBatchScheduler":
         return self.start()
@@ -480,7 +533,7 @@ class MicroBatchScheduler:
     # ------------------------------------------------------------------
     # Stage U: collector
     # ------------------------------------------------------------------
-    def _next_batch(self) -> Optional[List[_PendingQuery]]:
+    def _next_batch(self) -> Optional[Tuple[List[_PendingQuery], float]]:
         with self._cv:
             self._cv.wait_for(
                 lambda: (self._queue and not self._paused) or not self._running
@@ -489,7 +542,8 @@ class MicroBatchScheduler:
                 return None  # shutdown with an empty queue
             if self._paused and self._running:
                 # woken by shutdown-vs-pause races; re-wait
-                return []
+                return [], 0.0
+            collect_start = time.perf_counter()
             batch = [self._queue.popleft()]
             deadline = time.monotonic() + self.policy.max_wait_ms / 1000.0
             while len(batch) < self.policy.max_batch_size:
@@ -505,17 +559,18 @@ class MicroBatchScheduler:
                 if not self._queue:
                     break
             self._inflight_batches += 1
-            return batch
+            return batch, collect_start
 
     def _collect_loop(self) -> None:
         while True:
-            batch = self._next_batch()
-            if batch is None:
+            popped = self._next_batch()
+            if popped is None:
                 break
+            batch, collect_start = popped
             if not batch:
                 continue
             try:
-                staged = self._stage(batch)
+                staged = self._stage(batch, collect_start)
             except BaseException as exc:  # stage-U failure fails the batch
                 for request in batch:
                     request._fail(exc)
@@ -537,18 +592,27 @@ class MicroBatchScheduler:
             total += time.perf_counter() - start
         return total
 
-    def _stage(self, batch: List[_PendingQuery]) -> _StagedBatch:
+    def _stage(self, batch: List[_PendingQuery],
+               collect_start: float) -> _StagedBatch:
         busy_before = self._enclave_busy_seconds()
         start = time.perf_counter()
         embeddings, backbone_seconds = self._server._embeddings(
             workers=self.backbone_workers
         )
-        staged_seconds = time.perf_counter() - start
+        stage_end = time.perf_counter()
+        staged_seconds = stage_end - start
+        # clamp: the unlocked busy-ledger read can race the worker's
+        # accumulate-then-clear and come back marginally negative
         overlapped = min(
-            staged_seconds, self._enclave_busy_seconds() - busy_before
+            staged_seconds,
+            max(0.0, self._enclave_busy_seconds() - busy_before),
         )
-        return _StagedBatch(batch, embeddings, backbone_seconds,
-                            staged_seconds, overlapped)
+        return _StagedBatch(
+            batch, embeddings, backbone_seconds, staged_seconds, overlapped,
+            queued_at=min(request.queued_at for request in batch),
+            collect_start=collect_start, stage_start=start,
+            stage_end=stage_end,
+        )
 
     # ------------------------------------------------------------------
     # Stage E: enclave worker
@@ -573,6 +637,11 @@ class MicroBatchScheduler:
         total = sum(len(ids) for ids in node_lists)
         tracer = server.telemetry.tracer
         record = tracer.open_record("query", total)
+        profiler = self.profiler
+        ecalls_before = (
+            server._session.enclave.ecall_transitions
+            if profiler is not None else 0
+        )
         profile = None
         start = time.perf_counter()
         try:
@@ -603,6 +672,47 @@ class MicroBatchScheduler:
         for request in requests:
             request._resolve(labels[offset:offset + len(request.node_ids)])
             offset += len(request.node_ids)
+        if profiler is not None:
+            self._record_timeline(
+                staged, total, unique, start, start + enclave_seconds,
+                profile, ecalls_before,
+            )
+
+    def _record_timeline(self, staged: _StagedBatch, total: int, unique: int,
+                         execute_start: float, execute_end: float,
+                         profile, ecalls_before: int) -> None:
+        """Assemble and record one batch's pipeline timeline.
+
+        Runs on the enclave-worker thread after the batch resolved, so
+        it is off every request's critical path; the enclave counters
+        are safe to read here because this thread is the only ECALL
+        issuer while the scheduler is attached.
+        """
+        from ..obs.profiling import BatchTimeline, enclave_cost_record
+
+        session = self._server._session
+        cost = enclave_cost_record(
+            profile,
+            ecall_count=session.enclave.ecall_transitions - ecalls_before,
+            cost_model=session.enclave.config.cost_model,
+        )
+        self._batch_seq += 1
+        self.profiler.record(BatchTimeline(
+            index=self._batch_seq,
+            num_queries=len(staged.requests),
+            targets_requested=total,
+            targets_unique=unique,
+            queued_at=staged.queued_at,
+            collect_start=staged.collect_start,
+            stage_start=staged.stage_start,
+            stage_end=staged.stage_end,
+            execute_start=execute_start,
+            execute_end=execute_end,
+            done_at=time.perf_counter(),
+            overlap_seconds=staged.overlapped,
+            profile=profile,
+            cost=cost,
+        ))
 
     # ------------------------------------------------------------------
     # Bookkeeping

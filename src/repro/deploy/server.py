@@ -21,6 +21,7 @@ pass. :class:`VaultServer` adds the serving machinery around
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -279,6 +280,21 @@ class VaultServer:
         # add_node fences through it so no in-flight batch straddles a
         # graph-version change.
         self._scheduler = None
+        # Optional continuous profiler for the *sequential* path: when
+        # attached, every query_batch records a BatchTimeline (queue /
+        # collect / handoff collapse to zero — there is no pipeline).
+        # Detached, the hot path pays one attribute load + None check.
+        self.profiler = None
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    def attach_profiler(self, profiler) -> None:
+        """Attach a :class:`~repro.obs.profiling.PipelineProfiler`."""
+        self.profiler = profiler
+
+    def detach_profiler(self) -> None:
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Serving
@@ -346,10 +362,17 @@ class VaultServer:
                 self._budget_exhausted(client, len(node_ids))
         tracer = self.telemetry.tracer
         record = tracer.open_record("query", len(node_ids))
+        profiler = self.profiler
+        if profiler is not None:
+            started = time.perf_counter()
+            ecalls_before = self._session.enclave.ecall_transitions
         backbone_seconds = 0.0
+        staged_end = 0.0
         profile = None
         try:
             embeddings, backbone_seconds = self._embeddings()
+            if profiler is not None:
+                staged_end = time.perf_counter()
             labels, profile = self._session.predict_nodes_precomputed(
                 embeddings, node_ids, backbone_seconds=backbone_seconds
             )
@@ -358,6 +381,8 @@ class VaultServer:
                 record, backbone_seconds,
                 None if profile is None else profile.total_seconds,
             )
+        if profiler is not None:
+            execute_end = time.perf_counter()
         self.stats.record_batch(node_ids, profile)
         health = self.health
         if health is not None or self.monitor is not None:
@@ -371,7 +396,34 @@ class VaultServer:
             "query_served", time=0.0 if health is None else health.now,
             client=client, batch_count=len(node_ids),
         )
+        if profiler is not None:
+            self._record_sequential_timeline(
+                profiler, node_ids, started, staged_end, execute_end,
+                profile, ecalls_before,
+            )
         return labels
+
+    def _record_sequential_timeline(
+        self, profiler, node_ids: Sequence[int], started: float,
+        staged_end: float, execute_end: float, profile,
+        ecalls_before: int,
+    ) -> None:
+        """One sequential query batch as a (degenerate) pipeline timeline.
+
+        Queue wait, batch formation and the double-buffer handoff do not
+        exist on this path, so those boundaries coincide and the Gantt
+        shows only stage (backbone) / execute (ECALL) / egress
+        (accounting) — comparable side by side with scheduler timelines.
+        At ``batch_size=1`` this runs per query, so the profiler defers
+        timeline/cost-record construction off the hot path.
+        """
+        enclave = self._session.enclave
+        profiler.record_sequential(
+            len(node_ids), len(set(node_ids)), started, staged_end,
+            execute_end, time.perf_counter(), profile,
+            enclave.ecall_transitions - ecalls_before,
+            enclave.config.cost_model,
+        )
 
     def _budget_exhausted(self, client: str, batch_len: int) -> None:
         """Alert, audit, and refuse: a client ran its query budget dry."""

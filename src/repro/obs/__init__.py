@@ -17,7 +17,10 @@ memory table) is telemetry; this package makes it first-class and safe:
 * :mod:`repro.obs.patterns` — runtime detection of link-stealing-shaped
   query workloads;
 * :mod:`repro.obs.dashboard` — self-contained static HTML operator
-  dashboard (inline SVG, no external assets).
+  dashboard (inline SVG, no external assets);
+* :mod:`repro.obs.profiling` — continuous pipeline profiling: per-batch
+  boundary-timestamp timelines, ECALL/EPC cost attribution through the
+  telemetry gate's closed schema, flamegraph/timeline exporters.
 
 :class:`Telemetry` bundles one registry + tracer pair and is the object
 the serving stack passes around::
@@ -74,6 +77,18 @@ from .redaction import (
     TelemetryLeak,
 )
 from .patterns import QueryPatternMonitor
+from .profiling import (
+    BatchTimeline,
+    PipelineProfiler,
+    ProfileReport,
+    enclave_cost_record,
+    spans_to_folded,
+    timelines_to_folded,
+    timelines_to_json,
+    validate_cost_record,
+    write_folded,
+    write_timeline_json,
+)
 from .tracing import NULL_SPAN, NullSpan, Span, Tracer
 
 
@@ -118,6 +133,7 @@ __all__ = [
     "AlertManager",
     "AuditEvent",
     "AuditLog",
+    "BatchTimeline",
     "Counter",
     "EnclaveTelemetryGate",
     "EwmaDetector",
@@ -129,6 +145,8 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "NullSpan",
+    "PipelineProfiler",
+    "ProfileReport",
     "QueryPatternMonitor",
     "RedactedSpan",
     "SIZE_BUCKETS_BYTES",
@@ -140,6 +158,7 @@ __all__ = [
     "TelemetryLeak",
     "Tracer",
     "default_serving_slos",
+    "enclave_cost_record",
     "parse_audit_jsonl",
     "parse_metrics_jsonl",
     "parse_prometheus",
@@ -148,8 +167,13 @@ __all__ = [
     "render_health_report",
     "render_metrics_jsonl",
     "render_prometheus",
+    "spans_to_folded",
     "spans_to_jsonl",
+    "timelines_to_folded",
+    "timelines_to_json",
     "traces_to_registry",
+    "validate_cost_record",
     "write_dashboard",
-    "write_trace_jsonl",
+    "write_folded",
+    "write_timeline_json",
 ]

@@ -298,6 +298,41 @@ def _paging_panel(registry, health) -> str:
     return _panel("Enclave paging", "EPC pressure on the trusted side", body)
 
 
+def _pipeline_panel(registry) -> str:
+    """Micro-batch pipeline behaviour, from the ``pipeline_*`` gauges
+    published by :meth:`PipelineStats.publish_gauges` (scheduler close
+    or an explicit ``publish_stats``)."""
+
+    def gauge(name: str) -> float:
+        metric = registry.get(f"pipeline_{name}")
+        return metric.value() if metric is not None else 0.0
+
+    batches = gauge("batches")
+    if batches <= 0:
+        body = '<p class="empty">no pipeline activity yet</p>'
+        return _panel("Pipeline", "micro-batch scheduler", body)
+    tiles = "".join([
+        _tile("batches", f"{int(batches)}",
+              f"{int(gauge('queries'))} queries"),
+        _tile("mean batch size", _fmt(gauge("mean_batch_size"), 2),
+              f"dedup {100 * gauge('dedup_fraction'):.1f}%"),
+        _tile("ECALLs / query", _fmt(gauge("ecalls_per_query"), 3),
+              "amortised world transitions"),
+        _tile("overlap", f"{100 * gauge('overlap_fraction'):.1f}%",
+              "staging hidden behind the enclave"),
+    ])
+    stage_u = gauge("stage_untrusted_seconds")
+    stage_e = gauge("stage_enclave_seconds")
+    body = (
+        f'<div class="tiles">{tiles}</div>'
+        f'<p class="note">stage U (untrusted) {_fmt(stage_u)}s · '
+        f'stage E (enclave) {_fmt(stage_e)}s</p>'
+    )
+    return _panel(
+        "Pipeline", "double-buffered micro-batch serving", body
+    )
+
+
 def _slo_panel(report) -> str:
     if report is None or not report.statuses:
         return _panel("SLOs", "declarative objectives",
@@ -470,6 +505,7 @@ def render_dashboard(
         _latency_panel(registry, health),
         _cache_panel(registry),
         _paging_panel(registry, health),
+        _pipeline_panel(registry),
         _slo_panel(report),
         _alerts_panel(report),
         _security_panel(monitor),

@@ -144,6 +144,16 @@ class RectifierEnclave:
         #: simulation-level ground truth the amortised-ECALL benchmarks
         #: and the pipeline security tests compare micro-batch counts to.
         self.ecall_transitions = 0
+        # Lifetime ECALL cost tallies (simulation ground truth, one entry
+        # per EcallReport field that aggregates as a sum). The continuous
+        # profiling layer cross-checks its per-batch attribution against
+        # these totals; like ecall_transitions they are plain counters,
+        # independent of whether telemetry is attached.
+        self.ecall_transfer_seconds = 0.0
+        self.ecall_compute_seconds = 0.0
+        self.ecall_paging_seconds = 0.0
+        self.ecall_payload_bytes = 0
+        self.ecall_swapped_pages = 0
         # Model parameters are resident for the enclave's lifetime.
         self.memory.allocate(
             "model/parameters", rectifier.num_parameters() * _FLOAT_BYTES
@@ -514,6 +524,11 @@ class RectifierEnclave:
         ``paging`` sum to the report's total. Only aggregates cross the
         boundary — the gate's types reject anything per-node.
         """
+        self.ecall_transfer_seconds += report.transfer_seconds
+        self.ecall_compute_seconds += report.compute_seconds
+        self.ecall_paging_seconds += report.paging_seconds
+        self.ecall_payload_bytes += report.payload_bytes
+        self.ecall_swapped_pages += report.swapped_pages
         gate = self._telemetry
         if gate is None:
             return
@@ -523,6 +538,19 @@ class RectifierEnclave:
             report.payload_bytes, report.peak_memory_bytes,
             report.swapped_pages,
         )
+
+    def ecall_cost_totals(self) -> Dict[str, float]:
+        """Lifetime ECALL cost tallies, keyed with gate-clean aggregate
+        names (the profiling layer reconciles per-batch attribution
+        against these)."""
+        return {
+            "ecall_count": self.ecall_transitions,
+            "transfer_seconds": self.ecall_transfer_seconds,
+            "compute_seconds": self.ecall_compute_seconds,
+            "paging_seconds": self.ecall_paging_seconds,
+            "payload_bytes": self.ecall_payload_bytes,
+            "paging_pages": self.ecall_swapped_pages,
+        }
 
     def _expand_inputs(self, embeddings: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Map channel payloads onto the backbone-embedding slots.

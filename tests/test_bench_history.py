@@ -1,0 +1,149 @@
+"""Bench-history store and the rolling-window trend gate.
+
+``benchmarks/history.py`` and ``benchmarks/check_regression.py`` are
+plain scripts (not part of the ``repro`` package), so these tests load
+them by path. The properties under test: records round-trip through the
+append-only JSONL, the reader survives corrupt lines, and the trend
+gate's three regimes (not-enough-history, healthy, drifted) map to the
+right exit codes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "benchmarks" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    # check_regression does `from history import ...` at call time
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.path.pop(0)
+    return module
+
+
+@pytest.fixture(scope="module")
+def history():
+    return _load("history")
+
+
+@pytest.fixture(scope="module")
+def check_regression():
+    return _load("check_regression")
+
+
+class TestHistoryStore:
+    def test_append_and_read_round_trip(self, history, tmp_path):
+        path = tmp_path / "history.jsonl"
+        record = history.append_history(
+            "serving_fast_path", {"warm_over_uncached": 15.2}, path=path
+        )
+        assert record["benchmark"] == "serving_fast_path"
+        assert record["git_sha"]  # never empty, "unknown" at worst
+        assert "T" in record["timestamp"]  # ISO-8601
+        back = history.read_history(path)
+        assert back == [record]
+
+    def test_append_creates_parent_directories(self, history, tmp_path):
+        path = tmp_path / "deep" / "nested" / "history.jsonl"
+        history.append_history("b", {"m": 1.0}, path=path)
+        assert path.exists()
+
+    def test_reader_skips_corrupt_and_alien_lines(self, history, tmp_path):
+        path = tmp_path / "history.jsonl"
+        history.append_history("a", {"m": 1.0}, path=path)
+        with path.open("a") as fh:
+            fh.write("{not json\n")
+            fh.write("\n")
+            fh.write(json.dumps(["a", "list"]) + "\n")
+            fh.write(json.dumps({"no": "metrics"}) + "\n")
+        history.append_history("a", {"m": 2.0}, path=path)
+        records = history.read_history(path)
+        assert [r["metrics"]["m"] for r in records] == [1.0, 2.0]
+
+    def test_benchmark_filter(self, history, tmp_path):
+        path = tmp_path / "history.jsonl"
+        history.append_history("a", {"m": 1.0}, path=path)
+        history.append_history("b", {"m": 2.0}, path=path)
+        assert len(history.read_history(path, benchmark="a")) == 1
+
+    def test_missing_file_reads_empty(self, history, tmp_path):
+        assert history.read_history(tmp_path / "absent.jsonl") == []
+
+    def test_metric_series_skips_absent_and_bad_values(self, history):
+        records = [
+            {"metrics": {"m": 1.0}},
+            {"metrics": {"other": 2.0}},
+            {"metrics": {"m": "not-a-number"}},
+            {"metrics": {"m": 3}},
+        ]
+        assert history.metric_series(records, "m") == [1.0, 3.0]
+
+
+class TestTrendGate:
+    def _seed(self, history, path, values):
+        for value in values:
+            history.append_history(
+                "serving_fast_path", {"warm_over_uncached": value}, path=path
+            )
+
+    def test_not_enough_history_passes(self, check_regression, tmp_path,
+                                       capsys):
+        path = tmp_path / "history.jsonl"
+        code = check_regression.trend(path, window=8, min_runs=3,
+                                      max_drift=0.20)
+        assert code == 0
+        assert "not yet established" in capsys.readouterr().out
+
+    def test_healthy_trend_passes(self, history, check_regression, tmp_path):
+        path = tmp_path / "history.jsonl"
+        self._seed(history, path, [15.0, 15.5, 14.8, 15.2])
+        assert check_regression.trend(path, window=8, min_runs=3,
+                                      max_drift=0.20) == 0
+
+    def test_drift_beyond_budget_fails(self, history, check_regression,
+                                       tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        self._seed(history, path, [15.0, 15.5, 14.8, 15.2, 8.0])
+        assert check_regression.trend(path, window=8, min_runs=3,
+                                      max_drift=0.20) == 1
+        assert "TREND FAIL" in capsys.readouterr().err
+
+    def test_one_noisy_prior_run_does_not_skew_the_median(
+            self, history, check_regression, tmp_path):
+        path = tmp_path / "history.jsonl"
+        # one collapsed run inside the window must not drag the
+        # reference down — the median absorbs it
+        self._seed(history, path, [15.0, 1.0, 15.5, 14.8, 15.2])
+        assert check_regression.trend(path, window=8, min_runs=3,
+                                      max_drift=0.20) == 0
+
+    def test_unusable_history_exits_two(self, history, check_regression,
+                                        tmp_path):
+        path = tmp_path / "history.jsonl"
+        self._seed(history, path, [0.0, 0.0, 0.0, 1.0])
+        assert check_regression.trend(path, window=8, min_runs=3,
+                                      max_drift=0.20) == 2
+
+    def test_main_smoke_with_trend_on_committed_files(self, check_regression):
+        # the committed BENCH_serving.json + seed history must pass the
+        # exact gate CI runs (structure smoke + trend)
+        code = check_regression.main([
+            "--smoke", "--trend",
+            "--fresh", str(REPO_ROOT / "BENCH_serving.json"),
+            "--history",
+            str(REPO_ROOT / "benchmarks" / "results" / "history.jsonl"),
+        ])
+        assert code == 0

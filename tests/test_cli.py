@@ -209,3 +209,38 @@ class TestObservabilityCommands:
         for marker in ("http://", "https://", "<script src", "<link"):
             assert marker not in html
         assert f"written to {target}" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    WORKLOAD = ["--epochs", "5", "--patience", "5", "--queries", "40"]
+
+    def test_profile_writes_artifacts_and_reports(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "profile"
+        code = main(
+            ["profile", *self.WORKLOAD, "--clients", "4",
+             "--max-batch", "8", "--output-dir", str(out_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pipeline profile:" in out
+        assert "ecall cost attribution" in out
+        assert "profile artifact written to" in out
+
+        doc = json.loads((out_dir / "timeline.json").read_text())
+        assert doc["schema"] == "repro.profile.timeline/v1"
+        assert doc["summary"]["queries"] == 40
+        assert doc["traceEvents"]
+        folded = (out_dir / "flame.folded").read_text()
+        assert "pipeline;execute" in folded
+        # span flamegraph from the tracer rides along when traces exist
+        assert (out_dir / "spans.folded").exists()
+
+    def test_profile_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["profile"])
+        assert args.clients == 4
+        assert args.max_batch == 8
+        assert args.output_dir == "benchmarks/results/profile"

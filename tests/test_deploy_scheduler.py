@@ -320,3 +320,57 @@ class TestPipelineStats:
         assert 0.0 <= snap["pipeline_overlap_fraction"] <= 1.0
         # the server-side view agrees with the pipeline's
         assert server.stats.queries_served == len(workload)
+
+    def test_overlap_fraction_guards_zero_staged_seconds(self):
+        from repro.deploy.scheduler import PipelineStats
+
+        stats = PipelineStats()
+        # A batch can legitimately stage in ~0 time (cache-hot backbone)
+        # while the unlocked busy-ledger read reports a positive overlap
+        # delta; the fraction must stay defined and inside [0, 1].
+        stats.record_batch(
+            num_queries=4, targets_requested=4, targets_unique=4,
+            staged_seconds=0.0, enclave_seconds=0.001,
+            overlapped_seconds=0.5,
+        )
+        assert stats.overlap_fraction == 0.0
+        snap = stats.snapshot()
+        assert snap["pipeline_overlap_fraction"] == 0.0
+
+    def test_overlap_clamped_to_staged_and_nonnegative(self):
+        from repro.deploy.scheduler import PipelineStats
+
+        stats = PipelineStats()
+        # racy busy-ledger reads can produce overlap > staged or < 0
+        stats.record_batch(
+            num_queries=2, targets_requested=2, targets_unique=2,
+            staged_seconds=0.002, enclave_seconds=0.001,
+            overlapped_seconds=99.0,
+        )
+        stats.record_batch(
+            num_queries=2, targets_requested=2, targets_unique=2,
+            staged_seconds=0.002, enclave_seconds=0.001,
+            overlapped_seconds=-1.0,
+        )
+        assert 0.0 <= stats.overlap_fraction <= 1.0
+
+    def test_publish_gauges_exports_scalars_only(self):
+        from repro.deploy.scheduler import PipelineStats
+        from repro.obs import MetricsRegistry
+
+        stats = PipelineStats()
+        stats.record_batch(
+            num_queries=6, targets_requested=6, targets_unique=5,
+            staged_seconds=0.004, enclave_seconds=0.002,
+            overlapped_seconds=0.001,
+        )
+        registry = MetricsRegistry()
+        stats.publish_gauges(registry)
+        assert registry.get("pipeline_batches").value() == 1.0
+        assert registry.get("pipeline_queries").value() == 6.0
+        assert registry.get("pipeline_mean_batch_size").value() == 6.0
+        assert registry.get("pipeline_overlap_fraction").value() == (
+            stats.overlap_fraction
+        )
+        # the histogram is not a scalar and must not become a gauge
+        assert registry.get("pipeline_batch_size_histogram") is None

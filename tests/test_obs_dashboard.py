@@ -130,3 +130,59 @@ class TestWriteDashboard:
         path = write_dashboard(target, telemetry, health=health, monitor=monitor)
         assert path == target and path.exists()
         assert "<!DOCTYPE html>" in path.read_text()
+
+
+class TestEmptyAndPartialData:
+    """The dashboard must render sensibly at every stage of a server's
+    life: fresh boot (no metrics at all), partial traffic (some metric
+    families exist, others don't), and no pipeline activity."""
+
+    def test_renders_with_completely_empty_telemetry(self):
+        html = render_dashboard(Telemetry())
+        assert "<!DOCTYPE html>" in html
+        # empty-state placeholders, not broken markup or NaN tiles
+        assert "no pipeline activity yet" in html
+        assert "no health monitor attached" in html
+
+    def test_renders_with_partial_metrics_only(self):
+        telemetry = Telemetry()
+        # queries counted, but no latency histogram / cache counters yet
+        telemetry.registry.counter("vault_queries_total", help="q").inc(5)
+        html = render_dashboard(telemetry)
+        assert "<!DOCTYPE html>" in html
+        assert "no pipeline activity yet" in html
+
+    def test_histogram_with_zero_observations_renders(self):
+        telemetry = Telemetry()
+        telemetry.registry.histogram("vault_query_batch_seconds", help="l")
+        html = render_dashboard(telemetry)
+        assert "<!DOCTYPE html>" in html
+
+    def test_health_with_no_batches_renders(self):
+        telemetry = Telemetry()
+        health = HealthMonitor(telemetry=telemetry)
+        html = render_dashboard(telemetry, health=health)
+        assert "<!DOCTYPE html>" in html
+
+
+class TestPipelinePanel:
+    def test_empty_without_pipeline_gauges(self, populated):
+        telemetry, health, monitor = populated
+        html = render_dashboard(telemetry, health=health, monitor=monitor)
+        assert "no pipeline activity yet" in html
+
+    def test_populated_from_published_gauges(self, populated):
+        from repro.deploy.scheduler import PipelineStats
+
+        telemetry, health, monitor = populated
+        stats = PipelineStats()
+        stats.record_batch(
+            num_queries=8, targets_requested=8, targets_unique=6,
+            staged_seconds=0.004, enclave_seconds=0.002,
+            overlapped_seconds=0.001,
+        )
+        stats.publish_gauges(telemetry.registry)
+        html = render_dashboard(telemetry, health=health, monitor=monitor)
+        assert "no pipeline activity yet" not in html
+        assert "ECALLs / query" in html
+        assert "micro-batch" in html

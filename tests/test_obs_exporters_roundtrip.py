@@ -155,3 +155,28 @@ class TestTracesToRegistry:
         registry = traces_to_registry(Tracer())
         samples = parse_prometheus_samples(render_prometheus(registry))
         assert samples.get("trace_spans_total") is None
+
+
+class TestGaugeLabelEscaping:
+    """Gauges take the same escaping path as counters, but the pipeline
+    gauges published by the scheduler are the first gauge family with
+    operator-controlled provenance — pin the round trip explicitly."""
+
+    def test_gauge_with_hostile_label_round_trips(self):
+        registry = MetricsRegistry()
+        hostile = 'shard "A"\\primary\nfailover'
+        registry.gauge("pipeline_batches", help="b").set(42.0, shard=hostile)
+        text = render_prometheus(registry)
+        sample_lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert len(sample_lines) == 1  # newline stayed escaped
+        samples = parse_prometheus_samples(text)
+        assert samples["pipeline_batches"][(("shard", hostile),)] == 42.0
+
+    def test_double_render_is_stable(self):
+        # render → parse → re-render must not double-escape
+        registry = MetricsRegistry()
+        hostile = 'a\\b"c'
+        registry.counter("x_total", help="h").inc(1, tag=hostile)
+        text = render_prometheus(registry)
+        parsed = parse_metrics_jsonl(render_metrics_jsonl(registry))
+        assert render_prometheus(parsed) == text

@@ -478,3 +478,92 @@ class TestPipelinedServing:
             for key, value in span.attributes.items():
                 assert not set(key.split("_")) & FORBIDDEN_WORDS, key
                 assert isinstance(value, numbers.Number), (key, value)
+
+
+class TestProfilingBoundary:
+    """Continuous profiling must not widen the enclave boundary.
+
+    Per-batch cost attribution joins the enclave's transition counter
+    with the cost-model profile — both already gate-approved aggregates.
+    The timeline's *other* fields (batch composition, queue timestamps)
+    are untrusted-side observations the scheduler makes about its own
+    behaviour, so the closed schema applies to the enclave-origin
+    ``cost`` records: aggregate-suffixed keys, scalar values, none of
+    the per-entity vocabulary.
+    """
+
+    @pytest.fixture
+    def profiled(self, trained_vault):
+        import threading
+
+        from repro.deploy import (
+            BatchPolicy, MicroBatchScheduler, VaultServer, zipf_workload,
+        )
+        from repro.obs import PipelineProfiler
+
+        run = trained_vault
+        session = SecureInferenceSession(
+            backbone=run.backbone,
+            rectifier=run.rectifiers["series"],
+            substitute_adjacency=run.substitute,
+            private_adjacency=run.graph.adjacency,
+        )
+        server = VaultServer(session, run.graph.features)
+        workload = zipf_workload(run.graph.num_nodes, 48, alpha=1.3, seed=9)
+        profiler = PipelineProfiler()
+        policy = BatchPolicy(max_batch_size=8, max_wait_ms=2.0)
+        with MicroBatchScheduler(server, policy, profiler=profiler) as sched:
+            threads = [
+                threading.Thread(
+                    target=lambda shard=workload[i::4], c=f"client_{i}": [
+                        sched.query(int(n), client=c) for n in shard
+                    ]
+                )
+                for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        return profiler
+
+    def test_every_cost_record_satisfies_the_gate_schema(self, profiled):
+        from repro.obs.redaction import check_aggregate_key, check_scalar
+
+        timelines = profiled.timelines()
+        assert timelines, "profiled run recorded no batches"
+        for timeline in timelines:
+            assert timeline.cost, "batch carries no cost attribution"
+            for key, value in timeline.cost.items():
+                check_aggregate_key(key)  # raises TelemetryLeak on leak
+                check_scalar(key, value)
+
+    @pytest.mark.parametrize("poisoned", [
+        {"node_count": 3},                      # per-entity vocabulary
+        {"queried_ids_total": 7},               # id smuggling
+        {"latency": 0.5},                       # no aggregate suffix
+        {"payload_bytes": [1, 2, 3]},           # non-scalar payload
+        {"transfer_seconds": "0,1,4,9"},        # string side channel
+    ])
+    def test_poisoned_cost_records_are_rejected(self, poisoned):
+        from repro.obs.profiling import validate_cost_record
+        from repro.obs.redaction import TelemetryLeak
+
+        with pytest.raises(TelemetryLeak):
+            validate_cost_record(poisoned)
+
+    def test_timeline_export_cost_sections_stay_clean(self, profiled):
+        import json
+
+        from repro.obs.profiling import timelines_to_json
+        from repro.obs.redaction import FORBIDDEN_WORDS, AGGREGATE_SUFFIXES
+
+        doc = json.loads(timelines_to_json(profiled.timelines()))
+        cost_dicts = [b["cost"] for b in doc["batches"]]
+        cost_dicts.append(doc["summary"]["cost_totals"])
+        assert all(cost_dicts)
+        for cost in cost_dicts:
+            for key, value in cost.items():
+                assert not set(key.lower().split("_")) & FORBIDDEN_WORDS, key
+                assert key.endswith(AGGREGATE_SUFFIXES), key
+                assert isinstance(value, (int, float)), (key, value)
