@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-serving bench-throughput bench-check bench-full obs-demo dashboard health examples report calibration clean
+.PHONY: install test bench bench-serving bench-throughput bench-check bench-full obs-demo dashboard health chaos examples report calibration clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -45,6 +45,13 @@ dashboard:
 # SLO verdict for a demo workload; exit 0 healthy / 1 violated / 2 no data.
 health:
 	$(PYTHON) -m repro.cli health --dataset cora --epochs 15 --queries 500
+
+# Chaos drill: kill the enclave mid-stream, recover from a sealed snapshot,
+# and require every query answered with labels identical to a fault-free
+# baseline. Exit 0 pass / 1 fail; report lands in benchmarks/results/.
+chaos:
+	$(PYTHON) -m repro.cli chaos --seed 0 --queries 200 --kill-at 90 \
+		--output benchmarks/results/chaos_report.json
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

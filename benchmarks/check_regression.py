@@ -88,6 +88,16 @@ SMOKE_CHECKS = (
     (("throughput", "labels_identical"), ("true", None)),
     (("profiling", "overhead_fraction"), ("max", 0.02)),
     (("profiling", "timeline_coverage"), ("min", 0.95)),
+    # Resilience arm: a mid-stream enclave kill must be fully absorbed —
+    # every query answered, labels bitwise identical to the fault-free
+    # run, exactly one recovery, and the recovery itself well under the
+    # per-query deadline budget (30s policy default; 5s is generous for
+    # re-provision + unseal + plan-cache warmup at bench scale).
+    (("resilience", "answered_fraction"), ("min", 1.0)),
+    (("resilience", "labels_identical"), ("true", None)),
+    (("resilience", "restarts"), ("min", 1.0)),
+    (("resilience", "recovery_seconds"), ("max", 5.0)),
+    (("resilience", "queries_degraded"), ("max", 0.0)),
 )
 
 

@@ -14,13 +14,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis import render_series, render_table
+from repro.analysis import render_table
 from repro.attacks import link_stealing_attack
 from repro.datasets import load_dataset, per_class_split
 from repro.experiments import run_gnnvault
 from repro.graph import gcn_normalize
 from repro.models import (
-    ModelPreset,
     SAGEBackbone,
     make_rectifier,
     prepare_sage_adjacency,
@@ -158,7 +157,6 @@ def test_sage_backbone_vault(run_once):
     def pipeline():
         substitute = KnnGraphBuilder(2)(graph.features)
         sub_mean = prepare_sage_adjacency(substitute)
-        real_mean = prepare_sage_adjacency(graph.adjacency)
         backbone = SAGEBackbone(graph.num_features, (64, 16, graph.num_classes), seed=0)
         bb_result = train_node_classifier(
             backbone, graph.features, sub_mean, graph.labels, split, TRAIN

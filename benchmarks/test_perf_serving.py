@@ -674,3 +674,146 @@ def test_plan_cache_epc_accounting(deployment):
     assert sum(plan_regions.values()) == (
         fast_session.enclave.plan_cache_stats()["resident_bytes"]
     )
+
+
+RESILIENCE_QUERIES = 480  # divisible by NUM_CLIENTS: equal shards
+RESILIENCE_KILL_AT = 15   # mid-stream: after the first micro-batches land
+
+
+def test_resilience_mid_stream_kill_recovery(deployment):
+    """Chaos arm: enclave killed mid-stream at 16 concurrent clients.
+
+    A fault-free sequential pass records the baseline labels; the chaos
+    pass replays the identical workload through the pipelined scheduler
+    while a seeded plan destroys the enclave at ECALL
+    ``RESILIENCE_KILL_AT``. The supervisor must re-provision from its
+    sealed snapshot and answer **every** query with labels bitwise
+    identical to the baseline — recovery is an availability event, never
+    an accuracy event. MTTR (wall + simulated) lands in the ``resilience``
+    section of ``BENCH_serving.json`` for the regression gate.
+    """
+    from repro.deploy import EnclaveSupervisor, RecoveryPolicy
+    from repro.tee import FaultInjector, FaultPlan
+    from repro.tee.faults import FAULT_KILL, FaultSpec
+
+    run, _, _ = deployment
+    workload = zipf_workload(
+        run.graph.num_nodes, RESILIENCE_QUERIES, alpha=ZIPF_ALPHA, seed=5
+    )
+
+    def build() -> VaultServer:
+        session = SecureInferenceSession(
+            run.backbone, run.rectifiers["series"], run.substitute,
+            run.graph.adjacency,
+        )
+        return VaultServer(session, run.graph.features)
+
+    baseline_server = build()
+    baseline = baseline_server.serve(workload, batch_size=BATCH_SIZE)
+
+    server = build()
+    server.serve(workload, batch_size=BATCH_SIZE)  # warm every cache
+    session = server.session
+    supervisor = EnclaveSupervisor(
+        session, RecoveryPolicy(snapshot_interval=16)
+    )
+    server.attach_supervisor(supervisor)
+    injector = FaultInjector(
+        FaultPlan((FaultSpec(FAULT_KILL, RESILIENCE_KILL_AT),))
+    )
+    session.attach_fault_injector(injector)
+
+    labels = np.empty(len(workload), dtype=baseline.dtype)
+    failures: list = []
+    barrier = threading.Barrier(NUM_CLIENTS + 1)
+    policy = BatchPolicy(max_batch_size=SCHED_BATCH, max_wait_ms=2.0)
+    with MicroBatchScheduler(server, policy) as scheduler:
+        def client(index: int) -> None:
+            shard = workload[index::NUM_CLIENTS]
+            barrier.wait()
+            try:
+                answers = [
+                    scheduler.query(int(node), client=f"client_{index}")
+                    for node in shard
+                ]
+            except Exception as exc:  # surface in the main thread
+                failures.append(exc)
+                return
+            labels[index::NUM_CLIENTS] = answers
+
+        threads = [
+            threading.Thread(target=client, args=(index,))
+            for index in range(NUM_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        chaos_seconds = time.perf_counter() - start
+
+    assert not failures, failures
+    answered_fraction = 1.0  # any miss would have landed in `failures`
+    labels_identical = labels.tobytes() == baseline.tobytes()
+    report = supervisor.recovery_report()
+    faults = injector.summary()
+
+    text = render_table(
+        ["metric", "value"],
+        [
+            ["queries answered", f"{RESILIENCE_QUERIES}/{RESILIENCE_QUERIES}"],
+            ["labels identical to fault-free", str(labels_identical)],
+            ["enclave restarts", report["restarts_total"]],
+            ["batches retried", report["batches_retried"]],
+            ["MTTR (wall)", f"{1e3 * report['mttr_wall_seconds']:.2f} ms"],
+            ["MTTR (simulated)",
+             f"{1e3 * report['mttr_simulated_seconds']:.2f} ms"],
+            ["snapshot size", f"{report['snapshot_bytes']} B"],
+        ],
+        title=(
+            f"Resilience: enclave kill at ECALL {RESILIENCE_KILL_AT}, "
+            f"{NUM_CLIENTS} clients, {RESILIENCE_QUERIES} queries "
+            f"({chaos_seconds:.2f}s)"
+        ),
+    )
+    archive("perf_resilience", text)
+
+    payload = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {
+        "benchmark": "serving_fast_path",
+    }
+    payload["resilience"] = {
+        "num_clients": NUM_CLIENTS,
+        "num_queries": RESILIENCE_QUERIES,
+        "kill_at_ecall": RESILIENCE_KILL_AT,
+        "answered_fraction": answered_fraction,
+        "labels_identical": labels_identical,
+        "restarts": report["restarts_total"],
+        "batches_retried": report["batches_retried"],
+        "queries_degraded": report["queries_degraded"],
+        "recovery_seconds": report["mttr_wall_seconds"],
+        "recovery_simulated_seconds": report["mttr_simulated_seconds"],
+        "snapshot_bytes": report["snapshot_bytes"],
+        "chaos_run_seconds": chaos_seconds,
+        "faults_fired": {
+            kind: count for kind, count in faults.items()
+            if kind != "ecalls_observed"
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    append_history("resilience", {
+        "recovery_seconds": report["mttr_wall_seconds"],
+        "recovery_simulated_seconds": report["mttr_simulated_seconds"],
+        "batches_retried": report["batches_retried"],
+        "restarts": report["restarts_total"],
+    })
+
+    assert labels_identical, "recovered labels diverged from the fault-free run"
+    assert report["restarts_total"] == 1, (
+        f"expected exactly one recovery, got {report['restarts_total']}"
+    )
+    assert report["state"] == "healthy"
+    assert report["queries_degraded"] == 0
+    assert report["mttr_wall_seconds"] > 0
+    assert report["mttr_simulated_seconds"] > 0

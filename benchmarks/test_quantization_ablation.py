@@ -11,7 +11,6 @@ import pytest
 
 from repro.analysis import render_table
 from repro.experiments import run_gnnvault
-from repro.graph import gcn_normalize
 from repro.models import quantization_sweep
 from repro.training import TrainConfig, accuracy
 

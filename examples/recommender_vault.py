@@ -13,8 +13,6 @@ feature-similarity baseline.
 Run:  python examples/recommender_vault.py
 """
 
-import numpy as np
-
 from repro.attacks import link_stealing_attack
 from repro.deploy import SecureInferenceSession, plan_deployment
 from repro.experiments import run_gnnvault

@@ -12,7 +12,11 @@ Subcommands mirror the lifecycle a user of the library walks through:
 * ``repro health``                — serve a workload, evaluate SLOs; exit code
   reflects the verdict (0 healthy, 1 violated, 2 no data) for CI/liveness probes;
 * ``repro dashboard``             — serve a workload, render the static HTML
-  operator dashboard.
+  operator dashboard;
+* ``repro chaos``                 — serve a workload under injected enclave
+  faults (mid-stream kill, EPC pressure, payload corruption) and verify
+  crash recovery answers every query with labels identical to a fault-free
+  baseline (exit 0 pass / 1 fail).
 
 Every subcommand prints plain text and returns a process exit code, so the
 CLI is scriptable in CI pipelines.
@@ -372,6 +376,146 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Chaos drill: serve a workload under injected enclave faults.
+
+    Records a fault-free baseline, then replays the same workload through
+    the micro-batch scheduler while a seeded :class:`FaultPlan` kills the
+    enclave mid-stream (plus memory pressure, payload corruption, and
+    latency spikes) and an :class:`EnclaveSupervisor` recovers it from
+    sealed snapshots. Exit code 0 requires every query answered and every
+    non-degraded label bitwise-identical to the baseline.
+    """
+    import json
+    import threading
+    from pathlib import Path
+
+    from .deploy import (
+        BatchPolicy, EnclaveSupervisor, MicroBatchScheduler, RecoveryPolicy,
+        zipf_workload,
+    )
+    from .tee import FaultInjector, FaultPlan
+
+    telemetry, server, run = _build_deployment(args)
+    workload = zipf_workload(
+        run.graph.num_nodes, args.queries, alpha=args.alpha, seed=args.seed
+    )
+    print("recording fault-free baseline labels...")
+    baseline = server.query_batch([int(node) for node in workload],
+                                  client="baseline")
+
+    policy = RecoveryPolicy(
+        snapshot_interval=args.snapshot_interval,
+        degraded_mode=args.degraded_mode,
+    )
+    supervisor = EnclaveSupervisor(
+        server.session, policy, telemetry=telemetry, health=server.health
+    )
+    server.attach_supervisor(supervisor)
+    # ECALL horizon: one ECALL per micro-batch plus retry headroom. The
+    # kill must land inside the stream, so the horizon always covers it.
+    num_ecalls = max(2 * args.queries, (args.kill_at or 0) + 8, 16)
+    plan = FaultPlan.seeded(
+        args.seed,
+        num_ecalls,
+        kill_at=args.kill_at,
+        memory_faults=args.memory_faults,
+        corrupt_faults=args.corrupt_faults,
+        latency_faults=args.latency_faults,
+    )
+    injector = FaultInjector(plan)
+    server.session.attach_fault_injector(injector)
+
+    clients = max(1, args.clients)
+    kill_note = (
+        f"enclave kill at ECALL {args.kill_at}" if args.kill_at is not None
+        else "no enclave kill"
+    )
+    print(
+        f"replaying {args.queries} queries under chaos ({clients} clients, "
+        f"{len(plan)} planned faults, {kill_note})..."
+    )
+    # Per-query outcome slots, written by client threads at stride offsets.
+    outcomes: List[Optional[tuple]] = [None] * args.queries
+    batch_policy = BatchPolicy(
+        max_batch_size=args.max_batch, max_wait_ms=args.max_wait_ms
+    )
+    with MicroBatchScheduler(server, batch_policy) as scheduler:
+        def drive(index: int) -> None:
+            for offset, node in enumerate(workload[index::clients]):
+                slot = index + offset * clients
+                try:
+                    request = scheduler.submit(
+                        [int(node)], client=f"client_{index}"
+                    )
+                    labels = request.result(timeout=120.0)
+                    outcomes[slot] = ("ok", int(labels[0]), request.degraded)
+                except Exception as exc:  # failures are data, not aborts
+                    outcomes[slot] = ("error", type(exc).__name__, False)
+
+        threads = [
+            threading.Thread(target=drive, args=(i,)) for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    server.flush_health()
+
+    answered = sum(1 for o in outcomes if o is not None and o[0] == "ok")
+    degraded = sum(1 for o in outcomes if o is not None and o[0] == "ok" and o[2])
+    errors = sorted(
+        {o[1] for o in outcomes if o is not None and o[0] == "error"}
+    )
+    diverged = sum(
+        1 for i, o in enumerate(outcomes)
+        if o is not None and o[0] == "ok" and not o[2]
+        and o[1] != int(baseline[i])
+    )
+    recovery = supervisor.recovery_report()
+    faults = injector.summary()
+    report = {
+        "seed": args.seed,
+        "queries": args.queries,
+        "clients": clients,
+        "kill_at": args.kill_at,
+        "answered": answered,
+        "answered_fraction": answered / args.queries if args.queries else 1.0,
+        "degraded_queries": degraded,
+        "diverged_labels": diverged,
+        "error_kinds": errors,
+        "faults": faults,
+        "recovery": recovery,
+    }
+    print(
+        f"answered {answered}/{args.queries} "
+        f"({100 * report['answered_fraction']:.1f}%), "
+        f"{degraded} degraded (backbone-only), "
+        f"{diverged} diverged vs baseline"
+    )
+    print(
+        "faults fired: "
+        + ", ".join(f"{kind} x{count}" for kind, count in faults.items()
+                    if kind != "ecalls_observed")
+        + f" over {faults['ecalls_observed']} ECALLs"
+    )
+    print(
+        f"recovery: state {recovery['state']}, "
+        f"{recovery['restarts_total']} restart(s), "
+        f"{recovery['batches_retried']} batch(es) retried, "
+        f"MTTR {1e3 * recovery['mttr_wall_seconds']:.2f} ms wall / "
+        f"{1e3 * recovery['mttr_simulated_seconds']:.2f} ms simulated"
+    )
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"chaos report written to {path}")
+    ok = answered == args.queries and diverged == 0
+    print("chaos drill PASSED" if ok else "chaos drill FAILED")
+    return 0 if ok else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from . import experiments as exp
 
@@ -536,6 +680,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for timeline.json / flame.folded / spans.folded",
     )
     profile.set_defaults(func=_cmd_profile)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="serve a workload under injected enclave faults; exit 0 iff "
+             "every query is answered and non-degraded labels match a "
+             "fault-free baseline",
+    )
+    add_workload_options(chaos)
+    chaos.add_argument(
+        "--kill-at", type=int, default=None,
+        help="ECALL index at which the enclave is destroyed mid-stream",
+    )
+    chaos.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent client threads driving the scheduler",
+    )
+    chaos.add_argument(
+        "--max-batch", type=int, default=1,
+        help="scheduler max_batch_size (1 = one ECALL per query, so "
+             "--kill-at indexes into the query stream)",
+    )
+    chaos.add_argument(
+        "--max-wait-ms", type=float, default=0.5,
+        help="scheduler coalescing window",
+    )
+    chaos.add_argument(
+        "--memory-faults", type=int, default=3,
+        help="injected EPC-exhaustion faults (retryable)",
+    )
+    chaos.add_argument(
+        "--corrupt-faults", type=int, default=3,
+        help="injected channel-payload corruptions (detected in-enclave)",
+    )
+    chaos.add_argument(
+        "--latency-faults", type=int, default=2,
+        help="injected transfer latency spikes",
+    )
+    chaos.add_argument(
+        "--snapshot-interval", type=int, default=16,
+        help="successful batches between sealed recovery snapshots",
+    )
+    chaos.add_argument(
+        "--degraded-mode", default="queue", choices=("queue", "backbone_only"),
+        help="behaviour once recovery is abandoned: keep queueing (fail "
+             "rectified queries) or serve backbone-only answers marked "
+             "non-rectified",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from ..graph import Graph, edge_homophily
+from ..graph import edge_homophily
 from ..substitute import KnnGraphBuilder
 from .registry import get_spec, list_datasets
 from .synthetic import load_dataset

@@ -3,6 +3,12 @@
 from .inference import SecureInferenceSession
 from .partition import DeploymentPlan, EnclaveBudget, enclave_budget, plan_deployment
 from .profiler import InferenceProfile, model_compute_seconds
+from .resilience import (
+    DEGRADED_BACKBONE_ONLY,
+    DEGRADED_QUEUE,
+    EnclaveSupervisor,
+    RecoveryPolicy,
+)
 from .scheduler import (
     BatchPolicy,
     MicroBatchScheduler,
@@ -16,11 +22,15 @@ from .updates import GraphUpdate, extend_adjacency, seal_graph_update
 
 __all__ = [
     "BatchPolicy",
+    "DEGRADED_BACKBONE_ONLY",
+    "DEGRADED_QUEUE",
     "DeploymentPlan",
     "EnclaveBudget",
+    "EnclaveSupervisor",
     "GraphUpdate",
     "InferenceProfile",
     "MicroBatchScheduler",
+    "RecoveryPolicy",
     "PipelineStats",
     "QueryBudgetExceeded",
     "SchedulerOverloaded",

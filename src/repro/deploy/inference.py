@@ -28,6 +28,8 @@ from ..tee.enclave import (
     seal_private_graph,
     seal_rectifier_weights,
 )
+from ..tee.faults import FaultInjector
+from ..tee.sealed import SealedBlob
 from .profiler import InferenceProfile, model_compute_seconds
 
 
@@ -53,6 +55,10 @@ class SecureInferenceSession:
         self.substitute_adjacency = substitute_adjacency
         self._substitute_norm = gcn_normalize(substitute_adjacency)
         self._num_nodes = substitute_adjacency.num_nodes
+        # Kept for crash recovery: the supervisor provisions *fresh*
+        # enclave instances for this rectifier from sealed snapshots.
+        self._rectifier = rectifier
+        self._fault_injector: Optional[FaultInjector] = None
 
         # --- vendor-side provisioning ceremony ---------------------------
         # Telemetry is wired up *before* the ceremony so the attestation
@@ -95,6 +101,62 @@ class SecureInferenceSession:
         self.enclave.attach_telemetry(
             telemetry.enclave_gate() if telemetry is not None else None
         )
+
+    def attach_fault_injector(self, injector: Optional[FaultInjector]) -> None:
+        """Thread a fault-injection harness through the whole session.
+
+        The enclave gets it for ECALL-entry faults (memory, kill, latency)
+        and every fresh :class:`OneWayChannel` gets it for staging-time
+        payload corruption. Pass ``None`` to detach.
+        """
+        self._fault_injector = injector
+        self.enclave.attach_fault_injector(injector)
+
+    def _fresh_channel(self) -> OneWayChannel:
+        channel = OneWayChannel()
+        if self._fault_injector is not None:
+            channel.attach_fault_injector(self._fault_injector)
+        return channel
+
+    # ------------------------------------------------------------------
+    # Crash recovery (driven by deploy.resilience.EnclaveSupervisor)
+    # ------------------------------------------------------------------
+    def rebuild_enclave(self, snapshot: SealedBlob) -> RectifierEnclave:
+        """Provision a fresh enclave instance from a sealed snapshot.
+
+        Mirrors the vendor ceremony: the new instance is attested and its
+        quote verified *before* the snapshot is unsealed inside it — a
+        restarted enclave re-earns trust the same way the original did.
+        Raises :class:`~repro.errors.SealingError` if the snapshot was
+        sealed by a different enclave identity (version skew), in which
+        case ``self.enclave`` is left unchanged.
+        """
+        enclave = RectifierEnclave(self._rectifier, self.enclave.config)
+        if self.telemetry is not None:
+            enclave.attach_telemetry(self.telemetry.enclave_gate())
+        quote = enclave.attest(challenge="gnnvault-recovery")
+        verify_quote(
+            quote, enclave.measurement, "gnnvault-recovery",
+            audit=self.telemetry.audit if self.telemetry is not None else None,
+        )
+        enclave.restore_snapshot(snapshot)
+        enclave.attach_fault_injector(self._fault_injector)
+        self.enclave = enclave
+        return enclave
+
+    def backbone_labels(self, embeddings: Sequence[np.ndarray], node_ids) -> np.ndarray:
+        """Backbone-only predictions for degraded (non-rectified) serving.
+
+        Argmax over the public backbone's final-layer logits — computed
+        entirely in the untrusted world from already-staged embeddings,
+        so a dead enclave cannot block it and the label-only egress
+        contract is untouched (nothing crosses the channel at all).
+        Accuracy is the unrectified backbone's; results must be marked
+        ``degraded`` wherever they are served.
+        """
+        logits = np.asarray(embeddings[-1], dtype=np.float64)
+        targets = np.asarray(list(node_ids), dtype=np.int64)
+        return logits[targets].argmax(axis=1).astype(np.int64)
 
     # ------------------------------------------------------------------
     # Serving
@@ -143,7 +205,7 @@ class SecureInferenceSession:
         embeddings, backbone_seconds = self.embed(features)
 
         # One-way transfer of exactly the consumed embeddings.
-        channel = OneWayChannel()
+        channel = self._fresh_channel()
         for layer in self._rectifier_consumed:
             channel.push(embeddings[layer], description=f"backbone_layer_{layer}")
 
@@ -198,7 +260,7 @@ class SecureInferenceSession:
                 f"embeddings cover {embeddings[0].shape[0]} nodes, deployment "
                 f"expects {self._num_nodes}"
             )
-        channel = OneWayChannel()
+        channel = self._fresh_channel()
         for layer in self._rectifier_consumed:
             channel.push(embeddings[layer], description=f"backbone_layer_{layer}")
         report = self.enclave.ecall_infer_nodes(channel, list(node_ids))
@@ -234,7 +296,7 @@ class SecureInferenceSession:
                 f"embeddings cover {embeddings[0].shape[0]} nodes, deployment "
                 f"expects {self._num_nodes}"
             )
-        channel = OneWayChannel()
+        channel = self._fresh_channel()
         channel.push_coalesced(
             [embeddings[layer] for layer in self._rectifier_consumed],
             description="backbone_microbatch",

@@ -1,0 +1,412 @@
+"""Enclave crash recovery: sealed snapshots, supervised restarts, retries.
+
+Real SGX serving treats enclave death as routine — enclaves do not survive
+S3/S4 power transitions and the OS may tear them down under EPC pressure —
+and the recovery primitive is exactly the one GNNVault already relies on
+for provisioning: seal state to the enclave measurement, restart, unseal
+inside a fresh instance of the *same* code after attestation re-verifies
+it. :class:`EnclaveSupervisor` drives that loop for a live
+:class:`~repro.deploy.inference.SecureInferenceSession`:
+
+* periodic sealed snapshots (private adjacency + rectifier weights +
+  plan-cache-warming hints) via :meth:`RectifierEnclave.seal_snapshot`;
+* detection of a dead enclave and bounded re-provisioning with
+  exponential backoff, re-running the attestation ceremony before the
+  snapshot is unsealed;
+* bounded per-batch retries with per-query deadline budgets for the
+  serving layers (:meth:`call_with_retry`);
+* a degraded terminal state — entered on version skew
+  (:class:`~repro.errors.SealingError`), a stale snapshot, or an
+  exhausted restart budget — in which the server either keeps queueing
+  (and failing) rectified queries or, opt-in, serves backbone-only
+  predictions explicitly marked non-rectified;
+* recovery observability: restart counter, MTTR histogram, supervisor
+  state gauge, and a restart-storm alert through the health layer.
+
+Security note: recovery never widens the label-only egress contract.
+Retried micro-batches cross the one-way channel like any other push, a
+restarted enclave re-earns trust through the same quote-verification the
+vendor ceremony uses, and degraded backbone-only answers are computed
+entirely in the untrusted world from data it already holds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, TypeVar
+
+from ..errors import (
+    AttestationError,
+    ChannelCorruption,
+    DeadlineExceeded,
+    EnclaveKilled,
+    EnclaveMemoryError,
+    RecoveryFailed,
+    SealingError,
+)
+from ..obs import Telemetry
+from ..obs.health import HealthMonitor
+from ..tee.sealed import SealedBlob
+
+T = TypeVar("T")
+
+#: supervisor states (also the gauge values, in order)
+STATE_HEALTHY = "healthy"
+STATE_RECOVERING = "recovering"
+STATE_DEGRADED = "degraded"
+_STATE_GAUGE = {STATE_HEALTHY: 0.0, STATE_RECOVERING: 1.0, STATE_DEGRADED: 2.0}
+
+#: degraded-mode behaviours
+DEGRADED_QUEUE = "queue"
+DEGRADED_BACKBONE_ONLY = "backbone_only"
+
+#: exception types worth retrying — availability events, not logic bugs.
+RETRYABLE_ERRORS = (EnclaveMemoryError, EnclaveKilled, ChannelCorruption)
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Bounds on how hard the supervisor fights to keep serving."""
+
+    #: consecutive failed re-provision attempts before the supervisor
+    #: gives up and enters the degraded terminal state (no crash loops).
+    max_restarts: int = 3
+    #: per-batch ECALL retries (each may trigger at most one recovery).
+    max_batch_retries: int = 3
+    #: exponential backoff between retries: base * factor**(attempt-1).
+    backoff_base_s: float = 0.002
+    backoff_factor: float = 2.0
+    #: per-query deadline budget, measured from admission; queries whose
+    #: budget runs out during recovery fail with DeadlineExceeded rather
+    #: than waiting forever.
+    deadline_s: float = 30.0
+    #: what to do once degraded: keep queueing (rectified answers or
+    #: nothing) or serve backbone-only predictions marked non-rectified.
+    degraded_mode: str = DEGRADED_QUEUE
+    #: successful batches between periodic snapshots (1 = every batch).
+    snapshot_interval: int = 32
+    #: this many restarts inside storm_window_s fires a critical alert.
+    storm_threshold: int = 3
+    storm_window_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 1:
+            raise ValueError(f"max_restarts must be >= 1, got {self.max_restarts}")
+        if self.max_batch_retries < 0:
+            raise ValueError(
+                f"max_batch_retries must be >= 0, got {self.max_batch_retries}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be non-negative with factor >= 1")
+        if self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
+        if self.degraded_mode not in (DEGRADED_QUEUE, DEGRADED_BACKBONE_ONLY):
+            raise ValueError(
+                f"degraded_mode must be {DEGRADED_QUEUE!r} or "
+                f"{DEGRADED_BACKBONE_ONLY!r}, got {self.degraded_mode!r}"
+            )
+        if self.snapshot_interval < 1:
+            raise ValueError(
+                f"snapshot_interval must be >= 1, got {self.snapshot_interval}"
+            )
+        if self.storm_threshold < 1 or self.storm_window_s <= 0:
+            raise ValueError("restart-storm parameters must be positive")
+
+
+class EnclaveSupervisor:
+    """Keeps one session's enclave alive across injected (or real) faults.
+
+    Thread-safe: the scheduler's enclave worker and direct
+    ``query_batch`` callers may share one supervisor; recovery is
+    serialised on an internal lock so concurrent failures trigger a
+    single re-provisioning.
+    """
+
+    def __init__(
+        self,
+        session,
+        policy: Optional[RecoveryPolicy] = None,
+        telemetry: Optional[Telemetry] = None,
+        health: Optional[HealthMonitor] = None,
+    ) -> None:
+        self.session = session
+        self.policy = policy or RecoveryPolicy()
+        self.telemetry = telemetry
+        self.health = health
+        self.state = STATE_HEALTHY
+        self._lock = threading.RLock()
+        self._snapshot: Optional[SealedBlob] = None
+        self._snapshot_version: int = -1
+        self._batches_since_snapshot = 0
+        # Recovery bookkeeping (simulation ground truth for the bench).
+        self.restarts_total = 0
+        self.batches_retried = 0
+        self.queries_degraded = 0
+        self.recovery_wall_seconds: List[float] = []
+        self.recovery_simulated_seconds: List[float] = []
+        self._restart_times: List[float] = []  # wall clock, storm detection
+        self._degraded_reason = ""
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._restart_counter = registry.counter(
+                "vault_enclave_restarts_total",
+                help="enclave instances re-provisioned from sealed snapshots",
+            )
+            self._recovery_hist = registry.histogram(
+                "vault_recovery_seconds",
+                help="wall-clock MTTR per enclave recovery",
+            )
+            self._state_gauge = registry.gauge(
+                "vault_supervisor_state",
+                help="0=healthy 1=recovering 2=degraded",
+            )
+            self._state_gauge.set(_STATE_GAUGE[self.state])
+            self._degraded_counter = registry.counter(
+                "vault_degraded_queries_total",
+                help="queries answered backbone-only (non-rectified)",
+            )
+        else:
+            self._restart_counter = None
+            self._recovery_hist = None
+            self._state_gauge = None
+            self._degraded_counter = None
+        self.snapshot_now()
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot_now(self) -> SealedBlob:
+        """Seal a fresh recovery snapshot of the current enclave state."""
+        with self._lock:
+            blob = self.session.enclave.seal_snapshot()
+            self._snapshot = blob
+            self._snapshot_version = self.session.feature_version
+            self._batches_since_snapshot = 0
+            return blob
+
+    def maybe_snapshot(self) -> None:
+        """Periodic snapshot hook — call after each successful batch.
+
+        Re-seals every ``snapshot_interval`` batches, and immediately
+        when the deployment version moved (an ``add_node`` landed): a
+        snapshot of the old graph must never be restored over the new
+        one, so staleness is closed at write time, not just checked at
+        recovery time.
+        """
+        with self._lock:
+            self._batches_since_snapshot += 1
+            stale = self._snapshot_version != self.session.feature_version
+            if stale or self._batches_since_snapshot >= self.policy.snapshot_interval:
+                if self.session.enclave.alive and self.state != STATE_DEGRADED:
+                    self.snapshot_now()
+
+    @property
+    def snapshot_bytes(self) -> int:
+        with self._lock:
+            return self._snapshot.num_bytes if self._snapshot is not None else 0
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        return self.state == STATE_DEGRADED
+
+    @property
+    def degraded_reason(self) -> str:
+        return self._degraded_reason
+
+    @staticmethod
+    def retryable(exc: BaseException) -> bool:
+        """Availability faults are retried; everything else propagates."""
+        return isinstance(exc, RETRYABLE_ERRORS)
+
+    def _set_state(self, state: str) -> None:
+        self.state = state
+        if self._state_gauge is not None:
+            self._state_gauge.set(_STATE_GAUGE[state])
+
+    def _enter_degraded(self, reason: str) -> None:
+        self._set_state(STATE_DEGRADED)
+        self._degraded_reason = reason
+        if self.health is not None:
+            self.health.alerts.fire(
+                "enclave/degraded", "availability", "critical",
+                f"enclave recovery abandoned: {reason}",
+                now=self.health.now,
+            )
+
+    def _note_restart(self, wall_seconds: float) -> None:
+        self.restarts_total += 1
+        self.recovery_wall_seconds.append(wall_seconds)
+        cost = self.session.enclave.config.cost_model
+        self.recovery_simulated_seconds.append(
+            cost.restart_time(self.snapshot_bytes)
+        )
+        if self._restart_counter is not None:
+            self._restart_counter.inc()
+        if self._recovery_hist is not None:
+            self._recovery_hist.observe(wall_seconds)
+        now = time.monotonic()
+        self._restart_times.append(now)
+        window_start = now - self.policy.storm_window_s
+        self._restart_times = [t for t in self._restart_times if t >= window_start]
+        if len(self._restart_times) >= self.policy.storm_threshold:
+            if self.health is not None:
+                self.health.alerts.fire(
+                    "enclave/restart_storm", "availability", "critical",
+                    f"{len(self._restart_times)} enclave restarts within "
+                    f"{self.policy.storm_window_s:.0f}s",
+                    now=self.health.now,
+                )
+
+    def recover(self) -> None:
+        """Re-provision a fresh enclave from the sealed snapshot.
+
+        Bounded: after ``max_restarts`` consecutive failures — or
+        immediately on unrecoverable causes (version skew, stale
+        snapshot, attestation failure) — the supervisor enters the
+        degraded terminal state and raises
+        :class:`~repro.errors.RecoveryFailed` instead of crash-looping.
+        """
+        with self._lock:
+            if self.session.enclave.alive and self.state == STATE_HEALTHY:
+                return  # another thread already recovered
+            if self.state == STATE_DEGRADED:
+                raise RecoveryFailed(
+                    f"enclave is permanently degraded: {self._degraded_reason}"
+                )
+            self._set_state(STATE_RECOVERING)
+            if self._snapshot is None:
+                self._enter_degraded("no sealed snapshot available")
+                raise RecoveryFailed("no sealed snapshot available")
+            if self._snapshot_version != self.session.feature_version:
+                self._enter_degraded(
+                    "sealed snapshot predates the current deployment version"
+                )
+                raise RecoveryFailed(
+                    "sealed snapshot predates the current deployment version"
+                )
+            last_error: Optional[BaseException] = None
+            for attempt in range(self.policy.max_restarts):
+                if attempt > 0 and self.policy.backoff_base_s > 0:
+                    time.sleep(
+                        self.policy.backoff_base_s
+                        * self.policy.backoff_factor ** (attempt - 1)
+                    )
+                started = time.perf_counter()
+                try:
+                    self.session.rebuild_enclave(self._snapshot)
+                except SealingError as exc:
+                    # Version skew is permanent — a different enclave
+                    # identity will never unseal this snapshot, so more
+                    # attempts only burn the restart budget.
+                    self._enter_degraded(f"snapshot unseal failed: {exc}")
+                    raise RecoveryFailed(str(exc)) from exc
+                except AttestationError as exc:
+                    self._enter_degraded(f"re-attestation failed: {exc}")
+                    raise RecoveryFailed(str(exc)) from exc
+                except Exception as exc:  # transient: retry with backoff
+                    last_error = exc
+                    continue
+                self._note_restart(time.perf_counter() - started)
+                self._set_state(STATE_HEALTHY)
+                return
+            self._enter_degraded(
+                f"restart budget exhausted after {self.policy.max_restarts} "
+                f"attempts (last error: {last_error})"
+            )
+            raise RecoveryFailed(
+                f"restart budget exhausted after {self.policy.max_restarts} attempts"
+            ) from last_error
+
+    # ------------------------------------------------------------------
+    # Serving-layer entry point
+    # ------------------------------------------------------------------
+    def call_with_retry(
+        self,
+        ecall: Callable[[], T],
+        queued_at: Optional[float] = None,
+    ) -> T:
+        """Run one ECALL-bearing operation with bounded retry + recovery.
+
+        ``queued_at`` is the query's admission time on the
+        ``time.perf_counter`` clock; the per-query deadline budget is
+        measured from it. Retries re-stage their payload through a fresh
+        one-way channel inside ``ecall`` — the egress contract sees a
+        retried batch as just another push.
+
+        Raises the original error once retries are exhausted,
+        :class:`~repro.errors.RecoveryFailed` when the enclave cannot be
+        brought back, or :class:`~repro.errors.DeadlineExceeded` when the
+        budget runs out first.
+        """
+        policy = self.policy
+        attempt = 0
+        while True:
+            self._check_deadline(queued_at)
+            if not self.session.enclave.alive:
+                self.recover()
+            try:
+                result = ecall()
+            except Exception as exc:
+                if not self.retryable(exc):
+                    raise
+                attempt += 1
+                if attempt > policy.max_batch_retries:
+                    raise
+                self.batches_retried += 1
+                if isinstance(exc, EnclaveKilled) or not self.session.enclave.alive:
+                    self.recover()
+                elif policy.backoff_base_s > 0:
+                    time.sleep(
+                        policy.backoff_base_s
+                        * policy.backoff_factor ** (attempt - 1)
+                    )
+                continue
+            self.maybe_snapshot()
+            return result
+
+    def note_degraded(self, num_queries: int) -> None:
+        """Record queries answered backbone-only (explicitly non-rectified)."""
+        with self._lock:
+            self.queries_degraded += num_queries
+        if self._degraded_counter is not None:
+            self._degraded_counter.inc(num_queries)
+
+    def _check_deadline(self, queued_at: Optional[float]) -> None:
+        if queued_at is None:
+            return
+        waited = time.perf_counter() - queued_at
+        if waited > self.policy.deadline_s:
+            raise DeadlineExceeded(
+                f"query exceeded its {self.policy.deadline_s:.1f}s deadline "
+                f"budget after {waited:.1f}s (enclave recovery in progress?)"
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def recovery_report(self) -> dict:
+        """Aggregate recovery statistics (the chaos CLI's JSON payload)."""
+        with self._lock:
+            wall = self.recovery_wall_seconds
+            return {
+                "state": self.state,
+                "degraded_reason": self._degraded_reason,
+                "restarts_total": self.restarts_total,
+                "batches_retried": self.batches_retried,
+                "queries_degraded": self.queries_degraded,
+                "snapshot_bytes": self.snapshot_bytes,
+                "recovery_wall_seconds": list(wall),
+                "recovery_simulated_seconds": list(self.recovery_simulated_seconds),
+                "mttr_wall_seconds": (sum(wall) / len(wall)) if wall else 0.0,
+                "mttr_simulated_seconds": (
+                    sum(self.recovery_simulated_seconds)
+                    / len(self.recovery_simulated_seconds)
+                    if self.recovery_simulated_seconds
+                    else 0.0
+                ),
+            }

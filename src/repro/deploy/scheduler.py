@@ -42,7 +42,8 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .server import QueryBudgetExceeded
+from ..errors import RecoveryFailed
+from .resilience import DEGRADED_BACKBONE_ONLY, RETRYABLE_ERRORS
 
 
 class SchedulerOverloaded(RuntimeError):
@@ -193,7 +194,8 @@ class ShardedBackboneWorkers:
 class _PendingQuery:
     """One admitted request: target ids, owner, and a completion event."""
 
-    __slots__ = ("node_ids", "client", "labels", "error", "_done", "queued_at")
+    __slots__ = ("node_ids", "client", "labels", "error", "_done", "queued_at",
+                 "degraded")
 
     def __init__(self, node_ids: Tuple[int, ...], client: str) -> None:
         self.node_ids = node_ids
@@ -202,9 +204,13 @@ class _PendingQuery:
         self.error: Optional[BaseException] = None
         self._done = threading.Event()
         self.queued_at = time.perf_counter()
+        #: True when the answer is a backbone-only (non-rectified)
+        #: prediction served while the enclave was unrecoverable.
+        self.degraded = False
 
-    def _resolve(self, labels: np.ndarray) -> None:
+    def _resolve(self, labels: np.ndarray, degraded: bool = False) -> None:
         self.labels = labels
+        self.degraded = degraded
         self._done.set()
 
     def _fail(self, error: BaseException) -> None:
@@ -377,6 +383,11 @@ class MicroBatchScheduler:
         #: attached, every batch records a full boundary-timestamp
         #: timeline (one dataclass + one deque append per batch).
         self.profiler = profiler
+        #: optional :class:`~repro.deploy.resilience.EnclaveSupervisor`;
+        #: when attached (directly or inherited from the server at
+        #: :meth:`start`), the enclave worker routes every ECALL through
+        #: its bounded retry + crash-recovery loop.
+        self.supervisor = None
         self._batch_seq = 0
         self._queue: Deque[_PendingQuery] = deque()
         self._cv = threading.Condition()  # guards queue/paused/inflight/running
@@ -407,6 +418,8 @@ class MicroBatchScheduler:
                 raise RuntimeError("scheduler already running")
             self._running = True
         self._server._attach_scheduler(self)
+        if self.supervisor is None:
+            self.supervisor = getattr(self._server, "supervisor", None)
         self._admitted = self._server.stats.queries_served
         self._collector = threading.Thread(
             target=self._collect_loop, name="vault-collector", daemon=True
@@ -643,14 +656,30 @@ class MicroBatchScheduler:
             if profiler is not None else 0
         )
         profile = None
+        supervisor = self.supervisor
         start = time.perf_counter()
         try:
-            labels, profile = server._session.predict_microbatch_precomputed(
-                staged.embeddings, node_lists,
-                backbone_seconds=staged.backbone_seconds,
-            )
+            if supervisor is None:
+                labels, profile = server._session.predict_microbatch_precomputed(
+                    staged.embeddings, node_lists,
+                    backbone_seconds=staged.backbone_seconds,
+                )
+            else:
+                # Bounded retry + crash recovery: a retried batch crosses
+                # a fresh one-way channel like any other push; a killed
+                # enclave is re-provisioned from the sealed snapshot
+                # (after re-attestation) before the replay.
+                labels, profile = supervisor.call_with_retry(
+                    lambda: server._session.predict_microbatch_precomputed(
+                        staged.embeddings, node_lists,
+                        backbone_seconds=staged.backbone_seconds,
+                    ),
+                    queued_at=staged.queued_at,
+                )
         except BaseException as exc:
             tracer.close_record(record, staged.backbone_seconds, None)
+            if self._resolve_degraded(staged, exc):
+                return
             for request in requests:
                 request._fail(exc)
             return
@@ -677,6 +706,37 @@ class MicroBatchScheduler:
                 staged, total, unique, start, start + enclave_seconds,
                 profile, ecalls_before,
             )
+
+    def _resolve_degraded(self, staged: _StagedBatch,
+                          exc: BaseException) -> bool:
+        """Opt-in failover: answer a failed batch with backbone-only labels.
+
+        Only when the supervisor is permanently degraded, the policy
+        allows ``backbone_only`` mode, and the failure was an
+        availability event (not a logic error). The answers are computed
+        entirely in the untrusted world from the already-staged
+        embeddings — the dead enclave is never touched and nothing
+        crosses the one-way channel — and every request is resolved with
+        ``degraded=True`` so callers can tell the labels are
+        non-rectified.
+        """
+        supervisor = self.supervisor
+        if (supervisor is None
+                or not supervisor.degraded
+                or supervisor.policy.degraded_mode != DEGRADED_BACKBONE_ONLY
+                or not isinstance(exc, (RecoveryFailed,) + RETRYABLE_ERRORS)):
+            return False
+        requests = staged.requests
+        flat = [t for request in requests for t in request.node_ids]
+        fallback = self._server._session.backbone_labels(staged.embeddings, flat)
+        supervisor.note_degraded(len(requests))
+        offset = 0
+        for request in requests:
+            request._resolve(
+                fallback[offset:offset + len(request.node_ids)], degraded=True
+            )
+            offset += len(request.node_ids)
+        return True
 
     def _record_timeline(self, staged: _StagedBatch, total: int, unique: int,
                          execute_start: float, execute_end: float,

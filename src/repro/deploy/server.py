@@ -20,13 +20,14 @@ pass. :class:`VaultServer` adds the serving machinery around
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import SecurityViolation
+from ..errors import RecoveryFailed, SecurityViolation
 from ..obs import Telemetry
 from ..obs.health import HealthMonitor
 from ..obs.metrics import MetricsRegistry, SIZE_BUCKETS_BYTES
@@ -34,6 +35,7 @@ from ..obs.patterns import QueryPatternMonitor
 from ..obs.redaction import RedactedSpan
 from ..obs.tracing import COMPACT_DECODERS, Span
 from .inference import SecureInferenceSession
+from .profiler import InferenceProfile
 
 
 class ServerStats:
@@ -139,8 +141,17 @@ class ServerStats:
         return self.total_seconds / served
 
     def latency_summary(self) -> Dict[str, float]:
-        """p50/p95/p99 of per-batch simulated latency."""
-        return self._latency.summary()
+        """p50/p95/p99 of per-batch simulated latency.
+
+        All zeros before the first query: an empty histogram has no
+        percentiles (they come back NaN), and NaN poisons dashboards and
+        JSON consumers downstream.
+        """
+        summary = self._latency.summary()
+        return {
+            key: 0.0 if isinstance(value, float) and math.isnan(value) else value
+            for key, value in summary.items()
+        }
 
     def hottest_nodes(self, top: int = 5) -> List[int]:
         """Most frequently queried nodes (capacity-planning signal).
@@ -285,6 +296,10 @@ class VaultServer:
         # collect / handoff collapse to zero — there is no pipeline).
         # Detached, the hot path pays one attribute load + None check.
         self.profiler = None
+        # Optional enclave supervisor: when attached, every ECALL-bearing
+        # query routes through its bounded retry + crash-recovery loop,
+        # and an attached MicroBatchScheduler inherits it at start().
+        self.supervisor = None
 
     # ------------------------------------------------------------------
     # Profiling
@@ -295,6 +310,33 @@ class VaultServer:
 
     def detach_profiler(self) -> None:
         self.profiler = None
+
+    # ------------------------------------------------------------------
+    # Resilience
+    # ------------------------------------------------------------------
+    @property
+    def session(self) -> SecureInferenceSession:
+        """The inference session this server fronts (for supervisors)."""
+        return self._session
+
+    def attach_supervisor(self, supervisor) -> None:
+        """Attach an :class:`~repro.deploy.resilience.EnclaveSupervisor`.
+
+        The supervisor must watch this server's own session — recovery
+        swaps ``session.enclave``, and pairing a supervisor with a
+        different session would restore the wrong deployment's snapshot.
+        """
+        if supervisor is not None and supervisor.session is not self._session:
+            raise ValueError(
+                "supervisor is bound to a different inference session"
+            )
+        self.supervisor = supervisor
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler.supervisor = supervisor
+
+    def detach_supervisor(self) -> None:
+        self.supervisor = None
 
     # ------------------------------------------------------------------
     # Serving
@@ -369,13 +411,21 @@ class VaultServer:
         backbone_seconds = 0.0
         staged_end = 0.0
         profile = None
+        supervisor = self.supervisor
+        queued_at = time.perf_counter()
         try:
             embeddings, backbone_seconds = self._embeddings()
             if profiler is not None:
                 staged_end = time.perf_counter()
-            labels, profile = self._session.predict_nodes_precomputed(
-                embeddings, node_ids, backbone_seconds=backbone_seconds
-            )
+            if supervisor is None:
+                labels, profile = self._session.predict_nodes_precomputed(
+                    embeddings, node_ids, backbone_seconds=backbone_seconds
+                )
+            else:
+                labels, profile = self._rectify_with_recovery(
+                    supervisor, embeddings, node_ids, backbone_seconds,
+                    queued_at,
+                )
         finally:
             tracer.close_record(
                 record, backbone_seconds,
@@ -402,6 +452,42 @@ class VaultServer:
                 profile, ecalls_before,
             )
         return labels
+
+    def _rectify_with_recovery(
+        self, supervisor, embeddings, node_ids: Sequence[int],
+        backbone_seconds: float, queued_at: float,
+    ) -> Tuple[np.ndarray, InferenceProfile]:
+        """Sequential-path ECALL through the supervisor's retry loop.
+
+        Falls back to backbone-only labels (explicitly counted as
+        degraded) only when the supervisor is permanently degraded and
+        its policy opted into ``backbone_only`` mode; otherwise the
+        original failure propagates to the caller.
+        """
+        from .resilience import DEGRADED_BACKBONE_ONLY, RETRYABLE_ERRORS
+
+        try:
+            return supervisor.call_with_retry(
+                lambda: self._session.predict_nodes_precomputed(
+                    embeddings, node_ids, backbone_seconds=backbone_seconds
+                ),
+                queued_at=queued_at,
+            )
+        except (RecoveryFailed, *RETRYABLE_ERRORS):
+            if (not supervisor.degraded
+                    or supervisor.policy.degraded_mode != DEGRADED_BACKBONE_ONLY):
+                raise
+            labels = self._session.backbone_labels(embeddings, node_ids)
+            supervisor.note_degraded(1)
+            profile = InferenceProfile(
+                backbone_seconds=backbone_seconds,
+                transfer_seconds=0.0,
+                enclave_seconds=0.0,
+                paging_seconds=0.0,
+                payload_bytes=0,
+                peak_enclave_memory_bytes=0,
+            )
+            return labels, profile
 
     def _record_sequential_timeline(
         self, profiler, node_ids: Sequence[int], started: float,

@@ -24,3 +24,30 @@ class AttestationError(ReproError):
 
 class SealingError(ReproError):
     """Sealed-blob unsealing failed (wrong enclave identity or tampering)."""
+
+
+class EnclaveKilled(ReproError):
+    """The enclave was destroyed mid-stream (power transition, EPC pressure,
+    or an injected fault) and every ECALL against it now fails.
+
+    Recoverable: the supervisor re-provisions a fresh enclave from a sealed
+    snapshot and replays the failed work.
+    """
+
+
+class ChannelCorruption(ReproError):
+    """An inbound channel payload failed the enclave's input validation.
+
+    The untrusted world staged a corrupted buffer (bit flips, truncation —
+    simulated here as non-finite values); the enclave refuses to compute on
+    it rather than publish labels derived from garbage.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """A query's per-request deadline budget ran out during fault recovery."""
+
+
+class RecoveryFailed(ReproError):
+    """Enclave recovery was abandoned (restart budget exhausted or the
+    sealed snapshot no longer unseals for the current enclave identity)."""

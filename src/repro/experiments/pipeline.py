@@ -12,13 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
-import numpy as np
-
 from ..datasets import Split, load_dataset, per_class_split
 from ..graph import CooAdjacency, Graph, gcn_normalize
 from ..models import (
     GCNBackbone,
-    MlpBackbone,
     ModelPreset,
     Rectifier,
     get_preset,
@@ -30,7 +27,7 @@ from ..substitute import (
     RandomGraphBuilder,
     SubstituteGraphBuilder,
 )
-from ..training import TrainConfig, accuracy, train_node_classifier, train_rectifier
+from ..training import TrainConfig, train_node_classifier, train_rectifier
 
 #: training budget used by the experiment drivers (fast but converged at
 #: the reproduction's graph scale)

@@ -13,7 +13,6 @@ from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
-import scipy.sparse as sp
 
 from .normalize import gcn_normalize_with_degrees
 from .sparse import CooAdjacency

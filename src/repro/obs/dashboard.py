@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import html
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Optional, Sequence, Union
 
 from .metrics import Histogram
 

@@ -29,7 +29,6 @@ produces the machine-readable verdict behind ``repro health``.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 

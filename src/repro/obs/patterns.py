@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter, deque
-from typing import Any, Deque, Dict, Iterable, List, Optional
+from typing import Any, Deque, Dict, Iterable, List
 
 from .health import AlertManager
 

@@ -33,7 +33,7 @@ from typing import Any, Dict, Optional, Tuple, Union
 from ..errors import SecurityViolation
 from .audit import ENCLAVE_AUDIT_KINDS
 from .metrics import SIZE_BUCKETS_BYTES, Counter, Gauge, Histogram, _label_key
-from .tracing import NULL_SPAN, NullSpan, Span
+from .tracing import NullSpan, Span
 
 #: words that may never appear in an enclave-side telemetry key or name —
 #: they denote per-entity payloads rather than aggregates.

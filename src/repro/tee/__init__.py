@@ -10,6 +10,16 @@ from .enclave import (
     seal_private_graph,
     seal_rectifier_weights,
 )
+from .faults import (
+    FAULT_CORRUPT,
+    FAULT_KILL,
+    FAULT_KINDS,
+    FAULT_LATENCY,
+    FAULT_MEMORY,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
 from .memory import (
     EPC_BYTES,
     PAGE_BYTES,
@@ -32,6 +42,14 @@ __all__ = [
     "EcallReport",
     "EnclaveConfig",
     "EnclaveMemoryModel",
+    "FAULT_CORRUPT",
+    "FAULT_KILL",
+    "FAULT_KINDS",
+    "FAULT_LATENCY",
+    "FAULT_MEMORY",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "LabelOnlyResult",
     "LeakageReport",
     "MemoryStats",

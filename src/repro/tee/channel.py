@@ -59,8 +59,28 @@ class OneWayChannel:
         self._inbox: List[Any] = []
         self._outbox: List[LabelOnlyResult] = []
         self.transfer_log: List[TransferRecord] = []
+        self._fault_injector = None
 
     # -- untrusted side -------------------------------------------------
+    def attach_fault_injector(self, injector) -> None:
+        """Attach a fault-injection harness to this channel (untrusted side).
+
+        When the injector schedules a ``corrupt`` fault for the next
+        ECALL, staged payloads are poisoned *here*, in untrusted memory —
+        modelling bit flips or truncation of the staging buffers. The
+        enclave's input validation is the defence; the channel's one-way
+        and label-only rules are untouched by injection.
+        """
+        self._fault_injector = injector
+
+    def _stage(self, payload: Any) -> Any:
+        injector = self._fault_injector
+        if injector is not None and injector.corrupt_pending():
+            if isinstance(payload, tuple):
+                return tuple(injector.corrupt_payloads(payload))
+            return injector.corrupt_payloads([payload])[0]
+        return payload
+
     def push(self, payload: Any, description: str = "payload") -> int:
         """Send data into the enclave; returns the payload size in bytes.
 
@@ -68,7 +88,7 @@ class OneWayChannel:
         — the security analysis (Table IV) attacks exactly these buffers.
         """
         num_bytes = payload_num_bytes(payload)
-        self._inbox.append(payload)
+        self._inbox.append(self._stage(payload))
         self.transfer_log.append(TransferRecord(description, num_bytes))
         return num_bytes
 
@@ -88,7 +108,7 @@ class OneWayChannel:
         if not block:
             raise ValueError("cannot coalesce an empty payload block")
         num_bytes = payload_num_bytes(block)
-        self._inbox.append(block)
+        self._inbox.append(self._stage(block))
         self.transfer_log.append(TransferRecord(description, num_bytes))
         return num_bytes
 

@@ -17,18 +17,24 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
-from ..errors import SecurityViolation
+from ..errors import (
+    ChannelCorruption,
+    EnclaveKilled,
+    EnclaveMemoryError,
+    SecurityViolation,
+)
 from ..graph import CooAdjacency, Subgraph, extract_subgraph, gcn_normalize
 from ..models.rectifier import Rectifier
 from ..obs.redaction import EnclaveTelemetryGate
 from .attestation import Quote, generate_quote
 from .channel import LabelOnlyResult, OneWayChannel
+from .faults import FAULT_KILL, FAULT_LATENCY, FAULT_MEMORY, FaultInjector, FaultSpec
 from .memory import EPC_BYTES, EnclaveMemoryModel
 from .runtime import DEFAULT_COST_MODEL, SgxCostModel
 from .sealed import SealedBlob, measure_code, seal, unseal
@@ -154,6 +160,12 @@ class RectifierEnclave:
         self.ecall_paging_seconds = 0.0
         self.ecall_payload_bytes = 0
         self.ecall_swapped_pages = 0
+        # Availability state: a destroyed enclave instance (power
+        # transition, EPC teardown, injected kill) fails every ECALL until
+        # the supervisor provisions a *fresh* instance; fault injection is
+        # the simulation of those events (see repro.tee.faults).
+        self._dead = False
+        self._fault_injector: Optional[FaultInjector] = None
         # Model parameters are resident for the enclave's lifetime.
         self.memory.allocate(
             "model/parameters", rectifier.num_parameters() * _FLOAT_BYTES
@@ -236,6 +248,131 @@ class RectifierEnclave:
         self._telemetry = gate
 
     # ------------------------------------------------------------------
+    # Availability: fault injection, death, sealed snapshots
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """False once the enclave instance has been destroyed."""
+        return not self._dead
+
+    def attach_fault_injector(self, injector: Optional[FaultInjector]) -> None:
+        """Install (or remove) the deterministic fault-injection harness.
+
+        The injector simulates availability events only — EPC exhaustion,
+        enclave death, latency stalls. It cannot widen the egress
+        contract: a faulted ECALL raises before :meth:`OneWayChannel.publish`
+        is ever reached, so nothing crosses the channel at all.
+        """
+        self._fault_injector = injector
+
+    def kill(self) -> None:
+        """Destroy this enclave instance (simulated power transition).
+
+        Real SGX enclaves do not survive S3/S4 sleep or EPC teardown; all
+        in-enclave state is lost and every subsequent ECALL fails. Only a
+        sealed snapshot restored into a *fresh* instance with the same
+        measurement brings the service back (see
+        :class:`~repro.deploy.resilience.EnclaveSupervisor`).
+        """
+        self._dead = True
+
+    def _check_alive(self) -> None:
+        if self._dead:
+            raise EnclaveKilled(
+                "ECALL against a destroyed enclave instance; the supervisor "
+                "must re-provision from a sealed snapshot"
+            )
+
+    def _fire_fault(self) -> Optional[FaultSpec]:
+        """Consume the injector's next-ECALL slot; simulate what it says.
+
+        Called once per ECALL, after the transition is counted (a faulted
+        world switch still happened). ``memory``/``kill`` faults raise
+        here; ``latency`` specs are returned for the caller to fold into
+        the cost report; ``corrupt`` specs need no entry action — the
+        corruption happened on the untrusted side at staging time and is
+        caught by payload validation.
+        """
+        injector = self._fault_injector
+        if injector is None:
+            return None
+        spec = injector.next_ecall()
+        if spec is None:
+            return None
+        if spec.kind == FAULT_MEMORY:
+            raise EnclaveMemoryError(
+                "injected fault: EPC exhausted during ECALL"
+            )
+        if spec.kind == FAULT_KILL:
+            self.kill()
+            raise EnclaveKilled("injected fault: enclave destroyed mid-ECALL")
+        return spec
+
+    @staticmethod
+    def _validate_payloads(blocks: Sequence[np.ndarray]) -> None:
+        """Input validation on the rows the enclave is about to compute on.
+
+        A corrupted staging buffer (bit flips, truncation — simulated as
+        non-finite values) must never turn into published labels: garbage
+        in, refusal out. Validation covers exactly the rows pulled into
+        the enclave, so the hot path pays O(receptive field), not O(graph).
+        """
+        for block in blocks:
+            if block.size and not np.isfinite(block).all():
+                raise ChannelCorruption(
+                    "staged embeddings contain non-finite values; refusing "
+                    "to rectify a corrupted payload"
+                )
+
+    def seal_snapshot(self, plan_hints: int = 32) -> SealedBlob:
+        """Seal a recovery snapshot of the enclave's provisioned state.
+
+        The blob carries the private adjacency, the rectifier weights, and
+        the most-recently-used receptive-field plan keys (cache-warming
+        hints), sealed to this enclave's measurement — so it only ever
+        opens inside a fresh instance running the *same* code, after the
+        supervisor has re-verified attestation. Nothing in the blob is
+        readable in untrusted storage.
+        """
+        with self._tcs:
+            if not self.ready:
+                raise SecurityViolation(
+                    "cannot snapshot an unprovisioned enclave"
+                )
+            payload = {
+                "adjacency": self._adjacency,
+                "weights": self._rectifier.state_dict(),
+                "plan_keys": list(self._plan_cache.keys())[-plan_hints:],
+            }
+            return seal(payload, self.measurement)
+
+    def restore_snapshot(self, blob: SealedBlob) -> None:
+        """Re-provision this (fresh) instance from a sealed snapshot.
+
+        Raises :class:`~repro.errors.SealingError` when the snapshot was
+        sealed by a different enclave identity (version skew) — the
+        supervisor treats that as unrecoverable and degrades instead of
+        crash-looping. Plan-cache hints are replayed to pre-warm the
+        receptive-field cache before traffic resumes.
+        """
+        self._check_alive()
+        payload = unseal(blob, self.measurement)
+        with self._tcs:
+            self._rectifier.load_state_dict(payload["weights"])
+            self._provisioned_weights = True
+            if self._adjacency is not None:
+                self.memory.free("graph/adjacency")
+            self._clear_plan_cache()
+            adjacency = payload["adjacency"]
+            self._adjacency = adjacency
+            self._adj_norm = gcn_normalize(adjacency)
+            self.memory.allocate("graph/adjacency", adjacency.memory_bytes())
+            for targets, hops in payload.get("plan_keys", ()):
+                self._subgraph_plan(targets, hops)
+        if self._telemetry is not None:
+            self._telemetry.audit("provision", stage="snapshot", result="ok")
+
+    # ------------------------------------------------------------------
     # Receptive-field plan cache
     # ------------------------------------------------------------------
     def _clear_plan_cache(self) -> None:
@@ -316,12 +453,15 @@ class RectifierEnclave:
             return self._ecall_infer_locked(channel)
 
     def _ecall_infer_locked(self, channel: OneWayChannel) -> EcallReport:
+        self._check_alive()
         if not self.ready:
             raise SecurityViolation(
                 "enclave not provisioned (weights and graph must be unsealed first)"
             )
         self.ecall_transitions += 1
+        fault = self._fire_fault()
         embeddings = self._drain_embeddings(channel)
+        self._validate_payloads(embeddings)  # full-graph path: whole matrices
         num_nodes = embeddings[0].shape[0]
         if num_nodes != self._adjacency.num_nodes:
             raise ValueError(
@@ -347,6 +487,8 @@ class RectifierEnclave:
 
         # --- analytic cost accounting ------------------------------------
         transfer_seconds = cost.ecall_time(payload_bytes)
+        if fault is not None and fault.kind == FAULT_LATENCY:
+            transfer_seconds += fault.extra_seconds
         compute_seconds = self._rectifier_compute_seconds(num_nodes, cost)
         stats = self.memory.stats()
         paging_seconds = cost.paging_time(stats.swapped_pages_peak)
@@ -384,13 +526,17 @@ class RectifierEnclave:
         model.
         """
         with self._tcs:
+            self._check_alive()
             if not self.ready:
                 raise SecurityViolation(
                     "enclave not provisioned (weights and graph must be unsealed first)"
                 )
             self.ecall_transitions += 1
+            fault = self._fire_fault()
             embeddings = self._drain_embeddings(channel)
             labels_by_node, report = self._rectify_targets(embeddings, targets)
+            if fault is not None and fault.kind == FAULT_LATENCY:
+                report.transfer_seconds += fault.extra_seconds
             # Label-only output, in the order the targets were queried.
             ordered = np.asarray(
                 [labels_by_node[int(t)] for t in targets], dtype=np.int64
@@ -419,6 +565,7 @@ class RectifierEnclave:
         scheduler splits it by request lengths. Nothing else leaves.
         """
         with self._tcs:
+            self._check_alive()
             if not self.ready:
                 raise SecurityViolation(
                     "enclave not provisioned (weights and graph must be unsealed first)"
@@ -429,9 +576,12 @@ class RectifierEnclave:
                     "micro-batch ECALL needs at least one non-empty request"
                 )
             self.ecall_transitions += 1
+            fault = self._fire_fault()
             embeddings = self._drain_embeddings(channel)
             union = sorted({t for request in normalised for t in request})
             labels_by_node, report = self._rectify_targets(embeddings, union)
+            if fault is not None and fault.kind == FAULT_LATENCY:
+                report.transfer_seconds += fault.extra_seconds
             flat = np.asarray(
                 [labels_by_node[t] for request in normalised for t in request],
                 dtype=np.int64,
@@ -472,6 +622,7 @@ class RectifierEnclave:
         plan = self._subgraph_plan(targets, hops)
         sub = plan.sub
         local = [e[sub.nodes] for e in embeddings]
+        self._validate_payloads(local)  # exactly the rows pulled in
         cost = self.config.cost_model
 
         self.memory.reset_peak()

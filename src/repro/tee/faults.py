@@ -1,0 +1,221 @@
+"""Deterministic fault injection for the simulated enclave.
+
+Real TEE serving treats enclave failure as an expected event: SGX enclaves
+are destroyed on S3/S4 power transitions, killed by the OS under EPC
+pressure, and fed whatever the untrusted world chooses to stage in their
+ECALL buffers. This module provides the *simulation* of those events —
+a seeded, replayable schedule of faults fired at chosen ECALL indices —
+so the recovery machinery in :mod:`repro.deploy.resilience` can be driven
+and tested deterministically.
+
+Fault kinds:
+
+* ``memory``  — the ECALL raises :class:`~repro.errors.EnclaveMemoryError`
+  (simulated EPC exhaustion); the enclave itself stays alive.
+* ``kill``    — the enclave dies: the in-flight ECALL raises
+  :class:`~repro.errors.EnclaveKilled` and every later ECALL against the
+  same enclave instance fails until a supervisor re-provisions it.
+* ``corrupt`` — the staged channel payload is corrupted in untrusted
+  memory (non-finite values injected); the enclave's input validation
+  detects it and raises :class:`~repro.errors.ChannelCorruption`.
+* ``latency`` — the ECALL completes but its simulated transfer time is
+  inflated by ``extra_seconds`` (a world-switch stall / paging storm).
+
+.. note::
+   This is a *fault simulation harness*, not an SGX exploit model: the
+   faults model availability events (crashes, corruption, stalls), never
+   a way around the one-way channel or the label-only egress contract —
+   a faulted ECALL publishes nothing at all.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+FAULT_MEMORY = "memory"
+FAULT_KILL = "kill"
+FAULT_CORRUPT = "corrupt"
+FAULT_LATENCY = "latency"
+
+FAULT_KINDS = (FAULT_MEMORY, FAULT_KILL, FAULT_CORRUPT, FAULT_LATENCY)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: what fires, and at which global ECALL index.
+
+    ``at_ecall`` counts ECALL *attempts* observed by the injector (0-based,
+    across enclave restarts — the counter lives in the injector, not the
+    enclave, so a retried batch lands on a fresh index and a one-shot
+    fault cannot re-fire forever).
+    """
+
+    kind: str
+    at_ecall: int
+    extra_seconds: float = 0.0  # latency faults: added simulated stall
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; allowed: {FAULT_KINDS}"
+            )
+        if self.at_ecall < 0:
+            raise ValueError(f"at_ecall must be >= 0, got {self.at_ecall}")
+        if self.extra_seconds < 0:
+            raise ValueError(
+                f"extra_seconds must be >= 0, got {self.extra_seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, replayable schedule of faults.
+
+    Build one explicitly from :class:`FaultSpec` entries, or derive a
+    pseudo-random schedule from a seed with :meth:`seeded` — equal
+    arguments always produce the identical plan, which is what makes a
+    chaos run comparable against its fault-free twin.
+    """
+
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        seen: Dict[int, str] = {}
+        for spec in self.specs:
+            if spec.at_ecall in seen:
+                raise ValueError(
+                    f"two faults scheduled at ECALL {spec.at_ecall} "
+                    f"({seen[spec.at_ecall]!r} and {spec.kind!r})"
+                )
+            seen[spec.at_ecall] = spec.kind
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def by_index(self) -> Dict[int, FaultSpec]:
+        return {spec.at_ecall: spec for spec in self.specs}
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        num_ecalls: int,
+        kill_at: Optional[int] = None,
+        memory_faults: int = 0,
+        corrupt_faults: int = 0,
+        latency_faults: int = 0,
+        latency_extra_seconds: float = 5e-4,
+    ) -> "FaultPlan":
+        """Derive a deterministic schedule over ``num_ecalls`` ECALLs.
+
+        ``kill_at`` pins the enclave kill to an exact index (the
+        mid-stream-kill scenario the chaos CLI and the resilience bench
+        drive); the remaining fault counts are scattered over the other
+        indices by a seeded generator. Equal arguments give equal plans.
+        """
+        if num_ecalls < 0:
+            raise ValueError(f"num_ecalls must be >= 0, got {num_ecalls}")
+        rng = np.random.default_rng(seed)
+        taken = set()
+        specs: List[FaultSpec] = []
+        if kill_at is not None:
+            if kill_at < 0:
+                raise ValueError(f"kill_at must be >= 0, got {kill_at}")
+            specs.append(FaultSpec(FAULT_KILL, kill_at))
+            taken.add(kill_at)
+        free = [i for i in range(num_ecalls) if i not in taken]
+        rng.shuffle(free)
+        for kind, count in (
+            (FAULT_MEMORY, memory_faults),
+            (FAULT_CORRUPT, corrupt_faults),
+            (FAULT_LATENCY, latency_faults),
+        ):
+            for _ in range(count):
+                if not free:
+                    break
+                index = int(free.pop())
+                extra = latency_extra_seconds if kind == FAULT_LATENCY else 0.0
+                specs.append(FaultSpec(kind, index, extra_seconds=extra))
+        specs.sort(key=lambda spec: spec.at_ecall)
+        return cls(tuple(specs))
+
+
+class FaultInjector:
+    """Fires a :class:`FaultPlan` into the enclave/channel at runtime.
+
+    The enclave calls :meth:`next_ecall` at every ECALL entry; the
+    returned :class:`FaultSpec` (or ``None``) tells it what to simulate.
+    The injector owns the global ECALL counter, so the schedule is stable
+    across enclave restarts and batch retries, and each scheduled fault
+    fires exactly once. Thread-safe: the scheduler's enclave worker and
+    sequential callers may share one injector.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._by_index = plan.by_index()
+        self._lock = threading.Lock()
+        self._ecall_index = 0
+        self.fired: List[FaultSpec] = []
+
+    @property
+    def ecalls_observed(self) -> int:
+        return self._ecall_index
+
+    def next_ecall(self) -> Optional[FaultSpec]:
+        """Advance the ECALL counter; return the fault due now, if any."""
+        with self._lock:
+            index = self._ecall_index
+            self._ecall_index += 1
+            spec = self._by_index.get(index)
+            if spec is not None:
+                self.fired.append(spec)
+            return spec
+
+    def corrupt_pending(self) -> bool:
+        """True if the *next* ECALL is scheduled for payload corruption.
+
+        The channel asks this at staging time (pushes happen before the
+        ECALL consumes its index), so the corrupted bytes genuinely sit in
+        untrusted memory before the world switch — the enclave's input
+        validation, not the injector, is what stops them.
+        """
+        with self._lock:
+            spec = self._by_index.get(self._ecall_index)
+        return spec is not None and spec.kind == FAULT_CORRUPT
+
+    def corrupt_payloads(
+        self, payloads: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Simulate untrusted-memory corruption of a staged payload block.
+
+        Poisons one column across every row (a stuck DMA lane), so any
+        receptive field the enclave pulls in is guaranteed to contain the
+        damage. Returns copies — the staged buffers belong to the
+        embedding cache and must stay clean for the retry that follows
+        detection.
+        """
+        corrupted = []
+        for payload in payloads:
+            flipped = np.array(payload, dtype=np.float64, copy=True)
+            if flipped.size:
+                if flipped.ndim >= 2:
+                    flipped[..., 0] = np.nan
+                else:
+                    flipped.fill(np.nan)
+            corrupted.append(flipped)
+        return corrupted
+
+    def summary(self) -> Dict[str, int]:
+        """Fired-fault tally by kind (for the chaos recovery report)."""
+        tally = {kind: 0 for kind in FAULT_KINDS}
+        with self._lock:
+            for spec in self.fired:
+                tally[spec.kind] += 1
+            tally["ecalls_observed"] = self._ecall_index
+        return tally

@@ -40,6 +40,11 @@ class SgxCostModel:
     transfer_bytes_per_s: float = 1.9e9  # ECALL buffer marshal + copy
     page_swap_latency_s: float = 4e-5  # EPC eviction/reload per page
     memory_bytes_per_s: float = 12e9  # plain memcpy in the untrusted world
+    #: ECREATE/EADD/EINIT + attestation round trip for a fresh enclave —
+    #: tens of ms on SGX hardware (EPC pages are added and measured one
+    #: by one). Dominates the simulated MTTR of a crash recovery together
+    #: with unsealing and re-copying the snapshot into the EPC.
+    enclave_create_latency_s: float = 2e-2
 
     def __post_init__(self) -> None:
         for name in (
@@ -98,6 +103,17 @@ class SgxCostModel:
     def untrusted_copy_time(self, num_bytes: int) -> float:
         """Seconds for a plain memcpy outside the enclave."""
         return num_bytes / self.memory_bytes_per_s
+
+    def restart_time(self, sealed_bytes: int) -> float:
+        """Seconds to rebuild a dead enclave from a sealed snapshot.
+
+        Enclave creation/attestation plus marshalling the sealed blob
+        back across the boundary; the in-enclave unseal work rides on the
+        same transfer-rate approximation.
+        """
+        if sealed_bytes < 0:
+            raise ValueError(f"negative snapshot size {sealed_bytes}")
+        return self.enclave_create_latency_s + sealed_bytes / self.transfer_bytes_per_s
 
 
 DEFAULT_COST_MODEL = SgxCostModel()

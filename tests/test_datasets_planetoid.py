@@ -107,11 +107,10 @@ class TestLoadPlanetoid:
         from repro.models import ModelPreset
         from repro.training import TrainConfig
         from repro.graph import make_sbm_graph
-        from repro.io import save_graph
 
         # a slightly bigger generated dataset written in planetoid format
         source = make_sbm_graph(40, 2, 12, 4.0, seed=0)
-        import tempfile, os
+        import tempfile
         from pathlib import Path
 
         with tempfile.TemporaryDirectory() as tmp:

@@ -13,9 +13,9 @@ from repro.deploy import (
 )
 from repro.deploy.partition import coo_memory_bytes, enclave_budget_analytic
 from repro.errors import EnclaveMemoryError
-from repro.graph import CooAdjacency, gcn_normalize
-from repro.models import GCNBackbone, MlpBackbone, make_rectifier
-from repro.tee import DEFAULT_COST_MODEL, EnclaveConfig
+from repro.graph import CooAdjacency
+from repro.models import GCNBackbone, MlpBackbone
+from repro.tee import DEFAULT_COST_MODEL
 
 
 @pytest.fixture

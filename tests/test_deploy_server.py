@@ -11,7 +11,7 @@ from repro.deploy import (
     VaultServer,
     zipf_workload,
 )
-from repro.graph import CooAdjacency, make_sbm_graph
+from repro.graph import make_sbm_graph
 from repro.tee import AccessPatternAuditor
 
 
@@ -62,6 +62,26 @@ class TestVaultServer:
         assert vault_server.stats.mean_latency_seconds == 0.0
         vault_server.query(4)
         assert vault_server.stats.mean_latency_seconds > 0
+
+    def test_latency_summary_empty_is_zeros_not_nan(self):
+        """Regression: before the first query the percentile digest used to
+        come back NaN, which poisons dashboards and JSON consumers."""
+        import math
+
+        from repro.deploy.server import ServerStats
+
+        summary = ServerStats().latency_summary()
+        assert set(summary) >= {"p50", "p95", "p99"}
+        for key, value in summary.items():
+            assert not math.isnan(value), f"{key} is NaN on an empty histogram"
+            assert value == 0.0
+
+    def test_latency_summary_populated_after_queries(self, server):
+        vault_server, _ = server
+        vault_server.query(2)
+        summary = vault_server.stats.latency_summary()
+        assert summary["count"] == 1.0
+        assert summary["p50"] > 0.0
 
     def test_hottest_nodes(self, server):
         vault_server, _ = server

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments import (
@@ -11,14 +10,9 @@ from repro.experiments import (
     PAPER_TABLE4,
     make_substitute_builder,
     render_fig4,
-    render_fig5,
     render_fig6,
     render_table1,
-    render_table2,
-    render_table3,
-    render_table4,
     run_fig4,
-    run_fig5,
     run_fig6,
     run_gnnvault,
     run_table1,

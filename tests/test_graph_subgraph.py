@@ -10,7 +10,6 @@ from repro.graph import (
     CooAdjacency,
     extract_subgraph,
     gcn_normalize,
-    gcn_normalize_with_degrees,
     k_hop_neighbourhood,
 )
 from repro.models import GCNBackbone

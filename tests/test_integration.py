@@ -8,14 +8,12 @@ hold at miniature scale.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.attacks import link_stealing_attack
-from repro.datasets import per_class_split
 from repro.deploy import SecureInferenceSession, plan_deployment
 from repro.experiments import run_gnnvault
-from repro.graph import gcn_normalize, make_sbm_graph
+from repro.graph import make_sbm_graph
 from repro.models import ModelPreset
 from repro.training import TrainConfig, accuracy
 

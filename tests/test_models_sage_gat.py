@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.datasets import per_class_split
 from repro.graph import gcn_normalize
 from repro.models import (
     GATBackbone,

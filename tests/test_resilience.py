@@ -1,0 +1,265 @@
+"""Crash recovery: sealed snapshots, the enclave supervisor, degraded mode."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.deploy import (
+    BatchPolicy,
+    DEGRADED_BACKBONE_ONLY,
+    EnclaveSupervisor,
+    MicroBatchScheduler,
+    RecoveryPolicy,
+    SecureInferenceSession,
+    VaultServer,
+)
+from repro.errors import DeadlineExceeded, RecoveryFailed, SealingError
+from repro.obs import Telemetry
+from repro.tee import FaultInjector, FaultPlan, FaultSpec, seal
+from repro.tee.faults import FAULT_KILL, FAULT_MEMORY
+
+
+def make_session(trained_vault, scheme="series", telemetry=None):
+    run = trained_vault
+    return SecureInferenceSession(
+        backbone=run.backbone,
+        rectifier=run.rectifiers[scheme],
+        substitute_adjacency=run.substitute,
+        private_adjacency=run.graph.adjacency,
+        telemetry=telemetry,
+    )
+
+
+@pytest.fixture
+def session(trained_vault):
+    return make_session(trained_vault)
+
+
+def skewed_snapshot() -> "object":
+    """A blob sealed by a *different* enclave identity (version skew)."""
+    return seal({"weights": {}, "adjacency": None}, "some-other-enclave-build")
+
+
+def degrade(supervisor, session) -> None:
+    """Force the supervisor into its degraded terminal state."""
+    supervisor._snapshot = skewed_snapshot()
+    session.enclave.kill()
+    with pytest.raises(RecoveryFailed):
+        supervisor.recover()
+    assert supervisor.degraded
+
+
+class TestSnapshotRestore:
+    def test_rebuild_preserves_labels(self, session, trained_vault):
+        run = trained_vault
+        targets = [0, 5, 42]
+        baseline, _ = session.predict_nodes(run.graph.features, targets)
+        blob = session.enclave.seal_snapshot()
+        old_enclave = session.enclave
+        session.rebuild_enclave(blob)
+        assert session.enclave is not old_enclave
+        assert session.enclave.measurement == old_enclave.measurement
+        restored, _ = session.predict_nodes(run.graph.features, targets)
+        np.testing.assert_array_equal(restored, baseline)
+
+    def test_restore_prewarms_plan_cache(self, session, trained_vault):
+        run = trained_vault
+        session.predict_nodes(run.graph.features, [7])
+        session.predict_nodes(run.graph.features, [13])
+        blob = session.enclave.seal_snapshot()
+        session.rebuild_enclave(blob)
+        # the cache-warming hints were replayed before traffic resumed
+        assert len(session.enclave._plan_cache) >= 2
+
+    def test_version_skew_raises_sealing_error(self, session, trained_vault):
+        # a snapshot sealed by a differently-measured enclave build must
+        # never open: restoring it is a hard SealingError, not silent reuse
+        other = make_session(trained_vault, scheme="parallel")
+        blob = other.enclave.seal_snapshot()
+        assert other.enclave.measurement != session.enclave.measurement
+        with pytest.raises(SealingError):
+            session.enclave.restore_snapshot(blob)
+
+    def test_failed_rebuild_keeps_current_enclave(self, session, trained_vault):
+        run = trained_vault
+        old_enclave = session.enclave
+        with pytest.raises(SealingError):
+            session.rebuild_enclave(skewed_snapshot())
+        assert session.enclave is old_enclave
+        labels, _ = session.predict_nodes(run.graph.features, [3])
+        assert labels.shape == (1,)
+
+
+class TestSupervisorRecovery:
+    def test_mid_stream_kill_recovered_through_scheduler(self, trained_vault):
+        run = trained_vault
+        telemetry = Telemetry()
+        session = make_session(trained_vault, telemetry=telemetry)
+        server = VaultServer(session, run.graph.features)
+        workload = [int(n) for n in range(0, 40)]
+        baseline = server.query_batch(workload, client="baseline")
+
+        supervisor = EnclaveSupervisor(
+            session, RecoveryPolicy(snapshot_interval=8),
+            telemetry=telemetry, health=server.health,
+        )
+        server.attach_supervisor(supervisor)
+        session.attach_fault_injector(
+            FaultInjector(FaultPlan((FaultSpec(FAULT_KILL, 10),)))
+        )
+        policy = BatchPolicy(max_batch_size=1, max_wait_ms=0.2)
+        with MicroBatchScheduler(server, policy) as scheduler:
+            labels = scheduler.serve(workload, client="chaos")
+        np.testing.assert_array_equal(labels, baseline)
+        report = supervisor.recovery_report()
+        assert report["state"] == "healthy"
+        assert report["restarts_total"] == 1
+        assert report["batches_retried"] >= 1
+        assert report["queries_degraded"] == 0
+        assert report["mttr_wall_seconds"] > 0
+        assert report["mttr_simulated_seconds"] > 0
+
+    def test_memory_fault_retried_transparently(self, session, trained_vault):
+        run = trained_vault
+        server = VaultServer(session, run.graph.features)
+        baseline = server.query_batch([4], client="baseline")
+        supervisor = EnclaveSupervisor(session)
+        server.attach_supervisor(supervisor)
+        session.attach_fault_injector(
+            FaultInjector(FaultPlan((FaultSpec(FAULT_MEMORY, 0),)))
+        )
+        labels = server.query_batch([4], client="faulted")
+        np.testing.assert_array_equal(labels, baseline)
+        assert supervisor.batches_retried == 1
+        assert supervisor.restarts_total == 0  # the enclave never died
+
+    def test_recovery_reattests_before_unseal(self, session, trained_vault):
+        telemetry = Telemetry()
+        session = make_session(trained_vault, telemetry=telemetry)
+        supervisor = EnclaveSupervisor(session, telemetry=telemetry)
+        session.enclave.kill()
+        supervisor.recover()
+        attested = telemetry.audit.events(kind="attestation")
+        restored = [
+            event for event in telemetry.audit.events(kind="provision")
+            if dict(event.fields).get("stage") == "snapshot"
+        ]
+        assert attested and restored
+
+    def test_version_skew_degrades_without_crash_loop(self, session):
+        supervisor = EnclaveSupervisor(session)
+        degrade(supervisor, session)
+        assert supervisor.restarts_total == 0
+        assert "unseal" in supervisor.degraded_reason
+        # terminal: further recoveries fail fast instead of re-attempting
+        with pytest.raises(RecoveryFailed):
+            supervisor.recover()
+        assert supervisor.restarts_total == 0
+
+    def test_stale_snapshot_degrades(self, session):
+        supervisor = EnclaveSupervisor(session)
+        supervisor._snapshot_version -= 1  # simulate a missed re-seal
+        session.enclave.kill()
+        with pytest.raises(RecoveryFailed):
+            supervisor.recover()
+        assert supervisor.degraded
+        assert "version" in supervisor.degraded_reason
+
+    def test_deadline_budget(self, session):
+        supervisor = EnclaveSupervisor(
+            session, RecoveryPolicy(deadline_s=0.05)
+        )
+        with pytest.raises(DeadlineExceeded):
+            supervisor.call_with_retry(
+                lambda: None, queued_at=time.perf_counter() - 1.0
+            )
+
+    def test_snapshot_reseals_on_interval(self, session, trained_vault, monkeypatch):
+        run = trained_vault
+        supervisor = EnclaveSupervisor(
+            session, RecoveryPolicy(snapshot_interval=2)
+        )
+        seals = []
+        real = session.enclave.seal_snapshot
+        monkeypatch.setattr(
+            session.enclave, "seal_snapshot",
+            lambda *a, **k: seals.append(1) or real(*a, **k),
+        )
+        for _ in range(4):
+            supervisor.call_with_retry(
+                lambda: session.predict_nodes(run.graph.features, [1])
+            )
+        assert len(seals) == 2  # every second successful batch
+
+    def test_recovery_metrics_exported(self, trained_vault):
+        telemetry = Telemetry()
+        session = make_session(trained_vault, telemetry=telemetry)
+        supervisor = EnclaveSupervisor(session, telemetry=telemetry)
+        session.enclave.kill()
+        supervisor.recover()
+        registry = telemetry.registry
+        assert registry.counter("vault_enclave_restarts_total").value() == 1
+        assert registry.gauge("vault_supervisor_state").value() == 0.0
+        text = telemetry.render_prometheus()
+        assert "vault_recovery_seconds" in text
+
+    def test_restart_storm_alert(self, trained_vault):
+        run = trained_vault
+        telemetry = Telemetry()
+        session = make_session(trained_vault, telemetry=telemetry)
+        server = VaultServer(session, run.graph.features)
+        assert server.health is not None
+        supervisor = EnclaveSupervisor(
+            session, RecoveryPolicy(storm_threshold=2),
+            telemetry=telemetry, health=server.health,
+        )
+        for _ in range(2):
+            session.enclave.kill()
+            supervisor.recover()
+        assert server.health.alerts.is_active("enclave/restart_storm")
+
+
+class TestDegradedMode:
+    def test_queue_mode_fails_rectified_queries(self, session, trained_vault):
+        run = trained_vault
+        server = VaultServer(session, run.graph.features)
+        supervisor = EnclaveSupervisor(session)  # default: queue
+        server.attach_supervisor(supervisor)
+        degrade(supervisor, session)
+        with pytest.raises(RecoveryFailed):
+            server.query_batch([0], client="late")
+
+    def test_backbone_only_fallback_on_server(self, session, trained_vault):
+        run = trained_vault
+        server = VaultServer(session, run.graph.features)
+        supervisor = EnclaveSupervisor(
+            session, RecoveryPolicy(degraded_mode=DEGRADED_BACKBONE_ONLY)
+        )
+        server.attach_supervisor(supervisor)
+        degrade(supervisor, session)
+        labels = server.query_batch([0, 9], client="late")
+        embeddings, _ = session.embed(run.graph.features)
+        expected = np.argmax(embeddings[-1][[0, 9]], axis=1)
+        np.testing.assert_array_equal(labels, expected)
+        assert labels.dtype == np.int64  # still label-only shaped
+        assert supervisor.queries_degraded == 1  # one degraded request
+
+    def test_backbone_only_fallback_through_scheduler(self, session, trained_vault):
+        run = trained_vault
+        server = VaultServer(session, run.graph.features)
+        supervisor = EnclaveSupervisor(
+            session, RecoveryPolicy(degraded_mode=DEGRADED_BACKBONE_ONLY)
+        )
+        server.attach_supervisor(supervisor)
+        degrade(supervisor, session)
+        policy = BatchPolicy(max_batch_size=4, max_wait_ms=0.2)
+        with MicroBatchScheduler(server, policy) as scheduler:
+            request = scheduler.submit([3], client="late")
+            labels = request.result(timeout=30.0)
+        assert request.degraded  # explicitly marked non-rectified
+        embeddings, _ = session.embed(run.graph.features)
+        assert labels[0] == np.argmax(embeddings[-1][3])
+        assert supervisor.queries_degraded >= 1

@@ -567,3 +567,108 @@ class TestProfilingBoundary:
                 assert not set(key.lower().split("_")) & FORBIDDEN_WORDS, key
                 assert key.endswith(AGGREGATE_SUFFIXES), key
                 assert isinstance(value, (int, float)), (key, value)
+
+
+class TestResilienceBoundary:
+    """Crashes, retries, and recovery must not widen the egress contract.
+
+    The fault-injection harness simulates availability events only; every
+    path it exercises — a faulted ECALL, a retried batch, a restarted
+    enclave, a degraded backbone-only answer — has to leave the label-only
+    one-way channel rules exactly as strict as the fault-free path.
+    """
+
+    def _faulted_session(self, trained_vault, *specs):
+        from repro.tee import FaultInjector, FaultPlan
+
+        run = trained_vault
+        session = SecureInferenceSession(
+            backbone=run.backbone,
+            rectifier=run.rectifiers["series"],
+            substitute_adjacency=run.substitute,
+            private_adjacency=run.graph.adjacency,
+        )
+        session.attach_fault_injector(FaultInjector(FaultPlan(tuple(specs))))
+        return session
+
+    @pytest.mark.parametrize("kind", ["memory", "kill", "corrupt"])
+    def test_faulted_ecall_publishes_nothing(self, trained_vault, kind):
+        """An ECALL that dies mid-flight must leave the outbox empty: a
+        partial result crossing the channel would be a leak, so collect()
+        on the untrusted side raises instead of returning stale data."""
+        from repro.tee import FaultInjector, FaultPlan
+        from repro.tee.faults import FaultSpec
+
+        run = trained_vault
+        session = self._faulted_session(trained_vault, FaultSpec(kind, 0))
+        enclave = session.enclave
+        channel = session._fresh_channel()
+        embeddings, _ = session.embed(run.graph.features)
+        for block in embeddings:
+            channel.push(block)
+        with pytest.raises(Exception):
+            enclave.ecall_infer(channel)
+        with pytest.raises(SecurityViolation):
+            channel.collect()
+
+    def test_restarted_enclave_keeps_label_only_egress(self, trained_vault):
+        """A recovered enclave re-earns trust via attestation and then obeys
+        the same publish() type-check as the original instance."""
+        run = trained_vault
+        session = SecureInferenceSession(
+            backbone=run.backbone,
+            rectifier=run.rectifiers["series"],
+            substitute_adjacency=run.substitute,
+            private_adjacency=run.graph.adjacency,
+        )
+        blob = session.enclave.seal_snapshot()
+        session.enclave.kill()
+        session.rebuild_enclave(blob)
+        channel = OneWayChannel()
+        with pytest.raises(SecurityViolation):
+            channel.publish(np.zeros(3))  # floats still cannot leave
+        labels, _ = session.predict_nodes(run.graph.features, [5])
+        assert np.issubdtype(labels.dtype, np.integer)
+
+    def test_retried_batch_crosses_as_ordinary_push(self, trained_vault):
+        """Retry after a memory fault re-stages through a fresh channel —
+        the adversary sees another logged push, never a widened interface."""
+        from repro.deploy import EnclaveSupervisor, VaultServer
+        from repro.tee.faults import FaultSpec
+
+        run = trained_vault
+        session = self._faulted_session(trained_vault, FaultSpec("memory", 0))
+        server = VaultServer(session, run.graph.features)
+        server.attach_supervisor(EnclaveSupervisor(session))
+        labels = server.query_batch([8], client="retry")
+        assert np.issubdtype(labels.dtype, np.integer)
+
+    def test_degraded_answers_never_touch_the_channel(self, trained_vault):
+        """Backbone-only fallback is computed wholly in the untrusted world:
+        the dead enclave's transition counter must not move, and the answer
+        is still integer labels (no logits escape via the fallback)."""
+        run = trained_vault
+        session = SecureInferenceSession(
+            backbone=run.backbone,
+            rectifier=run.rectifiers["series"],
+            substitute_adjacency=run.substitute,
+            private_adjacency=run.graph.adjacency,
+        )
+        session.enclave.kill()
+        transitions = session.enclave.ecall_transitions
+        embeddings, _ = session.embed(run.graph.features)
+        labels = session.backbone_labels(embeddings, [0, 7, 11])
+        assert session.enclave.ecall_transitions == transitions
+        assert np.issubdtype(labels.dtype, np.integer)
+
+    def test_injector_cannot_widen_egress(self, trained_vault):
+        """Corruption happens on the *untrusted* staging side; with an
+        injector attached the enclave-side publish gate is unchanged."""
+        from repro.tee import FaultInjector, FaultPlan
+
+        session = self._faulted_session(trained_vault)  # empty plan
+        channel = session._fresh_channel()
+        with pytest.raises(SecurityViolation):
+            channel.publish((np.zeros(2), np.ones(2)))
+        with pytest.raises(SecurityViolation):
+            LabelOnlyResult(np.zeros(3))  # float labels rejected at the type

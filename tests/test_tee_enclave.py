@@ -13,7 +13,6 @@ from repro.tee import (
     LabelOnlyResult,
     OneWayChannel,
     RectifierEnclave,
-    SgxCostModel,
     rectifier_measurement,
     seal,
     seal_private_graph,

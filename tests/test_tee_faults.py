@@ -1,0 +1,159 @@
+"""Fault-injection harness: deterministic plans and per-ECALL fault firing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.deploy import SecureInferenceSession
+from repro.errors import (
+    ChannelCorruption,
+    EnclaveKilled,
+    EnclaveMemoryError,
+)
+from repro.tee import (
+    FAULT_CORRUPT,
+    FAULT_KILL,
+    FAULT_KINDS,
+    FAULT_LATENCY,
+    FAULT_MEMORY,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+@pytest.fixture
+def session(trained_vault):
+    run = trained_vault
+    return SecureInferenceSession(
+        backbone=run.backbone,
+        rectifier=run.rectifiers["series"],
+        substitute_adjacency=run.substitute,
+        private_adjacency=run.graph.adjacency,
+    )
+
+
+class TestFaultPlan:
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(7, 100, kill_at=40, memory_faults=3,
+                             corrupt_faults=2, latency_faults=2)
+        b = FaultPlan.seeded(7, 100, kill_at=40, memory_faults=3,
+                             corrupt_faults=2, latency_faults=2)
+        assert a.specs == b.specs
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.seeded(0, 200, memory_faults=5, corrupt_faults=5)
+        b = FaultPlan.seeded(1, 200, memory_faults=5, corrupt_faults=5)
+        assert a.specs != b.specs
+
+    def test_kill_is_pinned(self):
+        plan = FaultPlan.seeded(3, 50, kill_at=17, memory_faults=2)
+        kills = [s for s in plan.specs if s.kind == FAULT_KILL]
+        assert [s.at_ecall for s in kills] == [17]
+
+    def test_specs_sorted_and_unique(self):
+        plan = FaultPlan.seeded(5, 80, kill_at=10, memory_faults=4,
+                                corrupt_faults=4, latency_faults=4)
+        indices = [s.at_ecall for s in plan.specs]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan((FaultSpec(FAULT_MEMORY, 3), FaultSpec(FAULT_KILL, 3)))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("rowhammer", 0)
+
+    def test_kinds_cover_the_enum(self):
+        assert set(FAULT_KINDS) == {
+            FAULT_MEMORY, FAULT_KILL, FAULT_CORRUPT, FAULT_LATENCY,
+        }
+
+
+class TestFaultInjector:
+    def test_counter_advances_and_specs_fire_once(self):
+        plan = FaultPlan((FaultSpec(FAULT_MEMORY, 1),))
+        injector = FaultInjector(plan)
+        assert injector.next_ecall() is None
+        fired = injector.next_ecall()
+        assert fired is not None and fired.kind == FAULT_MEMORY
+        assert injector.next_ecall() is None
+        assert injector.ecalls_observed == 3
+        assert injector.summary()["memory"] == 1
+
+    def test_corrupt_pending_peeks_without_advancing(self):
+        plan = FaultPlan((FaultSpec(FAULT_CORRUPT, 0),))
+        injector = FaultInjector(plan)
+        assert injector.corrupt_pending()
+        assert injector.corrupt_pending()  # peek, not consume
+        assert injector.ecalls_observed == 0
+
+    def test_corrupt_payloads_copies(self):
+        injector = FaultInjector(FaultPlan((FaultSpec(FAULT_CORRUPT, 0),)))
+        original = np.ones((4, 3))
+        (flipped,) = injector.corrupt_payloads([original])
+        assert not np.isfinite(flipped).all()
+        assert np.isfinite(original).all()  # cache buffers never mutated
+
+
+class TestEnclaveFaults:
+    def _attach(self, session, *specs):
+        injector = FaultInjector(FaultPlan(tuple(specs)))
+        session.attach_fault_injector(injector)
+        return injector
+
+    def test_memory_fault_raises_but_enclave_survives(self, session, trained_vault):
+        run = trained_vault
+        self._attach(session, FaultSpec(FAULT_MEMORY, 0))
+        with pytest.raises(EnclaveMemoryError):
+            session.predict_nodes(run.graph.features, [0])
+        assert session.enclave.alive
+        labels, _ = session.predict_nodes(run.graph.features, [0])
+        assert labels.shape == (1,)
+
+    def test_kill_fault_destroys_the_enclave(self, session, trained_vault):
+        run = trained_vault
+        self._attach(session, FaultSpec(FAULT_KILL, 0))
+        with pytest.raises(EnclaveKilled):
+            session.predict_nodes(run.graph.features, [0])
+        assert not session.enclave.alive
+        # every later ECALL fails fast until a supervisor re-provisions
+        with pytest.raises(EnclaveKilled):
+            session.predict_nodes(run.graph.features, [1])
+
+    def test_corruption_is_detected_in_enclave(self, session, trained_vault):
+        run = trained_vault
+        self._attach(session, FaultSpec(FAULT_CORRUPT, 0))
+        with pytest.raises(ChannelCorruption):
+            session.predict_nodes(run.graph.features, [0])
+        # the enclave rejected the batch but stays serviceable
+        labels, _ = session.predict_nodes(run.graph.features, [0])
+        assert labels.shape == (1,)
+
+    def test_latency_fault_inflates_transfer_time(self, session, trained_vault):
+        run = trained_vault
+        _, clean = session.predict_nodes(run.graph.features, [0])
+        self._attach(session, FaultSpec(FAULT_LATENCY, 0, extra_seconds=0.25))
+        labels, spiked = session.predict_nodes(run.graph.features, [0])
+        assert spiked.transfer_seconds >= clean.transfer_seconds + 0.25
+        assert labels.shape == (1,)
+
+    def test_faulted_labels_match_fault_free(self, session, trained_vault):
+        """Retrying after transient faults must not change any answer."""
+        run = trained_vault
+        targets = [3, 9, 27]
+        baseline, _ = session.predict_nodes(run.graph.features, targets)
+        self._attach(
+            session,
+            FaultSpec(FAULT_MEMORY, 0),
+            FaultSpec(FAULT_CORRUPT, 1),
+        )
+        with pytest.raises(EnclaveMemoryError):
+            session.predict_nodes(run.graph.features, targets)
+        with pytest.raises(ChannelCorruption):
+            session.predict_nodes(run.graph.features, targets)
+        retried, _ = session.predict_nodes(run.graph.features, targets)
+        np.testing.assert_array_equal(retried, baseline)

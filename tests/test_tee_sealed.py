@@ -76,6 +76,69 @@ class TestSealUnseal:
         assert derive_seal_key("a") != derive_seal_key("b")
 
 
+class TestSnapshotVersionSkew:
+    """Recovery snapshots under version skew (the supervisor's failure mode).
+
+    A sealed snapshot is bound to the enclave measurement that wrote it; a
+    rebuilt enclave whose code (scheme, layer shapes) changed derives a
+    different seal key and must fail *closed* — the supervisor then parks
+    in degraded mode after a bounded number of attempts rather than
+    crash-looping (covered end-to-end in ``test_resilience.py``).
+    """
+
+    def _snapshot_payload(self):
+        return {
+            "adjacency": None,
+            "weights": {"w0": np.ones((4, 2)).tolist()},
+            "plan_keys": [((3,), 2)],
+        }
+
+    def test_snapshot_roundtrip_same_measurement(self):
+        payload = self._snapshot_payload()
+        measurement = measure_code({"scheme": "series", "dims": [16, 8]})
+        blob = seal(payload, measurement)
+        restored = unseal(blob, measurement)
+        assert restored["plan_keys"] == payload["plan_keys"]
+        assert restored["weights"] == payload["weights"]
+
+    def test_skewed_measurement_fails_closed(self):
+        """A code change (new layer width) must make old snapshots opaque."""
+        old = measure_code({"scheme": "series", "dims": [16, 8]})
+        new = measure_code({"scheme": "series", "dims": [32, 8]})
+        blob = seal(self._snapshot_payload(), old)
+        with pytest.raises(SealingError):
+            unseal(blob, new)
+
+    def test_skew_failure_is_deterministic_not_looping(self):
+        """Every retry fails identically — restarting cannot help, which is
+        why the supervisor treats SealingError as terminal."""
+        blob = seal(self._snapshot_payload(), "build-1")
+        for _ in range(3):
+            with pytest.raises(SealingError):
+                unseal(blob, "build-2")
+
+    def test_enclave_restore_skew_degrades_supervisor(self, trained_vault):
+        """End-to-end: a supervisor holding a skewed snapshot degrades after
+        its bounded attempt instead of burning the restart budget."""
+        from repro.deploy import EnclaveSupervisor, SecureInferenceSession
+        from repro.errors import RecoveryFailed
+
+        run = trained_vault
+        session = SecureInferenceSession(
+            backbone=run.backbone,
+            rectifier=run.rectifiers["series"],
+            substitute_adjacency=run.substitute,
+            private_adjacency=run.graph.adjacency,
+        )
+        supervisor = EnclaveSupervisor(session)
+        supervisor._snapshot = seal(self._snapshot_payload(), "other-build")
+        session.enclave.kill()
+        with pytest.raises(RecoveryFailed):
+            supervisor.recover()
+        assert supervisor.degraded
+        assert supervisor.restarts_total == 0
+
+
 class TestAttestation:
     def test_valid_quote_verifies(self):
         quote = generate_quote("enclave-m", "challenge-1")
