@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-serving bench-throughput bench-check bench-full obs-demo dashboard health chaos examples report calibration clean
+.PHONY: install test bench bench-serving bench-throughput bench-check bench-full obs-demo dashboard health chaos tenants examples report calibration clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -35,6 +35,20 @@ obs-demo:
 	$(PYTHON) -m repro.cli trace --dataset cora --epochs 15 --queries 10
 	$(PYTHON) -m repro.cli dashboard --dataset cora --epochs 15 --queries 200 \
 		--probe --output benchmarks/results/dashboard.html
+	$(PYTHON) -m repro.cli tenants --dataset cora --epochs 15 --queries 100 \
+		--output benchmarks/results/tenant_report.json \
+		--log-output benchmarks/results/serving_log.jsonl
+	$(PYTHON) -m repro.cli logcheck benchmarks/results/serving_log.jsonl
+
+# Per-tenant cost attribution report (hashed tenant ids) plus the
+# correlated structured log; exit 0 iff the ledger reconciles exactly
+# against the enclave's own ECALL cost counters.
+tenants:
+	$(PYTHON) -m repro.cli tenants --dataset cora --epochs 15 --queries 200 \
+		--probe --quota-queries 100 \
+		--output benchmarks/results/tenant_report.json \
+		--log-output benchmarks/results/serving_log.jsonl
+	$(PYTHON) -m repro.cli logcheck benchmarks/results/serving_log.jsonl
 
 # Static HTML operator dashboard (with the link-stealing probe replayed so
 # the security panel lights up) written into benchmarks/results/.

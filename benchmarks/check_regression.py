@@ -98,6 +98,11 @@ SMOKE_CHECKS = (
     (("resilience", "restarts"), ("min", 1.0)),
     (("resilience", "recovery_seconds"), ("max", 5.0)),
     (("resilience", "queries_degraded"), ("max", 0.0)),
+    # Tenancy arm: per-tenant cost attribution must stay near-free on
+    # the warm path and account for every unit of enclave cost (summed
+    # tenant shares equal the enclave's own counters — "reconciled").
+    (("tenancy", "overhead_fraction"), ("max", 0.02)),
+    (("tenancy", "reconciled"), ("true", None)),
 )
 
 

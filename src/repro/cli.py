@@ -516,6 +516,108 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    """Replay a multi-client workload through the pipelined scheduler with
+    the tenant cost ledger and structured logger attached; emit the
+    per-tenant attribution report (hashed tenant ids only) as JSON.
+
+    Exit code 0 requires the ledger to reconcile exactly against the
+    enclave's own ECALL cost counters.
+    """
+    import json
+    import threading
+
+    from .deploy import BatchPolicy, MicroBatchScheduler, zipf_workload
+    from .obs import StructuredLogger, TenantCostLedger, TenantQuota
+
+    telemetry, server, run = _build_deployment(args)
+    workload = zipf_workload(
+        run.graph.num_nodes, args.queries, alpha=args.alpha, seed=args.seed
+    )
+    quota = None
+    if args.quota_queries > 0:
+        quota = TenantQuota(max_queries=args.quota_queries)
+    ledger = TenantCostLedger(
+        registry=telemetry.registry,
+        gate=telemetry.enclave_gate(),
+        max_tenants=args.max_tenants,
+        quota=quota,
+        alerts=server.health.alerts if server.health is not None else None,
+    )
+    logger = StructuredLogger(capacity=max(8 * args.queries, 1024))
+    server.attach_tenancy(ledger)
+    server.attach_logger(logger)
+    before = server.session.enclave.ecall_cost_totals()
+    policy = BatchPolicy(
+        max_batch_size=args.max_batch, max_wait_ms=args.max_wait_ms
+    )
+    clients = max(1, args.clients)
+    print(
+        f"replaying {args.queries} Zipf({args.alpha}) queries through the "
+        f"pipeline ({clients} tenants, max batch {policy.max_batch_size})..."
+    )
+    with MicroBatchScheduler(server, policy) as scheduler:
+        def drive(index: int) -> None:
+            for node in workload[index::clients]:
+                scheduler.query(int(node), client=f"client_{index}")
+
+        threads = [
+            threading.Thread(target=drive, args=(i,)) for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    if getattr(args, "probe", False):
+        _replay_probe(server, run, seed=args.seed)
+    server.flush_health()
+    after = server.session.enclave.ecall_cost_totals()
+    recon = ledger.reconcile(before, after)
+    report = ledger.report()
+    report["reconciled"] = recon["ok"]
+    _emit(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        args.output, "tenant report",
+    )
+    if args.log_output:
+        path = logger.write(args.log_output)
+        print(
+            f"structured log written to {path} "
+            f"({len(logger)} lines)"
+        )
+    print(
+        f"# {report['tenants']} tenants, {report['batches']} batches "
+        f"attributed, reconciled={recon['ok']}"
+    )
+    return 0 if recon["ok"] else 1
+
+
+def _cmd_logcheck(args: argparse.Namespace) -> int:
+    """Validate a structured-log JSONL file against the closed schema.
+
+    The CI log lint: exit 0 iff every line parses and conforms, 1 on a
+    schema violation, 2 when the file is missing/empty.
+    """
+    from pathlib import Path
+
+    from .obs import LogSchemaViolation, validate_log_jsonl
+
+    path = Path(args.path)
+    if not path.is_file():
+        print(f"error: no such log file {path}", file=sys.stderr)
+        return 2
+    try:
+        count = validate_log_jsonl(path.read_text())
+    except LogSchemaViolation as exc:
+        print(f"log schema violation: {exc}", file=sys.stderr)
+        return 1
+    if count == 0:
+        print(f"error: {path} holds no log records", file=sys.stderr)
+        return 2
+    print(f"{path}: {count} log lines conform to the closed schema")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from . import experiments as exp
 
@@ -728,6 +830,53 @@ def build_parser() -> argparse.ArgumentParser:
              "non-rectified",
     )
     chaos.set_defaults(func=_cmd_chaos)
+
+    tenants = sub.add_parser(
+        "tenants",
+        help="replay a multi-tenant workload with per-client cost "
+             "attribution; emit the hashed-tenant report (exit 0 iff the "
+             "ledger reconciles against the enclave cost counters)",
+    )
+    add_workload_options(tenants)
+    tenants.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent tenant threads driving the scheduler",
+    )
+    tenants.add_argument(
+        "--max-batch", type=int, default=8,
+        help="scheduler max_batch_size (amortisation factor)",
+    )
+    tenants.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="scheduler coalescing window",
+    )
+    tenants.add_argument(
+        "--max-tenants", type=int, default=256,
+        help="cardinality bound on distinct tenant labels (rest overflow)",
+    )
+    tenants.add_argument(
+        "--quota-queries", type=int, default=0,
+        help="per-tenant query quota (0 = unlimited); breaches fire "
+             "security alerts and engage scheduler backpressure",
+    )
+    tenants.add_argument(
+        "--probe", action="store_true",
+        help="also replay a link-stealing probe so detector flags route "
+             "into the ledger's suspicion tallies",
+    )
+    tenants.add_argument(
+        "--log-output",
+        help="also write the correlated structured log as JSONL here",
+    )
+    tenants.set_defaults(func=_cmd_tenants)
+
+    logcheck = sub.add_parser(
+        "logcheck",
+        help="validate a structured-log JSONL file against the closed "
+             "schema (exit 0 ok / 1 violation / 2 missing or empty)",
+    )
+    logcheck.add_argument("path", help="JSONL file to validate")
+    logcheck.set_defaults(func=_cmd_logcheck)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"

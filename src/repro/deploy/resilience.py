@@ -329,6 +329,7 @@ class EnclaveSupervisor:
         self,
         ecall: Callable[[], T],
         queued_at: Optional[float] = None,
+        on_retry: Optional[Callable[[int, Exception], None]] = None,
     ) -> T:
         """Run one ECALL-bearing operation with bounded retry + recovery.
 
@@ -337,6 +338,11 @@ class EnclaveSupervisor:
         measured from it. Retries re-stage their payload through a fresh
         one-way channel inside ``ecall`` — the egress contract sees a
         retried batch as just another push.
+
+        ``on_retry`` is invoked as ``on_retry(attempt, exc)`` before
+        each retry is attempted — the serving layer uses it to emit a
+        correlated ``retry`` log line, keeping the recovery hop joined
+        to the batch (and therefore the queries) it replays.
 
         Raises the original error once retries are exhausted,
         :class:`~repro.errors.RecoveryFailed` when the enclave cannot be
@@ -358,6 +364,8 @@ class EnclaveSupervisor:
                 if attempt > policy.max_batch_retries:
                     raise
                 self.batches_retried += 1
+                if on_retry is not None:
+                    on_retry(attempt, exc)
                 if isinstance(exc, EnclaveKilled) or not self.session.enclave.alive:
                     self.recover()
                 elif policy.backoff_base_s > 0:

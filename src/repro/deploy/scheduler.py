@@ -195,9 +195,10 @@ class _PendingQuery:
     """One admitted request: target ids, owner, and a completion event."""
 
     __slots__ = ("node_ids", "client", "labels", "error", "_done", "queued_at",
-                 "degraded")
+                 "degraded", "corr_id")
 
-    def __init__(self, node_ids: Tuple[int, ...], client: str) -> None:
+    def __init__(self, node_ids: Tuple[int, ...], client: str,
+                 corr_id: Optional[str] = None) -> None:
         self.node_ids = node_ids
         self.client = client
         self.labels: Optional[np.ndarray] = None
@@ -207,6 +208,9 @@ class _PendingQuery:
         #: True when the answer is a backbone-only (non-rectified)
         #: prediction served while the enclave was unrecoverable.
         self.degraded = False
+        #: correlation id minted at admission (None without a logger);
+        #: joins this query's log lines to its micro-batch timeline.
+        self.corr_id = corr_id
 
     def _resolve(self, labels: np.ndarray, degraded: bool = False) -> None:
         self.labels = labels
@@ -472,6 +476,14 @@ class MicroBatchScheduler:
                     self._server._budget_exhausted(client, len(node_ids))
                 self._admitted += len(node_ids)
         cap = self.policy.max_inflight_per_client
+        tenancy = self._server.tenancy
+        if tenancy is not None and tenancy.over_quota(client):
+            # Quota-breach backpressure: the ledger's per-tenant spend
+            # quota tightens this tenant's in-flight allowance to a
+            # trickle (the policy cap halved, or 1 when uncapped) —
+            # the tenant keeps getting answers, just serially, while
+            # everyone else's admission is untouched.
+            cap = 1 if cap == 0 else max(1, cap // 2)
         if cap > 0:
             with self._client_locks.lock_for(client):
                 inflight = self._client_inflight.get(client, 0)
@@ -481,7 +493,16 @@ class MicroBatchScheduler:
                         f"(cap {cap})"
                     )
                 self._client_inflight[client] = inflight + 1
-        request = _PendingQuery(node_ids, client)
+        corr_id = None
+        log = self._server.logger
+        if log is not None:
+            corr_id = log.mint()
+            log.emit(
+                "admit", corr=corr_id,
+                tenant=self._server._tenant_token(client),
+                size_count=len(node_ids),
+            )
+        request = _PendingQuery(node_ids, client, corr_id=corr_id)
         with self._cv:
             if not self._running:
                 raise RuntimeError("scheduler is not running")
@@ -651,12 +672,31 @@ class MicroBatchScheduler:
         tracer = server.telemetry.tracer
         record = tracer.open_record("query", total)
         profiler = self.profiler
+        tenancy = server.tenancy
+        log = server.logger
+        self._batch_seq += 1
+        batch_seq = self._batch_seq
+        if log is not None:
+            # join lines: every admitted query names the micro-batch it
+            # coalesced into, so corr ids map to exactly one batch_seq.
+            for request in requests:
+                if request.corr_id is not None:
+                    log.emit(
+                        "batch", corr=request.corr_id,
+                        tenant=server._tenant_token(request.client),
+                        batch_seq=batch_seq,
+                        size_count=len(request.node_ids),
+                    )
         ecalls_before = (
             server._session.enclave.ecall_transitions
-            if profiler is not None else 0
+            if profiler is not None or tenancy is not None else 0
         )
         profile = None
         supervisor = self.supervisor
+        on_retry = None
+        if log is not None:
+            def on_retry(attempt, exc, _seq=batch_seq):
+                server._log_retry(attempt, exc, batch_seq=_seq)
         start = time.perf_counter()
         try:
             if supervisor is None:
@@ -675,13 +715,29 @@ class MicroBatchScheduler:
                         backbone_seconds=staged.backbone_seconds,
                     ),
                     queued_at=staged.queued_at,
+                    on_retry=on_retry,
                 )
         except BaseException as exc:
             tracer.close_record(record, staged.backbone_seconds, None)
             if self._resolve_degraded(staged, exc):
+                if log is not None:
+                    for request in requests:
+                        if request.corr_id is not None:
+                            log.emit(
+                                "resolve", corr=request.corr_id,
+                                tenant=server._tenant_token(request.client),
+                                seconds=time.perf_counter() - request.queued_at,
+                                degraded=True,
+                            )
                 return
             for request in requests:
                 request._fail(exc)
+                if log is not None and request.corr_id is not None:
+                    log.emit(
+                        "drop", corr=request.corr_id,
+                        tenant=server._tenant_token(request.client),
+                        error=type(exc).__name__,
+                    )
             return
         finally:
             if profile is not None:
@@ -697,14 +753,54 @@ class MicroBatchScheduler:
             len(requests), total, unique, staged.staged_seconds,
             enclave_seconds, staged.overlapped,
         )
+        session = server._session
+        ecall_delta = (
+            session.enclave.ecall_transitions - ecalls_before
+            if profiler is not None or tenancy is not None else 0
+        )
+        cost = None
+        if profiler is not None or (log is not None and tenancy is not None):
+            from ..obs.profiling import enclave_cost_record
+
+            cost = enclave_cost_record(
+                profile,
+                ecall_count=ecall_delta,
+                cost_model=session.enclave.config.cost_model,
+            )
+        if tenancy is not None:
+            # deferred attribution: the enclave worker only snapshots the
+            # batch; the ledger folds it at read time (report/reconcile/
+            # quota check), keeping the pipeline's critical path clear.
+            tenancy.defer_batch(
+                tuple(
+                    (request.client, request.node_ids) for request in requests
+                ),
+                profile, ecall_delta, session.enclave.config.cost_model,
+                enclave_seconds,
+            )
+        if log is not None:
+            fields = dict(
+                batch_seq=batch_seq, queries_count=len(requests),
+                unique_count=unique, seconds=enclave_seconds,
+            )
+            if cost is not None:
+                fields["pages_count"] = cost["paging_pages"]
+                fields["payload_bytes"] = cost["payload_bytes"]
+            log.emit("ecall", **fields)
         offset = 0
         for request in requests:
             request._resolve(labels[offset:offset + len(request.node_ids)])
             offset += len(request.node_ids)
+            if log is not None and request.corr_id is not None:
+                log.emit(
+                    "resolve", corr=request.corr_id,
+                    tenant=server._tenant_token(request.client),
+                    seconds=time.perf_counter() - request.queued_at,
+                )
         if profiler is not None:
             self._record_timeline(
                 staged, total, unique, start, start + enclave_seconds,
-                profile, ecalls_before,
+                profile, cost, batch_seq,
             )
 
     def _resolve_degraded(self, staged: _StagedBatch,
@@ -740,25 +836,18 @@ class MicroBatchScheduler:
 
     def _record_timeline(self, staged: _StagedBatch, total: int, unique: int,
                          execute_start: float, execute_end: float,
-                         profile, ecalls_before: int) -> None:
+                         profile, cost, batch_seq: int) -> None:
         """Assemble and record one batch's pipeline timeline.
 
         Runs on the enclave-worker thread after the batch resolved, so
-        it is off every request's critical path; the enclave counters
-        are safe to read here because this thread is the only ECALL
-        issuer while the scheduler is attached.
+        it is off every request's critical path. ``batch_seq`` is the
+        same sequence number stamped on this batch's log lines, so a
+        structured-log ``batch`` event joins to exactly one timeline.
         """
-        from ..obs.profiling import BatchTimeline, enclave_cost_record
+        from ..obs.profiling import BatchTimeline
 
-        session = self._server._session
-        cost = enclave_cost_record(
-            profile,
-            ecall_count=session.enclave.ecall_transitions - ecalls_before,
-            cost_model=session.enclave.config.cost_model,
-        )
-        self._batch_seq += 1
         self.profiler.record(BatchTimeline(
-            index=self._batch_seq,
+            index=batch_seq,
             num_queries=len(staged.requests),
             targets_requested=total,
             targets_unique=unique,
@@ -778,7 +867,11 @@ class MicroBatchScheduler:
     # Bookkeeping
     # ------------------------------------------------------------------
     def _release_client(self, client: str) -> None:
-        if self.policy.max_inflight_per_client > 0:
+        # with a tenancy ledger attached, quota backpressure may have
+        # engaged a per-client cap even under an uncapped policy, so the
+        # in-flight entry must be released either way (the pop at <= 0
+        # makes a release without a matching admit harmless).
+        if self.policy.max_inflight_per_client > 0 or self._server.tenancy is not None:
             with self._client_locks.lock_for(client):
                 remaining = self._client_inflight.get(client, 0) - 1
                 if remaining > 0:

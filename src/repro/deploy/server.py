@@ -300,6 +300,10 @@ class VaultServer:
         # query routes through its bounded retry + crash-recovery loop,
         # and an attached MicroBatchScheduler inherits it at start().
         self.supervisor = None
+        # Optional tenant cost ledger + structured logger: attached
+        # together or separately, both see only hashed tenant tokens.
+        self.tenancy = None
+        self.logger = None
 
     # ------------------------------------------------------------------
     # Profiling
@@ -310,6 +314,57 @@ class VaultServer:
 
     def detach_profiler(self) -> None:
         self.profiler = None
+
+    # ------------------------------------------------------------------
+    # Tenancy & structured logging
+    # ------------------------------------------------------------------
+    def attach_tenancy(self, ledger) -> None:
+        """Attach a :class:`~repro.obs.tenancy.TenantCostLedger`.
+
+        Every served batch (sequential or pipelined) is attributed to
+        its contributing tenants, and the pattern monitor's flags route
+        into the ledger's per-tenant suspicion tallies — all keyed by
+        hashed tenant token, never by raw client string.
+        """
+        self.tenancy = ledger
+        if self.monitor is not None and ledger is not None:
+            self.monitor.on_flag = ledger.note_suspicion
+
+    def detach_tenancy(self) -> None:
+        if (self.monitor is not None and self.tenancy is not None
+                and self.monitor.on_flag == self.tenancy.note_suspicion):
+            self.monitor.on_flag = None
+        self.tenancy = None
+
+    def attach_logger(self, logger) -> None:
+        """Attach a :class:`~repro.obs.logging.StructuredLogger`.
+
+        Mints a correlation id per admitted query and threads it through
+        admission → batch → ECALL → retry → resolution log events.
+        """
+        self.logger = logger
+
+    def detach_logger(self) -> None:
+        self.logger = None
+
+    def _tenant_token(self, client: str) -> str:
+        """The hashed (and cardinality-bounded) tenant id for a client."""
+        tenancy = self.tenancy
+        if tenancy is not None:
+            return tenancy.tenant_id(client)
+        from ..obs.tenancy import hash_tenant
+
+        return hash_tenant(client)
+
+    def _log_retry(self, attempt: int, exc: BaseException,
+                   batch_seq: int = 0) -> None:
+        """Correlated ``retry`` line for a supervisor recovery hop."""
+        log = self.logger
+        if log is not None:
+            log.emit(
+                "retry", batch_seq=batch_seq, attempt_count=attempt,
+                error=type(exc).__name__,
+            )
 
     # ------------------------------------------------------------------
     # Resilience
@@ -405,9 +460,21 @@ class VaultServer:
         tracer = self.telemetry.tracer
         record = tracer.open_record("query", len(node_ids))
         profiler = self.profiler
+        tenancy = self.tenancy
+        log = self.logger
+        corr = None
+        if log is not None:
+            corr = log.mint()
+            log.emit(
+                "admit", corr=corr, tenant=self._tenant_token(client),
+                size_count=len(node_ids),
+            )
         if profiler is not None:
             started = time.perf_counter()
-            ecalls_before = self._session.enclave.ecall_transitions
+        ecalls_before = (
+            self._session.enclave.ecall_transitions
+            if profiler is not None or tenancy is not None else 0
+        )
         backbone_seconds = 0.0
         staged_end = 0.0
         profile = None
@@ -426,6 +493,13 @@ class VaultServer:
                     supervisor, embeddings, node_ids, backbone_seconds,
                     queued_at,
                 )
+        except BaseException as exc:
+            if log is not None and corr is not None:
+                log.emit(
+                    "drop", corr=corr, tenant=self._tenant_token(client),
+                    error=type(exc).__name__,
+                )
+            raise
         finally:
             tracer.close_record(
                 record, backbone_seconds,
@@ -434,6 +508,25 @@ class VaultServer:
         if profiler is not None:
             execute_end = time.perf_counter()
         self.stats.record_batch(node_ids, profile)
+        if tenancy is not None or log is not None:
+            ecall_wall = time.perf_counter() - queued_at
+        if tenancy is not None:
+            # deferred attribution: snapshot the raw inputs only; the
+            # ledger folds them at read time, like the profiler's
+            # deferred timeline construction.
+            enclave = self._session.enclave
+            tenancy.defer_batch(
+                ((client, node_ids),),
+                profile,
+                enclave.ecall_transitions - ecalls_before,
+                enclave.config.cost_model,
+                ecall_wall,
+            )
+        if log is not None:
+            log.emit(
+                "resolve", corr=corr, tenant=self._tenant_token(client),
+                seconds=ecall_wall,
+            )
         health = self.health
         if health is not None or self.monitor is not None:
             with self._health_lock:
@@ -472,6 +565,7 @@ class VaultServer:
                     embeddings, node_ids, backbone_seconds=backbone_seconds
                 ),
                 queued_at=queued_at,
+                on_retry=self._log_retry,
             )
         except (RecoveryFailed, *RETRYABLE_ERRORS):
             if (not supervisor.degraded

@@ -39,7 +39,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .audit import AuditEvent, AuditLog, parse_audit_jsonl
+from .audit import (
+    AuditEvent,
+    AuditLog,
+    AuditSegmentWriter,
+    parse_audit_jsonl,
+)
 from .dashboard import render_dashboard, write_dashboard
 from .exporters import (
     parse_metrics_jsonl,
@@ -89,6 +94,21 @@ from .profiling import (
     write_folded,
     write_timeline_json,
 )
+from .logging import (
+    LOG_SCHEMA,
+    LogSchemaViolation,
+    StructuredLogger,
+    validate_log_jsonl,
+    validate_log_record,
+)
+from .tenancy import (
+    OVERFLOW_BUCKET,
+    CardinalityLimiter,
+    HeavyHitters,
+    TenantCostLedger,
+    TenantQuota,
+    hash_tenant,
+)
 from .tracing import NULL_SPAN, NullSpan, Span, Tracer
 
 
@@ -133,18 +153,24 @@ __all__ = [
     "AlertManager",
     "AuditEvent",
     "AuditLog",
+    "AuditSegmentWriter",
     "BatchTimeline",
+    "CardinalityLimiter",
     "Counter",
     "EnclaveTelemetryGate",
     "EwmaDetector",
     "Gauge",
     "HealthMonitor",
     "HealthReport",
+    "HeavyHitters",
     "Histogram",
     "LATENCY_BUCKETS_SECONDS",
+    "LOG_SCHEMA",
+    "LogSchemaViolation",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullSpan",
+    "OVERFLOW_BUCKET",
     "PipelineProfiler",
     "ProfileReport",
     "QueryPatternMonitor",
@@ -154,11 +180,15 @@ __all__ = [
     "Slo",
     "SloEngine",
     "Span",
+    "StructuredLogger",
     "Telemetry",
     "TelemetryLeak",
+    "TenantCostLedger",
+    "TenantQuota",
     "Tracer",
     "default_serving_slos",
     "enclave_cost_record",
+    "hash_tenant",
     "parse_audit_jsonl",
     "parse_metrics_jsonl",
     "parse_prometheus",
@@ -173,6 +203,8 @@ __all__ = [
     "timelines_to_json",
     "traces_to_registry",
     "validate_cost_record",
+    "validate_log_jsonl",
+    "validate_log_record",
     "write_dashboard",
     "write_folded",
     "write_timeline_json",

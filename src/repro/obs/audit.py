@@ -106,6 +106,106 @@ class AuditEvent:
 _RESERVED_FIELD_KEYS = frozenset({"seq", "time", "kind", "origin"})
 
 
+class AuditSegmentWriter:
+    """Size-rotated on-disk persistence for the audit stream.
+
+    The in-memory :class:`AuditLog` is bounded, so long-running
+    deployments lose the oldest events; attaching a segment writer (the
+    ``sink`` parameter) streams every appended event to disk as JSONL
+    **segment files** with size-based rotation and retention: a segment
+    is closed once it reaches ``max_bytes`` and a fresh one opened, and
+    only the newest ``max_segments`` are kept — total disk use is
+    bounded by ``max_bytes * max_segments`` regardless of traffic.
+
+    Segments are named ``<prefix>-<n>.jsonl`` with a monotonically
+    increasing index; the writer resumes numbering after the existing
+    segments in ``directory``, so restarts append rather than clobber.
+    :meth:`read_text` concatenates the retained segments oldest-first —
+    the result round-trips through :func:`parse_audit_jsonl` exactly
+    like a single-file dump.
+    """
+
+    def __init__(self, directory: Union[str, Path],
+                 max_bytes: int = 65536, max_segments: int = 8,
+                 prefix: str = "audit") -> None:
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if max_segments < 1:
+            raise ValueError(
+                f"max_segments must be >= 1, got {max_segments}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = int(max_bytes)
+        self.max_segments = int(max_segments)
+        self.prefix = prefix
+        self.rotations = 0
+        self.segments_deleted = 0
+        existing = self.segments()
+        self._index = (
+            self._segment_index(existing[-1]) + 1 if existing else 0
+        )
+        self._current: Optional[Path] = None
+        self._current_bytes = 0
+
+    # -- naming --------------------------------------------------------
+    def _segment_path(self, index: int) -> Path:
+        return self.directory / f"{self.prefix}-{index:05d}.jsonl"
+
+    def _segment_index(self, path: Path) -> int:
+        stem = path.stem  # "<prefix>-00042"
+        return int(stem[len(self.prefix) + 1:])
+
+    def segments(self) -> List[Path]:
+        """Retained segment files, oldest first."""
+        paths = sorted(
+            self.directory.glob(f"{self.prefix}-*.jsonl"),
+            key=self._segment_index,
+        )
+        return paths
+
+    # -- writing -------------------------------------------------------
+    def write_line(self, line: str) -> None:
+        """Append one JSONL line, rotating and pruning as needed."""
+        if not line.endswith("\n"):
+            line += "\n"
+        encoded = line.encode("utf-8")
+        # rotate when the line would overflow a non-empty segment; an
+        # oversized single line still lands in its own fresh segment.
+        if self._current is None or (
+            self._current_bytes > 0
+            and self._current_bytes + len(encoded) > self.max_bytes
+        ):
+            if self._current is not None:
+                self.rotations += 1
+            self._current = self._segment_path(self._index)
+            self._index += 1
+            self._current_bytes = 0
+            self._prune()
+        with self._current.open("ab") as handle:
+            handle.write(encoded)
+        self._current_bytes += len(encoded)
+
+    def _prune(self) -> None:
+        segments = self.segments()
+        # the freshly selected current segment may not exist on disk yet;
+        # count it against the retention budget anyway.
+        budget = self.max_segments - (
+            0 if self._current in segments else 1
+        )
+        while len(segments) > budget:
+            segments.pop(0).unlink()
+            self.segments_deleted += 1
+
+    # -- reading -------------------------------------------------------
+    def read_text(self) -> str:
+        """Concatenated JSONL across the retained segments, oldest first."""
+        return "".join(path.read_text() for path in self.segments())
+
+    def total_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self.segments())
+
+
 class AuditLog:
     """Bounded append-only event stream (oldest events drop first).
 
@@ -115,13 +215,18 @@ class AuditLog:
     a short log from a truncated one.
     """
 
-    def __init__(self, capacity: int = 4096) -> None:
+    def __init__(self, capacity: int = 4096,
+                 sink: Optional[AuditSegmentWriter] = None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._events: Deque[tuple] = deque(maxlen=capacity)
         self._seq = 0
         self.dropped = 0
+        #: optional size-rotated on-disk persistence: every appended
+        #: event also streams to the writer, so the durable history
+        #: outlives the bounded in-memory deque.
+        self.sink = sink
 
     # ------------------------------------------------------------------
     # Writing
@@ -159,6 +264,11 @@ class AuditLog:
         if len(self._events) == self.capacity:
             self.dropped += 1
         self._events.append((seq, float(time), kind, origin, fields))
+        if self.sink is not None:
+            self.sink.write_line(json.dumps(
+                AuditEvent(seq, float(time), kind, origin, fields).to_dict(),
+                separators=(",", ":"),
+            ))
         return seq
 
     def _append_enclave(self, kind: str, time: float,

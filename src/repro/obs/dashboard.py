@@ -421,6 +421,48 @@ def _security_panel(monitor) -> str:
     )
 
 
+def _tenants_panel(tenants) -> str:
+    if tenants is None:
+        return _panel("Tenants", "per-client cost attribution",
+                      '<p class="empty">no tenant ledger attached</p>')
+    report = tenants.report(top=8)
+    if not report["top"]:
+        return _panel("Tenants", "per-client cost attribution",
+                      '<p class="empty">no attributed batches yet</p>')
+    rows = []
+    for row in report["top"]:
+        suspicious = sum(row["suspicions"].values()) > 0
+        status = (
+            _status_html("critical", "flagged") if suspicious
+            else _status_html("good", "ok")
+        )
+        rows.append(
+            f"<tr><td>{status}</td>"
+            f"<td><code>{_esc(row['tenant'])}</code></td>"
+            f'<td class="num">{row["queries"]}</td>'
+            f'<td class="num">{_fmt(row["enclave_seconds"])}</td>'
+            f'<td class="num">{_fmt(row["epc_pages"], 1)}</td>'
+            f'<td class="num">{_fmt(row["union_share"], 1)}</td></tr>'
+        )
+    note = (
+        f'{report["tenants"]} tenants tracked · '
+        f'{report["batches"]} batches attributed'
+        + (f' · {report["overflowed"]} overflowed'
+           if report["overflowed"] else "")
+    )
+    body = (
+        "<table><tr><th>status</th><th>tenant</th>"
+        '<th class="num">queries</th><th class="num">enclave s</th>'
+        '<th class="num">epc pages</th><th class="num">union wt</th>'
+        f'</tr>{"".join(rows)}</table>'
+        f'<p class="note">{_esc(note)}</p>'
+    )
+    return _panel(
+        "Tenants", "hashed ids · cost split by share of the union plan",
+        body,
+    )
+
+
 def _audit_panel(audit, tail: int = 12) -> str:
     if audit is None or len(audit) == 0:
         return _panel("Audit trail", "append-only event stream",
@@ -451,6 +493,7 @@ def render_dashboard(
     telemetry,
     health=None,
     monitor=None,
+    tenants=None,
     title: str = "GNNVault serving health",
 ) -> str:
     """Render the full dashboard page as a self-contained HTML string."""
@@ -509,6 +552,7 @@ def render_dashboard(
         _slo_panel(report),
         _alerts_panel(report),
         _security_panel(monitor),
+        _tenants_panel(tenants),
         _audit_panel(audit),
     ]
     return (
@@ -533,9 +577,12 @@ def write_dashboard(
     telemetry,
     health=None,
     monitor=None,
+    tenants=None,
     title: str = "GNNVault serving health",
 ) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_dashboard(telemetry, health, monitor, title))
+    path.write_text(
+        render_dashboard(telemetry, health, monitor, tenants, title)
+    )
     return path

@@ -1,0 +1,312 @@
+"""Correlated structured logging with a closed, redacted schema.
+
+Metrics say *how much*; the audit log says *what happened*; neither can
+answer "show me everything that happened to this one query". This module
+adds the missing join key: a **correlation id** minted at admission and
+threaded through every hop a query takes — admission → micro-batch →
+ECALL → recovery retry → resolution — so one grep over the JSONL stream
+reconstructs a query's whole life, and a batch's ``batch_seq`` joins the
+per-query lines to the profiler's :class:`BatchTimeline` of the same
+batch.
+
+The schema is *closed*: :data:`LOG_SCHEMA` enumerates every event type
+and exactly which fields it may carry. Unknown events, unknown fields,
+missing required fields, non-scalar values, and free-form strings are
+rejected at emit time with :class:`LogSchemaViolation` — the same
+philosophy as the enclave telemetry gate, applied to operator logs. The
+redaction vocabulary (:data:`~repro.obs.redaction.FORBIDDEN_WORDS`) is
+enforced on every field key, and the ``tenant`` field only admits the
+hashed lowercase token produced by :func:`repro.obs.tenancy.hash_tenant`
+(or the overflow bucket) — a raw client string fails validation, so it
+structurally cannot appear in a log line.
+
+Volume control is per tenant: deterministic head-sampling (keep the
+first ``floor(n · rate)`` lines of every tenant's stream) plus a
+windowed rate limit, so one noisy tenant cannot wash everyone else out
+of the bounded buffer. Drops are counted, never silent.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Union
+
+from ..errors import SecurityViolation
+from .redaction import FORBIDDEN_WORDS
+from .tenancy import OVERFLOW_BUCKET
+
+#: hashed-tenant grammar: lowercase alpha token (hash_tenant output) or
+#: the explicit overflow bucket. Raw client ids fail this by design.
+_TENANT_RE = re.compile(r"^[a-z]{4,64}$")
+
+#: correlation-id grammar: ``q`` + zero-padded decimal mint sequence.
+_CORR_RE = re.compile(r"^q[0-9]{8,16}$")
+
+#: the closed event vocabulary: event -> (required fields, optional fields).
+LOG_SCHEMA: Dict[str, Dict[str, tuple]] = {
+    # one query admitted (scheduler.submit / server.query_batch)
+    "admit": {
+        "required": ("corr", "tenant", "size_count"),
+        "optional": (),
+    },
+    # one admitted query joined a coalesced micro-batch
+    "batch": {
+        "required": ("corr", "tenant", "batch_seq", "size_count"),
+        "optional": (),
+    },
+    # one micro-batch crossed the enclave boundary (one line per batch)
+    "ecall": {
+        "required": ("batch_seq", "queries_count", "unique_count",
+                     "seconds"),
+        "optional": ("pages_count", "payload_bytes"),
+    },
+    # the supervisor retried a failed batch (recovery hop)
+    "retry": {
+        "required": ("batch_seq", "attempt_count", "error"),
+        "optional": (),
+    },
+    # one query resolved back to its caller
+    "resolve": {
+        "required": ("corr", "tenant", "seconds"),
+        "optional": ("degraded",),
+    },
+    # one query failed terminally
+    "drop": {
+        "required": ("corr", "tenant", "error"),
+        "optional": (),
+    },
+}
+
+#: fields that may carry a (validated) string value; everything else
+#: must be a scalar number or bool.
+_STRING_FIELDS = frozenset({"corr", "tenant", "error"})
+
+#: error values are enum-ish identifiers (exception class names).
+_ERROR_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_]{0,79}$")
+
+_SCALAR_TYPES = (bool, int, float)
+
+
+class LogSchemaViolation(SecurityViolation):
+    """A log line tried to carry something outside the closed schema."""
+
+
+def _check_schema_vocabulary() -> None:
+    """The schema itself must obey the redaction vocabulary (import-time)."""
+    for event, spec in LOG_SCHEMA.items():
+        for key in (event, *spec["required"], *spec["optional"]):
+            for word in key.lower().split("_"):
+                if word in FORBIDDEN_WORDS:
+                    raise LogSchemaViolation(
+                        f"log schema key {key!r} names private data "
+                        f"({word!r})"
+                    )
+
+
+_check_schema_vocabulary()
+
+
+def validate_log_record(record: Dict[str, Any]) -> None:
+    """Validate one parsed log record against the closed schema.
+
+    Raises :class:`LogSchemaViolation` on any deviation; used both at
+    emit time and by the CI log-schema lint over emitted JSONL.
+    """
+    event = record.get("event")
+    spec = LOG_SCHEMA.get(event) if isinstance(event, str) else None
+    if spec is None:
+        raise LogSchemaViolation(f"unknown log event {event!r}")
+    allowed = set(spec["required"]) | set(spec["optional"])
+    fields = {key: value for key, value in record.items()
+              if key not in ("seq", "time", "event")}
+    for key in spec["required"]:
+        if key not in fields:
+            raise LogSchemaViolation(
+                f"log event {event!r} is missing required field {key!r}"
+            )
+    for key, value in fields.items():
+        if key not in allowed:
+            raise LogSchemaViolation(
+                f"log event {event!r} does not admit field {key!r}"
+            )
+        if isinstance(value, str):
+            if key not in _STRING_FIELDS:
+                raise LogSchemaViolation(
+                    f"log field {key!r} must be a scalar, got string "
+                    f"{value!r}"
+                )
+            if key == "tenant":
+                if value != OVERFLOW_BUCKET and not _TENANT_RE.match(value):
+                    raise LogSchemaViolation(
+                        f"log field tenant={value!r} is not a hashed "
+                        f"tenant token (raw client ids are redacted)"
+                    )
+            elif key == "corr":
+                if not _CORR_RE.match(value):
+                    raise LogSchemaViolation(
+                        f"log field corr={value!r} is not a minted "
+                        f"correlation id"
+                    )
+            elif key == "error":
+                if not _ERROR_RE.match(value):
+                    raise LogSchemaViolation(
+                        f"log field error={value!r} is not an "
+                        f"identifier-like error name"
+                    )
+        elif not isinstance(value, _SCALAR_TYPES):
+            raise LogSchemaViolation(
+                f"log field {key}={value!r} is not a JSON scalar"
+            )
+
+
+class StructuredLogger:
+    """Bounded, schema-validated JSONL logger with per-tenant controls.
+
+    ``sample_rate`` keeps that fraction of each tenant's lines
+    (deterministically — the k-th kept line is the first whose running
+    count crosses ``k / rate``); ``rate_limit`` caps how many lines one
+    tenant may emit within each window of ``rate_window`` emission
+    attempts. Events without a tenant (``ecall``, ``retry``) are batch-
+    scoped and bypass both controls — there is one per batch, not per
+    query, so they cannot flood.
+    """
+
+    def __init__(self, capacity: int = 8192, sample_rate: float = 1.0,
+                 rate_limit: int = 0, rate_window: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not (0.0 < sample_rate <= 1.0):
+            raise ValueError(
+                f"sample_rate must be in (0, 1], got {sample_rate}"
+            )
+        if rate_limit < 0:
+            raise ValueError(f"rate_limit must be >= 0, got {rate_limit}")
+        if rate_window < 1:
+            raise ValueError(f"rate_window must be >= 1, got {rate_window}")
+        self.capacity = capacity
+        self.sample_rate = float(sample_rate)
+        self.rate_limit = int(rate_limit)
+        self.rate_window = int(rate_window)
+        self._records: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._corr_seq = 0
+        #: per-tenant emission attempts (drives sampling).
+        self._tenant_seen: Dict[str, int] = {}
+        #: per-tenant lines emitted within the current rate window.
+        self._tenant_window: Dict[str, int] = {}
+        self._window_at = 0
+        self.sampled_out = 0
+        self.rate_limited = 0
+        self.dropped = 0  # scrolled off the bounded buffer
+
+    # ------------------------------------------------------------------
+    # Correlation ids
+    # ------------------------------------------------------------------
+    def mint(self) -> str:
+        """A fresh correlation id; called once per admitted query."""
+        with self._lock:
+            self._corr_seq += 1
+            return f"q{self._corr_seq:010d}"
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(self, event: str, time: float = 0.0, **fields: Any) -> bool:
+        """Validate and record one log line; False when sampled/limited out.
+
+        Schema violations raise — a bad emit call is a bug at the call
+        site, not a volume problem — while sampling and rate-limit drops
+        return ``False`` and bump their counters.
+        """
+        record = {"event": event, **fields}
+        validate_log_record(record)
+        tenant = fields.get("tenant")
+        with self._lock:
+            if tenant is not None and not self._admit(str(tenant)):
+                return False
+            self._seq += 1
+            record = {"seq": self._seq, "time": float(time), **record}
+            if len(self._records) == self.capacity:
+                self.dropped += 1
+            self._records.append(record)
+        return True
+
+    def _admit(self, tenant: str) -> bool:
+        """Sampling + rate limiting for one tenant-scoped line (locked)."""
+        seen = self._tenant_seen.get(tenant, 0) + 1
+        self._tenant_seen[tenant] = seen
+        if self.sample_rate < 1.0:
+            if int(seen * self.sample_rate) == int((seen - 1) * self.sample_rate):
+                self.sampled_out += 1
+                return False
+        if self.rate_limit:
+            self._window_at += 1
+            if self._window_at > self.rate_window:
+                self._window_at = 1
+                self._tenant_window.clear()
+            used = self._tenant_window.get(tenant, 0)
+            if used >= self.rate_limit:
+                self.rate_limited += 1
+                return False
+            self._tenant_window[tenant] = used + 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self, event: Optional[str] = None) -> List[Dict[str, Any]]:
+        with self._lock:
+            rows = list(self._records)
+        if event is None:
+            return rows
+        return [row for row in rows if row["event"] == event]
+
+    def to_jsonl(self) -> str:
+        return "".join(
+            json.dumps(row, separators=(",", ":")) + "\n"
+            for row in self.records()
+        )
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl())
+        return path
+
+
+def validate_log_jsonl(text: str) -> int:
+    """Validate a JSONL log dump line by line; returns the line count.
+
+    The CI log-schema lint: any malformed line (bad JSON, unknown event,
+    schema violation, raw identifier where a hashed token belongs)
+    raises :class:`LogSchemaViolation` naming the offending line number.
+    """
+    count = 0
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise LogSchemaViolation(
+                f"log line {number} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise LogSchemaViolation(
+                f"log line {number} is not a JSON object"
+            )
+        try:
+            validate_log_record(record)
+        except LogSchemaViolation as exc:
+            raise LogSchemaViolation(f"log line {number}: {exc}") from exc
+        count += 1
+    return count

@@ -102,7 +102,8 @@ class QueryPatternMonitor:
         "num_nodes", "alerts", "window", "eval_interval", "min_queries",
         "pair_repeat_threshold", "pair_lift_threshold", "sweep_coverage",
         "sweep_entropy", "collapse_entropy", "collapse_max_nodes",
-        "max_clients", "_clients", "evaluations",
+        "max_clients", "_clients", "evaluations", "evictions",
+        "eviction_counter", "on_flag",
     )
 
     def __init__(
@@ -119,6 +120,8 @@ class QueryPatternMonitor:
         collapse_entropy: float = 0.35,
         collapse_max_nodes: int = 8,
         max_clients: int = 1024,
+        eviction_counter=None,
+        on_flag=None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -136,6 +139,14 @@ class QueryPatternMonitor:
         self.max_clients = int(max_clients)
         self._clients: Dict[str, _ClientWindow] = {}
         self.evaluations = 0
+        #: clients evicted from the bounded table (LRU order); mirrored
+        #: into ``eviction_counter`` (a metrics Counter) when attached.
+        self.evictions = 0
+        self.eviction_counter = eviction_counter
+        #: optional callback ``(client, detector)`` invoked when a
+        #: detector *newly* fires — the tenancy ledger routes it into
+        #: per-tenant suspicion accounting.
+        self.on_flag = on_flag
 
     # ------------------------------------------------------------------
     # Hot path
@@ -143,15 +154,23 @@ class QueryPatternMonitor:
     def observe(self, client: str, nodes: Iterable[int],
                 now: float = 0.0) -> None:
         """Account a batch of queried node ids for one client."""
-        state = self._clients.get(client)
+        # LRU discipline: the client table is an insertion-ordered dict
+        # whose front is always the least-recently-seen client. Known
+        # clients are re-inserted at the back on every observation (two
+        # O(1) dict ops), so a client-id churn flood evicts idle entries
+        # instead of active ones — the old quietest-client scan was O(n)
+        # per admission *and* could evict a currently-chatty client that
+        # happened to have a short history.
+        state = self._clients.pop(client, None)
         if state is None:
             if len(self._clients) >= self.max_clients:
-                # Bounded client table: evict the quietest client so a
-                # client-id churn flood cannot exhaust memory.
-                quietest = min(self._clients, key=lambda c: self._clients[c].total)
-                self._clients.pop(quietest)
+                evicted = next(iter(self._clients))
+                self._clients.pop(evicted)
+                self.evictions += 1
+                if self.eviction_counter is not None:
+                    self.eviction_counter.inc()
             state = _ClientWindow(self.window)
-            self._clients[client] = state
+        self._clients[client] = state
         if type(nodes) is not list:
             nodes = [int(n) for n in nodes]
         state.nodes.extend(nodes)
@@ -237,6 +256,8 @@ class QueryPatternMonitor:
         for name, flagged in flags.items():
             key = f"pattern/{name}/{client}"
             if flagged:
+                if self.on_flag is not None and not self.alerts.is_active(key):
+                    self.on_flag(client, name)
                 self.alerts.fire(
                     key, "security", "critical",
                     f"client {client}: {name} signature over last "

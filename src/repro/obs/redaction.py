@@ -65,6 +65,13 @@ ENCLAVE_METRIC_PREFIX = "enclave_"
 #: (``result="ok"``); everything else must be an aggregate scalar.
 AUDIT_ENUM_KEYS = frozenset({"result", "stage", "scheme"})
 
+#: label keys the gate admits. ``tenant`` carries only the hashed
+#: lowercase token from :func:`repro.obs.tenancy.hash_tenant` — the
+#: enum-word value grammar below already rejects raw client ids (any
+#: digit, uppercase, or punctuation fails), so a raw identifier cannot
+#: ride this label through the gate.
+GATE_LABEL_KEYS = frozenset({"result", "stage", "scheme", "tenant"})
+
 
 class TelemetryLeak(SecurityViolation):
     """Enclave telemetry attempted to carry non-aggregate (private) data."""
@@ -338,7 +345,11 @@ class EnclaveTelemetryGate:
         if key_tuple in self._approved_labels:
             return
         for key, value in labels.items():
-            check_aggregate_key(key, suffixes=("",), allowed=frozenset({"result", "stage", "scheme"}))
+            if key not in GATE_LABEL_KEYS:
+                raise TelemetryLeak(
+                    f"enclave metric label key {key!r} is not in the "
+                    f"closed set {sorted(GATE_LABEL_KEYS)}"
+                )
             if not isinstance(value, str) or not _LABEL_VALUE_RE.match(value):
                 raise TelemetryLeak(
                     f"enclave metric label {key}={value!r} is not an "

@@ -1,0 +1,764 @@
+"""Tenant-aware telemetry: bounded cardinality, top-k sketches, cost ledger.
+
+The serving stack aggregates cost and pattern signals across the whole
+fleet, but the operator questions that matter at multi-tenant scale are
+*per client*: which tenant burns the EPC budget, which one trips the
+link-stealing monitor, which micro-batch costs belong to whom. Three
+pieces answer them without ever letting client identifiers become a
+resource-exhaustion or privacy channel:
+
+:class:`CardinalityLimiter`
+    Bounded label-set admission. Metrics labelled by tenant can never
+    explode the registry: once ``max_values`` distinct values have been
+    admitted, every new value maps to the explicit ``__overflow__``
+    bucket (and an overflow tally records how much traffic landed
+    there). Admission is sticky — a value seen before the limit stays
+    admitted forever, so series identity is stable.
+
+:class:`HeavyHitters`
+    The Space-Saving top-k sketch (Metwally et al.): O(k) memory over an
+    unbounded key stream, with the classic guarantee that any key whose
+    true count exceeds ``total / k`` is present, and every reported
+    count overshoots the true count by at most the tracked ``error``.
+    Used for the top tenants by queries, by requested targets, and by
+    EPC pages.
+
+:class:`TenantCostLedger`
+    Splits each coalesced micro-batch's ECALL/EPC/latency cost across
+    the tenants that contributed queries, by their share of the
+    *deduplicated union plan* (a target requested by several tenants in
+    the same batch costs each of them a fraction — the enclave fetched
+    it once). Per batch the split is exact by construction (the last
+    tenant receives the remainder), and the ledger mirrors the
+    enclave's own accumulation order so summed attribution reconciles
+    with :meth:`RectifierEnclave.ecall_cost_totals` deltas to the same
+    precision the profiling layer's reconciliation test pins.
+
+Privacy boundary: the ledger never stores or emits a raw client
+identifier. Every client string is hashed through :func:`hash_tenant`
+into a fixed-length lowercase-letters-only token — the only form that
+appears in metric labels, gate emissions, reports, log lines, and
+dashboard cells. The encoding is deliberately alphabetic so the hashed
+id also satisfies the :class:`~repro.obs.redaction.EnclaveTelemetryGate`
+label grammar (no digits, no ids).
+
+Quotas ride on the same bounded table: :class:`TenantQuota` +
+:meth:`TenantCostLedger.over_quota` give the health layer per-tenant
+burn-rate alerts and hand the scheduler a backpressure hint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: the explicit bucket absorbing label values past the cardinality cap.
+OVERFLOW_BUCKET = "__overflow__"
+
+#: gate-facing spelling of the overflow bucket (`__overflow__` fails the
+#: gate's enum-word grammar; inside the registry both are fine).
+GATE_OVERFLOW = "overflow"
+
+#: additive cost keys attributed per tenant; mirrors
+#: :func:`repro.obs.profiling.enclave_cost_record` minus the
+#: non-additive peak-memory watermark.
+TENANT_COST_KEYS = (
+    "ecall_count", "transfer_seconds", "compute_seconds",
+    "paging_seconds", "paging_pages", "payload_bytes",
+)
+
+_HASH_LENGTH = 12
+
+
+def hash_tenant(client: str, length: int = _HASH_LENGTH) -> str:
+    """One-way hash of a client identifier into a lowercase-alpha token.
+
+    SHA-256 truncated and re-alphabetised: each digest byte maps onto
+    ``a``–``z``, so the result is gate-label-safe (no digits — the
+    redaction grammar treats digits as potential ids) while keeping
+    ~56 bits of collision resistance at the default length, far beyond
+    any realistic tenant population.
+    """
+    digest = hashlib.sha256(client.encode("utf-8")).digest()
+    return "".join(chr(ord("a") + b % 26) for b in digest[:length])
+
+
+class CardinalityLimiter:
+    """Sticky bounded admission for one label dimension.
+
+    ``admit`` returns the value itself while the admitted set has room
+    (or the value is already known) and the overflow bucket afterwards.
+    Thread-safe: the scheduler's worker threads and client threads admit
+    concurrently.
+    """
+
+    def __init__(self, max_values: int = 256,
+                 overflow: str = OVERFLOW_BUCKET) -> None:
+        if max_values < 1:
+            raise ValueError(f"max_values must be >= 1, got {max_values}")
+        self.max_values = int(max_values)
+        self.overflow = overflow
+        self._admitted: Dict[str, None] = {}
+        self._lock = threading.Lock()
+        #: admit() calls routed to the overflow bucket (not distinct values).
+        self.overflowed = 0
+
+    def admit(self, value: str) -> str:
+        if value in self._admitted:  # lock-free fast path (dict read)
+            return value
+        with self._lock:
+            if value in self._admitted:
+                return value
+            if len(self._admitted) < self.max_values:
+                self._admitted[value] = None
+                return value
+            self.overflowed += 1
+            return self.overflow
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._admitted
+
+    def __len__(self) -> int:
+        return len(self._admitted)
+
+    def values(self) -> List[str]:
+        return list(self._admitted)
+
+
+class HeavyHitters:
+    """Space-Saving top-k sketch over a weighted key stream."""
+
+    def __init__(self, k: int = 16) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        # key -> [count, error]; bounded at k entries.
+        self._counts: Dict[str, List[float]] = {}
+        self.total = 0.0
+
+    def observe(self, key: str, amount: float = 1.0) -> None:
+        if amount <= 0:
+            return
+        self.total += amount
+        entry = self._counts.get(key)
+        if entry is not None:
+            entry[0] += amount
+            return
+        if len(self._counts) < self.k:
+            self._counts[key] = [amount, 0.0]
+            return
+        victim = min(self._counts, key=lambda key_: self._counts[key_][0])
+        floor = self._counts.pop(victim)[0]
+        # Space-Saving replacement: the newcomer inherits the evicted
+        # minimum as both baseline and error bound.
+        self._counts[key] = [floor + amount, floor]
+
+    def top(self, n: Optional[int] = None) -> List[Tuple[str, float, float]]:
+        """``(key, count, error)`` rows, largest count first.
+
+        ``count`` overestimates the true count by at most ``error``;
+        ties break lexicographically so reports are deterministic.
+        """
+        rows = sorted(
+            ((key, entry[0], entry[1]) for key, entry in self._counts.items()),
+            key=lambda row: (-row[1], row[0]),
+        )
+        return rows if n is None else rows[:n]
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counts
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant spend budget over the ledger's lifetime window.
+
+    Any bound at 0 disables that dimension. ``max_queries`` caps query
+    count, ``max_enclave_seconds`` caps attributed simulated enclave
+    time, ``max_epc_pages`` caps attributed paging traffic.
+    """
+
+    max_queries: int = 0
+    max_enclave_seconds: float = 0.0
+    max_epc_pages: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_queries < 0:
+            raise ValueError(
+                f"max_queries must be >= 0, got {self.max_queries}"
+            )
+        if self.max_enclave_seconds < 0:
+            raise ValueError(
+                "max_enclave_seconds must be >= 0, got "
+                f"{self.max_enclave_seconds}"
+            )
+        if self.max_epc_pages < 0:
+            raise ValueError(
+                f"max_epc_pages must be >= 0, got {self.max_epc_pages}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.max_queries or self.max_enclave_seconds
+                    or self.max_epc_pages)
+
+
+class _TenantEntry:
+    """Accumulated attribution for one (hashed) tenant."""
+
+    __slots__ = ("queries", "batches", "targets_requested", "union_weight",
+                 "latency_seconds", "costs", "suspicions")
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.batches = 0
+        self.targets_requested = 0
+        #: summed share of deduplicated union targets (fractional).
+        self.union_weight = 0.0
+        #: attributed wall-clock enclave latency.
+        self.latency_seconds = 0.0
+        self.costs = {key: 0.0 for key in TENANT_COST_KEYS}
+        self.suspicions: Dict[str, int] = {}
+
+
+class TenantCostLedger:
+    """Per-tenant attribution of micro-batch cost, hashed at the boundary.
+
+    One ledger per deployment. ``record_batch`` attributes one coalesced
+    micro-batch (or one sequential batch) eagerly, given the same
+    gate-clean cost record the profiling layer builds, splitting every
+    additive key across the batch's tenants by union-plan share. The
+    serving hot path uses ``defer_batch`` instead: it snapshots the raw
+    batch and the fold runs lazily at the next read (report, reconcile,
+    quota check, scrape), so attribution costs the latency-critical
+    thread an append, not a split.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        gate=None,
+        max_tenants: int = 256,
+        top_k: int = 16,
+        quota: Optional[TenantQuota] = None,
+        alerts=None,
+    ) -> None:
+        self.limiter = CardinalityLimiter(max_tenants)
+        self.quota = quota if quota is not None else TenantQuota()
+        self.alerts = alerts
+        self._gate = gate
+        self._tenants: Dict[str, _TenantEntry] = {}
+        self._lock = threading.Lock()
+        # raw client -> hashed token memo, bounded alongside the limiter
+        # so a client-id churn flood cannot grow it without limit.
+        self._hash_cache: Dict[str, str] = {}
+        self._hash_cache_cap = max(1024, 4 * max_tenants)
+        self.hitters = {
+            "queries": HeavyHitters(top_k),
+            "targets": HeavyHitters(top_k),
+            "epc_pages": HeavyHitters(top_k),
+        }
+        self._batches_recorded = 0
+        #: running mirror of every batch cost, accumulated in batch order
+        #: (the same order the enclave adds them) for reconciliation.
+        self._attributed = {key: 0.0 for key in TENANT_COST_KEYS}
+        self._attributed["latency_seconds"] = 0.0
+        # Deferred-attribution queue (the serving hot path appends raw
+        # batch snapshots here; the fold into the ledger runs lazily at
+        # read time — see defer_batch). drain_at bounds the queue: an
+        # appender that fills it folds inline, so memory stays O(drain_at)
+        # even if nothing ever reads the ledger.
+        self._pending: List[tuple] = []
+        self._pending_lock = threading.Lock()
+        # reentrant: a fold can re-enter _drain through a quota check
+        # (_attribute -> _enforce_quota -> over_quota_tenant -> _drain)
+        # while concurrent defer_batch calls repopulate the queue.
+        self._drain_lock = threading.RLock()
+        self.drain_at = 512
+        # tenant -> canonical label-set key; lets the per-batch publish
+        # use Counter.inc_at instead of re-sorting the label dict.
+        self._series_keys: Dict[str, tuple] = {}
+        self._metrics = None
+        if registry is not None:
+            self._metrics = {
+                "queries": registry.counter(
+                    "vault_tenant_queries_total",
+                    help="queries attributed per hashed tenant",
+                ),
+                "seconds": registry.counter(
+                    "vault_tenant_enclave_seconds_total",
+                    help="attributed simulated enclave seconds per hashed tenant",
+                ),
+                "pages": registry.counter(
+                    "vault_tenant_epc_pages_total",
+                    help="attributed EPC page traffic per hashed tenant",
+                ),
+                "payload": registry.counter(
+                    "vault_tenant_payload_bytes_total",
+                    help="attributed one-way channel bytes per hashed tenant",
+                ),
+                "overflow": registry.counter(
+                    "vault_tenant_overflow_total",
+                    help="attribution events routed to the overflow bucket",
+                ),
+                "suspicion": registry.counter(
+                    "vault_tenant_suspicion_total",
+                    help="pattern-detector flags per hashed tenant",
+                ),
+            }
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def tenant_id(self, client: str) -> str:
+        """The bounded, hashed tenant token for one raw client string."""
+        hashed = self._hash_cache.get(client)
+        if hashed is None:
+            hashed = hash_tenant(client)
+            if len(self._hash_cache) >= self._hash_cache_cap:
+                self._hash_cache.clear()
+            self._hash_cache[client] = hashed
+        return self.limiter.admit(hashed)
+
+    # ------------------------------------------------------------------
+    # Attribution
+    # ------------------------------------------------------------------
+    def record_batch(
+        self,
+        entries: Sequence[Tuple[str, Sequence[int]]],
+        cost: Dict[str, float],
+        latency_seconds: float = 0.0,
+    ) -> Dict[str, Dict[str, float]]:
+        """Attribute one micro-batch; returns the per-tenant split.
+
+        ``entries`` pairs each contributing raw client with the node ids
+        it requested; ``cost`` is the batch's
+        :func:`~repro.obs.profiling.enclave_cost_record`;
+        ``latency_seconds`` is the batch's wall-clock enclave latency.
+        The split weights each tenant by its share of the deduplicated
+        union plan: a target requested by *m* tenants contributes 1/m to
+        each, so the weights sum to the union size and the batch's cost
+        is fully distributed (remainder to the last tenant — per-batch
+        sums are exact, not approximately exact).
+        """
+        self._drain()
+        return self._attribute(entries, cost, latency_seconds)
+
+    def defer_batch(
+        self,
+        entries: Sequence[Tuple[str, Sequence[int]]],
+        profile,
+        ecall_count: int,
+        cost_model,
+        latency_seconds: float = 0.0,
+    ) -> None:
+        """Queue one batch for lazy attribution (the serving hot path).
+
+        Mirrors the profiler's deferred-timeline trick: the latency-
+        critical serving thread only snapshots the raw inputs (clients,
+        node ids, the batch's :class:`InferenceProfile`, the measured
+        ECALL delta); the cost record is built and folded into the
+        ledger when something *reads* it — a report, a reconciliation, a
+        quota check, a dashboard scrape. Totals are therefore always
+        exact at every read; only the fold's CPU moves off the hot path.
+        ``entries`` must not be mutated by the caller afterwards.
+        """
+        with self._pending_lock:
+            self._pending.append(
+                (entries, profile, ecall_count, cost_model, latency_seconds)
+            )
+            full = len(self._pending) >= self.drain_at
+        if full:
+            self._drain()
+
+    def _drain(self) -> None:
+        """Fold every queued batch into the ledger, in arrival order."""
+        if not self._pending:
+            return
+        from .profiling import enclave_cost_record
+
+        with self._drain_lock:
+            while True:
+                with self._pending_lock:
+                    pending, self._pending = self._pending, []
+                if not pending:
+                    return
+                for entries, profile, ecalls, cost_model, latency in pending:
+                    self._attribute(
+                        entries,
+                        enclave_cost_record(
+                            profile, ecall_count=ecalls, cost_model=cost_model
+                        ),
+                        latency,
+                    )
+
+    @property
+    def batches_recorded(self) -> int:
+        self._drain()
+        return self._batches_recorded
+
+    def _attribute(
+        self,
+        entries: Sequence[Tuple[str, Sequence[int]]],
+        cost: Dict[str, float],
+        latency_seconds: float,
+    ) -> Dict[str, Dict[str, float]]:
+        if not entries:
+            return {}
+        tenants_per_entry = [self.tenant_id(client) for client, _ in entries]
+        if len(set(tenants_per_entry)) == 1:
+            # hot path: the sequential server attributes one client per
+            # batch, and a coalesced micro-batch is often single-tenant.
+            # The sole tenant owns the whole batch — no union arithmetic.
+            union = len({
+                int(node) for _, node_ids in entries for node in node_ids
+            })
+            return self._record_single(
+                tenants_per_entry[0], len(entries),
+                sum(len(node_ids) for _, node_ids in entries),
+                union, cost, latency_seconds,
+            )
+        requesters: Dict[int, List[str]] = {}
+        counts: Dict[str, int] = {}
+        query_counts: Dict[str, int] = {}
+        for tenant, (client, node_ids) in zip(tenants_per_entry, entries):
+            query_counts[tenant] = query_counts.get(tenant, 0) + 1
+            counts[tenant] = counts.get(tenant, 0) + len(node_ids)
+            for node in node_ids:
+                owners = requesters.setdefault(int(node), [])
+                if tenant not in owners:
+                    owners.append(tenant)
+        weights: Dict[str, float] = {tenant: 0.0 for tenant in counts}
+        for owners in requesters.values():
+            share = 1.0 / len(owners)
+            for tenant in owners:
+                weights[tenant] += share
+        union = float(len(requesters))
+        tenants = sorted(weights)
+        split: Dict[str, Dict[str, float]] = {
+            tenant: {} for tenant in tenants
+        }
+        keys = list(TENANT_COST_KEYS) + ["latency_seconds"]
+        values = {key: float(cost.get(key, 0.0)) for key in TENANT_COST_KEYS}
+        values["latency_seconds"] = float(latency_seconds)
+        for key in keys:
+            total = values[key]
+            distributed = 0.0
+            for tenant in tenants[:-1]:
+                share = total * (weights[tenant] / union)
+                split[tenant][key] = share
+                distributed += share
+            # exact per-batch accounting: the last tenant absorbs the
+            # floating-point remainder, so per-key shares sum to `total`.
+            split[tenants[-1]][key] = total - distributed
+        with self._lock:
+            self._batches_recorded += 1
+            for key in keys:
+                self._attributed[key] += values[key]
+            for tenant in tenants:
+                entry = self._tenants.get(tenant)
+                if entry is None:
+                    entry = self._tenants[tenant] = _TenantEntry()
+                entry.batches += 1
+                entry.queries += query_counts[tenant]
+                entry.targets_requested += counts[tenant]
+                entry.union_weight += weights[tenant]
+                entry.latency_seconds += split[tenant]["latency_seconds"]
+                costs = entry.costs
+                for key in TENANT_COST_KEYS:
+                    costs[key] += split[tenant][key]
+                self.hitters["queries"].observe(
+                    tenant, query_counts[tenant]
+                )
+                self.hitters["targets"].observe(tenant, counts[tenant])
+                self.hitters["epc_pages"].observe(
+                    tenant, split[tenant]["paging_pages"]
+                )
+        self._publish(split, query_counts)
+        self._enforce_quota(tenants)
+        return split
+
+    def _record_single(
+        self,
+        tenant: str,
+        queries: int,
+        targets: int,
+        union: int,
+        cost: Dict[str, float],
+        latency_seconds: float,
+    ) -> Dict[str, Dict[str, float]]:
+        """Whole-batch attribution to one tenant (no split arithmetic).
+
+        Keeps the exact same accumulation semantics as the general path:
+        the sole tenant's share of every key *is* the batch total, so
+        per-batch exactness and batch-ordered reconciliation hold
+        trivially.
+        """
+        values = {key: float(cost.get(key, 0.0)) for key in TENANT_COST_KEYS}
+        latency = float(latency_seconds)
+        with self._lock:
+            self._batches_recorded += 1
+            attributed = self._attributed
+            for key in TENANT_COST_KEYS:
+                attributed[key] += values[key]
+            attributed["latency_seconds"] += latency
+            entry = self._tenants.get(tenant)
+            if entry is None:
+                entry = self._tenants[tenant] = _TenantEntry()
+            entry.batches += 1
+            entry.queries += queries
+            entry.targets_requested += targets
+            entry.union_weight += float(union)
+            entry.latency_seconds += latency
+            costs = entry.costs
+            for key in TENANT_COST_KEYS:
+                costs[key] += values[key]
+            self.hitters["queries"].observe(tenant, queries)
+            self.hitters["targets"].observe(tenant, targets)
+            self.hitters["epc_pages"].observe(tenant, values["paging_pages"])
+        self._publish_single(tenant, queries, values)
+        if self.quota.enabled:
+            self._enforce_quota((tenant,))
+        values["latency_seconds"] = latency
+        return {tenant: values}
+
+    def _series_key(self, tenant: str) -> tuple:
+        key = self._series_keys.get(tenant)
+        if key is None:
+            # matches _label_key({"tenant": tenant}) for a single label
+            key = self._series_keys[tenant] = (("tenant", tenant),)
+        return key
+
+    def _publish_single(self, tenant: str, queries: int,
+                        values: Dict[str, float]) -> None:
+        metrics = self._metrics
+        if metrics is not None:
+            key = self._series_key(tenant)
+            if tenant == self.limiter.overflow:
+                metrics["overflow"].inc(queries or 1)
+            metrics["queries"].inc_at(key, queries)
+            metrics["seconds"].inc_at(
+                key,
+                values["compute_seconds"] + values["transfer_seconds"]
+                + values["paging_seconds"],
+            )
+            metrics["pages"].inc_at(key, values["paging_pages"])
+            metrics["payload"].inc_at(key, values["payload_bytes"])
+        gate = self._gate
+        if gate is not None:
+            label = (GATE_OVERFLOW if tenant == self.limiter.overflow
+                     else tenant)
+            gate.inc(
+                "enclave_tenant_compute_seconds_total",
+                values["compute_seconds"],
+                help="attributed in-enclave seconds per hashed tenant",
+                tenant=label,
+            )
+            gate.inc(
+                "enclave_tenant_pages_total",
+                values["paging_pages"],
+                help="attributed EPC pages per hashed tenant",
+                tenant=label,
+            )
+
+    def _publish(self, split: Dict[str, Dict[str, float]],
+                 query_counts: Dict[str, int]) -> None:
+        metrics = self._metrics
+        if metrics is not None:
+            for tenant, shares in split.items():
+                key = self._series_key(tenant)
+                if tenant == self.limiter.overflow:
+                    metrics["overflow"].inc(query_counts.get(tenant, 0) or 1)
+                metrics["queries"].inc_at(key, query_counts.get(tenant, 0))
+                metrics["seconds"].inc_at(
+                    key,
+                    shares["compute_seconds"] + shares["transfer_seconds"]
+                    + shares["paging_seconds"],
+                )
+                metrics["pages"].inc_at(key, shares["paging_pages"])
+                metrics["payload"].inc_at(key, shares["payload_bytes"])
+        gate = self._gate
+        if gate is not None:
+            for tenant, shares in split.items():
+                label = (GATE_OVERFLOW if tenant == self.limiter.overflow
+                         else tenant)
+                gate.inc(
+                    "enclave_tenant_compute_seconds_total",
+                    shares["compute_seconds"],
+                    help="attributed in-enclave seconds per hashed tenant",
+                    tenant=label,
+                )
+                gate.inc(
+                    "enclave_tenant_pages_total",
+                    shares["paging_pages"],
+                    help="attributed EPC pages per hashed tenant",
+                    tenant=label,
+                )
+
+    # ------------------------------------------------------------------
+    # Quotas
+    # ------------------------------------------------------------------
+    def _enforce_quota(self, tenants: Iterable[str]) -> None:
+        # called from inside the fold (_attribute); must not re-drain.
+        if not self.quota.enabled:
+            return
+        for tenant in tenants:
+            if self._check_quota(tenant) and self.alerts is not None:
+                self.alerts.fire(
+                    f"tenant/quota/{tenant}", "security", "warning",
+                    f"tenant {tenant} exceeded its spend quota "
+                    f"(queries/enclave-seconds/EPC pages); scheduler "
+                    f"backpressure engaged",
+                )
+
+    def over_quota_tenant(self, tenant: str) -> bool:
+        if not self.quota.enabled:
+            return False
+        self._drain()
+        return self._check_quota(tenant)
+
+    def _check_quota(self, tenant: str) -> bool:
+        entry = self._tenants.get(tenant)
+        if entry is None:
+            return False
+        quota = self.quota
+        if quota.max_queries and entry.queries > quota.max_queries:
+            return True
+        seconds = (entry.costs["compute_seconds"]
+                   + entry.costs["transfer_seconds"]
+                   + entry.costs["paging_seconds"])
+        if quota.max_enclave_seconds and seconds > quota.max_enclave_seconds:
+            return True
+        if (quota.max_epc_pages
+                and entry.costs["paging_pages"] > quota.max_epc_pages):
+            return True
+        return False
+
+    def over_quota(self, client: str) -> bool:
+        """Backpressure hint for the scheduler, keyed by raw client.
+
+        The raw string never leaves this call — it is hashed before the
+        table lookup.
+        """
+        if not self.quota.enabled:
+            return False
+        return self.over_quota_tenant(self.tenant_id(client))
+
+    # ------------------------------------------------------------------
+    # Suspicion routing (QueryPatternMonitor flags)
+    # ------------------------------------------------------------------
+    def note_suspicion(self, client: str, detector: str) -> str:
+        """Record a pattern-detector flag against the hashed tenant."""
+        self._drain()
+        tenant = self.tenant_id(client)
+        with self._lock:
+            entry = self._tenants.get(tenant)
+            if entry is None:
+                entry = self._tenants[tenant] = _TenantEntry()
+            entry.suspicions[detector] = entry.suspicions.get(detector, 0) + 1
+        metrics = self._metrics
+        if metrics is not None:
+            metrics["suspicion"].inc(tenant=tenant)
+        return tenant
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def tenants(self) -> List[str]:
+        self._drain()
+        return sorted(self._tenants)
+
+    def totals(self) -> Dict[str, float]:
+        """Batch-ordered running totals of everything attributed."""
+        self._drain()
+        with self._lock:
+            return dict(self._attributed)
+
+    def tenant_totals(self) -> Dict[str, float]:
+        """Cross-tenant sums (``math.fsum`` — grouping-insensitive)."""
+        self._drain()
+        with self._lock:
+            out: Dict[str, float] = {}
+            for key in TENANT_COST_KEYS:
+                out[key] = math.fsum(
+                    entry.costs[key] for entry in self._tenants.values()
+                )
+            out["latency_seconds"] = math.fsum(
+                entry.latency_seconds for entry in self._tenants.values()
+            )
+            return out
+
+    def reconcile(self, before: Dict[str, float],
+                  after: Dict[str, float]) -> Dict[str, Any]:
+        """Check summed per-tenant attribution against enclave deltas.
+
+        ``before``/``after`` are :meth:`ecall_cost_totals` snapshots
+        taken around the attributed window. Integer tallies must match
+        exactly; seconds match to the same 1e-9 the profiling layer's
+        reconciliation test pins (the enclave accumulates floats in
+        batch order, the ledger groups them per tenant — bitwise-equal
+        grouping is not a meaningful ask, a nanosecond is).
+        """
+        summed = self.tenant_totals()
+        report: Dict[str, Any] = {"ok": True, "keys": {}}
+        for key in TENANT_COST_KEYS:
+            delta = float(after.get(key, 0.0)) - float(before.get(key, 0.0))
+            attributed = summed[key]
+            if key in ("ecall_count", "payload_bytes", "paging_pages"):
+                ok = abs(attributed - delta) < 1e-6
+            else:
+                ok = abs(attributed - delta) <= 1e-9 * max(1.0, abs(delta))
+            report["keys"][key] = {
+                "attributed": attributed, "delta": delta, "ok": ok,
+            }
+            report["ok"] = report["ok"] and ok
+        return report
+
+    def report(self, top: int = 10) -> Dict[str, Any]:
+        """Operator-facing summary: top tenants by attributed cost.
+
+        Every tenant field is the hashed token; no raw client identifier
+        exists anywhere in the ledger to leak.
+        """
+        self._drain()
+        with self._lock:
+            rows = []
+            for tenant, entry in self._tenants.items():
+                seconds = (entry.costs["compute_seconds"]
+                           + entry.costs["transfer_seconds"]
+                           + entry.costs["paging_seconds"])
+                rows.append({
+                    "tenant": tenant,
+                    "queries": entry.queries,
+                    "batches": entry.batches,
+                    "targets_requested": entry.targets_requested,
+                    "union_share": entry.union_weight,
+                    "enclave_seconds": seconds,
+                    "latency_seconds": entry.latency_seconds,
+                    "epc_pages": entry.costs["paging_pages"],
+                    "payload_bytes": entry.costs["payload_bytes"],
+                    "ecalls": entry.costs["ecall_count"],
+                    "suspicions": dict(entry.suspicions),
+                })
+            rows.sort(key=lambda row: (-row["enclave_seconds"], row["tenant"]))
+            return {
+                "tenants": len(self._tenants),
+                "batches": self._batches_recorded,
+                "admitted": len(self.limiter),
+                "overflowed": self.limiter.overflowed,
+                "totals": dict(self._attributed),
+                "top": rows[:top],
+                "heavy_hitters": {
+                    name: [
+                        {"tenant": key, "count": count, "error": error}
+                        for key, count, error in sketch.top()
+                    ]
+                    for name, sketch in self.hitters.items()
+                },
+            }

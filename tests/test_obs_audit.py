@@ -122,3 +122,80 @@ class TestTelemetryIntegration:
         telemetry = Telemetry(enabled=False)
         telemetry.audit.append("security_alert", alert_key="k")
         assert len(telemetry.audit) == 1
+
+
+class TestSegmentRotation:
+    """Size-based rotation/retention for the durable audit stream."""
+
+    def _writer(self, tmp_path, **kw):
+        from repro.obs import AuditSegmentWriter
+
+        return AuditSegmentWriter(tmp_path, **kw)
+
+    def test_rotates_at_size_and_bounds_disk(self, tmp_path):
+        writer = self._writer(tmp_path, max_bytes=200, max_segments=3)
+        log = AuditLog(sink=writer)
+        for i in range(50):
+            log.append("query_served", time=float(i), batch_count=i)
+        assert writer.rotations > 0
+        assert len(writer.segments()) <= 3
+        assert writer.total_bytes() <= 3 * 200
+        assert writer.segments_deleted > 0
+
+    def test_retained_segments_round_trip_as_jsonl(self, tmp_path):
+        writer = self._writer(tmp_path, max_bytes=300, max_segments=4)
+        log = AuditLog(sink=writer)
+        for i in range(30):
+            log.append("query_served", time=float(i), batch_count=i)
+        events = parse_audit_jsonl(writer.read_text())
+        assert events
+        # oldest-first concatenation: sequence numbers stay monotonic
+        seqs = [event.seq for event in events]
+        assert seqs == sorted(seqs)
+        assert events[-1].seq == 29
+        assert events[-1]["batch_count"] == 29
+
+    def test_sink_outlives_in_memory_bound(self, tmp_path):
+        writer = self._writer(tmp_path, max_bytes=1 << 20)
+        log = AuditLog(capacity=4, sink=writer)
+        for i in range(12):
+            log.append("query_served", batch_count=i)
+        assert len(log) == 4 and log.dropped == 8
+        assert len(parse_audit_jsonl(writer.read_text())) == 12
+
+    def test_numbering_resumes_across_restarts(self, tmp_path):
+        writer = self._writer(tmp_path, max_bytes=80, max_segments=8)
+        log = AuditLog(sink=writer)
+        for i in range(6):
+            log.append("query_served", batch_count=i)
+        first_gen = [path.name for path in writer.segments()]
+        # a fresh writer on the same directory appends after, not over
+        writer2 = self._writer(tmp_path, max_bytes=80, max_segments=8)
+        log2 = AuditLog(sink=writer2)
+        log2.append("model_update", batch_count=99)
+        names = [path.name for path in writer2.segments()]
+        assert set(first_gen) <= set(names)
+        assert len(names) == len(first_gen) + 1
+
+    def test_oversized_line_gets_its_own_segment(self, tmp_path):
+        writer = self._writer(tmp_path, max_bytes=64, max_segments=8)
+        log = AuditLog(sink=writer)
+        log.append("query_served", note="x" * 200)
+        log.append("query_served", batch_count=1)
+        assert len(writer.segments()) == 2
+        assert len(parse_audit_jsonl(writer.read_text())) == 2
+
+    def test_enclave_events_stream_through_the_sink(self, tmp_path):
+        writer = self._writer(tmp_path)
+        telemetry = Telemetry()
+        telemetry.audit.sink = writer
+        gate = telemetry.enclave_gate()
+        gate.audit("attestation", result="accepted")
+        events = parse_audit_jsonl(writer.read_text())
+        assert events[0].origin == "enclave"
+
+    def test_rejects_degenerate_bounds(self, tmp_path):
+        with pytest.raises(ValueError):
+            self._writer(tmp_path, max_bytes=0)
+        with pytest.raises(ValueError):
+            self._writer(tmp_path, max_segments=0)

@@ -186,3 +186,30 @@ class TestPipelinePanel:
         assert "no pipeline activity yet" not in html
         assert "ECALLs / query" in html
         assert "micro-batch" in html
+
+
+class TestTenantsPanel:
+    def test_empty_without_ledger(self):
+        html = render_dashboard(Telemetry())
+        assert "no tenant ledger attached" in html
+
+    def test_attached_but_idle_ledger(self):
+        from repro.obs import TenantCostLedger
+
+        html = render_dashboard(Telemetry(), tenants=TenantCostLedger())
+        assert "no attributed batches yet" in html
+
+    def test_top_table_shows_hashed_tenants_only(self):
+        from repro.obs import TenantCostLedger, hash_tenant
+
+        telemetry = Telemetry()
+        ledger = TenantCostLedger(registry=telemetry.registry)
+        cost = {"ecall_count": 1.0, "transfer_seconds": 1e-3,
+                "compute_seconds": 4e-3, "paging_seconds": 5e-4,
+                "paging_pages": 2.0, "payload_bytes": 4096.0}
+        ledger.record_batch([("acme-corp-prod", [1, 2])], cost)
+        ledger.note_suspicion("acme-corp-prod", "pair_probing")
+        html = render_dashboard(telemetry, tenants=ledger)
+        assert "acme-corp-prod" not in html
+        assert hash_tenant("acme-corp-prod") in html
+        assert "flagged" in html  # suspicion marks the row

@@ -126,6 +126,52 @@ class TestBookkeeping:
         # the quietest clients were evicted; the chattiest survive
         assert "client_9" in monitor.clients()
 
+    def test_eviction_is_lru_not_insertion_order(self):
+        monitor, _ = make_monitor(max_clients=3)
+        for name in ("a", "b", "c"):
+            monitor.observe(name, [1])
+        # touch the oldest-inserted client: it becomes most-recent ...
+        monitor.observe("a", [2])
+        monitor.observe("d", [1])
+        # ... so the least-recently-seen client "b" is the one evicted.
+        assert set(monitor.clients()) == {"a", "c", "d"}
+        assert monitor.evictions == 1
+
+    def test_eviction_counter_metric_tracks_evictions(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "vault_pattern_client_evictions_total"
+        )
+        alerts = AlertManager()
+        monitor = QueryPatternMonitor(
+            NUM_NODES, alerts, max_clients=2, eviction_counter=counter
+        )
+        for i in range(6):
+            monitor.observe(f"client_{i}", [1])
+        assert monitor.evictions == 4
+        assert counter.value() == 4.0
+
+    def test_reobserved_client_state_survives_lru_touch(self):
+        # the pop/reinsert LRU touch must keep accumulated state
+        monitor, _ = make_monitor(max_clients=8)
+        for _ in range(10):
+            monitor.observe("steady", [1, 2])
+        assert monitor.client_stats("steady")["queries"] == 20
+
+    def test_on_flag_callback_fires_once_per_active_alert(self):
+        monitor, _ = make_monitor()
+        seen = []
+        monitor.on_flag = lambda client, name: seen.append((client, name))
+        pairs = [(i, i + 100) for i in range(8)]
+        for _ in range(16):
+            for u, v in pairs:
+                monitor.observe("prober", [u, v])
+        monitor.evaluate("prober")
+        monitor.evaluate("prober")  # already-active: no duplicate flag
+        assert seen.count(("prober", "pair_probing")) == 1
+
     def test_grow_graph_rescales_coverage(self):
         monitor, _ = make_monitor()
         monitor.observe("c", range(100))

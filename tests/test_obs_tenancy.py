@@ -1,0 +1,434 @@
+"""Tenant-aware telemetry: bounded cardinality, sketches, cost ledger.
+
+The load-bearing properties, pinned here:
+
+* the metrics registry stays bounded under a 10k-distinct-client flood
+  (the cardinality limiter routes the tail into ``__overflow__``);
+* per-batch attribution is *exact* — per-key shares sum to the batch
+  cost by construction — and the summed ledger reconciles against the
+  enclave's own :meth:`ecall_cost_totals` deltas, pipelined and
+  sequential, to the same precision the profiling layer pins;
+* no raw client identifier survives into any metric label, gate
+  emission, report field, or dashboard cell — only hashed tokens do.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.deploy import (
+    BatchPolicy,
+    MicroBatchScheduler,
+    SecureInferenceSession,
+    VaultServer,
+    zipf_workload,
+)
+from repro.obs import (
+    OVERFLOW_BUCKET,
+    CardinalityLimiter,
+    HeavyHitters,
+    MetricsRegistry,
+    Telemetry,
+    TenantCostLedger,
+    TenantQuota,
+    hash_tenant,
+    render_dashboard,
+    render_prometheus,
+)
+from repro.obs.health import AlertManager
+from repro.obs.tenancy import TENANT_COST_KEYS
+
+
+def _cost(ecalls=1, transfer=0.001, compute=0.004, paging=0.0005,
+          pages=2.0, payload=4096):
+    return {
+        "ecall_count": float(ecalls), "transfer_seconds": transfer,
+        "compute_seconds": compute, "paging_seconds": paging,
+        "paging_pages": pages, "payload_bytes": float(payload),
+    }
+
+
+class TestHashTenant:
+    def test_lowercase_alpha_only_and_stable(self):
+        token = hash_tenant("client_7")
+        assert token == hash_tenant("client_7")
+        assert len(token) == 12
+        assert token.isalpha() and token == token.lower()
+
+    def test_distinct_clients_distinct_tokens(self):
+        tokens = {hash_tenant(f"client_{i}") for i in range(512)}
+        assert len(tokens) == 512
+
+    def test_raw_id_never_substring_of_token(self):
+        assert "client" not in hash_tenant("client_0")
+
+
+class TestCardinalityLimiter:
+    def test_admission_is_sticky_and_bounded(self):
+        limiter = CardinalityLimiter(max_values=3)
+        assert limiter.admit("a") == "a"
+        assert limiter.admit("b") == "b"
+        assert limiter.admit("c") == "c"
+        assert limiter.admit("d") == OVERFLOW_BUCKET
+        # previously admitted values stay admitted after the cap
+        assert limiter.admit("a") == "a"
+        assert len(limiter) == 3
+        assert limiter.overflowed == 1
+
+    def test_concurrent_admission_never_exceeds_bound(self):
+        limiter = CardinalityLimiter(max_values=16)
+
+        def flood(offset):
+            for i in range(500):
+                limiter.admit(f"v{offset}_{i}")
+
+        threads = [threading.Thread(target=flood, args=(t,))
+                   for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(limiter) == 16
+        assert limiter.overflowed == 8 * 500 - 16
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            CardinalityLimiter(max_values=0)
+
+
+class TestHeavyHitters:
+    def test_exact_below_capacity(self):
+        sketch = HeavyHitters(k=8)
+        for _ in range(5):
+            sketch.observe("big")
+        sketch.observe("small")
+        rows = sketch.top()
+        assert rows[0] == ("big", 5.0, 0.0)
+        assert rows[1] == ("small", 1.0, 0.0)
+
+    def test_space_saving_guarantee_over_skewed_stream(self):
+        # any key with true count > total/k must be present, and the
+        # reported count overshoots by at most the tracked error.
+        sketch = HeavyHitters(k=8)
+        true = {}
+        for i in range(2000):
+            key = f"t{i % 40:02d}" if i % 5 else "whale"
+            true[key] = true.get(key, 0) + 1
+            sketch.observe(key)
+        assert "whale" in sketch
+        for key, count, error in sketch.top():
+            assert count >= true.get(key, 0)
+            assert count - error <= true.get(key, 0)
+
+    def test_bounded_memory(self):
+        sketch = HeavyHitters(k=4)
+        for i in range(10_000):
+            sketch.observe(f"k{i}")
+        assert len(sketch) == 4
+        assert sketch.total == 10_000
+
+
+class TestTenantQuota:
+    def test_disabled_by_default(self):
+        assert not TenantQuota().enabled
+        assert TenantQuota(max_queries=1).enabled
+
+    def test_rejects_negative_bounds(self):
+        with pytest.raises(ValueError):
+            TenantQuota(max_queries=-1)
+
+
+class TestTenantCostLedger:
+    def test_split_is_exact_per_batch(self):
+        ledger = TenantCostLedger()
+        cost = _cost()
+        split = ledger.record_batch(
+            [("alice", [1, 2, 3]), ("bob", [3, 4])], cost,
+            latency_seconds=0.01,
+        )
+        assert len(split) == 2
+        for key in TENANT_COST_KEYS:
+            assert sum(s[key] for s in split.values()) == cost[key]
+        assert sum(s["latency_seconds"] for s in split.values()) == 0.01
+
+    def test_union_plan_weights_shared_targets(self):
+        # node 3 is requested by both tenants: each owes half of it.
+        ledger = TenantCostLedger()
+        ledger.record_batch(
+            [("alice", [1, 2, 3]), ("bob", [3, 4])], _cost(pages=8.0)
+        )
+        report = ledger.report()
+        by_tenant = {row["tenant"]: row for row in report["top"]}
+        alice, bob = hash_tenant("alice"), hash_tenant("bob")
+        # union = {1,2,3,4}; alice owns 1,2 + half of 3 = 2.5/4
+        assert by_tenant[alice]["union_share"] == pytest.approx(2.5)
+        assert by_tenant[bob]["union_share"] == pytest.approx(1.5)
+        assert by_tenant[alice]["epc_pages"] == pytest.approx(8.0 * 2.5 / 4)
+
+    def test_totals_mirror_batch_accumulation(self):
+        ledger = TenantCostLedger()
+        for i in range(50):
+            ledger.record_batch(
+                [(f"c{i % 7}", [i, i + 1]), (f"c{(i + 1) % 7}", [i])],
+                _cost(transfer=0.001 * (i + 1)),
+                latency_seconds=1e-4,
+            )
+        totals = ledger.totals()
+        summed = ledger.tenant_totals()
+        for key in TENANT_COST_KEYS:
+            assert summed[key] == pytest.approx(totals[key], abs=1e-9)
+
+    def test_registry_cardinality_bounded_under_client_flood(self):
+        registry = MetricsRegistry()
+        ledger = TenantCostLedger(registry=registry, max_tenants=64)
+        for i in range(10_000):
+            ledger.record_batch([(f"flood_client_{i}", [i % 97])], _cost())
+        counter = registry.get("vault_tenant_queries_total")
+        series = list(counter.series())
+        # 64 admitted tenants + the overflow bucket
+        assert len(series) <= 65
+        assert ledger.limiter.overflowed == 10_000 - 64
+        overflow = registry.get("vault_tenant_overflow_total")
+        assert overflow.value() == 10_000 - 64
+        # the flood is fully attributed, none of it silently vanished
+        assert ledger.totals()["ecall_count"] == 10_000.0
+
+    def test_no_raw_client_identifier_anywhere(self):
+        telemetry = Telemetry()
+        ledger = TenantCostLedger(
+            registry=telemetry.registry, gate=telemetry.enclave_gate()
+        )
+        secret = "super_secret_client_name_42"
+        ledger.record_batch([(secret, [1, 2])], _cost())
+        ledger.note_suspicion(secret, "pair_probing")
+        exposition = render_prometheus(telemetry.registry)
+        assert secret not in exposition
+        assert hash_tenant(secret) in exposition
+        report = repr(ledger.report())
+        assert secret not in report
+        html = render_dashboard(telemetry, tenants=ledger)
+        assert secret not in html
+        assert hash_tenant(secret) in html
+
+    def test_gate_accepts_hashed_tenant_labels(self):
+        telemetry = Telemetry()
+        ledger = TenantCostLedger(gate=telemetry.enclave_gate())
+        ledger.record_batch([("alice", [1])], _cost())
+        exposition = render_prometheus(telemetry.registry)
+        assert "enclave_tenant_compute_seconds_total" in exposition
+        assert f'tenant="{hash_tenant("alice")}"' in exposition
+
+    def test_overflow_bucket_translates_for_the_gate(self):
+        telemetry = Telemetry()
+        ledger = TenantCostLedger(
+            registry=telemetry.registry, gate=telemetry.enclave_gate(),
+            max_tenants=1,
+        )
+        ledger.record_batch([("alice", [1])], _cost())
+        ledger.record_batch([("bob", [2])], _cost())
+        exposition = render_prometheus(telemetry.registry)
+        assert 'tenant="overflow"' in exposition
+        assert OVERFLOW_BUCKET in repr(ledger.report())
+
+    def test_quota_breach_fires_security_alert_once_active(self):
+        alerts = AlertManager()
+        ledger = TenantCostLedger(
+            quota=TenantQuota(max_queries=2), alerts=alerts
+        )
+        for i in range(4):
+            ledger.record_batch([("greedy", [i])], _cost())
+        assert ledger.over_quota("greedy")
+        assert not ledger.over_quota("modest")
+        key = f"tenant/quota/{hash_tenant('greedy')}"
+        assert alerts.is_active(key)
+
+    def test_suspicion_routes_to_hashed_tenant(self):
+        registry = MetricsRegistry()
+        ledger = TenantCostLedger(registry=registry)
+        token = ledger.note_suspicion("prober", "pair_probing")
+        assert token == hash_tenant("prober")
+        rows = ledger.report()["top"]
+        assert len(rows) == 1
+        # suspicion alone attributes no cost, only the flag tally
+        assert rows[0]["enclave_seconds"] == 0.0
+        assert rows[0]["suspicions"] == {"pair_probing": 1}
+        assert registry.get("vault_tenant_suspicion_total").value(
+            tenant=token
+        ) == 1.0
+
+    def test_reconcile_flags_mismatch(self):
+        ledger = TenantCostLedger()
+        ledger.record_batch([("a", [1])], _cost(ecalls=1))
+        before = {key: 0.0 for key in TENANT_COST_KEYS}
+        after = dict(before, ecall_count=2.0)  # enclave says 2, ledger 1
+        result = ledger.reconcile(before, after)
+        assert not result["ok"]
+        assert not result["keys"]["ecall_count"]["ok"]
+
+
+class TestDeferredAttribution:
+    """defer_batch: the hot path appends, the fold runs at read time."""
+
+    @staticmethod
+    def _profile():
+        from repro.deploy.profiler import InferenceProfile
+
+        return InferenceProfile(
+            backbone_seconds=0.0, transfer_seconds=0.001,
+            enclave_seconds=0.0045, paging_seconds=0.0005,
+            payload_bytes=4096, peak_enclave_memory_bytes=1 << 20,
+        )
+
+    def test_fold_runs_at_read_not_at_defer(self):
+        from repro.tee.runtime import DEFAULT_COST_MODEL
+
+        ledger = TenantCostLedger()
+        ledger.defer_batch(
+            (("alice", [1, 2]),), self._profile(), 1,
+            DEFAULT_COST_MODEL, 0.01,
+        )
+        assert ledger._batches_recorded == 0  # queued, not yet folded
+        assert len(ledger._pending) == 1
+        assert ledger.batches_recorded == 1  # the read drains the queue
+        assert not ledger._pending
+        assert ledger.totals()["ecall_count"] == 1.0
+        assert hash_tenant("alice") in ledger.tenants()
+
+    def test_bounded_queue_folds_inline(self):
+        from repro.tee.runtime import DEFAULT_COST_MODEL
+
+        ledger = TenantCostLedger()
+        ledger.drain_at = 8
+        profile = self._profile()
+        for i in range(50):
+            ledger.defer_batch(
+                ((f"c{i % 3}", [i]),), profile, 1, DEFAULT_COST_MODEL, 0.0,
+            )
+            # the backstop keeps memory O(drain_at) with no reader at all
+            assert len(ledger._pending) < 8
+        assert ledger.batches_recorded == 50
+
+    def test_deferred_matches_eager_attribution(self):
+        from repro.obs.profiling import enclave_cost_record
+        from repro.tee.runtime import DEFAULT_COST_MODEL
+
+        profile = self._profile()
+        cost = enclave_cost_record(
+            profile, ecall_count=1, cost_model=DEFAULT_COST_MODEL
+        )
+        eager, lazy = TenantCostLedger(), TenantCostLedger()
+        for i in range(12):
+            entries = ((f"c{i % 3}", [i, i + 1]), (f"c{(i + 1) % 3}", [i]))
+            eager.record_batch(entries, cost, latency_seconds=0.001)
+            lazy.defer_batch(entries, profile, 1, DEFAULT_COST_MODEL, 0.001)
+        assert lazy.tenant_totals() == eager.tenant_totals()
+        assert lazy.report() == eager.report()
+
+
+class TestLedgerServingIntegration:
+    """The ledger reconciles against the enclave's own counters."""
+
+    CLIENTS = 4
+
+    @pytest.fixture
+    def server(self, trained_vault):
+        run = trained_vault
+        session = SecureInferenceSession(
+            run.backbone, run.rectifiers["series"], run.substitute,
+            run.graph.adjacency,
+        )
+        return VaultServer(session, run.graph.features)
+
+    def _assert_reconciled(self, ledger, before, after):
+        result = ledger.reconcile(before, after)
+        assert result["ok"], result
+        totals = ledger.tenant_totals()
+        # integer tallies match the enclave exactly
+        assert totals["ecall_count"] == (
+            after["ecall_count"] - before["ecall_count"]
+        )
+        assert totals["payload_bytes"] == (
+            after["payload_bytes"] - before["payload_bytes"]
+        )
+        for key in ("transfer_seconds", "compute_seconds",
+                    "paging_seconds"):
+            assert totals[key] == pytest.approx(
+                after[key] - before[key], abs=1e-9
+            )
+
+    def test_pipelined_attribution_reconciles(self, trained_vault, server):
+        run = trained_vault
+        ledger = TenantCostLedger(registry=server.telemetry.registry)
+        server.attach_tenancy(ledger)
+        workload = zipf_workload(run.graph.num_nodes, 64, seed=9)
+        enclave = server._session.enclave
+        before = enclave.ecall_cost_totals()
+        policy = BatchPolicy(max_batch_size=8, max_wait_ms=2.0)
+        with MicroBatchScheduler(server, policy) as scheduler:
+            def drive(index):
+                for node in workload[index::self.CLIENTS]:
+                    scheduler.query(int(node), client=f"client_{index}")
+
+            threads = [threading.Thread(target=drive, args=(i,))
+                       for i in range(self.CLIENTS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        after = enclave.ecall_cost_totals()
+        self._assert_reconciled(ledger, before, after)
+        report = ledger.report()
+        assert report["tenants"] == self.CLIENTS
+        assert sum(row["queries"] for row in report["top"]) == 64
+
+    def test_sequential_attribution_reconciles(self, trained_vault, server):
+        run = trained_vault
+        ledger = TenantCostLedger()
+        server.attach_tenancy(ledger)
+        enclave = server._session.enclave
+        before = enclave.ecall_cost_totals()
+        workload = zipf_workload(run.graph.num_nodes, 24, seed=11)
+        server.serve(workload, batch_size=4)
+        after = enclave.ecall_cost_totals()
+        self._assert_reconciled(ledger, before, after)
+        assert ledger.batches_recorded == 6
+
+    def test_quota_backpressure_throttles_scheduler(self, trained_vault,
+                                                    server):
+        run = trained_vault
+        ledger = TenantCostLedger(quota=TenantQuota(max_queries=4))
+        server.attach_tenancy(ledger)
+        workload = zipf_workload(run.graph.num_nodes, 24, seed=13)
+        policy = BatchPolicy(max_batch_size=4, max_wait_ms=1.0)
+        with MicroBatchScheduler(server, policy) as scheduler:
+            for node in workload:
+                scheduler.query(int(node), client="greedy")
+        # every query still answered — backpressure slows, never drops
+        assert ledger.report()["top"][0]["queries"] == 24
+        assert ledger.over_quota("greedy")
+
+    def test_monitor_flags_route_into_ledger(self, trained_vault, server):
+        run = trained_vault
+        ledger = TenantCostLedger()
+        server.attach_tenancy(ledger)
+        assert server.monitor is not None
+        assert server.monitor.on_flag == ledger.note_suspicion
+        # a probing workload: the same adjacent pairs, many rounds
+        from repro.attacks.link_stealing import sample_pairs
+
+        left, right, _ = sample_pairs(
+            run.graph.adjacency, num_pairs=8, seed=0
+        )
+        for _ in range(16):
+            for u, v in zip(left, right):
+                server.query_batch([int(u), int(v)], client="prober")
+        server.monitor.evaluate("prober")
+        rows = ledger.report()["top"]
+        flagged = {row["tenant"]: row["suspicions"] for row in rows}
+        token = hash_tenant("prober")
+        assert token in flagged
+        assert sum(flagged[token].values()) >= 1
+        server.detach_tenancy()
+        assert server.monitor.on_flag is None

@@ -672,3 +672,87 @@ class TestResilienceBoundary:
             channel.publish((np.zeros(2), np.ones(2)))
         with pytest.raises(SecurityViolation):
             LabelOnlyResult(np.zeros(3))  # float labels rejected at the type
+
+
+class TestTenancyBoundary:
+    """Tenant attribution must not widen the enclave egress contract.
+
+    Tenant-labelled series cross the gate, so the label value grammar
+    applies: only the hashed lowercase token (or the overflow spelling)
+    is admissible — a raw client identifier, which typically carries
+    digits or underscores, is rejected at the gate, and the ``tenant``
+    label key itself had to be allow-listed.
+    """
+
+    def test_gate_admits_hashed_tenant_label(self):
+        from repro.obs import Telemetry, hash_tenant
+
+        telemetry = Telemetry()
+        gate = telemetry.enclave_gate()
+        gate.inc(
+            "enclave_tenant_compute_seconds_total", 0.5,
+            tenant=hash_tenant("client_7"),
+        )
+        counter = telemetry.registry.get(
+            "enclave_tenant_compute_seconds_total"
+        )
+        assert counter.value(tenant=hash_tenant("client_7")) == 0.5
+
+    @pytest.mark.parametrize("raw", [
+        "client_7",        # underscore + digit
+        "alice42",         # digit
+        "Bob",             # uppercase
+        "node-17",         # id-shaped
+    ])
+    def test_gate_rejects_raw_client_labels(self, raw):
+        from repro.errors import SecurityViolation
+        from repro.obs import Telemetry
+
+        gate = Telemetry().enclave_gate()
+        with pytest.raises(SecurityViolation):
+            gate.inc("enclave_tenant_compute_seconds_total", 1.0,
+                     tenant=raw)
+
+    def test_gate_rejects_unknown_label_keys(self):
+        from repro.errors import SecurityViolation
+        from repro.obs import Telemetry, hash_tenant
+
+        gate = Telemetry().enclave_gate()
+        with pytest.raises(SecurityViolation):
+            gate.inc("enclave_tenant_compute_seconds_total", 1.0,
+                     client=hash_tenant("a"))
+
+    def test_ledger_gate_emissions_survive_prometheus_round_trip(self):
+        from repro.obs import (
+            Telemetry, TenantCostLedger, parse_prometheus_samples,
+            render_prometheus,
+        )
+
+        telemetry = Telemetry()
+        ledger = TenantCostLedger(gate=telemetry.enclave_gate())
+        ledger.record_batch(
+            [("alice", [1, 2]), ("bob", [2, 3])],
+            {"ecall_count": 1.0, "transfer_seconds": 1e-3,
+             "compute_seconds": 4e-3, "paging_seconds": 5e-4,
+             "paging_pages": 2.0, "payload_bytes": 4096.0},
+        )
+        samples = parse_prometheus_samples(
+            render_prometheus(telemetry.registry)
+        )
+        tenant_series = samples["enclave_tenant_compute_seconds_total"]
+        assert len(tenant_series) == 2
+        for label_set in tenant_series:
+            labels = dict(label_set)
+            assert set(labels) == {"tenant"}
+            assert labels["tenant"].isalpha()
+            assert labels["tenant"].islower()
+
+    def test_structured_log_rejects_forbidden_field_vocabulary(self):
+        # the closed log schema cannot be extended at emit time with a
+        # per-entity field, even a numeric one
+        from repro.obs import LogSchemaViolation, StructuredLogger, hash_tenant
+
+        log = StructuredLogger()
+        with pytest.raises(LogSchemaViolation):
+            log.emit("ecall", batch_seq=1, queries_count=1,
+                     unique_count=1, seconds=0.1, node_count=5)
