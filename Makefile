@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-serving bench-throughput bench-check bench-full obs-demo dashboard health chaos tenants examples report calibration clean
+.PHONY: install test bench bench-serving bench-throughput bench-check bench-full obs-demo dashboard health chaos tenants vaultlint vaultlint-json examples report calibration clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -66,6 +66,16 @@ health:
 chaos:
 	$(PYTHON) -m repro.cli chaos --seed 0 --queries 200 --kill-at 90 \
 		--output benchmarks/results/chaos_report.json
+
+# Static trust-boundary analysis: import-boundary, egress-taint,
+# telemetry-gate, and lock-discipline invariants over src/repro.
+# Exit 0 clean / 1 new findings (vs vaultlint_baseline.json) / 2 errors.
+vaultlint:
+	$(PYTHON) -m repro.cli vaultlint
+
+vaultlint-json:
+	$(PYTHON) -m repro.cli vaultlint --format json \
+		--output benchmarks/results/vaultlint_report.json
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

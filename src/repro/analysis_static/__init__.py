@@ -1,0 +1,57 @@
+"""VaultLint: static proof of the GNNVault trust boundary.
+
+A self-contained AST analyzer (stdlib ``ast``, no third-party
+dependencies) that walks the ``src/repro`` tree and enforces the
+paper's boundary invariants at lint time — before any test runs:
+
+* **VL-B*** import boundary: untrusted layers reach enclave state only
+  through the allowlisted ``SecureInferenceSession`` facade;
+* **VL-T*** egress taint: enclave-private data (adjacency, weights,
+  embeddings, logits, seal keys) cannot reach exception messages,
+  telemetry, or the one-way channel without laundering;
+* **VL-G*** telemetry gate: every literal emission site obeys the
+  closed metric/log/audit vocabularies the runtime gate enforces;
+* **VL-L*** lock discipline: attributes written under a lock in the
+  serving layer are never touched outside it (``# vaultlint:
+  unlocked-ok(<why>)`` documents deliberate lock-free fast paths).
+
+Run it as ``repro vaultlint`` (or ``make vaultlint``); the shipped
+``vaultlint_baseline.json`` ratchet keeps accepted findings riding
+while new ones fail CI.
+"""
+
+from .engine import LintReport, lint_file, run_vaultlint
+from .findings import (
+    Baseline,
+    Finding,
+    render_json,
+    render_text,
+    sort_findings,
+)
+from .pragmas import PRAGMA_TOKENS, Pragma, scan_pragmas
+from .rules import (
+    DEFAULT_RULEBOOK,
+    HINTS,
+    RULEBOOK_VERSION,
+    RULES,
+    Rulebook,
+)
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_RULEBOOK",
+    "Finding",
+    "HINTS",
+    "LintReport",
+    "PRAGMA_TOKENS",
+    "Pragma",
+    "RULEBOOK_VERSION",
+    "RULES",
+    "Rulebook",
+    "lint_file",
+    "render_json",
+    "render_text",
+    "run_vaultlint",
+    "scan_pragmas",
+    "sort_findings",
+]

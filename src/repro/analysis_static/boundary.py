@@ -1,0 +1,95 @@
+"""Import-boundary pass: untrusted layers cannot name enclave secrets.
+
+The GNNVault deployment splits into a trusted side (``tee/``: the
+enclave, sealing, the one-way channel) and an untrusted side (serving,
+observability, CLI, data). The paper's security argument only holds if
+the untrusted side reaches enclave state exclusively through the
+``SecureInferenceSession`` facade — so this pass walks every import in
+an untrusted layer and flags any that binds an enclave-private name
+(``VL-B001``), plus any attribute access that reaches into a trusted
+object's private internals (``VL-B002``). The facade files are
+allowlisted in the rulebook, each entry with a written justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+from .findings import Finding, make_finding
+from .rules import Rulebook
+
+
+def module_parts_for(relpath: str, package: str) -> Tuple[str, ...]:
+    """Dotted-module parts for a file path relative to the lint root."""
+    parts = relpath.split("/")
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    elif parts[-1].endswith(".py"):
+        parts = parts[:-1] + [parts[-1][:-3]]
+    return (package, *parts)
+
+
+def resolve_import(node: ast.ImportFrom, module_parts: Tuple[str, ...],
+                   ) -> str:
+    """Resolve a (possibly relative) ``from X import Y`` to dotted X."""
+    if node.level == 0:
+        return node.module or ""
+    package = module_parts[:-1]  # the containing package
+    anchor = package[: len(package) - (node.level - 1)]
+    if node.module:
+        return ".".join((*anchor, node.module))
+    return ".".join(anchor)
+
+
+def layer_of(relpath: str) -> str:
+    """The trust-layer key for a file: top dir, or the file itself."""
+    head, _, _ = relpath.partition("/")
+    return head
+
+
+def run_boundary_pass(tree: ast.AST, relpath: str,
+                      rb: Rulebook) -> List[Finding]:
+    if layer_of(relpath) not in rb.untrusted_layers:
+        return []
+    allow = rb.boundary_allowlist.get(relpath)
+    if allow == "*":
+        return []
+    allowed = allow if allow is not None else frozenset()
+
+    module_parts = module_parts_for(relpath, rb.package)
+    findings: List[Finding] = []
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            source = resolve_import(node, module_parts)
+            private = rb.private_names.get(source)
+            if private is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    findings.append(make_finding(
+                        "VL-B001", relpath, node,
+                        f"star-import from enclave-private module "
+                        f"{source!r} inside untrusted layer",
+                    ))
+                elif alias.name in private and alias.name not in allowed:
+                    findings.append(make_finding(
+                        "VL-B001", relpath, node,
+                        f"untrusted layer imports enclave-private "
+                        f"{alias.name!r} from {source!r}",
+                    ))
+        elif isinstance(node, ast.Attribute):
+            if node.attr not in rb.private_attrs:
+                continue
+            base = node.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                continue  # a class's own internals, not a reach-across
+            if node.attr in allowed:
+                continue
+            findings.append(make_finding(
+                "VL-B002", relpath, node,
+                f"untrusted layer reaches into private attribute "
+                f"{node.attr!r} of a trusted object",
+            ))
+    return findings

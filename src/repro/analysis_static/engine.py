@@ -1,0 +1,195 @@
+"""The vaultlint engine: file discovery, pass dispatch, suppression.
+
+``run_vaultlint`` walks a tree of Python files (by default the
+installed ``repro`` package), parses each with :mod:`ast`, runs the
+four passes, applies ``# vaultlint:`` pragma suppressions and the
+ratchet baseline, and returns a :class:`LintReport` with findings in
+deterministic ``(path, line, col, rule)`` order.
+
+``--changed-only`` narrows the file set to ``git diff --name-only HEAD``
+for fast pre-commit runs; when git is unavailable the engine falls back
+to the full tree rather than silently linting nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .boundary import run_boundary_pass
+from .findings import (
+    Baseline,
+    Finding,
+    make_finding,
+    sort_findings,
+    split_baselined,
+)
+from .gate import run_gate_pass
+from .locks import run_lock_pass
+from .pragmas import is_suppressed, scan_pragmas
+from .rules import DEFAULT_RULEBOOK, Rulebook
+from .taint import run_taint_pass
+
+_PASSES = (run_boundary_pass, run_taint_pass, run_gate_pass,
+           run_lock_pass)
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory."""
+    return Path(__file__).resolve().parents[1]
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    files_linted: int = 0
+    #: (path, message) per file that failed to parse — exit code 2.
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        if self.parse_errors:
+            return 2
+        return 1 if self.findings else 0
+
+    @property
+    def all_findings(self) -> List[Finding]:
+        """Findings including baselined ones (for --write-baseline)."""
+        return sort_findings([*self.findings, *self.baselined])
+
+
+def discover_files(root: Path) -> List[Path]:
+    return sorted(
+        p for p in root.rglob("*.py") if "__pycache__" not in p.parts
+    )
+
+
+def changed_files(root: Path) -> Optional[List[Path]]:
+    """Files under ``root`` touched per git; None when git is unusable."""
+    try:
+        out = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=root, capture_output=True, text=True, timeout=30,
+        ).stdout.strip()
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if not top:
+        return None
+    repo = Path(top)
+    changed = set()
+    for line in out.stdout.splitlines():
+        line = line.strip()
+        if line.endswith(".py"):
+            changed.add((repo / line).resolve())
+    return [p for p in discover_files(root) if p.resolve() in changed]
+
+
+def lint_file(path: Path, root: Path,
+              rulebook: Rulebook = DEFAULT_RULEBOOK,
+              ) -> Tuple[List[Finding], Optional[str]]:
+    """Lint one file; returns (findings, parse-error-or-None)."""
+    relpath = path.relative_to(root).as_posix()
+    try:
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+        return [], f"{exc}"
+    pragmas, pragma_errors = scan_pragmas(source)
+    findings: List[Finding] = []
+    for run_pass in _PASSES:
+        for finding in run_pass(tree, relpath, rulebook):
+            if not is_suppressed(pragmas, finding.rule, finding.line):
+                findings.append(finding)
+    for lineno, message in pragma_errors:
+        findings.append(Finding(
+            rule="VL-P001", path=relpath, line=lineno, col=0,
+            message=message,
+        ))
+    return findings, None
+
+
+def run_vaultlint(
+    root: Optional[Union[str, Path]] = None,
+    baseline: Optional[Union[str, Path, Baseline]] = None,
+    changed_only: bool = False,
+    rulebook: Rulebook = DEFAULT_RULEBOOK,
+    files: Optional[Sequence[Union[str, Path]]] = None,
+) -> LintReport:
+    """Run every pass over a tree and return the report.
+
+    ``baseline`` may be a path (missing file = empty baseline) or a
+    loaded :class:`~repro.analysis_static.findings.Baseline`.
+    """
+    root = Path(root) if root is not None else default_root()
+    report = LintReport()
+    if not root.is_dir():
+        report.parse_errors.append(
+            (str(root), f"lint root {root} is not a directory")
+        )
+        return report
+
+    if files is not None:
+        targets = [Path(f) for f in files]
+    elif changed_only:
+        narrowed = changed_files(root)
+        targets = narrowed if narrowed is not None else discover_files(root)
+    else:
+        targets = discover_files(root)
+
+    loaded: Optional[Baseline]
+    if isinstance(baseline, Baseline):
+        loaded = baseline
+    elif baseline is not None and Path(baseline).is_file():
+        try:
+            loaded = Baseline.load(baseline)
+        except (ValueError, KeyError, TypeError) as exc:
+            report.parse_errors.append((str(baseline), str(exc)))
+            return report
+    else:
+        loaded = None
+
+    collected: List[Finding] = []
+    for path in targets:
+        findings, parse_error = lint_file(path, root, rulebook)
+        if parse_error is not None:
+            relpath = path.relative_to(root).as_posix()
+            report.parse_errors.append((relpath, parse_error))
+            continue
+        collected.extend(findings)
+        report.files_linted += 1
+
+    fresh, ridden = split_baselined(sort_findings(collected), loaded)
+    report.findings = fresh
+    report.baselined = ridden
+    return report
+
+
+def lint_and_report(node: ast.AST, relpath: str,
+                    rulebook: Rulebook = DEFAULT_RULEBOOK,
+                    ) -> List[Finding]:
+    """Run all passes over an already-parsed tree (test helper)."""
+    findings: List[Finding] = []
+    for run_pass in _PASSES:
+        findings.extend(run_pass(node, relpath, rulebook))
+    return sort_findings(findings)
+
+
+__all__ = [
+    "LintReport", "changed_files", "default_root", "discover_files",
+    "lint_file", "lint_and_report", "make_finding", "run_vaultlint",
+]

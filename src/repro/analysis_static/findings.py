@@ -1,0 +1,180 @@
+"""Findings, deterministic rendering, and the ratchet baseline.
+
+A finding pins one rule violation to one source location, carries the
+taint path when a dataflow pass produced it, and renders identically
+across runs: the engine sorts by ``(path, line, col, rule)`` and the
+JSON encoder sorts keys, so CI artifact diffs only change when the code
+does.
+
+The **baseline** is the ratchet: a JSON file recording the fingerprints
+of findings that were explicitly accepted (pre-existing debt). Lint runs
+subtract baselined findings and fail only on new ones, so adopting the
+analyzer never requires fixing the world first — but the world cannot
+get worse. Fingerprints hash ``rule|path|message`` (not line numbers),
+so unrelated edits that shift lines do not invalidate the baseline,
+while any change to what leaks does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from .rules import HINTS, RULEBOOK_VERSION, RULES
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule: str
+    path: str  # posix-style, relative to the lint root
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    #: source -> ... -> sink chain for taint findings (may be empty).
+    trace: Tuple[str, ...] = ()
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    @property
+    def fingerprint(self) -> str:
+        digest = hashlib.sha256(
+            f"{self.rule}|{self.path}|{self.message}".encode()
+        )
+        return digest.hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "invariant": RULES.get(self.rule, ""),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint or HINTS.get(self.rule, ""),
+            "trace": list(self.trace),
+            "fingerprint": self.fingerprint,
+        }
+
+    def format_text(self) -> str:
+        lines = [f"{self.path}:{self.line}:{self.col}: {self.rule} "
+                 f"{self.message}"]
+        for hop in self.trace:
+            lines.append(f"    taint: {hop}")
+        hint = self.hint or HINTS.get(self.rule, "")
+        if hint:
+            lines.append(f"    hint: {hint}")
+        return "\n".join(lines)
+
+
+def make_finding(rule: str, path: str, node: Any, message: str,
+                 trace: Sequence[str] = ()) -> Finding:
+    """Build a finding from an AST node (anything with lineno/col)."""
+    return Finding(
+        rule=rule,
+        path=path,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+        trace=tuple(trace),
+    )
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda f: f.sort_key)
+
+
+# ----------------------------------------------------------------------
+# Baseline (the ratchet)
+# ----------------------------------------------------------------------
+
+@dataclass
+class Baseline:
+    """Accepted pre-existing findings, keyed by fingerprint."""
+
+    version: int = RULEBOOK_VERSION
+    entries: Set[Tuple[str, str, str]] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        doc = json.loads(Path(path).read_text())
+        version = int(doc.get("rulebook_version", 0))
+        if version != RULEBOOK_VERSION:
+            raise ValueError(
+                f"baseline {path} was written for rulebook version "
+                f"{version}, analyzer is at {RULEBOOK_VERSION}; "
+                f"regenerate it with --write-baseline"
+            )
+        entries = {
+            (e["rule"], e["path"], e["fingerprint"])
+            for e in doc.get("findings", ())
+        }
+        return cls(version=version, entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(entries={
+            (f.rule, f.path, f.fingerprint) for f in findings
+        })
+
+    def covers(self, finding: Finding) -> bool:
+        key = (finding.rule, finding.path, finding.fingerprint)
+        return key in self.entries
+
+    def to_json(self, findings: Sequence[Finding] = ()) -> str:
+        rows = [
+            {"rule": f.rule, "path": f.path, "fingerprint": f.fingerprint,
+             "message": f.message}
+            for f in sort_findings(findings)
+        ]
+        doc = {"rulebook_version": RULEBOOK_VERSION, "findings": rows}
+        return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def split_baselined(
+    findings: Sequence[Finding], baseline: Optional[Baseline],
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (new, baselined)."""
+    if baseline is None:
+        return list(findings), []
+    fresh = [f for f in findings if not baseline.covers(f)]
+    ridden = [f for f in findings if baseline.covers(f)]
+    return fresh, ridden
+
+
+# ----------------------------------------------------------------------
+# Report rendering
+# ----------------------------------------------------------------------
+
+def render_text(findings: Sequence[Finding], files_linted: int,
+                baselined: int = 0) -> str:
+    parts = [f.format_text() for f in findings]
+    summary = (f"vaultlint: {len(findings)} finding(s) in "
+               f"{files_linted} file(s)")
+    if baselined:
+        summary += f" ({baselined} baselined finding(s) suppressed)"
+    parts.append(summary)
+    return "\n".join(parts) + "\n"
+
+
+def render_json(findings: Sequence[Finding], files_linted: int,
+                baselined: int = 0) -> str:
+    summary: Dict[str, int] = {}
+    for f in findings:
+        summary[f.rule] = summary.get(f.rule, 0) + 1
+    doc = {
+        "tool": "vaultlint",
+        "rulebook_version": RULEBOOK_VERSION,
+        "files_linted": files_linted,
+        "baselined_count": baselined,
+        "findings": [f.to_dict() for f in findings],
+        "summary": summary,
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,192 @@
+"""Telemetry-gate schema pass: emission sites checked at lint time.
+
+The runtime :class:`~repro.obs.redaction.EnclaveTelemetryGate` and the
+structured-log validator reject bad names the first time a call
+executes — but a call site on a cold path (an error branch, a rare
+recovery hop) can ship broken and only explode in production. This pass
+re-runs the same closed-vocabulary checks over every *literal* emission
+site in the tree:
+
+* ``enclave_``-prefixed metric names must end in an aggregate suffix
+  and avoid the forbidden per-entity words (``VL-G001``);
+* metric label kwargs must come from ``GATE_LABEL_KEYS`` (``VL-G002``)
+  with enum-word literal values (``VL-G003``);
+* ``.emit(event, ...)`` calls must name a ``LOG_SCHEMA`` event
+  (``VL-G004``) and pass only its closed field set (``VL-G005``);
+* ``.audit(kind, ...)`` / ``.audit.append(kind, ...)`` kinds must come
+  from the closed audit vocabularies (``VL-G006``).
+
+Dynamic names (variables, f-strings) are left to the runtime gate —
+the pass checks what can be proven from literals, which in this tree is
+every production emission site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from ..obs.vocabulary import forbidden_words_in
+from .findings import Finding, make_finding
+from .rules import Rulebook
+
+#: emission methods whose first argument is a metric name.
+_METRIC_METHODS = frozenset({
+    "inc", "observe_seconds", "observe_bytes", "gauge_max",
+    "counter", "gauge", "histogram",
+})
+
+#: of those, the ones that accept label kwargs.
+_LABELLED_METHODS = frozenset({"inc", "counter"})
+
+
+def _literal_str(node: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _receiver_name(func: ast.Attribute) -> str:
+    base = func.value
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return ""
+
+
+def run_gate_pass(tree: ast.AST, relpath: str,
+                  rb: Rulebook) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr in _METRIC_METHODS:
+            findings.extend(_check_metric(node, func, relpath, rb))
+        elif func.attr == "emit":
+            findings.extend(_check_emit(node, func, relpath, rb))
+        elif func.attr == "audit":
+            findings.extend(_check_audit_call(node, relpath, rb))
+        elif func.attr == "append":
+            findings.extend(_check_audit_append(node, func, relpath, rb))
+    return findings
+
+
+def _check_metric(node: ast.Call, func: ast.Attribute, relpath: str,
+                  rb: Rulebook) -> List[Finding]:
+    name = _literal_str(node.args[0] if node.args else None)
+    if name is None or not name.startswith(rb.enclave_metric_prefix):
+        return []
+    findings: List[Finding] = []
+    bad_words = forbidden_words_in(name)
+    if bad_words:
+        findings.append(make_finding(
+            "VL-G001", relpath, node,
+            f"enclave metric {name!r} names private data "
+            f"({bad_words[0]!r})",
+        ))
+    if not name.endswith(rb.metric_suffixes):
+        findings.append(make_finding(
+            "VL-G001", relpath, node,
+            f"enclave metric {name!r} is not an aggregate (must end "
+            f"with one of {rb.metric_suffixes})",
+        ))
+    for kw in node.keywords:
+        if kw.arg is None or kw.arg in rb.metric_non_label_kwargs:
+            continue
+        if func.attr not in _LABELLED_METHODS:
+            findings.append(make_finding(
+                "VL-G002", relpath, node,
+                f"{func.attr}() takes no label kwargs, got {kw.arg!r} "
+                f"on {name!r}",
+            ))
+            continue
+        if kw.arg not in rb.gate_label_keys:
+            findings.append(make_finding(
+                "VL-G002", relpath, node,
+                f"enclave metric label key {kw.arg!r} on {name!r} is "
+                f"not in the closed set {sorted(rb.gate_label_keys)}",
+            ))
+        value = _literal_str(kw.value)
+        if value is not None and not rb.label_value_re.match(value):
+            findings.append(make_finding(
+                "VL-G003", relpath, node,
+                f"enclave metric label {kw.arg}={value!r} on {name!r} "
+                f"is not an enum-like word",
+            ))
+    return findings
+
+
+def _check_emit(node: ast.Call, func: ast.Attribute, relpath: str,
+                rb: Rulebook) -> List[Finding]:
+    event = _literal_str(node.args[0] if node.args else None)
+    if event is None:
+        return []
+    spec = rb.log_schema.get(event)
+    if spec is None:
+        # Only flag receivers that are plausibly the structured logger;
+        # other objects may define unrelated emit() methods.
+        if "log" in _receiver_name(func).lower():
+            return [make_finding(
+                "VL-G004", relpath, node,
+                f"unknown structured-log event {event!r}; LOG_SCHEMA "
+                f"defines {sorted(rb.log_schema)}",
+            )]
+        return []
+    findings: List[Finding] = []
+    allowed = set(spec["required"]) | set(spec["optional"]) | {"time"}
+    has_star_kwargs = any(kw.arg is None for kw in node.keywords)
+    literal_fields = {kw.arg for kw in node.keywords if kw.arg}
+    for name in sorted(literal_fields - allowed):
+        findings.append(make_finding(
+            "VL-G005", relpath, node,
+            f"log event {event!r} does not admit field {name!r}",
+        ))
+    if not has_star_kwargs:
+        for name in spec["required"]:
+            if name not in literal_fields:
+                findings.append(make_finding(
+                    "VL-G005", relpath, node,
+                    f"log event {event!r} is missing required field "
+                    f"{name!r}",
+                ))
+    return findings
+
+
+def _check_audit_call(node: ast.Call, relpath: str,
+                      rb: Rulebook) -> List[Finding]:
+    kind = _literal_str(node.args[0] if node.args else None)
+    if kind is None:
+        kw = next((k for k in node.keywords if k.arg == "kind"), None)
+        kind = _literal_str(kw.value) if kw else None
+    if kind is None:
+        return []
+    # Direct .audit(kind, ...) calls go through the enclave gate.
+    if kind not in rb.enclave_audit_kinds:
+        return [make_finding(
+            "VL-G006", relpath, node,
+            f"audit kind {kind!r} may not originate inside the "
+            f"enclave; allowed: {sorted(rb.enclave_audit_kinds)}",
+        )]
+    return []
+
+
+def _check_audit_append(node: ast.Call, func: ast.Attribute,
+                        relpath: str, rb: Rulebook) -> List[Finding]:
+    # Only .audit.append(kind, ...) — the untrusted-side audit door.
+    base = func.value
+    if not (isinstance(base, ast.Attribute) and base.attr == "audit"):
+        return []
+    kind = _literal_str(node.args[0] if node.args else None)
+    if kind is None:
+        return []
+    if kind not in rb.untrusted_audit_kinds:
+        return [make_finding(
+            "VL-G006", relpath, node,
+            f"untrusted audit kind {kind!r} is not in the closed "
+            f"vocabulary; allowed: {sorted(rb.untrusted_audit_kinds)}",
+        )]
+    return []

@@ -1,0 +1,116 @@
+"""The ``# vaultlint:`` pragma parser, shared by every pass.
+
+Grammar (one pragma per comment)::
+
+    # vaultlint: <token>(<justification>)
+
+where ``<token>`` names the rule family being suppressed and the
+justification is a mandatory free-text string — an empty or missing
+justification is itself a finding (``VL-P001``), so a suppression can
+never be silent. A pragma suppresses matching findings on its own line
+and, when it stands alone on a comment line, on the line directly below
+(the statement it annotates).
+
+Tokens map to rule-id prefixes, so one token covers a family::
+
+    unlocked-ok  -> VL-L*   egress-ok -> VL-T*
+    boundary-ok  -> VL-B*   gate-ok   -> VL-G*
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+#: token -> rule-id prefixes it suppresses.
+PRAGMA_TOKENS: Dict[str, Tuple[str, ...]] = {
+    "unlocked-ok": ("VL-L",),
+    "egress-ok": ("VL-T",),
+    "boundary-ok": ("VL-B",),
+    "gate-ok": ("VL-G",),
+}
+
+_PRAGMA_RE = re.compile(r"#\s*vaultlint:\s*(?P<body>.*)$")
+_TOKEN_RE = re.compile(
+    r"^(?P<token>[a-z][a-z-]*)\s*\(\s*(?P<why>[^()]*?)\s*\)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression: where it sits and what it covers."""
+
+    line: int
+    token: str
+    justification: str
+    rule_prefixes: Tuple[str, ...]
+    #: True when the comment stands alone (annotates the next line).
+    own_line: bool
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        covered = (self.line,) if not self.own_line else (self.line,
+                                                          self.line + 1)
+        return line in covered and rule.startswith(self.rule_prefixes)
+
+
+def scan_pragmas(
+    source: str,
+) -> Tuple[List[Pragma], List[Tuple[int, str]]]:
+    """Parse every ``# vaultlint:`` comment in a source file.
+
+    Returns ``(pragmas, errors)`` where each error is ``(line,
+    message)`` — malformed pragmas become ``VL-P001`` findings and do
+    not suppress anything.
+    """
+    pragmas: List[Pragma] = []
+    errors: List[Tuple[int, str]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline
+        ))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return pragmas, errors  # the engine reports the parse failure
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        lineno, col = token.start
+        match = _PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        body = match.group("body").strip()
+        parsed = _TOKEN_RE.match(body)
+        if parsed is None:
+            errors.append((
+                lineno,
+                f"malformed pragma {body!r}: expected "
+                f"'# vaultlint: <token>(<justification>)'",
+            ))
+            continue
+        name = parsed.group("token")
+        why = parsed.group("why").strip()
+        prefixes = PRAGMA_TOKENS.get(name)
+        if prefixes is None:
+            errors.append((
+                lineno,
+                f"unknown pragma token {name!r}; known: "
+                f"{sorted(PRAGMA_TOKENS)}",
+            ))
+            continue
+        if not why:
+            errors.append((
+                lineno,
+                f"pragma {name!r} is missing its justification string",
+            ))
+            continue
+        own_line = token.line[:col].strip() == ""
+        pragmas.append(Pragma(line=lineno, token=name, justification=why,
+                              rule_prefixes=prefixes, own_line=own_line))
+    return pragmas, errors
+
+
+def is_suppressed(pragmas: Sequence[Pragma], rule: str, line: int) -> bool:
+    """Whether any pragma in the file covers (rule, line)."""
+    return any(p.suppresses(rule, line) for p in pragmas)

@@ -1,0 +1,227 @@
+"""The versioned vaultlint rulebook: what the trust boundary permits.
+
+Everything the analyzer enforces is declared here as data — which layers
+are untrusted, which names are enclave-private, which files form the
+allowlisted facade, where taint starts and where it must not arrive,
+which files carry lock discipline — so reviewing a boundary change means
+reviewing a table diff, not reading visitor code. The closed telemetry
+vocabularies themselves (forbidden words, ``GATE_LABEL_KEYS``,
+``LOG_SCHEMA``, audit kinds) are *imported* from
+:mod:`repro.obs.vocabulary`, the same module the runtime gate enforces
+at emit time: the lint pass and the gate cannot drift apart because they
+read one table.
+
+``RULEBOOK_VERSION`` is bumped whenever a rule id changes meaning or a
+table widens; baselines record the version they were written against so
+a stale baseline is detected rather than silently misapplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+from ..obs.vocabulary import (
+    AUDIT_ENUM_KEYS,
+    ENCLAVE_AUDIT_KINDS,
+    ENCLAVE_METRIC_PREFIX,
+    FORBIDDEN_WORDS,
+    GATE_LABEL_KEYS,
+    LABEL_VALUE_RE,
+    LOG_SCHEMA,
+    METRIC_SUFFIXES,
+    UNTRUSTED_AUDIT_KINDS,
+)
+
+__all__ = [
+    "RULEBOOK_VERSION", "RULES", "HINTS", "Rulebook", "DEFAULT_RULEBOOK",
+    "AUDIT_ENUM_KEYS", "ENCLAVE_AUDIT_KINDS", "ENCLAVE_METRIC_PREFIX",
+    "FORBIDDEN_WORDS", "GATE_LABEL_KEYS", "LABEL_VALUE_RE", "LOG_SCHEMA",
+    "METRIC_SUFFIXES", "UNTRUSTED_AUDIT_KINDS",
+]
+
+RULEBOOK_VERSION = 1
+
+#: rule id -> one-line statement of the invariant it enforces.
+RULES: Dict[str, str] = {
+    "VL-B001": "untrusted layer imports an enclave-private name",
+    "VL-B002": "untrusted layer reaches into a private attribute of a "
+               "trusted object",
+    "VL-T001": "exception message interpolates enclave-private data",
+    "VL-T002": "enclave-private data flows into a telemetry, log, or "
+               "audit sink",
+    "VL-T003": "enclave-private data crosses the one-way channel "
+               "without laundering",
+    "VL-G001": "enclave metric name violates the closed aggregate "
+               "vocabulary",
+    "VL-G002": "enclave metric label key outside GATE_LABEL_KEYS",
+    "VL-G003": "enclave metric label value is not an enum-like word",
+    "VL-G004": "unknown structured-log event",
+    "VL-G005": "structured-log field outside the event's closed schema",
+    "VL-G006": "audit kind outside the closed vocabulary",
+    "VL-L001": "write to a lock-guarded attribute outside the lock",
+    "VL-L002": "read of a lock-guarded attribute outside the lock",
+    "VL-P001": "malformed vaultlint pragma",
+}
+
+#: rule id -> how to fix it (rendered with every finding).
+HINTS: Dict[str, str] = {
+    "VL-B001": "route the access through the SecureInferenceSession "
+               "facade (deploy/inference.py) or add a justified "
+               "allowlist entry to the rulebook",
+    "VL-B002": "use the public API of the trusted object; private "
+               "attributes are enclave implementation details",
+    "VL-T001": "redact the message to payload-derived counts, shapes, "
+               "or dtypes (len(x), x.shape, x.dtype); never echo "
+               "private graph or key state",
+    "VL-T002": "launder through hash_tenant/RedactedSpan/aggregates "
+               "(len, .nbytes) before the value reaches telemetry",
+    "VL-T003": "only integer label arrays may cross; declassify via "
+               "argmax/_rectify_targets and LabelOnlyResult",
+    "VL-G001": "enclave_ metric names must end in an aggregate suffix "
+               "and avoid per-entity words (see obs/vocabulary.py)",
+    "VL-G002": "only the closed GATE_LABEL_KEYS set may label enclave "
+               "metrics",
+    "VL-G003": "label values must match ^[a-z][a-z_]*$ (enum words, "
+               "never ids or numbers)",
+    "VL-G004": "add the event to LOG_SCHEMA (a threat-model decision) "
+               "or use an existing event",
+    "VL-G005": "only the event's required/optional fields may appear; "
+               "extend LOG_SCHEMA deliberately if a new field is needed",
+    "VL-G006": "audit kinds are closed vocabularies "
+               "(ENCLAVE_AUDIT_KINDS / UNTRUSTED_AUDIT_KINDS)",
+    "VL-L001": "wrap the write in `with <lock>:`, or annotate "
+               "`# vaultlint: unlocked-ok(<why it is safe>)`",
+    "VL-L002": "wrap the read in `with <lock>:`, or annotate "
+               "`# vaultlint: unlocked-ok(<why it is safe>)`",
+    "VL-P001": "pragmas are `# vaultlint: <token>(<justification>)`; "
+               "the justification string is mandatory",
+}
+
+
+@dataclass(frozen=True)
+class Rulebook:
+    """One immutable set of boundary tables; tests may build variants."""
+
+    version: int = RULEBOOK_VERSION
+
+    #: the root package name files resolve under (``repro/x/y.py`` ->
+    #: module ``repro.x.y``).
+    package: str = "repro"
+
+    # -- boundary pass -------------------------------------------------
+    #: top-level path components (or top-level file names) that sit on
+    #: the untrusted side of the GNNVault boundary.
+    untrusted_layers: Tuple[str, ...] = (
+        "deploy", "obs", "cli.py", "datasets", "experiments", "training",
+        "attacks", "analysis", "substitute", "defense", "io",
+    )
+    #: module -> names that may not be imported from untrusted layers.
+    private_names: Mapping[str, FrozenSet[str]] = field(
+        default_factory=lambda: {
+            "repro.tee.sealed": frozenset({
+                "seal", "unseal", "derive_seal_key", "_keystream",
+            }),
+            "repro.tee.enclave": frozenset({
+                "RectifierEnclave", "seal_rectifier_weights",
+                "seal_private_graph",
+            }),
+        }
+    )
+    #: relpath -> allowed private names, or "*" for the full facade.
+    #: Each entry is a deliberate boundary decision; see
+    #: docs/threat_model.md ("Static boundary enforcement").
+    boundary_allowlist: Mapping[str, object] = field(
+        default_factory=lambda: {
+            # The one sanctioned door: SecureInferenceSession owns the
+            # enclave lifecycle (provisioning, attestation, recovery).
+            "deploy/inference.py": "*",
+            # Vendor-side update packaging seals new weights/graphs for
+            # shipment; it never unseals or touches a live enclave.
+            "deploy/updates.py": frozenset({
+                "seal", "seal_rectifier_weights", "seal_private_graph",
+            }),
+        }
+    )
+    #: attribute names that are enclave implementation details; loading
+    #: them on a non-``self`` object from an untrusted layer is VL-B002.
+    private_attrs: FrozenSet[str] = frozenset({
+        "_adjacency", "_adj_norm", "_rectifier", "_plan_cache",
+        "_seal_key", "_keystream", "_inbox", "_outbox", "_tcs",
+    })
+
+    # -- taint pass ----------------------------------------------------
+    #: relpath prefixes the egress taint pass runs on (the trusted side,
+    #: where private state lives and every egress must be laundered).
+    taint_scope: Tuple[str, ...] = ("tee/",)
+    #: parameter names that carry payload-derived data in tee scope.
+    taint_params: FrozenSet[str] = frozenset({
+        "payload", "payloads", "blocks", "labels", "logits", "embeddings",
+    })
+    #: ``self.<attr>`` reads that seed taint (enclave-private state).
+    taint_self_attrs: FrozenSet[str] = frozenset({
+        "_adjacency", "_adj_norm", "_rectifier", "_plan_cache",
+        "_seal_key",
+    })
+    #: calls whose result is tainted regardless of arguments.
+    taint_source_calls: FrozenSet[str] = frozenset({
+        "unseal", "derive_seal_key", "_keystream",
+    })
+    #: calls that launder taint (aggregate / identity projections).
+    sanitizer_calls: FrozenSet[str] = frozenset({
+        "len", "type", "bool", "hash_tenant", "RedactedSpan",
+        "LabelOnlyResult", "seal", "measure_code",
+    })
+    #: method names that launder taint. ``argmax`` and
+    #: ``_rectify_targets`` are the logits->integer-label
+    #: declassification point — the paper's one permitted egress.
+    sanitizer_methods: FrozenSet[str] = frozenset({
+        "argmax", "_rectify_targets", "num_bytes", "memory_bytes",
+        "hexdigest",
+    })
+    #: attribute projections that carry no payload (counts/identity).
+    declassifying_attrs: FrozenSet[str] = frozenset({
+        "shape", "dtype", "nbytes", "ndim", "itemsize", "size",
+        "measurement",
+    })
+    #: method names that are one-way-channel egress sinks.
+    sink_push_methods: FrozenSet[str] = frozenset({
+        "push", "push_coalesced",
+    })
+    #: method names that are telemetry/log/audit sinks.
+    sink_telemetry_methods: FrozenSet[str] = frozenset({
+        "inc", "observe_seconds", "observe_bytes", "gauge_max",
+        "record_ecall", "set_attribute", "emit", "audit", "append_event",
+    })
+
+    # -- gate pass -----------------------------------------------------
+    #: kwargs of metric emission calls that are not labels.
+    metric_non_label_kwargs: FrozenSet[str] = frozenset({
+        "amount", "help", "buckets",
+    })
+    #: the closed telemetry vocabularies, defaulted from
+    #: repro.obs.vocabulary (the same tables the runtime gate enforces);
+    #: fixture rulebooks may override them.
+    enclave_metric_prefix: str = ENCLAVE_METRIC_PREFIX
+    metric_suffixes: Tuple[str, ...] = METRIC_SUFFIXES
+    gate_label_keys: FrozenSet[str] = GATE_LABEL_KEYS
+    label_value_re: object = LABEL_VALUE_RE
+    log_schema: Mapping[str, Dict[str, tuple]] = field(
+        default_factory=lambda: dict(LOG_SCHEMA)
+    )
+    enclave_audit_kinds: FrozenSet[str] = ENCLAVE_AUDIT_KINDS
+    untrusted_audit_kinds: FrozenSet[str] = UNTRUSTED_AUDIT_KINDS
+
+    # -- lock pass -----------------------------------------------------
+    #: relpaths the lock-discipline pass runs on.
+    lock_scope: Tuple[str, ...] = (
+        "deploy/scheduler.py", "deploy/server.py",
+    )
+    #: constructor names that create a lock object.
+    lock_factories: FrozenSet[str] = frozenset({
+        "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+        "StripedLocks",
+    })
+
+
+DEFAULT_RULEBOOK = Rulebook()

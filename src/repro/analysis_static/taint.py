@@ -1,0 +1,282 @@
+"""Egress taint pass: private data cannot reach an egress sink raw.
+
+Intraprocedural taint tracking over the trusted (``tee/``) files. Taint
+starts at enclave-private state — ``self._adjacency`` / ``_rectifier``
+/ ``_plan_cache`` / seal keys, the results of ``unseal()`` and
+``derive_seal_key()``, and payload-carrying parameters (embeddings,
+logits, labels, blocks) — and propagates through assignments,
+arithmetic, subscripts, f-strings, and method calls.
+
+Sinks are the places data leaves the enclave: exception messages
+(``VL-T001`` — an exception raised inside an ECALL surfaces its text to
+the untrusted caller), telemetry/log/audit emission calls (``VL-T002``),
+and the one-way channel's ``push*`` methods (``VL-T003``).
+
+Laundering kills taint: aggregate projections (``len``, ``.shape``,
+``.dtype``, ``.nbytes``), identity projections (``type(x).__name__``,
+``.measurement``), sealing (``seal``), tenant hashing, and — the
+paper's single sanctioned egress — the logits→integer-label
+declassification (``.argmax`` / ``_rectify_targets``) optionally
+wrapped in ``LabelOnlyResult``. A flow that reaches a sink without
+passing one of these is a finding, with the source→sink chain attached.
+
+The analysis is a two-iteration forward pass per function (enough for
+the loop-carried assignments this tree contains) and deliberately has
+no inter-procedural step: helpers that return private data are named in
+the rulebook's source table instead, which keeps the pass fast,
+predictable, and free of fixpoint surprises.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from .findings import Finding, make_finding
+from .rules import Rulebook
+
+
+class _FunctionTaint:
+    """Taint state and sink checks for one function body."""
+
+    def __init__(self, relpath: str, rb: Rulebook,
+                 findings: List[Finding]) -> None:
+        self._relpath = relpath
+        self._rb = rb
+        self._findings = findings
+        #: local name -> human-readable source description.
+        self._tainted: Dict[str, str] = {}
+        #: dedupe key set: (rule, lineno) already reported.
+        self._reported: set = set()
+
+    # ------------------------------------------------------------------
+    # Expression taint
+    # ------------------------------------------------------------------
+    def taint_of(self, node: Optional[ast.expr]) -> Optional[str]:
+        """The source description if the expression is tainted."""
+        if node is None or isinstance(node, ast.Constant):
+            return None
+        rb = self._rb
+        if isinstance(node, ast.Name):
+            return self._tainted.get(node.id)
+        if isinstance(node, ast.Attribute):
+            if node.attr in rb.declassifying_attrs:
+                return None  # counts/identity projections carry no payload
+            if (isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and node.attr in rb.taint_self_attrs):
+                return f"self.{node.attr} (enclave-private state)"
+            return self.taint_of(node.value)
+        if isinstance(node, ast.Call):
+            return self._taint_of_call(node)
+        if isinstance(node, ast.Subscript):
+            return self.taint_of(node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            for gen in node.generators:
+                reason = self.taint_of(gen.iter)
+                if reason:
+                    return reason
+            return None
+        # Generic propagation: any tainted sub-expression taints the whole.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                reason = self.taint_of(child)
+                if reason:
+                    return reason
+        return None
+
+    def _taint_of_call(self, node: ast.Call) -> Optional[str]:
+        rb = self._rb
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in rb.sanitizer_calls:
+                return None
+            if func.id in rb.taint_source_calls:
+                return f"{func.id}() (unsealed/derived secret)"
+        elif isinstance(func, ast.Attribute):
+            if func.attr in rb.sanitizer_methods:
+                return None
+            if func.attr in rb.taint_source_calls:
+                return f"{func.attr}() (unsealed/derived secret)"
+            base = self.taint_of(func.value)
+            if base:
+                return base
+        for arg in node.args:
+            reason = self.taint_of(arg)
+            if reason:
+                return reason
+        for kw in node.keywords:
+            reason = self.taint_of(kw.value)
+            if reason:
+                return reason
+        return None
+
+    # ------------------------------------------------------------------
+    # Statement walk
+    # ------------------------------------------------------------------
+    def seed_params(self, fn: ast.FunctionDef) -> None:
+        args = fn.args
+        every = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if args.vararg:
+            every.append(args.vararg)
+        if args.kwarg:
+            every.append(args.kwarg)
+        for arg in every:
+            if arg.arg in self._rb.taint_params:
+                self._tainted[arg.arg] = (
+                    f"parameter {arg.arg!r} (payload-derived)"
+                )
+
+    def run(self, fn: ast.FunctionDef) -> None:
+        self.seed_params(fn)
+        # Two forward iterations approximate loop-carried taint.
+        for _ in range(2):
+            for stmt in fn.body:
+                self._visit_stmt(stmt)
+
+    def _bind(self, target: ast.expr, reason: Optional[str]) -> None:
+        if isinstance(target, ast.Name):
+            if reason:
+                self._tainted[target.id] = reason
+            else:
+                self._tainted.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, reason)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, reason)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            reason = self.taint_of(stmt.value)
+            self._check_expr_sinks(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, reason)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._check_expr_sinks(stmt.value)
+                self._bind(stmt.target, self.taint_of(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            self._check_expr_sinks(stmt.value)
+            reason = self.taint_of(stmt.value)
+            if reason:
+                self._bind(stmt.target, reason)
+        elif isinstance(stmt, ast.Raise):
+            self._check_raise(stmt)
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            if stmt.value is not None:
+                self._check_expr_sinks(stmt.value)
+        elif isinstance(stmt, ast.For):
+            self._check_expr_sinks(stmt.iter)
+            self._bind(stmt.target, self.taint_of(stmt.iter))
+            for sub in (*stmt.body, *stmt.orelse):
+                self._visit_stmt(sub)
+        elif isinstance(stmt, ast.While):
+            self._check_expr_sinks(stmt.test)
+            for sub in (*stmt.body, *stmt.orelse):
+                self._visit_stmt(sub)
+        elif isinstance(stmt, ast.If):
+            self._check_expr_sinks(stmt.test)
+            for sub in (*stmt.body, *stmt.orelse):
+                self._visit_stmt(sub)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._check_expr_sinks(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars,
+                               self.taint_of(item.context_expr))
+            for sub in stmt.body:
+                self._visit_stmt(sub)
+        elif isinstance(stmt, ast.Try):
+            handlers = []
+            for handler in stmt.handlers:
+                handlers.extend(handler.body)
+            for sub in (*stmt.body, *handlers, *stmt.orelse,
+                        *stmt.finalbody):
+                self._visit_stmt(sub)
+        # Nested function/class defs: separate scope, analysed on their own.
+
+    # ------------------------------------------------------------------
+    # Sinks
+    # ------------------------------------------------------------------
+    def _report(self, rule: str, node: ast.AST, message: str,
+                trace: List[str]) -> None:
+        key = (rule, getattr(node, "lineno", 0),
+               getattr(node, "col_offset", 0))
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self._findings.append(make_finding(
+            rule, self._relpath, node, message, trace,
+        ))
+
+    def _check_raise(self, stmt: ast.Raise) -> None:
+        exc = stmt.exc
+        if not isinstance(exc, ast.Call):
+            return
+        for arg in (*exc.args, *[kw.value for kw in exc.keywords]):
+            reason = self.taint_of(arg)
+            if reason:
+                exc_name = ""
+                if isinstance(exc.func, ast.Name):
+                    exc_name = exc.func.id
+                elif isinstance(exc.func, ast.Attribute):
+                    exc_name = exc.func.attr
+                self._report(
+                    "VL-T001", stmt,
+                    f"exception message interpolates enclave-private "
+                    f"data ({reason})",
+                    [reason, f"-> {exc_name or 'exception'}(...) message "
+                             f"visible to the untrusted caller"],
+                )
+                return
+
+    def _check_expr_sinks(self, expr: ast.expr) -> None:
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            rb = self._rb
+            if func.attr in rb.sink_push_methods:
+                for arg in (*node.args,
+                            *[kw.value for kw in node.keywords]):
+                    reason = self.taint_of(arg)
+                    if reason:
+                        self._report(
+                            "VL-T003", node,
+                            f"enclave-private data crosses the one-way "
+                            f"channel unlaundered ({reason})",
+                            [reason,
+                             f"-> .{func.attr}() on the one-way channel "
+                             f"without argmax/LabelOnlyResult "
+                             f"declassification"],
+                        )
+                        break
+            elif func.attr in rb.sink_telemetry_methods:
+                for arg in (*node.args,
+                            *[kw.value for kw in node.keywords]):
+                    reason = self.taint_of(arg)
+                    if reason:
+                        self._report(
+                            "VL-T002", node,
+                            f"enclave-private data flows into telemetry "
+                            f"sink .{func.attr}() ({reason})",
+                            [reason,
+                             f"-> .{func.attr}() emission crosses the "
+                             f"boundary unredacted"],
+                        )
+                        break
+
+
+def run_taint_pass(tree: ast.AST, relpath: str,
+                   rb: Rulebook) -> List[Finding]:
+    if not relpath.startswith(rb.taint_scope):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _FunctionTaint(relpath, rb, findings).run(node)
+    return findings

@@ -618,6 +618,52 @@ def _cmd_logcheck(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_vaultlint(args: argparse.Namespace) -> int:
+    """Statically prove the trust-boundary invariants over src/repro.
+
+    Exit 0 when the tree is clean (modulo the ratchet baseline), 1 on
+    new findings, 2 on usage or parse errors.
+    """
+    from pathlib import Path
+
+    from .analysis_static import (
+        Baseline,
+        render_json,
+        render_text,
+        run_vaultlint,
+    )
+
+    root = Path(args.root) if args.root else None
+    baseline_path = Path(args.baseline)
+    report = run_vaultlint(
+        root=root,
+        baseline=baseline_path if baseline_path.is_file() else None,
+        changed_only=args.changed_only,
+    )
+    if report.parse_errors:
+        for where, message in report.parse_errors:
+            print(f"vaultlint: error in {where}: {message}",
+                  file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        findings = report.all_findings
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(Baseline().to_json(findings))
+        print(f"baseline with {len(findings)} finding(s) written to "
+              f"{baseline_path}")
+        return 0
+
+    if args.format == "json":
+        text = render_json(report.findings, report.files_linted,
+                           len(report.baselined))
+    else:
+        text = render_text(report.findings, report.files_linted,
+                           len(report.baselined))
+    _emit(text, args.output, "vaultlint report")
+    return report.exit_code
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from . import experiments as exp
 
@@ -877,6 +923,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     logcheck.add_argument("path", help="JSONL file to validate")
     logcheck.set_defaults(func=_cmd_logcheck)
+
+    vaultlint = sub.add_parser(
+        "vaultlint",
+        help="statically prove the enclave trust-boundary invariants",
+        description="AST-level analyzer enforcing the import-boundary, "
+                    "egress-taint, telemetry-gate, and lock-discipline "
+                    "invariants over src/repro; exit 0 clean / 1 "
+                    "findings / 2 errors",
+    )
+    vaultlint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    vaultlint.add_argument(
+        "--output", default=None,
+        help="write the report to this file instead of stdout",
+    )
+    vaultlint.add_argument(
+        "--root", default=None,
+        help="tree to lint (default: the installed repro package)",
+    )
+    vaultlint.add_argument(
+        "--baseline", default="vaultlint_baseline.json",
+        help="ratchet baseline path; missing file means empty baseline",
+    )
+    vaultlint.add_argument(
+        "--changed-only", action="store_true",
+        help="lint only files in `git diff --name-only` (pre-commit)",
+    )
+    vaultlint.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    vaultlint.set_defaults(func=_cmd_vaultlint)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"

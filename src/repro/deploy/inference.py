@@ -41,14 +41,32 @@ class SecureInferenceSession:
         backbone,
         rectifier: Rectifier,
         substitute_adjacency: CooAdjacency,
-        private_adjacency: CooAdjacency,
+        private_adjacency: Optional[CooAdjacency] = None,
         enclave_config: Optional[EnclaveConfig] = None,
         telemetry: Optional[Telemetry] = None,
+        sealed_weights: Optional[SealedBlob] = None,
+        sealed_graph: Optional[SealedBlob] = None,
     ) -> None:
-        if substitute_adjacency.num_nodes != private_adjacency.num_nodes:
+        # Two provisioning stories: the vendor side holds the plaintext
+        # private graph and seals it here; the device side (bundle
+        # import) only ever holds sealed blobs, which the enclave
+        # unseals internally — plaintext never touches this layer.
+        if private_adjacency is not None:
+            if sealed_weights is not None or sealed_graph is not None:
+                raise ValueError(
+                    "pass either private_adjacency (vendor-side) or the "
+                    "sealed blobs (device-side), not both"
+                )
+            if substitute_adjacency.num_nodes != private_adjacency.num_nodes:
+                raise ValueError(
+                    f"substitute graph covers "
+                    f"{substitute_adjacency.num_nodes} nodes but the "
+                    f"private graph has {private_adjacency.num_nodes}"
+                )
+        elif sealed_weights is None or sealed_graph is None:
             raise ValueError(
-                f"substitute graph covers {substitute_adjacency.num_nodes} "
-                f"nodes but the private graph has {private_adjacency.num_nodes}"
+                "provisioning needs private_adjacency (vendor-side) or "
+                "both sealed_weights and sealed_graph (device-side)"
             )
         self.backbone = backbone
         self.backbone.eval()
@@ -74,8 +92,17 @@ class SecureInferenceSession:
             quote, self.enclave.measurement, "gnnvault-provision",
             audit=telemetry.audit if telemetry is not None else None,
         )
-        self.enclave.provision_weights(seal_rectifier_weights(rectifier))
-        self.enclave.provision_graph(seal_private_graph(private_adjacency, rectifier))
+        if private_adjacency is not None:
+            sealed_weights = seal_rectifier_weights(rectifier)
+            sealed_graph = seal_private_graph(private_adjacency, rectifier)
+        self.enclave.provision_weights(sealed_weights)
+        self.enclave.provision_graph(sealed_graph)
+        if self.enclave.num_nodes != substitute_adjacency.num_nodes:
+            raise ValueError(
+                f"substitute graph covers {substitute_adjacency.num_nodes} "
+                f"nodes but the sealed private graph covers a different "
+                f"node set"
+            )
 
         self._rectifier_consumed = rectifier.consumed_layers()
         self._cost = self.enclave.config.cost_model

@@ -223,8 +223,11 @@ class _PendingQuery:
 
     def result(self, timeout: Optional[float] = None) -> np.ndarray:
         if not self._done.wait(timeout):
+            # Exception text travels beyond the issuing client (operator
+            # logs, alert payloads), so echo the query size, not the ids.
             raise TimeoutError(
-                f"query for nodes {self.node_ids} not answered in {timeout}s"
+                f"query for {len(self.node_ids)} nodes not answered "
+                f"in {timeout}s"
             )
         if self.error is not None:
             raise self.error
@@ -261,7 +264,9 @@ class PipelineStats:
     """Thread-safe aggregate view of the pipeline's behaviour."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        # Reentrant so the derived properties can acquire it themselves
+        # and still be read from snapshot(), which already holds it.
+        self._lock = threading.RLock()
         self.batches = 0
         self.queries = 0
         self.targets_requested = 0
@@ -294,19 +299,22 @@ class PipelineStats:
     # -- derived ---------------------------------------------------------
     @property
     def mean_batch_size(self) -> float:
-        return self.queries / self.batches if self.batches else 0.0
+        with self._lock:
+            return self.queries / self.batches if self.batches else 0.0
 
     @property
     def ecalls_per_query(self) -> float:
         """One ECALL per micro-batch, so this is batches / queries."""
-        return self.batches / self.queries if self.queries else 0.0
+        with self._lock:
+            return self.batches / self.queries if self.queries else 0.0
 
     @property
     def dedup_fraction(self) -> float:
         """Fraction of requested targets answered from a batch-mate's plan."""
-        if self.targets_requested == 0:
-            return 0.0
-        return 1.0 - self.targets_unique / self.targets_requested
+        with self._lock:
+            if self.targets_requested == 0:
+                return 0.0
+            return 1.0 - self.targets_unique / self.targets_requested
 
     @property
     def overlap_fraction(self) -> float:
@@ -318,12 +326,14 @@ class PipelineStats:
         fraction is 0, not a division error — and the result is clamped
         to [0, 1] so accounting jitter can never report >100 % overlap.
         """
-        if self.stage_untrusted_seconds <= 0.0:
-            return 0.0
-        return min(
-            1.0,
-            self.overlapped_untrusted_seconds / self.stage_untrusted_seconds,
-        )
+        with self._lock:
+            if self.stage_untrusted_seconds <= 0.0:
+                return 0.0
+            return min(
+                1.0,
+                self.overlapped_untrusted_seconds
+                / self.stage_untrusted_seconds,
+            )
 
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
@@ -424,7 +434,8 @@ class MicroBatchScheduler:
         self._server._attach_scheduler(self)
         if self.supervisor is None:
             self.supervisor = getattr(self._server, "supervisor", None)
-        self._admitted = self._server.stats.queries_served
+        with self._admit_lock:
+            self._admitted = self._server.stats.queries_served
         self._collector = threading.Thread(
             target=self._collect_loop, name="vault-collector", daemon=True
         )
@@ -459,6 +470,7 @@ class MicroBatchScheduler:
 
     @property
     def running(self) -> bool:
+        # vaultlint: unlocked-ok(single-bool liveness probe; GIL-atomic read, and callers only use it as a hint — start/close re-check under _cv)
         return self._running
 
     # ------------------------------------------------------------------

@@ -410,6 +410,7 @@ class VaultServer:
         scheduler threads never run the full-graph pass twice per version.
         """
         version = self._session.feature_version
+        # vaultlint: unlocked-ok(lock-free fast path; the tuple is written atomically under _embed_lock and version-checked here, a stale read only costs one extra lock round)
         cached = self._embedding_cache
         if cached is not None and cached[0] == version:
             self.stats.record_embedding_cache(hit=True)

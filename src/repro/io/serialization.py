@@ -207,7 +207,6 @@ def import_bundle(directory: PathLike):
     the sealed blobs are only ever unsealed inside the enclave.
     """
     from ..deploy import SecureInferenceSession
-    from ..tee.enclave import RectifierEnclave
 
     bundle = VaultBundle(Path(directory))
     for path in (
@@ -231,17 +230,14 @@ def import_bundle(directory: PathLike):
     sealed_weights: SealedBlob = pickle.loads(bundle.sealed_weights_path.read_bytes())
     sealed_graph: SealedBlob = pickle.loads(bundle.sealed_graph_path.read_bytes())
 
-    # Stand the enclave up from the shipped blobs, then unseal the private
-    # graph once to learn the deployment's node count for the session.
-    enclave = RectifierEnclave(rectifier)
-    enclave.provision_weights(sealed_weights)
-    enclave.provision_graph(sealed_graph)
-    private = enclave._adjacency  # provisioning already validated the type
-
+    # The session provisions its enclave directly from the shipped
+    # blobs: the private graph is unsealed inside the enclave and never
+    # exists in plaintext on this (untrusted) side of the boundary.
     session = SecureInferenceSession(
         backbone=backbone,
         rectifier=rectifier,
         substitute_adjacency=substitute,
-        private_adjacency=private,
+        sealed_weights=sealed_weights,
+        sealed_graph=sealed_graph,
     )
     return session

@@ -31,26 +31,14 @@ from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple, Union
 
 from ..errors import SecurityViolation
 
-#: event kinds the untrusted world may record.
-UNTRUSTED_AUDIT_KINDS = frozenset({
-    "query_served",
-    "cache_invalidation",
-    "model_update",
-    "graph_update",
-    "alert_fired",
-    "alert_resolved",
-    "attestation",
-    "security_alert",
-    "slo_evaluation",
-})
-
-#: event kinds the enclave may emit (through the telemetry gate only).
-ENCLAVE_AUDIT_KINDS = frozenset({
-    "attestation",
-    "provision",
-    "graph_update",
-    "cache_invalidation",
-})
+# The closed kind vocabularies live in repro.obs.vocabulary alongside
+# the other trust-boundary word lists; re-exported here for
+# compatibility (this module remains their canonical import site for
+# audit-log callers).
+from .vocabulary import (  # noqa: F401  (re-exported API)
+    ENCLAVE_AUDIT_KINDS,
+    UNTRUSTED_AUDIT_KINDS,
+)
 
 _SCALAR_TYPES = (bool, int, float)
 

@@ -36,8 +36,18 @@ from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional, Union
 
 from ..errors import SecurityViolation
-from .redaction import FORBIDDEN_WORDS
 from .tenancy import OVERFLOW_BUCKET
+
+# The closed event schema and redaction vocabulary live in
+# repro.obs.vocabulary so the runtime validator here and the vaultlint
+# gate pass check emission sites against the same tables; re-exported
+# for compatibility with existing importers.
+from .vocabulary import (  # noqa: F401  (re-exported API)
+    FORBIDDEN_WORDS,
+    LOG_SCHEMA,
+    forbidden_words_in as _forbidden_words_in,
+)
+from .vocabulary import LOG_STRING_FIELDS as _STRING_FIELDS  # noqa: F401
 
 #: hashed-tenant grammar: lowercase alpha token (hash_tenant output) or
 #: the explicit overflow bucket. Raw client ids fail this by design.
@@ -45,45 +55,6 @@ _TENANT_RE = re.compile(r"^[a-z]{4,64}$")
 
 #: correlation-id grammar: ``q`` + zero-padded decimal mint sequence.
 _CORR_RE = re.compile(r"^q[0-9]{8,16}$")
-
-#: the closed event vocabulary: event -> (required fields, optional fields).
-LOG_SCHEMA: Dict[str, Dict[str, tuple]] = {
-    # one query admitted (scheduler.submit / server.query_batch)
-    "admit": {
-        "required": ("corr", "tenant", "size_count"),
-        "optional": (),
-    },
-    # one admitted query joined a coalesced micro-batch
-    "batch": {
-        "required": ("corr", "tenant", "batch_seq", "size_count"),
-        "optional": (),
-    },
-    # one micro-batch crossed the enclave boundary (one line per batch)
-    "ecall": {
-        "required": ("batch_seq", "queries_count", "unique_count",
-                     "seconds"),
-        "optional": ("pages_count", "payload_bytes"),
-    },
-    # the supervisor retried a failed batch (recovery hop)
-    "retry": {
-        "required": ("batch_seq", "attempt_count", "error"),
-        "optional": (),
-    },
-    # one query resolved back to its caller
-    "resolve": {
-        "required": ("corr", "tenant", "seconds"),
-        "optional": ("degraded",),
-    },
-    # one query failed terminally
-    "drop": {
-        "required": ("corr", "tenant", "error"),
-        "optional": (),
-    },
-}
-
-#: fields that may carry a (validated) string value; everything else
-#: must be a scalar number or bool.
-_STRING_FIELDS = frozenset({"corr", "tenant", "error"})
 
 #: error values are enum-ish identifiers (exception class names).
 _ERROR_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_]{0,79}$")
@@ -99,12 +70,11 @@ def _check_schema_vocabulary() -> None:
     """The schema itself must obey the redaction vocabulary (import-time)."""
     for event, spec in LOG_SCHEMA.items():
         for key in (event, *spec["required"], *spec["optional"]):
-            for word in key.lower().split("_"):
-                if word in FORBIDDEN_WORDS:
-                    raise LogSchemaViolation(
-                        f"log schema key {key!r} names private data "
-                        f"({word!r})"
-                    )
+            bad = _forbidden_words_in(key)
+            if bad:
+                raise LogSchemaViolation(
+                    f"log schema key {key!r} names private data ({bad[0]!r})"
+                )
 
 
 _check_schema_vocabulary()

@@ -27,58 +27,31 @@ that widens what a ``RedactedSpan`` accepts.
 from __future__ import annotations
 
 import numbers
-import re
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Union
 
 from ..errors import SecurityViolation
-from .audit import ENCLAVE_AUDIT_KINDS
 from .metrics import SIZE_BUCKETS_BYTES, Counter, Gauge, Histogram, _label_key
 from .tracing import NullSpan, Span
 
-#: words that may never appear in an enclave-side telemetry key or name —
-#: they denote per-entity payloads rather than aggregates.
-FORBIDDEN_WORDS = frozenset({
-    "node", "nodes", "id", "ids", "edge", "edges", "neighbour",
-    "neighbours", "neighbor", "neighbors", "embedding", "embeddings",
-    "feature", "features", "target", "targets", "row", "rows",
-    "label", "labels", "logit", "logits", "adjacency", "graph",
-})
-
-#: attribute keys must end in one of these aggregate units...
-AGGREGATE_SUFFIXES = (
-    "_seconds", "_bytes", "_count", "_pages", "_hits", "_misses",
-    "_entries", "_ratio", "_total",
+# The closed vocabularies live in repro.obs.vocabulary (stdlib-only) so
+# the runtime gate, the invariant tests, and the vaultlint static passes
+# all enforce the same word lists; re-exported here for compatibility.
+from .vocabulary import (  # noqa: F401  (re-exported API)
+    AGGREGATE_SUFFIXES,
+    ALLOWED_KEYS,
+    AUDIT_ENUM_KEYS,
+    ENCLAVE_AUDIT_KINDS,
+    ENCLAVE_METRIC_PREFIX,
+    FORBIDDEN_WORDS,
+    GATE_LABEL_KEYS,
+    METRIC_SUFFIXES,
+    key_words as _words,
 )
-
-#: ...or be one of these exact keys.
-ALLOWED_KEYS = frozenset({"error"})
-
-#: gate metric names must end in an aggregate unit too.
-METRIC_SUFFIXES = ("_total", "_seconds", "_bytes", "_pages", "_count")
-
-#: enum-ish label values only: lowercase words, no digits (so no ids).
-_LABEL_VALUE_RE = re.compile(r"^[a-z][a-z_]*$")
-
-ENCLAVE_METRIC_PREFIX = "enclave_"
-
-#: audit-event field keys that may carry enum-like string values
-#: (``result="ok"``); everything else must be an aggregate scalar.
-AUDIT_ENUM_KEYS = frozenset({"result", "stage", "scheme"})
-
-#: label keys the gate admits. ``tenant`` carries only the hashed
-#: lowercase token from :func:`repro.obs.tenancy.hash_tenant` — the
-#: enum-word value grammar below already rejects raw client ids (any
-#: digit, uppercase, or punctuation fails), so a raw identifier cannot
-#: ride this label through the gate.
-GATE_LABEL_KEYS = frozenset({"result", "stage", "scheme", "tenant"})
+from .vocabulary import LABEL_VALUE_RE as _LABEL_VALUE_RE  # noqa: F401
 
 
 class TelemetryLeak(SecurityViolation):
     """Enclave telemetry attempted to carry non-aggregate (private) data."""
-
-
-def _words(key: str) -> Tuple[str, ...]:
-    return tuple(key.lower().split("_"))
 
 
 #: memoised *approved* keys — entries are only ever added after the full

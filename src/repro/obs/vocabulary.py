@@ -1,0 +1,159 @@
+"""The closed trust-boundary vocabularies, in one place.
+
+Every enforcement surface that polices what may leave the enclave —
+the runtime :class:`~repro.obs.redaction.EnclaveTelemetryGate`, the
+structured-log schema validator, the audit log, the invariant tests,
+and the :mod:`repro.analysis_static` lint passes — must agree on the
+same word lists. Before this module each of them carried its own copy
+of the forbidden-word set or its own ad-hoc ``split("_")`` loop, which
+is exactly the kind of drift a trust boundary cannot afford: a word
+added to one copy but not another silently opens a telemetry channel.
+
+This module is **stdlib-only** (``re`` and nothing else) so the static
+analyzer can import it without dragging in numpy or the runtime
+telemetry hub, and so the vocabularies stay importable from any layer
+without creating a dependency cycle.
+
+The sets are *closed*: widening one is a threat-model decision and must
+be reflected in ``docs/threat_model.md`` (see the "Static boundary
+enforcement" section) — the vaultlint gate pass re-checks every literal
+emission site against these exact values at lint time.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Tuple
+
+#: words that may never appear in an enclave-side telemetry key or name —
+#: they denote per-entity payloads rather than aggregates.
+FORBIDDEN_WORDS: FrozenSet[str] = frozenset({
+    "node", "nodes", "id", "ids", "edge", "edges", "neighbour",
+    "neighbours", "neighbor", "neighbors", "embedding", "embeddings",
+    "feature", "features", "target", "targets", "row", "rows",
+    "label", "labels", "logit", "logits", "adjacency", "graph",
+})
+
+#: attribute keys must end in one of these aggregate units...
+AGGREGATE_SUFFIXES: Tuple[str, ...] = (
+    "_seconds", "_bytes", "_count", "_pages", "_hits", "_misses",
+    "_entries", "_ratio", "_total",
+)
+
+#: ...or be one of these exact keys.
+ALLOWED_KEYS: FrozenSet[str] = frozenset({"error"})
+
+#: gate metric names must end in an aggregate unit too.
+METRIC_SUFFIXES: Tuple[str, ...] = (
+    "_total", "_seconds", "_bytes", "_pages", "_count",
+)
+
+#: enum-ish label values only: lowercase words, no digits (so no ids).
+LABEL_VALUE_RE = re.compile(r"^[a-z][a-z_]*$")
+
+ENCLAVE_METRIC_PREFIX = "enclave_"
+
+#: audit-event field keys that may carry enum-like string values
+#: (``result="ok"``); everything else must be an aggregate scalar.
+AUDIT_ENUM_KEYS: FrozenSet[str] = frozenset({"result", "stage", "scheme"})
+
+#: label keys the gate admits. ``tenant`` carries only the hashed
+#: lowercase token from :func:`repro.obs.tenancy.hash_tenant` — the
+#: enum-word value grammar above already rejects raw client ids (any
+#: digit, uppercase, or punctuation fails), so a raw identifier cannot
+#: ride this label through the gate.
+GATE_LABEL_KEYS: FrozenSet[str] = frozenset({"result", "stage", "scheme",
+                                             "tenant"})
+
+#: event kinds the untrusted world may record in the audit log.
+UNTRUSTED_AUDIT_KINDS: FrozenSet[str] = frozenset({
+    "query_served",
+    "cache_invalidation",
+    "model_update",
+    "graph_update",
+    "alert_fired",
+    "alert_resolved",
+    "attestation",
+    "security_alert",
+    "slo_evaluation",
+})
+
+#: event kinds the enclave may emit (through the telemetry gate only).
+ENCLAVE_AUDIT_KINDS: FrozenSet[str] = frozenset({
+    "attestation",
+    "provision",
+    "graph_update",
+    "cache_invalidation",
+})
+
+#: the closed structured-log event vocabulary:
+#: event -> {"required": fields, "optional": fields}.
+LOG_SCHEMA: Dict[str, Dict[str, tuple]] = {
+    # one query admitted (scheduler.submit / server.query_batch)
+    "admit": {
+        "required": ("corr", "tenant", "size_count"),
+        "optional": (),
+    },
+    # one admitted query joined a coalesced micro-batch
+    "batch": {
+        "required": ("corr", "tenant", "batch_seq", "size_count"),
+        "optional": (),
+    },
+    # one micro-batch crossed the enclave boundary (one line per batch)
+    "ecall": {
+        "required": ("batch_seq", "queries_count", "unique_count",
+                     "seconds"),
+        "optional": ("pages_count", "payload_bytes"),
+    },
+    # the supervisor retried a failed batch (recovery hop)
+    "retry": {
+        "required": ("batch_seq", "attempt_count", "error"),
+        "optional": (),
+    },
+    # one query resolved back to its caller
+    "resolve": {
+        "required": ("corr", "tenant", "seconds"),
+        "optional": ("degraded",),
+    },
+    # one query failed terminally
+    "drop": {
+        "required": ("corr", "tenant", "error"),
+        "optional": (),
+    },
+}
+
+#: log fields that may carry a (validated) string value; everything else
+#: must be a scalar number or bool.
+LOG_STRING_FIELDS: FrozenSet[str] = frozenset({"corr", "tenant", "error"})
+
+
+def key_words(key: str) -> Tuple[str, ...]:
+    """Split a telemetry key into its vocabulary words."""
+    return tuple(key.lower().split("_"))
+
+
+def forbidden_words_in(key: str) -> Tuple[str, ...]:
+    """The forbidden words a key contains (empty tuple when clean).
+
+    The one shared implementation of the check that used to be
+    hand-rolled in the gate, the log-schema validator, and several
+    invariant tests.
+    """
+    return tuple(word for word in key_words(key) if word in FORBIDDEN_WORDS)
+
+
+def _self_check() -> None:
+    """The vocabularies must be self-consistent (import-time, cheap)."""
+    for key in GATE_LABEL_KEYS | AUDIT_ENUM_KEYS | ALLOWED_KEYS:
+        if forbidden_words_in(key):
+            raise ValueError(f"vocabulary key {key!r} names private data")
+    for event, spec in LOG_SCHEMA.items():
+        for key in (event, *spec["required"], *spec["optional"]):
+            bad = forbidden_words_in(key)
+            if bad:
+                raise ValueError(
+                    f"log schema key {key!r} names private data ({bad[0]!r})"
+                )
+
+
+_self_check()

@@ -233,6 +233,17 @@ class RectifierEnclave:
     def ready(self) -> bool:
         return self._provisioned_weights and self._adjacency is not None
 
+    @property
+    def num_nodes(self) -> Optional[int]:
+        """Node count of the provisioned private graph (None before).
+
+        Deployment-shape metadata for the operator-side facade — the
+        substitute graph must cover the same node set, so the count is
+        public by construction. Edges, weights, and embeddings stay in.
+        """
+        adjacency = self._adjacency
+        return None if adjacency is None else adjacency.num_nodes
+
     def attach_telemetry(self, gate: Optional[EnclaveTelemetryGate]) -> None:
         """Install (or remove) the redacted telemetry gate.
 
@@ -464,9 +475,11 @@ class RectifierEnclave:
         self._validate_payloads(embeddings)  # full-graph path: whole matrices
         num_nodes = embeddings[0].shape[0]
         if num_nodes != self._adjacency.num_nodes:
+            # The message only echoes the payload-derived count; the
+            # private graph's size stays inside the enclave.
             raise ValueError(
-                f"embeddings cover {num_nodes} nodes but the private graph has "
-                f"{self._adjacency.num_nodes}"
+                f"embeddings cover {num_nodes} nodes, which does not match "
+                f"the provisioned private graph"
             )
 
         payload_bytes = sum(e.nbytes for e in embeddings)
@@ -604,9 +617,11 @@ class RectifierEnclave:
             raise SecurityViolation("inference ECALL with no input payload")
         embeddings = [np.asarray(p, dtype=np.float64) for p in payloads]
         if embeddings[0].shape[0] != self._adjacency.num_nodes:
+            # Same redaction as the locked path: echo the payload shape,
+            # never the private graph's node count.
             raise ValueError(
-                f"embeddings cover {embeddings[0].shape[0]} nodes but the "
-                f"private graph has {self._adjacency.num_nodes}"
+                f"embeddings cover {embeddings[0].shape[0]} nodes, which "
+                f"does not match the provisioned private graph"
             )
         return embeddings
 

@@ -1,0 +1,640 @@
+"""Tests for the vaultlint static trust-boundary analyzer.
+
+Fixture trees mimic the ``repro`` package layout (``deploy/``, ``tee/``,
+``obs/``) under a tmp root so every rule can be driven against a known
+bad snippet and its known-good laundered twin. The last section runs the
+analyzer over the real shipped tree with the committed baseline — the
+self-check that CI relies on.
+"""
+
+import json
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.analysis_static import (
+    Baseline,
+    RULEBOOK_VERSION,
+    RULES,
+    HINTS,
+    run_vaultlint,
+    scan_pragmas,
+    sort_findings,
+)
+from repro.analysis_static.engine import changed_files, default_root, lint_file
+from repro.obs import vocabulary
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def write(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def rules_fired(report):
+    return sorted({f.rule for f in report.findings})
+
+
+# ----------------------------------------------------------------------
+# Pass 1: import boundary
+# ----------------------------------------------------------------------
+
+class TestBoundaryPass:
+    def test_private_import_from_untrusted_layer_fires(self, tmp_path):
+        write(tmp_path, "deploy/leaky.py", """\
+            from repro.tee.enclave import RectifierEnclave
+
+            enclave = RectifierEnclave()
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-B001" in rules_fired(report)
+        assert report.exit_code == 1
+
+    def test_relative_private_import_fires(self, tmp_path):
+        write(tmp_path, "deploy/leaky.py", """\
+            from ..tee.sealed import unseal
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-B001" in rules_fired(report)
+
+    def test_trusted_layer_may_import_private_names(self, tmp_path):
+        write(tmp_path, "tee/internal.py", """\
+            from repro.tee.sealed import unseal
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert report.findings == []
+
+    def test_facade_allowlist_admits_full_surface(self, tmp_path):
+        write(tmp_path, "deploy/inference.py", """\
+            from repro.tee.enclave import RectifierEnclave, seal_private_graph
+            from repro.tee.sealed import unseal
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert report.findings == []
+
+    def test_partial_allowlist_admits_only_listed_names(self, tmp_path):
+        write(tmp_path, "deploy/updates.py", """\
+            from repro.tee.sealed import seal
+            from repro.tee.sealed import unseal
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert rules_fired(report) == ["VL-B001"]
+        assert len(report.findings) == 1
+        assert "unseal" in report.findings[0].message
+
+    def test_private_attribute_reach_through_fires(self, tmp_path):
+        write(tmp_path, "obs/probe.py", """\
+            def peek(enclave):
+                return enclave._adjacency
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-B002" in rules_fired(report)
+
+    def test_self_private_attribute_is_fine(self, tmp_path):
+        write(tmp_path, "deploy/mine.py", """\
+            class Cache:
+                def __init__(self):
+                    self._plan_cache = {}
+
+                def get(self):
+                    return self._plan_cache
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert report.findings == []
+
+    def test_findings_carry_hints_and_invariants(self, tmp_path):
+        write(tmp_path, "deploy/leaky.py", """\
+            from repro.tee.enclave import RectifierEnclave
+        """)
+        report = run_vaultlint(root=tmp_path)
+        doc = report.findings[0].to_dict()
+        assert doc["invariant"] == RULES["VL-B001"]
+        assert doc["hint"] == HINTS["VL-B001"]
+        assert doc["fingerprint"]
+
+
+# ----------------------------------------------------------------------
+# Pass 2: egress taint
+# ----------------------------------------------------------------------
+
+class TestTaintPass:
+    def test_payload_in_exception_message_fires(self, tmp_path):
+        write(tmp_path, "tee/enclave_fixture.py", """\
+            def check(payload):
+                if not payload:
+                    raise ValueError(f"bad payload: {payload}")
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-T001" in rules_fired(report)
+        # taint findings carry a source -> sink trace
+        assert report.findings[0].trace
+
+    def test_laundered_exception_message_is_clean(self, tmp_path):
+        write(tmp_path, "tee/enclave_fixture.py", """\
+            def check(embeddings):
+                if embeddings.shape[0] != 7:
+                    raise ValueError(
+                        f"embeddings cover {embeddings.shape[0]} nodes"
+                    )
+                raise ValueError(f"{len(embeddings)} blocks")
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert report.findings == []
+
+    def test_raw_logits_through_channel_fires(self, tmp_path):
+        write(tmp_path, "tee/egress.py", """\
+            def drain(channel, logits):
+                channel.push(logits)
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-T003" in rules_fired(report)
+
+    def test_argmax_declassifies_logits(self, tmp_path):
+        write(tmp_path, "tee/egress.py", """\
+            def drain(channel, logits):
+                channel.push(logits.argmax(axis=1))
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert report.findings == []
+
+    def test_private_state_into_telemetry_fires(self, tmp_path):
+        write(tmp_path, "tee/metrics_leak.py", """\
+            class Enclave:
+                def leak(self, span):
+                    span.set_attribute("adj", self._adjacency)
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-T002" in rules_fired(report)
+
+    def test_unseal_result_is_tainted(self, tmp_path):
+        write(tmp_path, "tee/keys.py", """\
+            def reveal(blob, key, log):
+                plain = unseal(blob, key)
+                log.emit("ecall", secret=plain)
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-T002" in rules_fired(report)
+
+    def test_taint_scope_excludes_untrusted_layers(self, tmp_path):
+        # identical code outside tee/ is not subject to the taint pass
+        write(tmp_path, "deploy/helper.py", """\
+            def check(payload):
+                raise ValueError(f"bad payload: {payload}")
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-T001" not in rules_fired(report)
+
+
+# ----------------------------------------------------------------------
+# Pass 3: telemetry gate schemas
+# ----------------------------------------------------------------------
+
+class TestGatePass:
+    def test_forbidden_word_in_metric_name_fires(self, tmp_path):
+        write(tmp_path, "obs/emit.py", """\
+            def record(metrics):
+                metrics.inc("enclave_evicted_nodes_total")
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-G001" in rules_fired(report)
+
+    def test_missing_aggregate_suffix_fires(self, tmp_path):
+        write(tmp_path, "obs/emit.py", """\
+            def record(metrics):
+                metrics.inc("enclave_cache_warm")
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-G001" in rules_fired(report)
+
+    def test_clean_metric_is_clean(self, tmp_path):
+        write(tmp_path, "obs/emit.py", """\
+            def record(metrics):
+                metrics.inc("enclave_queries_total", tenant="abc")
+                metrics.observe_seconds("enclave_ecall_seconds", 0.1)
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert report.findings == []
+
+    def test_unknown_label_key_fires(self, tmp_path):
+        write(tmp_path, "obs/emit.py", """\
+            def record(metrics):
+                metrics.inc("enclave_queries_total", node_kind="leaf")
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-G002" in rules_fired(report)
+
+    def test_non_enum_label_value_fires(self, tmp_path):
+        write(tmp_path, "obs/emit.py", """\
+            def record(metrics):
+                metrics.inc("enclave_queries_total", stage="Phase1")
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-G003" in rules_fired(report)
+
+    def test_unknown_log_event_fires(self, tmp_path):
+        write(tmp_path, "obs/emit.py", """\
+            def record(log):
+                log.emit("telepathy", corr="c")
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-G004" in rules_fired(report)
+
+    def test_extra_log_field_fires(self, tmp_path):
+        write(tmp_path, "obs/emit.py", """\
+            def record(log, corr, tenant, err):
+                log.emit("drop", corr=corr, tenant=tenant, error=err,
+                         verbatim_query=1)
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-G005" in rules_fired(report)
+
+    def test_known_log_event_is_clean(self, tmp_path):
+        write(tmp_path, "obs/emit.py", """\
+            def record(log, corr, tenant):
+                log.emit("admit", corr=corr, tenant=tenant, size_count=3)
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert report.findings == []
+
+    def test_unknown_audit_kind_fires(self, tmp_path):
+        write(tmp_path, "obs/emit.py", """\
+            def record(gate):
+                gate.audit("exfiltration", result="ok")
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-G006" in rules_fired(report)
+
+
+# ----------------------------------------------------------------------
+# Pass 4: lock discipline
+# ----------------------------------------------------------------------
+
+LOCK_FIXTURE = """\
+    import threading
+
+
+    class Stats:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._count = 0
+
+        def bump(self):
+            with self._lock:
+                self._count += 1
+
+        def racy_write(self):
+            self._count = 0
+
+        def racy_read(self):
+            return self._count
+"""
+
+
+class TestLockPass:
+    def test_unlocked_write_and_read_fire(self, tmp_path):
+        write(tmp_path, "deploy/scheduler.py", LOCK_FIXTURE)
+        report = run_vaultlint(root=tmp_path)
+        assert rules_fired(report) == ["VL-L001", "VL-L002"]
+        messages = " ".join(f.message for f in report.findings)
+        assert "racy_write" in messages and "racy_read" in messages
+
+    def test_lock_pass_scoped_to_concurrent_modules(self, tmp_path):
+        # the same class elsewhere is single-threaded by construction
+        write(tmp_path, "deploy/other.py", LOCK_FIXTURE)
+        report = run_vaultlint(root=tmp_path)
+        assert report.findings == []
+
+    def test_never_locked_attribute_is_not_guarded(self, tmp_path):
+        write(tmp_path, "deploy/scheduler.py", """\
+            import threading
+
+
+            class Config:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._name = "x"
+
+                def read(self):
+                    return self._name
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert report.findings == []
+
+    def test_pragma_suppresses_lock_finding(self, tmp_path):
+        write(tmp_path, "deploy/scheduler.py", """\
+            import threading
+
+
+            class Stats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+
+                def peek(self):
+                    # vaultlint: unlocked-ok(single int read, GIL-atomic)
+                    return self._count
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert report.findings == []
+
+    def test_pragma_does_not_suppress_other_rule_families(self, tmp_path):
+        write(tmp_path, "deploy/leaky.py", """\
+            # vaultlint: unlocked-ok(wrong family for an import finding)
+            from repro.tee.enclave import RectifierEnclave
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-B001" in rules_fired(report)
+
+
+# ----------------------------------------------------------------------
+# Pragmas
+# ----------------------------------------------------------------------
+
+class TestPragmas:
+    def test_missing_justification_is_a_finding(self, tmp_path):
+        write(tmp_path, "deploy/scheduler.py", """\
+            x = 1  # vaultlint: unlocked-ok
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-P001" in rules_fired(report)
+
+    def test_unknown_token_is_a_finding(self, tmp_path):
+        write(tmp_path, "deploy/scheduler.py", """\
+            x = 1  # vaultlint: trust-me(because)
+        """)
+        report = run_vaultlint(root=tmp_path)
+        assert "VL-P001" in rules_fired(report)
+
+    def test_pragma_text_in_string_literal_is_ignored(self, tmp_path):
+        write(tmp_path, "deploy/doc.py", '''\
+            HELP = """annotate `# vaultlint: unlocked-ok` to suppress"""
+        ''')
+        report = run_vaultlint(root=tmp_path)
+        assert report.findings == []
+
+    def test_own_line_pragma_covers_next_line(self):
+        source = (
+            "# vaultlint: egress-ok(fixture)\n"
+            "x = 1\n"
+        )
+        pragmas, errors = scan_pragmas(source)
+        assert errors == []
+        (pragma,) = pragmas
+        assert pragma.suppresses("VL-T001", 1)
+        assert pragma.suppresses("VL-T001", 2)
+        assert not pragma.suppresses("VL-T001", 3)
+        assert not pragma.suppresses("VL-L001", 2)
+
+
+# ----------------------------------------------------------------------
+# Baseline ratchet, ordering, engine plumbing
+# ----------------------------------------------------------------------
+
+class TestEngine:
+    def _violating_tree(self, tmp_path):
+        write(tmp_path, "deploy/leaky.py", """\
+            from repro.tee.enclave import RectifierEnclave
+        """)
+        write(tmp_path, "tee/egress.py", """\
+            def drain(channel, logits):
+                channel.push(logits)
+        """)
+
+    def test_baseline_lets_accepted_findings_ride(self, tmp_path):
+        self._violating_tree(tmp_path)
+        first = run_vaultlint(root=tmp_path)
+        assert first.exit_code == 1
+
+        baseline = Baseline.from_findings(first.findings)
+        second = run_vaultlint(root=tmp_path, baseline=baseline)
+        assert second.findings == []
+        assert len(second.baselined) == len(first.findings)
+        assert second.exit_code == 0
+
+    def test_new_finding_fails_despite_baseline(self, tmp_path):
+        self._violating_tree(tmp_path)
+        first = run_vaultlint(root=tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(Baseline().to_json(first.findings))
+
+        write(tmp_path, "obs/new_leak.py", """\
+            def peek(enclave):
+                return enclave._seal_key
+        """)
+        second = run_vaultlint(root=tmp_path, baseline=baseline_path)
+        assert second.exit_code == 1
+        assert rules_fired(second) == ["VL-B002"]
+
+    def test_baseline_survives_line_drift(self, tmp_path):
+        self._violating_tree(tmp_path)
+        baseline = Baseline.from_findings(
+            run_vaultlint(root=tmp_path).findings
+        )
+        # prepend a comment block: every finding moves down two lines
+        leaky = tmp_path / "deploy" / "leaky.py"
+        leaky.write_text("# moved\n# down\n" + leaky.read_text())
+        report = run_vaultlint(root=tmp_path, baseline=baseline)
+        assert report.findings == []
+
+    def test_stale_baseline_version_is_an_error(self, tmp_path):
+        self._violating_tree(tmp_path)
+        stale = tmp_path / "baseline.json"
+        stale.write_text(json.dumps(
+            {"rulebook_version": RULEBOOK_VERSION + 1, "findings": []}
+        ))
+        report = run_vaultlint(root=tmp_path, baseline=stale)
+        assert report.exit_code == 2
+        assert report.parse_errors
+
+    def test_missing_baseline_file_means_no_baseline(self, tmp_path):
+        self._violating_tree(tmp_path)
+        report = run_vaultlint(
+            root=tmp_path, baseline=tmp_path / "absent.json"
+        )
+        assert report.exit_code == 1
+
+    def test_findings_are_deterministically_ordered(self, tmp_path):
+        self._violating_tree(tmp_path)
+        write(tmp_path, "obs/new_leak.py", """\
+            def peek(enclave):
+                return enclave._seal_key
+        """)
+        report = run_vaultlint(root=tmp_path)
+        keys = [f.sort_key for f in report.findings]
+        assert keys == sorted(keys)
+        assert report.findings == sort_findings(report.findings)
+
+    def test_syntax_error_is_exit_2(self, tmp_path):
+        write(tmp_path, "deploy/broken.py", "def oops(:\n")
+        report = run_vaultlint(root=tmp_path)
+        assert report.exit_code == 2
+        assert report.parse_errors
+
+    def test_lint_file_reports_relative_posix_paths(self, tmp_path):
+        path = write(tmp_path, "deploy/leaky.py", """\
+            from repro.tee.enclave import RectifierEnclave
+        """)
+        findings, err = lint_file(path, tmp_path)
+        assert err is None
+        assert findings[0].path == "deploy/leaky.py"
+
+    def test_changed_only_narrows_to_dirty_files(self, tmp_path):
+        self._violating_tree(tmp_path)
+        git = ["git", "-C", str(tmp_path),
+               "-c", "user.email=t@example.com", "-c", "user.name=t"]
+        try:
+            subprocess.run(git[:3] + ["init", "-q"], check=True,
+                           capture_output=True)
+            subprocess.run(git + ["add", "-A"], check=True,
+                           capture_output=True)
+            subprocess.run(git + ["commit", "-qm", "seed"], check=True,
+                           capture_output=True)
+        except (OSError, subprocess.CalledProcessError):
+            pytest.skip("git unavailable")
+        # only the tee file is dirty afterwards
+        egress = tmp_path / "tee" / "egress.py"
+        egress.write_text(egress.read_text() + "# dirty\n")
+        narrowed = changed_files(tmp_path)
+        assert narrowed is not None
+        assert [p.name for p in narrowed] == ["egress.py"]
+        report = run_vaultlint(root=tmp_path, changed_only=True)
+        assert report.files_linted == 1
+        assert rules_fired(report) == ["VL-T003"]
+
+    def test_changed_only_outside_git_falls_back_to_full_tree(
+        self, tmp_path, monkeypatch
+    ):
+        self._violating_tree(tmp_path)
+        monkeypatch.setattr(
+            "repro.analysis_static.engine.changed_files",
+            lambda root: None,
+        )
+        report = run_vaultlint(root=tmp_path, changed_only=True)
+        assert report.files_linted == 2
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+
+class TestCli:
+    def test_exit_codes_and_text_output(self, tmp_path, capsys):
+        write(tmp_path, "deploy/leaky.py", """\
+            from repro.tee.enclave import RectifierEnclave
+        """)
+        rc = cli.main([
+            "vaultlint", "--root", str(tmp_path),
+            "--baseline", str(tmp_path / "absent.json"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "VL-B001" in out
+        assert "hint:" in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write(tmp_path, "deploy/fine.py", "x = 1\n")
+        rc = cli.main([
+            "vaultlint", "--root", str(tmp_path),
+            "--baseline", str(tmp_path / "absent.json"),
+        ])
+        assert rc == 0
+        assert "0 finding(s) in 1 file(s)" in capsys.readouterr().out
+
+    def test_json_report_is_stable(self, tmp_path, capsys):
+        write(tmp_path, "deploy/leaky.py", """\
+            from repro.tee.enclave import RectifierEnclave
+        """)
+        out_path = tmp_path / "report.json"
+        args = [
+            "vaultlint", "--root", str(tmp_path), "--format", "json",
+            "--output", str(out_path),
+            "--baseline", str(tmp_path / "absent.json"),
+        ]
+        rc = cli.main(args)
+        capsys.readouterr()
+        first = out_path.read_text()
+        assert rc == 1
+        doc = json.loads(first)
+        assert doc["tool"] == "vaultlint"
+        assert doc["rulebook_version"] == RULEBOOK_VERSION
+        assert doc["summary"] == {"VL-B001": 1}
+        assert doc["findings"][0]["invariant"] == RULES["VL-B001"]
+        # byte-identical across runs
+        cli.main(args)
+        capsys.readouterr()
+        assert out_path.read_text() == first
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        write(tmp_path, "deploy/leaky.py", """\
+            from repro.tee.enclave import RectifierEnclave
+        """)
+        baseline = tmp_path / "baseline.json"
+        rc = cli.main([
+            "vaultlint", "--root", str(tmp_path),
+            "--baseline", str(baseline), "--write-baseline",
+        ])
+        assert rc == 0
+        assert baseline.is_file()
+        rc = cli.main([
+            "vaultlint", "--root", str(tmp_path),
+            "--baseline", str(baseline),
+        ])
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_parse_error_exits_two(self, tmp_path, capsys):
+        write(tmp_path, "deploy/broken.py", "def oops(:\n")
+        rc = cli.main([
+            "vaultlint", "--root", str(tmp_path),
+            "--baseline", str(tmp_path / "absent.json"),
+        ])
+        capsys.readouterr()
+        assert rc == 2
+
+
+# ----------------------------------------------------------------------
+# Live-tree self-check: the shipped code must satisfy its own analyzer
+# ----------------------------------------------------------------------
+
+class TestLiveTree:
+    def test_shipped_tree_is_clean_against_shipped_baseline(self):
+        report = run_vaultlint(
+            baseline=REPO_ROOT / "vaultlint_baseline.json"
+        )
+        assert report.parse_errors == []
+        assert report.findings == [], "\n".join(
+            f.format_text() for f in report.findings
+        )
+        assert report.files_linted > 50
+
+    def test_shipped_baseline_carries_no_debt(self):
+        # the tree was repaired rather than baselined; keep it that way
+        baseline = Baseline.load(REPO_ROOT / "vaultlint_baseline.json")
+        assert baseline.entries == set()
+        assert baseline.version == RULEBOOK_VERSION
+
+    def test_default_root_is_the_repro_package(self):
+        root = default_root()
+        assert root.name == "repro"
+        assert (root / "tee" / "enclave.py").is_file()
+
+    def test_rulebook_vocabulary_matches_runtime_gate(self):
+        # the lint pass and the runtime gate must read the same tables
+        from repro.analysis_static import DEFAULT_RULEBOOK as rb
+
+        assert rb.gate_label_keys == vocabulary.GATE_LABEL_KEYS
+        assert rb.metric_suffixes == vocabulary.METRIC_SUFFIXES
+        assert rb.log_schema == vocabulary.LOG_SCHEMA
+        assert rb.enclave_audit_kinds == vocabulary.ENCLAVE_AUDIT_KINDS
+        assert rb.untrusted_audit_kinds == vocabulary.UNTRUSTED_AUDIT_KINDS
+        assert rb.enclave_metric_prefix == vocabulary.ENCLAVE_METRIC_PREFIX

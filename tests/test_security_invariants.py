@@ -153,7 +153,7 @@ class TestTelemetryRedaction:
     def test_enclave_spans_carry_only_scalar_aggregates(self, served):
         import numbers
 
-        from repro.obs.redaction import FORBIDDEN_WORDS
+        from repro.obs.vocabulary import forbidden_words_in
 
         telemetry, _ = served
         spans = [
@@ -163,7 +163,7 @@ class TestTelemetryRedaction:
         assert spans, "workload produced no enclave-originated spans"
         for span in spans:
             for key, value in span.attributes.items():
-                assert not set(key.split("_")) & FORBIDDEN_WORDS, key
+                assert not forbidden_words_in(key), key
                 assert isinstance(value, numbers.Number), (key, value)
 
     def test_trace_export_contains_no_embedding_payloads(self, served):
@@ -466,7 +466,7 @@ class TestPipelinedServing:
     def test_pipelined_enclave_spans_stay_aggregate_only(self, pipelined):
         import numbers
 
-        from repro.obs.redaction import FORBIDDEN_WORDS
+        from repro.obs.vocabulary import forbidden_words_in
 
         telemetry, _, _ = pipelined
         spans = [
@@ -476,7 +476,7 @@ class TestPipelinedServing:
         assert spans, "pipelined workload produced no enclave spans"
         for span in spans:
             for key, value in span.attributes.items():
-                assert not set(key.split("_")) & FORBIDDEN_WORDS, key
+                assert not forbidden_words_in(key), key
                 assert isinstance(value, numbers.Number), (key, value)
 
 
@@ -556,7 +556,7 @@ class TestProfilingBoundary:
         import json
 
         from repro.obs.profiling import timelines_to_json
-        from repro.obs.redaction import FORBIDDEN_WORDS, AGGREGATE_SUFFIXES
+        from repro.obs.vocabulary import AGGREGATE_SUFFIXES, forbidden_words_in
 
         doc = json.loads(timelines_to_json(profiled.timelines()))
         cost_dicts = [b["cost"] for b in doc["batches"]]
@@ -564,7 +564,7 @@ class TestProfilingBoundary:
         assert all(cost_dicts)
         for cost in cost_dicts:
             for key, value in cost.items():
-                assert not set(key.lower().split("_")) & FORBIDDEN_WORDS, key
+                assert not forbidden_words_in(key), key
                 assert key.endswith(AGGREGATE_SUFFIXES), key
                 assert isinstance(value, (int, float)), (key, value)
 
